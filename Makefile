@@ -1,0 +1,40 @@
+# figfusion build/test targets. Everything is stdlib-only Go.
+
+GO ?= go
+
+.PHONY: all build test race bench vet fmt figures examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Regenerate every paper figure at laptop scale (see EXPERIMENTS.md).
+figures:
+	$(GO) run ./cmd/figbench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/photosearch
+	$(GO) run ./examples/trendingrec
+	$(GO) run ./examples/fusioncompare
+	$(GO) run ./examples/topiclabel
+	$(GO) run ./examples/musicdiscover
+
+clean:
+	$(GO) clean ./...

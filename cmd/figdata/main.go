@@ -1,0 +1,84 @@
+// Command figdata generates a synthetic social-media corpus — the offline
+// stand-in for the paper's Flickr crawl — and persists it to a gob file
+// that figsearch can load, so repeated experiments share one corpus.
+//
+// Usage:
+//
+//	figdata -out corpus.gob -objects 20000 -topics 24 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"figfusion/internal/dataset"
+	"figfusion/internal/fig"
+	"figfusion/internal/index"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figdata: ")
+	var (
+		out     = flag.String("out", "corpus.gob", "output file")
+		objects = flag.Int("objects", 5000, "number of objects |D|")
+		topics  = flag.Int("topics", 0, "number of planted topics (0 = scale-derived)")
+		months  = flag.Int("months", 6, "timeline length in months")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		idxOut  = flag.String("index", "", "also build and persist the clique index to this file")
+	)
+	flag.Parse()
+
+	cfg := dataset.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.NumObjects = *objects
+	cfg.Months = *months
+	if *topics > 0 {
+		cfg.NumTopics = *topics
+	} else {
+		cfg.NumTopics = *objects / 40
+		if cfg.NumTopics < 8 {
+			cfg.NumTopics = 8
+		}
+		if cfg.NumTopics > 48 {
+			cfg.NumTopics = 48
+		}
+	}
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := d.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d objects, %d features, %d topics, %d users, %d visual words\n",
+		*out, d.Corpus.Len(), d.Corpus.Dict.Len(), cfg.NumTopics, d.Network.Len(), d.Vocab.Size())
+	if *idxOut != "" {
+		model := d.Model()
+		model.TrainThresholds(200, 0.35, rand.New(rand.NewSource(*seed+13)))
+		inv := index.Build(model, fig.Options{}, fig.EnumerateOptions{})
+		fi, err := os.Create(*idxOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fi.Close()
+		if err := inv.Save(fi); err != nil {
+			log.Fatal(err)
+		}
+		if err := fi.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: %d cliques, %d postings\n", *idxOut, inv.NumCliques(), inv.Postings())
+	}
+}

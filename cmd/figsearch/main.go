@@ -1,0 +1,127 @@
+// Command figsearch runs top-k FIG retrieval over a corpus: it loads (or
+// generates) a dataset, builds the correlation model and the clique
+// inverted index, and answers similarity queries for corpus objects,
+// printing the matched features the way the paper's Figure 6 does.
+//
+// Usage:
+//
+//	figsearch -data corpus.gob -query 42 -k 10
+//	figsearch -objects 2000 -query 7            # generate on the fly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+
+	"figfusion"
+	"figfusion/internal/dataset"
+	"figfusion/internal/media"
+	"figfusion/internal/retrieval"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figsearch: ")
+	var (
+		data    = flag.String("data", "", "corpus gob written by figdata (empty = generate)")
+		objects = flag.Int("objects", 2000, "corpus size when generating")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		query   = flag.Int("query", 0, "query object ID")
+		text    = flag.String("text", "", "free-text query (overrides -query)")
+		k       = flag.Int("k", 10, "results to return")
+		scan    = flag.Bool("scan", false, "use the sequential scan instead of the clique index")
+	)
+	flag.Parse()
+
+	d, err := loadOrGenerate(*data, *objects, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := d.Model()
+	model.TrainThresholds(200, 0.35, rand.New(rand.NewSource(*seed+13)))
+	engine, err := retrieval.NewEngine(model, retrieval.Config{SkipIndex: *scan})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var q *media.Object
+	exclude := retrieval.NoExclude
+	if *text != "" {
+		var ok bool
+		q, ok = figfusion.TextQuery(d.Corpus, *text)
+		if !ok {
+			log.Fatalf("no term of %q matches the corpus vocabulary", *text)
+		}
+		fmt.Printf("text query %q → %d matched terms\n", *text, q.Len())
+	} else {
+		if *query < 0 || *query >= d.Corpus.Len() {
+			log.Fatalf("query %d out of range [0, %d)", *query, d.Corpus.Len())
+		}
+		q = d.Corpus.Object(media.ObjectID(*query))
+		exclude = q.ID
+		fmt.Printf("query object %d (topic %d, month %d)\n", q.ID, q.PrimaryTopic, q.Month)
+		fmt.Printf("  tags: %s\n", strings.Join(names(d, q, media.Text), ", "))
+		fmt.Printf("  users: %s\n", strings.Join(names(d, q, media.User), ", "))
+	}
+
+	results := engine.Search(q, *k, exclude)
+	if len(results) == 0 {
+		fmt.Println("no results")
+		os.Exit(0)
+	}
+	for rank, it := range results {
+		o := d.Corpus.Object(it.ID)
+		marker := " "
+		if dataset.Relevant(q, o) {
+			marker = "*"
+		}
+		fmt.Printf("%s %2d. object %-6d topic %-3d score %.5f  shared: %s\n",
+			marker, rank+1, o.ID, o.PrimaryTopic, it.Score, strings.Join(shared(d, q, o), ", "))
+	}
+	fmt.Println("(* = shares the query's planted primary topic)")
+}
+
+func loadOrGenerate(path string, objects int, seed int64) (*dataset.Dataset, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dataset.Load(f)
+	}
+	cfg := dataset.DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumObjects = objects
+	return dataset.Generate(cfg)
+}
+
+func names(d *dataset.Dataset, o *media.Object, kind media.Kind) []string {
+	var out []string
+	for _, fid := range o.Feats {
+		f := d.Corpus.Dict.Feature(fid)
+		if f.Kind == kind {
+			out = append(out, f.Name)
+		}
+	}
+	return out
+}
+
+func shared(d *dataset.Dataset, a, b *media.Object) []string {
+	var out []string
+	for _, fid := range a.Feats {
+		if b.Has(fid) {
+			out = append(out, d.Corpus.Dict.Feature(fid).String())
+		}
+	}
+	if len(out) > 6 {
+		out = out[:6]
+	}
+	if len(out) == 0 {
+		out = []string{"(correlation-only match)"}
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+// Command figserver serves FIG similarity search over HTTP/JSON: it loads
+// (or generates) a corpus, builds the engine, and listens for search,
+// inspection and ingestion requests.
+//
+// Usage:
+//
+//	figserver -addr :8080 -data corpus.gob
+//	figserver -addr :8080 -objects 5000        # generate on the fly
+//
+//	curl 'localhost:8080/search?text=sunset&k=5'
+//	curl 'localhost:8080/search?id=42'
+//	curl 'localhost:8080/object?id=42'
+//	curl -XPOST localhost:8080/objects -d '{"tags":["sunset","beach"],"month":5}'
+package main
+
+import (
+	"flag"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"figfusion/internal/dataset"
+	"figfusion/internal/index"
+	"figfusion/internal/retrieval"
+	"figfusion/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figserver: ")
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		data    = flag.String("data", "", "corpus gob written by figdata (empty = generate)")
+		objects = flag.Int("objects", 2000, "corpus size when generating")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		idx     = flag.String("index", "", "prebuilt clique index written by figdata -index")
+	)
+	flag.Parse()
+
+	var d *dataset.Dataset
+	var err error
+	if *data != "" {
+		f, ferr := os.Open(*data)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		d, err = dataset.Load(f)
+		f.Close()
+	} else {
+		cfg := dataset.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.NumObjects = *objects
+		d, err = dataset.Generate(cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := d.Model()
+	model.TrainThresholds(200, 0.35, rand.New(rand.NewSource(*seed+13)))
+	engineCfg := retrieval.Config{}
+	if *idx != "" {
+		f, ferr := os.Open(*idx)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		prebuilt, lerr := index.Load(f)
+		f.Close()
+		if lerr != nil {
+			log.Fatal(lerr)
+		}
+		engineCfg.Index = prebuilt
+		log.Printf("loaded index: %d cliques", prebuilt.NumCliques())
+	}
+	engine, err := retrieval.NewEngine(model, engineCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(engine).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("serving %d objects on %s", d.Corpus.Len(), *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

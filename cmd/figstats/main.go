@@ -1,0 +1,124 @@
+// Command figstats prints diagnostics for a corpus and its retrieval
+// structures: feature counts by modality, the Section 3.5 pair-wise
+// correlation table summaries, and the clique inverted-index shape. Useful
+// when tuning generator parameters or correlation thresholds.
+//
+// Usage:
+//
+//	figstats -data corpus.gob
+//	figstats -objects 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+
+	"figfusion/internal/corr"
+	"figfusion/internal/dataset"
+	"figfusion/internal/fig"
+	"figfusion/internal/index"
+	"figfusion/internal/media"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figstats: ")
+	var (
+		data    = flag.String("data", "", "corpus gob written by figdata (empty = generate)")
+		objects = flag.Int("objects", 2000, "corpus size when generating")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		noIndex = flag.Bool("noindex", false, "skip index construction")
+	)
+	flag.Parse()
+
+	var d *dataset.Dataset
+	var err error
+	if *data != "" {
+		f, ferr := os.Open(*data)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		d, err = dataset.Load(f)
+		f.Close()
+	} else {
+		cfg := dataset.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.NumObjects = *objects
+		d, err = dataset.Generate(cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus := d.Corpus
+	fmt.Printf("corpus: %d objects, %d distinct features\n", corpus.Len(), corpus.Dict.Len())
+
+	// Feature counts and density by modality.
+	var featCount, occCount [media.NumKinds]int
+	for fid := media.FID(0); int(fid) < corpus.Dict.Len(); fid++ {
+		featCount[corpus.KindOf(fid)]++
+	}
+	totalMass := 0
+	for _, o := range corpus.Objects {
+		for i, fid := range o.Feats {
+			occCount[corpus.KindOf(fid)] += int(o.Counts[i])
+			totalMass += int(o.Counts[i])
+		}
+	}
+	fmt.Printf("\n%-8s %10s %12s %14s\n", "kind", "features", "occurrences", "mean-per-obj")
+	for k := media.Kind(0); int(k) < media.NumKinds; k++ {
+		if featCount[k] == 0 {
+			continue
+		}
+		fmt.Printf("%-8s %10d %12d %14.2f\n", k, featCount[k], occCount[k],
+			float64(occCount[k])/float64(corpus.Len()))
+	}
+
+	// Correlation tables.
+	model := d.Model()
+	rng := rand.New(rand.NewSource(*seed + 13))
+	model.TrainThresholds(200, 0.35, rng)
+	fmt.Printf("\ncorrelation tables (Section 3.5), 200 sampled objects:\n%s",
+		corr.FormatTableStats(model.TableStats(200, rng)))
+
+	if *noIndex {
+		return
+	}
+	inv := index.Build(model, fig.Options{}, fig.EnumerateOptions{})
+	fmt.Printf("\nclique index: %d cliques, %d postings (%.2f per clique)\n",
+		inv.NumCliques(), inv.Postings(), float64(inv.Postings())/float64(max(1, inv.NumCliques())))
+	bySize := map[int]int{}
+	for _, e := range inv.Entries() {
+		bySize[len(e.Feats)]++
+	}
+	var sizes []int
+	for s := range bySize {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	for _, s := range sizes {
+		fmt.Printf("  %d-feature cliques: %d\n", s, bySize[s])
+	}
+	top := inv.Entries()
+	if len(top) > 5 {
+		top = top[:5]
+	}
+	fmt.Println("  longest posting lists:")
+	for _, e := range top {
+		names := make([]string, len(e.Feats))
+		for i, fid := range e.Feats {
+			names[i] = corpus.Dict.Feature(fid).String()
+		}
+		fmt.Printf("    %v → %d objects (CorS %.3f)\n", names, len(e.Objects), e.CorS)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,115 @@
+package figfusion_test
+
+import (
+	"fmt"
+	"log"
+
+	"figfusion"
+)
+
+// The examples below are compiled as part of the test suite and double as
+// godoc usage documentation for the main entry points.
+
+// ExampleNewEngine shows the minimal retrieval flow: generate a corpus,
+// build the engine, run a query.
+func ExampleNewEngine() {
+	cfg := figfusion.DefaultConfig()
+	cfg.NumObjects = 300
+	data, err := figfusion.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := figfusion.NewEngine(data, figfusion.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	query := data.Corpus.Object(0)
+	results := engine.Search(query, 3, query.ID)
+	fmt.Println(len(results) > 0)
+	// Output: true
+}
+
+// ExampleTextQuery shows free-text retrieval through the tag pipeline.
+func ExampleTextQuery() {
+	c := figfusion.NewCorpus()
+	if _, err := c.Add(
+		[]figfusion.Feature{{Kind: figfusion.Text, Name: "hamster"}},
+		[]int{1}, 0); err != nil {
+		log.Fatal(err)
+	}
+	q, ok := figfusion.TextQuery(c, "The hamsters!")
+	fmt.Println(ok, q.Len())
+	// Output: true 1
+}
+
+// ExampleNewRecommender shows temporal recommendation over user histories.
+func ExampleNewRecommender() {
+	cfg := figfusion.DefaultConfig()
+	cfg.NumObjects = 400
+	rc := figfusion.DefaultRecConfig()
+	rc.NumUsers = 5
+	rc.MinHistory = 3
+	rd, err := figfusion.GenerateRec(cfg, rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := figfusion.NewRecommender(rd.Model(), figfusion.RecommenderConfig{Temporal: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := rd.Profiles[0]
+	items := rec.Recommend(rd.HistoryObjects(p), rd.Candidates, 5, rd.Now)
+	fmt.Println(len(items) > 0)
+	// Output: true
+}
+
+// ExampleNewModel shows assembling a model over a hand-built corpus — the
+// path for callers with their own data.
+func ExampleNewModel() {
+	c := figfusion.NewCorpus()
+	for _, tags := range [][]string{{"cat", "pet"}, {"cat", "cute"}} {
+		feats := make([]figfusion.Feature, len(tags))
+		counts := make([]int, len(tags))
+		for i, tag := range tags {
+			feats[i] = figfusion.Feature{Kind: figfusion.Text, Name: tag}
+			counts[i] = 1
+		}
+		if _, err := c.Add(feats, counts, 0); err != nil {
+			log.Fatal(err)
+		}
+	}
+	m := figfusion.NewModel(c, nil, nil, nil, nil, nil)
+	engine, err := figfusion.NewEngineFromModel(m, figfusion.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := c.Object(0)
+	results := engine.Search(q, 1, q.ID)
+	fmt.Println(results[0].ID)
+	// Output: 1
+}
+
+// ExampleKMedoids shows similarity-based clustering with purity evaluation.
+func ExampleKMedoids() {
+	cfg := figfusion.DefaultConfig()
+	cfg.NumObjects = 200
+	cfg.NumTopics = 4
+	data, err := figfusion.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := figfusion.NewEngine(data, figfusion.EngineConfig{SkipIndex: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids := make([]figfusion.ObjectID, data.Corpus.Len())
+	for i := range ids {
+		ids[i] = figfusion.ObjectID(i)
+	}
+	res, err := figfusion.KMedoids(engine, ids, figfusion.ClusterConfig{K: 4, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Purity(data.Corpus) > 0.5)
+	// Output: true
+}

@@ -1,0 +1,63 @@
+// Musicdiscover: the paper's extension claim in action — the same FIG
+// fusion machinery over a music corpus (tracks ⟨tags, audio words,
+// listeners⟩ instead of images ⟨tags, visual words, users⟩), the semantic
+// music discovery scenario of the paper's late-fusion competitor [21].
+// Audio content alone suffers the same semantic gap as visual content;
+// fusing it with tags and listener communities recovers genre structure.
+//
+//	go run ./examples/musicdiscover
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"figfusion"
+)
+
+func main() {
+	cfg := figfusion.DefaultMusicConfig()
+	cfg.NumTracks = 800
+	data, err := figfusion.GenerateMusic(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("music corpus: %d tracks, %d genres, %d-word audio codebook\n",
+		data.Corpus.Len(), cfg.NumGenres, data.AudioVocab.Size())
+
+	rng := rand.New(rand.NewSource(5))
+	queries := data.SampleQueries(10, rng)
+
+	for _, variant := range []struct {
+		name  string
+		kinds []figfusion.Kind
+	}{
+		{"audio only", []figfusion.Kind{figfusion.Audio}},
+		{"tags only", []figfusion.Kind{figfusion.Text}},
+		{"listeners only", []figfusion.Kind{figfusion.User}},
+		{"fused FIG", nil},
+	} {
+		engine, err := figfusion.NewEngine(data, figfusion.EngineConfig{
+			BuildOpts: figfusion.GraphOptions{Kinds: variant.kinds},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var precision float64
+		for _, qid := range queries {
+			q := data.Corpus.Object(qid)
+			results := engine.Search(q, 10, q.ID)
+			rel := 0
+			for _, it := range results {
+				if figfusion.Relevant(q, data.Corpus.Object(it.ID)) {
+					rel++
+				}
+			}
+			if len(results) > 0 {
+				precision += float64(rel) / float64(len(results))
+			}
+		}
+		fmt.Printf("%-16s genre P@10 = %.3f\n", variant.name, precision/float64(len(queries)))
+	}
+}

@@ -1,0 +1,251 @@
+// Package figfusion is a Go implementation of "Multiple Feature Fusion for
+// Social Media Applications" (Cui, Tung, Zhang, Zhao — SIGMOD 2010): the
+// Feature Interaction Graph (FIG) representation of multi-modal social
+// media objects, the Markov-Random-Field similarity model over it, a
+// clique inverted index for large-scale retrieval, and the temporally
+// decayed FIG-T recommender.
+//
+// The package is a facade over the implementation packages; the typical
+// flow is:
+//
+//	cfg := figfusion.DefaultConfig()
+//	cfg.NumObjects = 5000
+//	data, err := figfusion.Generate(cfg)       // or load a real corpus
+//	engine, err := figfusion.NewEngine(data, figfusion.EngineConfig{})
+//	results := engine.Search(query, 10, figfusion.NoExclude)
+//
+// and for recommendation:
+//
+//	rec, err := figfusion.NewRecommender(data.Model(), figfusion.RecommenderConfig{Temporal: true})
+//	items := rec.Recommend(history, candidates, 10, nowMonth)
+//
+// Corpora other than the bundled synthetic generator can be built directly
+// with NewCorpus/Add and wired through NewModel.
+package figfusion
+
+import (
+	"figfusion/internal/classify"
+	"figfusion/internal/cluster"
+	"figfusion/internal/corr"
+	"figfusion/internal/dataset"
+	"figfusion/internal/fig"
+	"figfusion/internal/lexicon"
+	"figfusion/internal/media"
+	"figfusion/internal/mrf"
+	"figfusion/internal/recommend"
+	"figfusion/internal/retrieval"
+	"figfusion/internal/social"
+	"figfusion/internal/textproc"
+	"figfusion/internal/topk"
+	"figfusion/internal/vision"
+)
+
+// Core data model.
+type (
+	// Kind is a feature modality (Text, Visual or User).
+	Kind = media.Kind
+	// Feature is one modality-qualified feature of an object.
+	Feature = media.Feature
+	// FID is an interned feature identifier.
+	FID = media.FID
+	// Object is one multi-modal media object O = ⟨T, V, U⟩.
+	Object = media.Object
+	// ObjectID identifies an object within a corpus.
+	ObjectID = media.ObjectID
+	// Corpus is the social media database D.
+	Corpus = media.Corpus
+)
+
+// The three feature modalities.
+const (
+	Text   = media.Text
+	Visual = media.Visual
+	User   = media.User
+	Audio  = media.Audio
+)
+
+// Model layer.
+type (
+	// Model evaluates feature correlations (Eq. 1, WUP, visual-word and
+	// group similarities) and decides FIG edges.
+	Model = corr.Model
+	// Params are the MRF parameters Λ plus the α smoothing and δ decay.
+	Params = mrf.Params
+	// Scorer evaluates clique potentials (Eqs. 7, 9, 10).
+	Scorer = mrf.Scorer
+	// Graph is the Feature Interaction Graph of one object.
+	Graph = fig.Graph
+	// Clique is a complete FIG subgraph (virtual root implicit).
+	Clique = fig.Clique
+	// GraphOptions configure FIG construction.
+	GraphOptions = fig.Options
+	// EnumerateOptions bound clique enumeration.
+	EnumerateOptions = fig.EnumerateOptions
+)
+
+// Retrieval and recommendation engines.
+type (
+	// Engine answers top-k similarity queries (Algorithm 1).
+	Engine = retrieval.Engine
+	// EngineConfig assembles an Engine.
+	EngineConfig = retrieval.Config
+	// Recommender scores candidates against user profiles (Section 4).
+	Recommender = recommend.Recommender
+	// RecommenderConfig assembles a Recommender.
+	RecommenderConfig = recommend.Config
+	// Item is one scored result.
+	Item = topk.Item
+)
+
+// NoExclude disables query-object exclusion in Engine.Search.
+const NoExclude = retrieval.NoExclude
+
+// Synthetic corpus generation (the offline Flickr substitute).
+type (
+	// Config controls corpus generation.
+	Config = dataset.Config
+	// RecConfig controls user-history generation.
+	RecConfig = dataset.RecConfig
+	// Dataset is a generated corpus with all substrates wired.
+	Dataset = dataset.Dataset
+	// RecDataset adds user profiles and the candidate pool.
+	RecDataset = dataset.RecDataset
+	// Profile is one user's favourite history and held-out future.
+	Profile = dataset.Profile
+	// MusicConfig controls music-corpus generation (the audio extension).
+	MusicConfig = dataset.MusicConfig
+)
+
+// Substrates, exposed for callers assembling models over their own data.
+type (
+	// Taxonomy is the WordNet-substitute IS-A hierarchy with WUP.
+	Taxonomy = lexicon.Taxonomy
+	// Vocabulary is a k-means visual-word codebook.
+	Vocabulary = vision.Vocabulary
+	// Network holds users and interest-group memberships.
+	Network = social.Network
+	// UserID identifies a network user.
+	UserID = social.UserID
+	// GroupID identifies an interest group.
+	GroupID = social.GroupID
+)
+
+// DefaultConfig returns the laptop-scale corpus configuration.
+func DefaultConfig() Config { return dataset.DefaultConfig() }
+
+// DefaultRecConfig returns the laptop-scale recommendation configuration.
+func DefaultRecConfig() RecConfig { return dataset.DefaultRecConfig() }
+
+// DefaultParams returns the default MRF parameters.
+func DefaultParams() Params { return mrf.DefaultParams() }
+
+// Generate builds a synthetic corpus with planted topic structure.
+func Generate(cfg Config) (*Dataset, error) { return dataset.Generate(cfg) }
+
+// GenerateRec builds a corpus plus user favourite histories with drift.
+func GenerateRec(cfg Config, rc RecConfig) (*RecDataset, error) {
+	return dataset.GenerateRec(cfg, rc)
+}
+
+// DefaultMusicConfig returns the laptop-scale music corpus configuration.
+func DefaultMusicConfig() MusicConfig { return dataset.DefaultMusicConfig() }
+
+// GenerateMusic builds a synthetic music corpus — tracks with tags, audio
+// words and listeners — realising the paper's music-environment extension.
+func GenerateMusic(cfg MusicConfig) (*Dataset, error) { return dataset.GenerateMusic(cfg) }
+
+// NewCorpus returns an empty corpus for callers ingesting their own data.
+func NewCorpus() *Corpus { return media.NewCorpus() }
+
+// NewModel wires a correlation model over a corpus and optional substrates
+// (any of taxonomy, vocabulary, network may be nil; intra-type correlation
+// then falls back to the Eq. 1 co-occurrence cosine).
+func NewModel(c *Corpus, tax *Taxonomy, vocab *Vocabulary, net *Network,
+	visualWord map[FID]int, userOf map[FID]UserID) *Model {
+	return corr.NewModel(corr.NewStats(c), tax, vocab, net, visualWord, userOf)
+}
+
+// NewEngine builds a retrieval engine (correlation model + MRF scorer +
+// clique inverted index) over a generated dataset.
+func NewEngine(d *Dataset, cfg EngineConfig) (*Engine, error) {
+	return retrieval.NewEngine(d.Model(), cfg)
+}
+
+// NewEngineFromModel builds a retrieval engine over a caller-assembled
+// correlation model.
+func NewEngineFromModel(m *Model, cfg EngineConfig) (*Engine, error) {
+	return retrieval.NewEngine(m, cfg)
+}
+
+// NewRecommender builds a FIG (or, with cfg.Temporal, FIG-T) recommender.
+func NewRecommender(m *Model, cfg RecommenderConfig) (*Recommender, error) {
+	return recommend.New(m, cfg)
+}
+
+// Relevant reports whether two objects share their planted primary topic —
+// the ground-truth relevance oracle of the synthetic corpus.
+func Relevant(a, b *Object) bool { return dataset.Relevant(a, b) }
+
+// UnionObject merges several objects into one "big object" profile.
+func UnionObject(id ObjectID, objects []*Object) *Object {
+	return media.UnionObject(id, objects)
+}
+
+// TextQuery builds a query object from free-form text: the text is run
+// through the paper's tag pipeline (tokenization, stop-word removal,
+// Porter stemming — Section 5.1.3) and the surviving terms that exist in
+// the corpus dictionary become the query's textual features. The returned
+// object has ID -1 and is suitable for Engine.Search with NoExclude.
+// The boolean reports whether any term matched the corpus vocabulary.
+func TextQuery(c *Corpus, text string) (*Object, bool) {
+	pipeline := textproc.NewPipeline(textproc.WithoutStemming())
+	terms := pipeline.Normalize(text)
+	// Corpora built from raw crawls are stemmed; try the stemmed form
+	// when the surface form is unknown.
+	var fcs []media.FeatureCount
+	for _, term := range terms {
+		fid, ok := c.Dict.Lookup(Feature{Kind: Text, Name: term})
+		if !ok {
+			fid, ok = c.Dict.Lookup(Feature{Kind: Text, Name: textproc.Stem(term)})
+		}
+		if !ok {
+			continue
+		}
+		fcs = append(fcs, media.FeatureCount{FID: fid, Count: 1})
+	}
+	if len(fcs) == 0 {
+		return media.NewObject(-1, nil, 0), false
+	}
+	return media.NewObject(-1, fcs, 0), true
+}
+
+// Classifier labels objects by FIG-similarity-weighted kNN — the
+// classification application the paper's introduction motivates.
+type Classifier = classify.Classifier
+
+// NewClassifier builds a kNN topic classifier over a retrieval engine and
+// a label map; k < 1 defaults to 10.
+func NewClassifier(engine *Engine, labels map[ObjectID]int, k int) (*Classifier, error) {
+	return classify.New(engine, labels, k)
+}
+
+// Clustering application (paper introduction: "retrieval, recommendation,
+// classification, clustering, and so on").
+type (
+	// ClusterConfig controls k-medoids clustering.
+	ClusterConfig = cluster.Config
+	// ClusterResult is a clustering outcome with purity evaluation.
+	ClusterResult = cluster.Result
+)
+
+// KMedoids clusters objects with the FIG/MRF similarity.
+func KMedoids(engine *Engine, objects []ObjectID, cfg ClusterConfig) (*ClusterResult, error) {
+	return cluster.KMedoids(engine, objects, cfg)
+}
+
+// GenerateRecFrom layers user favourite histories over an existing dataset
+// (photo or music), enabling recommendation experiments on any corpus with
+// planted topic and month labels.
+func GenerateRecFrom(d *Dataset, numTopics, months int, rc RecConfig, seed int64) (*RecDataset, error) {
+	return dataset.GenerateRecFrom(d, numTopics, months, rc, seed)
+}

@@ -1,0 +1,167 @@
+package figfusion
+
+import "testing"
+
+// TestFacadeEndToEnd drives the public API exactly as the package doc
+// describes: generate → engine → search, and model → recommender.
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumObjects = 300
+	cfg.NumTopics = 6
+	cfg.VisualVocab = 12
+	cfg.VocabTrainImages = 40
+	cfg.ImageBlocks = 2
+	cfg.KMeansIters = 8
+	data, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewEngine(data, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := data.Corpus.Object(0)
+	results := engine.Search(q, 5, q.ID)
+	if len(results) == 0 {
+		t.Fatal("no results through the facade")
+	}
+	rel := 0
+	for _, it := range results {
+		if Relevant(q, data.Corpus.Object(it.ID)) {
+			rel++
+		}
+	}
+	if rel == 0 {
+		t.Error("no relevant results")
+	}
+
+	rc := DefaultRecConfig()
+	rc.NumUsers = 5
+	rc.MinHistory = 3
+	rd, err := GenerateRec(cfg, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewRecommender(rd.Model(), RecommenderConfig{Temporal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rd.Profiles[0]
+	items := rec.Recommend(rd.HistoryObjects(p), rd.Candidates, 5, rd.Now)
+	if len(items) == 0 {
+		t.Fatal("no recommendations through the facade")
+	}
+}
+
+// TestFacadeCustomCorpus assembles a model over a hand-built corpus, the
+// path a downstream user with real data takes.
+func TestFacadeCustomCorpus(t *testing.T) {
+	c := NewCorpus()
+	for i, tags := range [][]string{{"cat", "pet"}, {"cat", "cute"}, {"car", "road"}} {
+		feats := make([]Feature, len(tags))
+		counts := make([]int, len(tags))
+		for j, tag := range tags {
+			feats[j] = Feature{Kind: Text, Name: tag}
+			counts[j] = 1
+		}
+		if _, err := c.Add(feats, counts, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := NewModel(c, nil, nil, nil, nil, nil)
+	engine, err := NewEngineFromModel(m, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := c.Object(0)
+	results := engine.Search(q, 2, q.ID)
+	if len(results) == 0 {
+		t.Fatal("no results over custom corpus")
+	}
+	// The other cat object must outrank the car object.
+	if results[0].ID != 1 {
+		t.Errorf("top result = %v, want object 1", results[0])
+	}
+}
+
+func TestUnionObjectFacade(t *testing.T) {
+	a := &Object{Feats: []FID{1}, Counts: []uint16{1}}
+	u := UnionObject(5, []*Object{a})
+	if u.ID != 5 || u.Count(1) != 1 {
+		t.Errorf("UnionObject = %+v", u)
+	}
+}
+
+func TestTextQuery(t *testing.T) {
+	c := NewCorpus()
+	for _, tags := range [][]string{{"hamster", "broccoli"}, {"car", "road"}} {
+		feats := make([]Feature, len(tags))
+		counts := make([]int, len(tags))
+		for j, tag := range tags {
+			feats[j] = Feature{Kind: Text, Name: tag}
+			counts[j] = 1
+		}
+		if _, err := c.Add(feats, counts, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, ok := TextQuery(c, "The hamster eating broccoli!")
+	if !ok {
+		t.Fatal("TextQuery matched nothing")
+	}
+	if q.ID != -1 {
+		t.Errorf("ID = %d, want -1", q.ID)
+	}
+	if q.Len() != 2 {
+		t.Errorf("features = %d, want hamster+broccoli", q.Len())
+	}
+	// Stemmed fallback: corpus has "hamster", query says "hamsters".
+	q2, ok := TextQuery(c, "hamsters")
+	if !ok || q2.Len() != 1 {
+		t.Errorf("stemmed fallback failed: ok=%v len=%d", ok, q2.Len())
+	}
+	// No match at all.
+	if _, ok := TextQuery(c, "zebra quokka"); ok {
+		t.Error("unknown terms should report !ok")
+	}
+	// Only stop words.
+	if _, ok := TextQuery(c, "the of and"); ok {
+		t.Error("stop-word-only query should report !ok")
+	}
+}
+
+func TestTextQueryEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumObjects = 200
+	cfg.NumTopics = 4
+	cfg.VisualVocab = 12
+	cfg.VocabTrainImages = 40
+	cfg.ImageBlocks = 2
+	cfg.KMeansIters = 8
+	data, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewEngine(data, EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := TextQuery(data.Corpus, "topic00tag00 topic00tag01")
+	if !ok {
+		t.Fatal("generated tags not found")
+	}
+	results := engine.Search(q, 5, NoExclude)
+	if len(results) == 0 {
+		t.Fatal("text query found nothing")
+	}
+	// The majority of results should be topic-0 objects.
+	onTopic := 0
+	for _, it := range results {
+		if data.Corpus.Object(it.ID).PrimaryTopic == 0 {
+			onTopic++
+		}
+	}
+	if onTopic < len(results)/2 {
+		t.Errorf("only %d/%d results on the queried topic", onTopic, len(results))
+	}
+}

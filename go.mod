@@ -1,0 +1,3 @@
+module figfusion
+
+go 1.22

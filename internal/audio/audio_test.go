@@ -1,0 +1,157 @@
+package audio
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestExtractFrameDescriptors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	wave := Synthesize([]float64{440}, 4, 0, rng)
+	descs, err := ExtractFrameDescriptors(wave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(descs) != 4 {
+		t.Fatalf("frames = %d, want 4", len(descs))
+	}
+	// Each descriptor is L1-normalised.
+	for f, d := range descs {
+		var sum float64
+		for _, v := range d {
+			if v < 0 {
+				t.Fatalf("frame %d: negative energy %v", f, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("frame %d: L1 = %v, want 1", f, sum)
+		}
+	}
+	// The dominant band must be the probe nearest 440 Hz.
+	want := 0
+	for i, f := range probes {
+		if math.Abs(f-440) < math.Abs(probes[want]-440) {
+			want = i
+		}
+	}
+	got := 0
+	for i, v := range descs[0] {
+		if v > descs[0][got] {
+			got = i
+		}
+	}
+	if got != want {
+		t.Errorf("dominant band = %d (%.0f Hz), want %d (%.0f Hz)", got, probes[got], want, probes[want])
+	}
+}
+
+func TestExtractTooShort(t *testing.T) {
+	if _, err := ExtractFrameDescriptors(make([]float64, FrameSize-1)); err == nil {
+		t.Error("want error for short waveform")
+	}
+}
+
+func TestExtractSilence(t *testing.T) {
+	descs, err := ExtractFrameDescriptors(make([]float64, FrameSize*2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range descs {
+		for _, v := range d {
+			if v != 0 {
+				t.Fatal("silence should give zero descriptors")
+			}
+		}
+	}
+}
+
+func TestDifferentChordsSeparate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	low := Synthesize([]float64{220, 330}, 3, 0.05, rng)
+	high := Synthesize([]float64{1500, 2200}, 3, 0.05, rng)
+	dl, err := ExtractFrameDescriptors(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dh, err := ExtractFrameDescriptors(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within-chord frames must be closer than cross-chord frames.
+	within := dl[0].Distance(dl[1])
+	cross := dl[0].Distance(dh[0])
+	if within >= cross {
+		t.Errorf("within-chord distance %v not below cross-chord %v", within, cross)
+	}
+}
+
+func TestVocabularySeparatesChords(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	chords := [][]float64{{220, 330}, {700, 1050}, {1800, 2700}}
+	var samples []Descriptor
+	var perChord [][]Descriptor
+	for _, chord := range chords {
+		wave := Synthesize(chord, 6, 0.05, rng)
+		descs, err := ExtractFrameDescriptors(wave)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perChord = append(perChord, descs)
+		samples = append(samples, descs...)
+	}
+	voc, err := TrainVocabulary(samples, 3, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All frames of one chord quantize to the same audio word, and
+	// different chords to different words.
+	words := make([]int, len(chords))
+	for ci, descs := range perChord {
+		w := voc.Quantize(descs[0])
+		for _, d := range descs[1:] {
+			if voc.Quantize(d) != w {
+				t.Fatalf("chord %d frames split across words", ci)
+			}
+		}
+		words[ci] = w
+	}
+	if words[0] == words[1] || words[1] == words[2] || words[0] == words[2] {
+		t.Errorf("chords collide: %v", words)
+	}
+}
+
+func TestGoertzelMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	frame := make([]float64, FrameSize)
+	for i := range frame {
+		frame[i] = rng.NormFloat64()
+	}
+	for _, f := range []float64{200, 440, 1000} {
+		got := goertzel(frame, f)
+		// Naive DFT magnitude² at the same (non-integer-bin) frequency.
+		w := 2 * math.Pi * f / SampleRate
+		var re, im float64
+		for n, x := range frame {
+			re += x * math.Cos(w*float64(n))
+			im -= x * math.Sin(w*float64(n))
+		}
+		want := re*re + im*im
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			t.Errorf("goertzel(%v Hz) = %v, want %v", f, got, want)
+		}
+	}
+}
+
+func BenchmarkExtractFrameDescriptors(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	wave := Synthesize([]float64{440, 880}, 8, 0.05, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExtractFrameDescriptors(wave); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

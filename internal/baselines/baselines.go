@@ -1,0 +1,90 @@
+// Package baselines implements the three state-of-the-art feature fusion
+// competitors the paper evaluates against (Section 5.1.1):
+//
+//   - LSA — early fusion by latent semantic analysis over the concatenated
+//     multi-type feature space (the M-LSA line of [22, 23]); implemented
+//     with a from-scratch truncated SVD.
+//   - TP — early fusion by tensor-product kernel combination of per-type
+//     kernels without any pruning (Basilico & Hofmann [3]).
+//   - RB — late fusion by RankBoost over the per-feature-type result lists
+//     (Freund et al. [9], the strongest late-fusion combiner in [21]).
+//
+// All three expose the same Scorer interface so the experiment harness can
+// swap systems; generic Search/SearchAmong drivers turn a pairwise scorer
+// into a ranker. For recommendation the baselines score candidates against
+// the naive "big object" union of the user history (Section 4's strawman),
+// since none of them has a temporal component.
+package baselines
+
+import (
+	"math"
+
+	"figfusion/internal/media"
+	"figfusion/internal/topk"
+)
+
+// Scorer computes a similarity between a query object and a database
+// object. Implementations must be safe for concurrent use.
+type Scorer interface {
+	// Name identifies the system in experiment output ("LSA", "TP", "RB").
+	Name() string
+	// Score returns a non-negative similarity; larger is more similar.
+	Score(q, o *media.Object) float64
+}
+
+// Search ranks the whole corpus for a query and returns the top k,
+// excluding one object (pass a negative ID to keep everything).
+func Search(s Scorer, corpus *media.Corpus, q *media.Object, k int, exclude media.ObjectID) []topk.Item {
+	h := topk.NewHeap(k)
+	for _, o := range corpus.Objects {
+		if o.ID == exclude {
+			continue
+		}
+		if v := s.Score(q, o); v > 0 {
+			h.Push(topk.Item{ID: o.ID, Score: v})
+		}
+	}
+	return h.Results()
+}
+
+// SearchAmong ranks only the candidate set — the recommendation path, where
+// candidates are the newly incoming objects.
+func SearchAmong(s Scorer, corpus *media.Corpus, q *media.Object, candidates []media.ObjectID, k int) []topk.Item {
+	h := topk.NewHeap(k)
+	for _, oid := range candidates {
+		if v := s.Score(q, corpus.Object(oid)); v > 0 {
+			h.Push(topk.Item{ID: oid, Score: v})
+		}
+	}
+	return h.Results()
+}
+
+// kindCosine computes the cosine similarity of two objects restricted to
+// one feature modality — the per-type kernel shared by TP and RB.
+func kindCosine(corpus *media.Corpus, a, b *media.Object, kind media.Kind) float64 {
+	nf := media.FID(corpus.Dict.Len())
+	var dot, na, nb float64
+	for i, f := range a.Feats {
+		// Features outside the corpus dictionary (external query objects)
+		// cannot match anything; skip them.
+		if f >= nf || corpus.KindOf(f) != kind {
+			continue
+		}
+		ca := float64(a.Counts[i])
+		na += ca * ca
+		if cb := b.Count(f); cb > 0 {
+			dot += ca * float64(cb)
+		}
+	}
+	for i, f := range b.Feats {
+		if f >= nf || corpus.KindOf(f) != kind {
+			continue
+		}
+		cb := float64(b.Counts[i])
+		nb += cb * cb
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}

@@ -1,0 +1,304 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"figfusion/internal/dataset"
+	"figfusion/internal/media"
+)
+
+func testData(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.NumObjects = 200
+	cfg.NumTopics = 5
+	cfg.TagsPerTopic = 8
+	cfg.NoiseTags = 24
+	cfg.UsersPerTopic = 8
+	cfg.VisualVocab = 12
+	cfg.VocabTrainImages = 40
+	cfg.ImageBlocks = 2
+	cfg.KMeansIters = 8
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func precisionAt(t *testing.T, d *dataset.Dataset, s Scorer, n int) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	queries := d.SampleQueries(8, rng)
+	var total float64
+	for _, qid := range queries {
+		q := d.Corpus.Object(qid)
+		results := Search(s, d.Corpus, q, n, qid)
+		rel := 0
+		for _, it := range results {
+			if dataset.Relevant(q, d.Corpus.Object(it.ID)) {
+				rel++
+			}
+		}
+		if len(results) > 0 {
+			total += float64(rel) / float64(len(results))
+		}
+	}
+	return total / float64(len(queries))
+}
+
+func TestKindCosine(t *testing.T) {
+	c := media.NewCorpus()
+	tf := media.Feature{Kind: media.Text, Name: "cat"}
+	tg := media.Feature{Kind: media.Text, Name: "dog"}
+	uf := media.Feature{Kind: media.User, Name: "u1"}
+	a, err := c.Add([]media.Feature{tf, uf}, []int{1, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Add([]media.Feature{tf, tg}, []int{1, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Text cosine: shared "cat": 1/(1·sqrt(2)).
+	want := 1 / math.Sqrt(2)
+	if got := kindCosine(c, a, b, media.Text); math.Abs(got-want) > 1e-12 {
+		t.Errorf("text cosine = %v, want %v", got, want)
+	}
+	// User cosine: b has no user features → 0.
+	if got := kindCosine(c, a, b, media.User); got != 0 {
+		t.Errorf("user cosine = %v, want 0", got)
+	}
+	// Symmetry.
+	if kindCosine(c, a, b, media.Text) != kindCosine(c, b, a, media.Text) {
+		t.Error("kindCosine not symmetric")
+	}
+	// Self-similarity 1 per populated kind.
+	if got := kindCosine(c, a, a, media.Text); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self cosine = %v", got)
+	}
+}
+
+func TestLSATrainAndScore(t *testing.T) {
+	d := testData(t)
+	l, err := TrainLSA(d.Corpus, LSAConfig{Rank: 16, Iters: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Name() != "LSA" {
+		t.Errorf("Name = %q", l.Name())
+	}
+	if l.Rank() != 16 {
+		t.Errorf("Rank = %d", l.Rank())
+	}
+	sig := l.Sigma()
+	for j, s := range sig {
+		if s < 0 || math.IsNaN(s) {
+			t.Errorf("sigma[%d] = %v", j, s)
+		}
+	}
+	// Self score ≈ 1.
+	q := d.Corpus.Object(0)
+	if got := l.Score(q, q); math.Abs(got-1) > 1e-6 {
+		t.Errorf("self score = %v, want 1", got)
+	}
+	// Same-topic beats average cross-topic.
+	p := precisionAt(t, d, l, 10)
+	if p < 0.3 {
+		t.Errorf("LSA P@10 = %v, implausibly low for planted topics", p)
+	}
+}
+
+func TestLSAValidation(t *testing.T) {
+	d := testData(t)
+	if _, err := TrainLSA(d.Corpus, LSAConfig{Rank: 0, Iters: 5}); err == nil {
+		t.Error("want error for rank 0")
+	}
+	if _, err := TrainLSA(d.Corpus, LSAConfig{Rank: 4, Iters: 0}); err == nil {
+		t.Error("want error for iters 0")
+	}
+	if _, err := TrainLSA(media.NewCorpus(), DefaultLSAConfig()); err == nil {
+		t.Error("want error for empty corpus")
+	}
+}
+
+func TestLSARankClamped(t *testing.T) {
+	c := media.NewCorpus()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Add([]media.Feature{{Kind: media.Text, Name: string(rune('a' + i))}}, []int{1}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := TrainLSA(c, LSAConfig{Rank: 50, Iters: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Rank() != 3 {
+		t.Errorf("Rank = %d, want clamp to 3", l.Rank())
+	}
+}
+
+func TestLSAEmbedExternalObject(t *testing.T) {
+	d := testData(t)
+	l, err := TrainLSA(d.Corpus, LSAConfig{Rank: 12, Iters: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := d.Corpus.Object(3)
+	fcs := make([]media.FeatureCount, len(src.Feats))
+	for i, f := range src.Feats {
+		fcs[i] = media.FeatureCount{FID: f, Count: src.Counts[i]}
+	}
+	clone := media.NewObject(99999, fcs, 0)
+	// The clone must score ≈1 against its source.
+	if got := l.Score(clone, src); math.Abs(got-1) > 1e-6 {
+		t.Errorf("clone score = %v, want ≈1", got)
+	}
+	// An object with only unknown features embeds to zero.
+	alien := media.NewObject(99998, []media.FeatureCount{{FID: media.FID(d.Corpus.Dict.Len() + 5), Count: 1}}, 0)
+	emb := l.Embed(alien)
+	for _, x := range emb {
+		if x != 0 {
+			t.Fatalf("alien embedding non-zero: %v", emb)
+		}
+	}
+}
+
+func TestTPScore(t *testing.T) {
+	d := testData(t)
+	tp := NewTP(d.Corpus)
+	if tp.Name() != "TP" {
+		t.Errorf("Name = %q", tp.Name())
+	}
+	q := d.Corpus.Object(0)
+	// Self-similarity near (1+ε)³ − ε³.
+	self := tp.Score(q, q)
+	if self < 0.9 {
+		t.Errorf("self TP score = %v", self)
+	}
+	// Disjoint objects score ~0: construct one from unique features.
+	c2 := d.Corpus
+	alien := media.NewObject(88888, []media.FeatureCount{{FID: media.FID(c2.Dict.Len() + 1), Count: 1}}, 0)
+	if got := tp.Score(q, alien); got != 0 {
+		t.Errorf("disjoint TP score = %v, want 0", got)
+	}
+	// TP still ranks same-topic objects above random.
+	p := precisionAt(t, d, tp, 10)
+	if p < 0.25 {
+		t.Errorf("TP P@10 = %v, implausibly low", p)
+	}
+}
+
+func TestRBTrainAndScore(t *testing.T) {
+	d := testData(t)
+	rng := rand.New(rand.NewSource(3))
+	queries := d.SampleQueries(10, rng)
+	rb, err := TrainRB(d.Corpus, queries, dataset.Relevant, DefaultRBConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Name() != "RB" {
+		t.Errorf("Name = %q", rb.Name())
+	}
+	if rb.Rounds() == 0 {
+		t.Fatal("no weak rankers")
+	}
+	p := precisionAt(t, d, rb, 10)
+	if p < 0.3 {
+		t.Errorf("RB P@10 = %v, implausibly low", p)
+	}
+}
+
+func TestRBValidation(t *testing.T) {
+	d := testData(t)
+	if _, err := TrainRB(d.Corpus, nil, dataset.Relevant, DefaultRBConfig()); err == nil {
+		t.Error("want error for no queries")
+	}
+	bad := DefaultRBConfig()
+	bad.Rounds = 0
+	if _, err := TrainRB(d.Corpus, []media.ObjectID{0}, dataset.Relevant, bad); err == nil {
+		t.Error("want error for zero rounds")
+	}
+	// Degenerate relevance (nothing relevant) → no crucial pairs.
+	never := func(q, o *media.Object) bool { return false }
+	if _, err := TrainRB(d.Corpus, []media.ObjectID{0, 1}, never, DefaultRBConfig()); err == nil {
+		t.Error("want error for degenerate relevance")
+	}
+}
+
+func TestSearchAndSearchAmong(t *testing.T) {
+	d := testData(t)
+	tp := NewTP(d.Corpus)
+	q := d.Corpus.Object(5)
+	all := Search(tp, d.Corpus, q, 5, q.ID)
+	if len(all) == 0 {
+		t.Fatal("no results")
+	}
+	for _, it := range all {
+		if it.ID == q.ID {
+			t.Error("excluded query returned")
+		}
+	}
+	// SearchAmong restricted to the full ID set matches Search-without-
+	// exclusion semantics for the same candidates.
+	cands := []media.ObjectID{all[0].ID, all[1].ID}
+	among := SearchAmong(tp, d.Corpus, q, cands, 5)
+	if len(among) != 2 {
+		t.Fatalf("among = %v", among)
+	}
+	if among[0].ID != all[0].ID {
+		t.Errorf("best candidate = %v, want %v", among[0], all[0])
+	}
+}
+
+func TestAllBaselinesPositiveScoresOnly(t *testing.T) {
+	d := testData(t)
+	l, err := TrainLSA(d.Corpus, LSAConfig{Rank: 8, Iters: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	rb, err := TrainRB(d.Corpus, d.SampleQueries(6, rng), dataset.Relevant, DefaultRBConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scorers := []Scorer{l, NewTP(d.Corpus), rb}
+	for _, s := range scorers {
+		for i := 0; i < 20; i++ {
+			q := d.Corpus.Object(media.ObjectID(i))
+			o := d.Corpus.Object(media.ObjectID((i * 7) % d.Corpus.Len()))
+			if v := s.Score(q, o); v < 0 || math.IsNaN(v) {
+				t.Errorf("%s score = %v", s.Name(), v)
+			}
+		}
+	}
+}
+
+func BenchmarkLSAScore(b *testing.B) {
+	d := testData(b)
+	l, err := TrainLSA(d.Corpus, LSAConfig{Rank: 16, Iters: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := d.Corpus.Object(0)
+	o := d.Corpus.Object(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Score(q, o)
+	}
+}
+
+func BenchmarkTPScore(b *testing.B) {
+	d := testData(b)
+	tp := NewTP(d.Corpus)
+	q := d.Corpus.Object(0)
+	o := d.Corpus.Object(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tp.Score(q, o)
+	}
+}

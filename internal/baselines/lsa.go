@@ -1,0 +1,252 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"figfusion/internal/media"
+)
+
+// LSA is the early-fusion baseline of [22, 23]: all feature types are
+// stacked into one term–object matrix A (TF-IDF weighted), a rank-r
+// truncated SVD A ≈ U Σ Vᵀ maps objects into a unified latent space, and
+// similarity is the cosine between latent embeddings. Queries (and, for
+// consistency, database objects) are folded in with v = Σ⁻¹ Uᵀ x.
+//
+// The SVD is computed from scratch by subspace (orthogonal) iteration on
+// the sparse matrix: V ← orth(Aᵀ(A V)), which costs O(nnz·r) per sweep —
+// the "extremely high computational cost for a large scale database" the
+// paper attributes to global-statistics early fusion shows up here as the
+// training cost.
+type LSA struct {
+	corpus *media.Corpus
+	rank   int
+	idf    []float64   // FID -> idf weight
+	u      [][]float64 // FID -> r-dim left singular row
+	sigma  []float64   // r singular values
+	docEmb [][]float64 // ObjectID -> normalized r-dim embedding
+}
+
+// LSAConfig controls training.
+type LSAConfig struct {
+	// Rank is the latent dimensionality r.
+	Rank int
+	// Iters is the number of subspace-iteration sweeps.
+	Iters int
+	// Seed makes training reproducible.
+	Seed int64
+}
+
+// DefaultLSAConfig returns a sensible small-rank setup.
+func DefaultLSAConfig() LSAConfig { return LSAConfig{Rank: 24, Iters: 12, Seed: 1} }
+
+// TrainLSA factorises the corpus matrix.
+func TrainLSA(corpus *media.Corpus, cfg LSAConfig) (*LSA, error) {
+	n := corpus.Len()
+	nf := corpus.Dict.Len()
+	if cfg.Rank < 1 {
+		return nil, fmt.Errorf("lsa: rank %d", cfg.Rank)
+	}
+	if cfg.Iters < 1 {
+		return nil, fmt.Errorf("lsa: iters %d", cfg.Iters)
+	}
+	if n == 0 || nf == 0 {
+		return nil, fmt.Errorf("lsa: empty corpus")
+	}
+	r := cfg.Rank
+	if r > n {
+		r = n
+	}
+	if r > nf {
+		r = nf
+	}
+	l := &LSA{corpus: corpus, rank: r, idf: make([]float64, nf)}
+	for fid := 0; fid < nf; fid++ {
+		df := corpus.DocFreq(media.FID(fid))
+		l.idf[fid] = math.Log(1 + float64(n)/float64(1+df))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	// V: n×r with orthonormal columns.
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, r)
+		for j := range v[i] {
+			v[i][j] = rng.NormFloat64()
+		}
+	}
+	orthonormalize(v, r)
+	w := make([][]float64, nf) // A·V, feature space
+	for i := range w {
+		w[i] = make([]float64, r)
+	}
+	for iter := 0; iter < cfg.Iters; iter++ {
+		l.multiplyAV(v, w)
+		l.multiplyAtW(w, v)
+		orthonormalize(v, r)
+	}
+	// Final pass: U and Σ from W = A·V.
+	l.multiplyAV(v, w)
+	l.sigma = make([]float64, r)
+	for j := 0; j < r; j++ {
+		var norm float64
+		for i := range w {
+			norm += w[i][j] * w[i][j]
+		}
+		l.sigma[j] = math.Sqrt(norm)
+	}
+	l.u = w
+	for i := range l.u {
+		for j := 0; j < r; j++ {
+			if l.sigma[j] > 0 {
+				l.u[i][j] /= l.sigma[j]
+			}
+		}
+	}
+	// Embed all database objects by fold-in so query and corpus live in
+	// the same space.
+	l.docEmb = make([][]float64, n)
+	for i, o := range corpus.Objects {
+		l.docEmb[i] = l.Embed(o)
+	}
+	return l, nil
+}
+
+// multiplyAV computes w = A·v where A[f,o] = count·idf.
+func (l *LSA) multiplyAV(v, w [][]float64) {
+	for i := range w {
+		for j := range w[i] {
+			w[i][j] = 0
+		}
+	}
+	for _, o := range l.corpus.Objects {
+		vo := v[o.ID]
+		for i, fid := range o.Feats {
+			a := float64(o.Counts[i]) * l.idf[fid]
+			wf := w[fid]
+			for j := range wf {
+				wf[j] += a * vo[j]
+			}
+		}
+	}
+}
+
+// multiplyAtW computes v = Aᵀ·w.
+func (l *LSA) multiplyAtW(w, v [][]float64) {
+	for i := range v {
+		for j := range v[i] {
+			v[i][j] = 0
+		}
+	}
+	for _, o := range l.corpus.Objects {
+		vo := v[o.ID]
+		for i, fid := range o.Feats {
+			a := float64(o.Counts[i]) * l.idf[fid]
+			wf := w[fid]
+			for j := range vo {
+				vo[j] += a * wf[j]
+			}
+		}
+	}
+}
+
+// orthonormalize applies modified Gram–Schmidt to the first r columns of
+// the row-major matrix m (rows = vectors' coordinates).
+func orthonormalize(m [][]float64, r int) {
+	for j := 0; j < r; j++ {
+		// Subtract projections onto previous columns.
+		for p := 0; p < j; p++ {
+			var dot float64
+			for i := range m {
+				dot += m[i][j] * m[i][p]
+			}
+			for i := range m {
+				m[i][j] -= dot * m[i][p]
+			}
+		}
+		var norm float64
+		for i := range m {
+			norm += m[i][j] * m[i][j]
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			// Degenerate column: reseed deterministically.
+			for i := range m {
+				m[i][j] = math.Sin(float64(i*31 + j + 1))
+			}
+			var n2 float64
+			for i := range m {
+				n2 += m[i][j] * m[i][j]
+			}
+			norm = math.Sqrt(n2)
+		}
+		for i := range m {
+			m[i][j] /= norm
+		}
+	}
+}
+
+// Rank returns the latent dimensionality.
+func (l *LSA) Rank() int { return l.rank }
+
+// Sigma returns the singular values, largest first (up to iteration
+// convergence).
+func (l *LSA) Sigma() []float64 { return append([]float64(nil), l.sigma...) }
+
+// Embed folds an object into the latent space and L2-normalises it:
+// v = Σ⁻¹ Uᵀ x with x the TF-IDF feature vector. Features unknown to the
+// training corpus are ignored. A zero vector is returned for objects with
+// no known features.
+func (l *LSA) Embed(o *media.Object) []float64 {
+	emb := make([]float64, l.rank)
+	for i, fid := range o.Feats {
+		if int(fid) >= len(l.u) {
+			continue
+		}
+		a := float64(o.Counts[i]) * l.idf[fid]
+		uf := l.u[fid]
+		for j := range emb {
+			emb[j] += a * uf[j]
+		}
+	}
+	for j := range emb {
+		if l.sigma[j] > 0 {
+			emb[j] /= l.sigma[j]
+		}
+	}
+	var norm float64
+	for _, x := range emb {
+		norm += x * x
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for j := range emb {
+			emb[j] /= norm
+		}
+	}
+	return emb
+}
+
+// Name implements Scorer.
+func (l *LSA) Name() string { return "LSA" }
+
+// Score implements Scorer: cosine in the latent space, clamped to [0, 1]
+// (embeddings are unit vectors, so this is (1+cos)/2-free — negatives mean
+// dissimilar and are clamped to 0 to satisfy the non-negative contract).
+func (l *LSA) Score(q, o *media.Object) float64 {
+	var qEmb []float64
+	if int(q.ID) >= 0 && int(q.ID) < len(l.docEmb) && l.corpus.Objects[q.ID] == q {
+		qEmb = l.docEmb[q.ID]
+	} else {
+		qEmb = l.Embed(q)
+	}
+	oEmb := l.docEmb[o.ID]
+	var dot float64
+	for j := range qEmb {
+		dot += qEmb[j] * oEmb[j]
+	}
+	if dot < 0 {
+		return 0
+	}
+	return dot
+}

@@ -1,0 +1,223 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"figfusion/internal/media"
+)
+
+// RB is the late-fusion baseline: per-feature-type result lists are
+// combined by RankBoost (Freund, Iyer, Schapire & Singer [9]), the stronger
+// of the late-fusion combiners compared in [21]. Weak rankers are threshold
+// functions h(q,o) = 1[cos_kind(q,o) > θ]; boosting reweights misordered
+// relevant/irrelevant pairs and accumulates α-weighted weak rankers into
+// the final scoring function H(q,o) = Σ_t α_t h_t(q,o).
+type RB struct {
+	corpus *media.Corpus
+	weak   []weakRanker
+}
+
+type weakRanker struct {
+	kind  media.Kind
+	theta float64
+	alpha float64
+}
+
+// RBConfig controls RankBoost training.
+type RBConfig struct {
+	// Rounds is the number of boosting rounds T.
+	Rounds int
+	// PairsPerQuery is how many (relevant, irrelevant) training pairs are
+	// sampled per training query.
+	PairsPerQuery int
+	// Thresholds is the number of candidate θ values per modality,
+	// placed at score quantiles.
+	Thresholds int
+	// Seed makes training reproducible.
+	Seed int64
+}
+
+// DefaultRBConfig returns the setup used in the experiments.
+func DefaultRBConfig() RBConfig {
+	return RBConfig{Rounds: 20, PairsPerQuery: 60, Thresholds: 10, Seed: 1}
+}
+
+// trainingPair is one crucial pair: the relevant object should outrank the
+// irrelevant one for the query.
+type trainingPair struct {
+	scores [2][media.NumKinds]float64 // [relevant, irrelevant] per-kind cosines
+	weight float64
+}
+
+// TrainRB fits the late-fusion combiner on training queries with a
+// relevance oracle (in experiments, the planted-topic ground truth — the
+// supervised signal every late-fusion method in [21, 28] assumes).
+func TrainRB(corpus *media.Corpus, queries []media.ObjectID,
+	relevant func(q, o *media.Object) bool, cfg RBConfig) (*RB, error) {
+	if cfg.Rounds < 1 || cfg.PairsPerQuery < 1 || cfg.Thresholds < 1 {
+		return nil, fmt.Errorf("rankboost: bad config %+v", cfg)
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("rankboost: no training queries")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rb := &RB{corpus: corpus}
+	pairs := samplePairs(corpus, queries, relevant, cfg, rng)
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("rankboost: no crucial pairs sampled (degenerate relevance)")
+	}
+	thresholds := candidateThresholds(pairs, cfg.Thresholds)
+	// Initial distribution: uniform over crucial pairs.
+	for i := range pairs {
+		pairs[i].weight = 1 / float64(len(pairs))
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		best, bestR := weakRanker{}, 0.0
+		for kind := media.Kind(0); int(kind) < media.NumKinds; kind++ {
+			for _, theta := range thresholds[kind] {
+				r := 0.0
+				for _, p := range pairs {
+					hRel := step(p.scores[0][kind], theta)
+					hIrr := step(p.scores[1][kind], theta)
+					r += p.weight * (hRel - hIrr)
+				}
+				if math.Abs(r) > math.Abs(bestR) {
+					bestR = r
+					best = weakRanker{kind: kind, theta: theta}
+				}
+			}
+		}
+		if math.Abs(bestR) >= 1-1e-9 {
+			bestR = math.Copysign(1-1e-9, bestR)
+		}
+		if bestR == 0 {
+			break // no weak ranker separates the remaining distribution
+		}
+		best.alpha = 0.5 * math.Log((1+bestR)/(1-bestR))
+		rb.weak = append(rb.weak, best)
+		// Reweight: pairs the combined ranker still misorders gain mass.
+		var z float64
+		for i := range pairs {
+			hRel := step(pairs[i].scores[0][best.kind], best.theta)
+			hIrr := step(pairs[i].scores[1][best.kind], best.theta)
+			pairs[i].weight *= math.Exp(best.alpha * (hIrr - hRel))
+			z += pairs[i].weight
+		}
+		if z <= 0 {
+			break
+		}
+		for i := range pairs {
+			pairs[i].weight /= z
+		}
+	}
+	if len(rb.weak) == 0 {
+		return nil, fmt.Errorf("rankboost: training produced no weak rankers")
+	}
+	return rb, nil
+}
+
+func samplePairs(corpus *media.Corpus, queries []media.ObjectID,
+	relevant func(q, o *media.Object) bool, cfg RBConfig, rng *rand.Rand) []trainingPair {
+	var pairs []trainingPair
+	n := corpus.Len()
+	for _, qid := range queries {
+		q := corpus.Object(qid)
+		var rel, irr []*media.Object
+		// Reservoir-ish sampling: scan a bounded random subset.
+		budget := cfg.PairsPerQuery * 8
+		for i := 0; i < budget; i++ {
+			o := corpus.Object(media.ObjectID(rng.Intn(n)))
+			if o.ID == qid {
+				continue
+			}
+			if relevant(q, o) {
+				rel = append(rel, o)
+			} else {
+				irr = append(irr, o)
+			}
+		}
+		if len(rel) == 0 || len(irr) == 0 {
+			continue
+		}
+		for p := 0; p < cfg.PairsPerQuery; p++ {
+			r := rel[rng.Intn(len(rel))]
+			ir := irr[rng.Intn(len(irr))]
+			var tp trainingPair
+			for kind := media.Kind(0); int(kind) < media.NumKinds; kind++ {
+				tp.scores[0][kind] = kindCosine(corpus, q, r, kind)
+				tp.scores[1][kind] = kindCosine(corpus, q, ir, kind)
+			}
+			pairs = append(pairs, tp)
+		}
+	}
+	return pairs
+}
+
+// candidateThresholds places θ candidates at quantiles of the observed
+// POSITIVE per-kind scores (sparse modalities score 0 on most pairs, which
+// would otherwise collapse every quantile to 0), always including 0 itself
+// so "any match at all" stays available as a weak ranker.
+func candidateThresholds(pairs []trainingPair, count int) [media.NumKinds][]float64 {
+	var out [media.NumKinds][]float64
+	for kind := 0; kind < media.NumKinds; kind++ {
+		vals := make([]float64, 0, 2*len(pairs))
+		for _, p := range pairs {
+			if v := p.scores[0][kind]; v > 0 {
+				vals = append(vals, v)
+			}
+			if v := p.scores[1][kind]; v > 0 {
+				vals = append(vals, v)
+			}
+		}
+		out[kind] = append(out[kind], 0)
+		if len(vals) == 0 {
+			continue
+		}
+		sort.Float64s(vals)
+		for q := 1; q <= count; q++ {
+			idx := q * len(vals) / (count + 1)
+			if idx >= len(vals) {
+				idx = len(vals) - 1
+			}
+			v := vals[idx]
+			if out[kind][len(out[kind])-1] != v {
+				out[kind] = append(out[kind], v)
+			}
+		}
+	}
+	return out
+}
+
+func step(score, theta float64) float64 {
+	if score > theta {
+		return 1
+	}
+	return 0
+}
+
+// Name implements Scorer.
+func (rb *RB) Name() string { return "RB" }
+
+// Rounds returns the number of weak rankers retained.
+func (rb *RB) Rounds() int { return len(rb.weak) }
+
+// Score implements Scorer: the α-weighted vote of the weak rankers.
+func (rb *RB) Score(q, o *media.Object) float64 {
+	var kinds [media.NumKinds]float64
+	var computed [media.NumKinds]bool
+	var sum float64
+	for _, w := range rb.weak {
+		if !computed[w.kind] {
+			kinds[w.kind] = kindCosine(rb.corpus, q, o, w.kind)
+			computed[w.kind] = true
+		}
+		sum += w.alpha * step(kinds[w.kind], w.theta)
+	}
+	if sum < 0 {
+		return 0
+	}
+	return sum
+}

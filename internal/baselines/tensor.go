@@ -1,0 +1,57 @@
+package baselines
+
+import "figfusion/internal/media"
+
+// TP is the tensor-product early-fusion baseline of Basilico & Hofmann [3]:
+// a joint kernel is formed as the tensor product of per-type kernels, which
+// for object–object similarity multiplies the per-modality cosine kernels.
+// As the paper notes, the method "assumes that all feature dimensions are
+// correlated with each other, and do[es] not carry out any prune process":
+// every modality gates every other, so one noisy modality (typically the
+// visual one) drags the joint similarity down — the behaviour behind TP's
+// weak showing in the evaluation.
+type TP struct {
+	corpus *media.Corpus
+	// kinds are the modalities actually populated in the corpus; empty
+	// modalities are excluded from the product (they carry no kernel).
+	kinds []media.Kind
+	// eps regularises the product so a single empty modality does not
+	// annihilate the score outright (the kernel would otherwise be zero
+	// for most pairs and produce no ranking at all).
+	eps float64
+}
+
+// NewTP builds the tensor-product scorer over the corpus's populated
+// modalities.
+func NewTP(corpus *media.Corpus) *TP {
+	var present [media.NumKinds]bool
+	for fid := media.FID(0); int(fid) < corpus.Dict.Len(); fid++ {
+		present[corpus.KindOf(fid)] = true
+	}
+	t := &TP{corpus: corpus, eps: 0.01}
+	for kind := media.Kind(0); int(kind) < media.NumKinds; kind++ {
+		if present[kind] {
+			t.kinds = append(t.kinds, kind)
+		}
+	}
+	return t
+}
+
+// Name implements Scorer.
+func (t *TP) Name() string { return "TP" }
+
+// Score implements Scorer: Π_kind (cos_kind(q, o) + ε) over the populated
+// modalities, rescaled to remove the ε^m floor so disjoint objects score 0.
+func (t *TP) Score(q, o *media.Object) float64 {
+	prod := 1.0
+	floor := 1.0
+	for _, kind := range t.kinds {
+		prod *= kindCosine(t.corpus, q, o, kind) + t.eps
+		floor *= t.eps
+	}
+	s := prod - floor
+	if s < 0 {
+		return 0
+	}
+	return s
+}

@@ -1,0 +1,88 @@
+// Package classify implements the classification application the paper's
+// introduction lists alongside retrieval and recommendation ("media
+// retrieval, recommendation, classification, etc."): a k-nearest-neighbour
+// topic classifier whose neighbourhood is defined by the FIG/MRF similarity.
+// An unlabelled object is classified by a similarity-weighted vote of its
+// top-k most similar labelled objects — the natural way to reuse the fusion
+// model for labelling, and the extension experiment of DESIGN.md.
+package classify
+
+import (
+	"fmt"
+
+	"figfusion/internal/media"
+	"figfusion/internal/retrieval"
+)
+
+// Classifier labels objects by weighted kNN over a retrieval engine. The
+// training labels come from a caller-supplied oracle (in experiments, the
+// planted topics of the labelled portion of the corpus).
+type Classifier struct {
+	engine *retrieval.Engine
+	labels map[media.ObjectID]int
+	k      int
+}
+
+// New builds a classifier over an engine and a label map. k is the
+// neighbourhood size; values < 1 default to 10.
+func New(engine *retrieval.Engine, labels map[media.ObjectID]int, k int) (*Classifier, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("classify: nil engine")
+	}
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("classify: no labelled objects")
+	}
+	if k < 1 {
+		k = 10
+	}
+	return &Classifier{engine: engine, labels: labels, k: k}, nil
+}
+
+// Classify predicts a label for the object by similarity-weighted majority
+// vote over its labelled neighbours. ok is false when no labelled
+// neighbour was found (the object shares no clique with any labelled
+// object).
+func (c *Classifier) Classify(o *media.Object) (label int, ok bool) {
+	// Over-fetch so that unlabelled neighbours (the query's own unlabelled
+	// cohort) do not starve the vote.
+	results := c.engine.Search(o, 4*c.k, o.ID)
+	votes := make(map[int]float64)
+	voters := 0
+	for _, it := range results {
+		lbl, labelled := c.labels[it.ID]
+		if !labelled {
+			continue
+		}
+		votes[lbl] += it.Score
+		voters++
+		if voters == c.k {
+			break
+		}
+	}
+	if voters == 0 {
+		return 0, false
+	}
+	best, bestVote := 0, -1.0
+	for lbl, v := range votes {
+		if v > bestVote || (v == bestVote && lbl < best) {
+			best, bestVote = lbl, v
+		}
+	}
+	return best, true
+}
+
+// Accuracy classifies every object in the test set and returns the
+// fraction predicted correctly according to the truth oracle. Objects with
+// no labelled neighbour count as errors.
+func (c *Classifier) Accuracy(test []*media.Object, truth func(*media.Object) int) float64 {
+	if len(test) == 0 {
+		return 0
+	}
+	correct := 0
+	for _, o := range test {
+		if lbl, ok := c.Classify(o); ok && lbl == truth(o) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(test))
+}

@@ -1,0 +1,126 @@
+package classify
+
+import (
+	"testing"
+
+	"figfusion/internal/dataset"
+	"figfusion/internal/media"
+	"figfusion/internal/retrieval"
+)
+
+func setup(t testing.TB) (*dataset.Dataset, *retrieval.Engine) {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.NumObjects = 300
+	cfg.NumTopics = 5
+	cfg.TagsPerTopic = 8
+	cfg.NoiseTags = 24
+	cfg.UsersPerTopic = 8
+	cfg.VisualVocab = 12
+	cfg.VocabTrainImages = 40
+	cfg.ImageBlocks = 2
+	cfg.KMeansIters = 8
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := retrieval.NewEngine(d.Model(), retrieval.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, e
+}
+
+// split labels the first 200 objects, leaving 100 as the test set.
+func split(d *dataset.Dataset) (map[media.ObjectID]int, []*media.Object) {
+	labels := make(map[media.ObjectID]int)
+	var test []*media.Object
+	for _, o := range d.Corpus.Objects {
+		if int(o.ID) < 200 {
+			labels[o.ID] = o.PrimaryTopic
+		} else {
+			test = append(test, o)
+		}
+	}
+	return labels, test
+}
+
+func TestClassifierBeatsChance(t *testing.T) {
+	d, e := setup(t)
+	labels, test := split(d)
+	c, err := New(e, labels, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := c.Accuracy(test, func(o *media.Object) int { return o.PrimaryTopic })
+	// 5 topics → chance is 0.2; the fusion similarity must do much better.
+	if acc < 0.5 {
+		t.Errorf("accuracy = %v, want well above chance (0.2)", acc)
+	}
+	t.Logf("kNN accuracy over %d test objects: %.3f", len(test), acc)
+}
+
+func TestClassifyVotesWeighted(t *testing.T) {
+	d, e := setup(t)
+	labels, _ := split(d)
+	c, err := New(e, labels, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A labelled object classifies as its own topic (its near-duplicates
+	// dominate the vote).
+	o := d.Corpus.Object(10)
+	lbl, ok := c.Classify(o)
+	if !ok {
+		t.Fatal("no labelled neighbours")
+	}
+	if lbl != o.PrimaryTopic {
+		t.Errorf("label = %d, want %d", lbl, o.PrimaryTopic)
+	}
+}
+
+func TestClassifyNoNeighbours(t *testing.T) {
+	d, e := setup(t)
+	labels, _ := split(d)
+	c, err := New(e, labels, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An object with only out-of-corpus features has no neighbours.
+	alien := media.NewObject(99999, []media.FeatureCount{
+		{FID: media.FID(d.Corpus.Dict.Len() + 3), Count: 1},
+	}, 0)
+	if _, ok := c.Classify(alien); ok {
+		t.Error("alien object should have no labelled neighbours")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	d, e := setup(t)
+	if _, err := New(nil, map[media.ObjectID]int{0: 0}, 5); err == nil {
+		t.Error("want error for nil engine")
+	}
+	if _, err := New(e, nil, 5); err == nil {
+		t.Error("want error for empty labels")
+	}
+	// k < 1 defaults.
+	c, err := New(e, map[media.ObjectID]int{0: d.Corpus.Object(0).PrimaryTopic}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.k != 10 {
+		t.Errorf("k = %d, want default 10", c.k)
+	}
+}
+
+func TestAccuracyEmptyTestSet(t *testing.T) {
+	d, e := setup(t)
+	labels, _ := split(d)
+	c, err := New(e, labels, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Accuracy(nil, func(*media.Object) int { return 0 }); got != 0 {
+		t.Errorf("empty test accuracy = %v", got)
+	}
+}

@@ -1,0 +1,229 @@
+package corr
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"figfusion/internal/lexicon"
+	"figfusion/internal/media"
+	"figfusion/internal/social"
+	"figfusion/internal/vision"
+)
+
+// Thresholds holds the trained correlation threshold for each ordered kind
+// pair; the table is kept symmetric by construction. An edge is drawn in a
+// FIG iff Cor(n1, n2) exceeds the threshold for the nodes' kinds
+// (Section 3.2).
+type Thresholds [media.NumKinds][media.NumKinds]float64
+
+// DefaultThresholds are used until TrainThresholds is called. They reflect
+// the scales of the underlying similarity functions: WUP for text (same
+// hypernym group ⇒ ≥ ~0.7), 1/(1+d) for visual words, Jaccard for users
+// (any shared group), cosine co-occurrence for inter-type pairs.
+func DefaultThresholds() Thresholds {
+	var th Thresholds
+	for a := 0; a < media.NumKinds; a++ {
+		for b := 0; b < media.NumKinds; b++ {
+			th[a][b] = 0.1 // inter-type cosine default
+		}
+	}
+	th[media.Text][media.Text] = 0.6
+	th[media.Visual][media.Visual] = 0.5
+	th[media.Audio][media.Audio] = 0.5
+	th[media.User][media.User] = 1e-9
+	return th
+}
+
+// Model evaluates Cor(·,·) between interned features, dispatching on the
+// modality pair exactly as Section 3.2 prescribes:
+//
+//	text × text     → WUP over the taxonomy (falling back to Eq. 1 for
+//	                  out-of-taxonomy words, which the paper notes is an
+//	                  orthogonal choice);
+//	visual × visual → similarity from Euclidean distance between the
+//	                  corresponding 16-D visual words;
+//	user × user     → shared-group correlation (graded by Jaccard);
+//	inter-type      → Eq. 1 statistical co-occurrence cosine.
+//
+// Cosine evaluations are memoised; the Model is safe for concurrent use.
+type Model struct {
+	Stats      *Stats
+	Taxonomy   *lexicon.Taxonomy
+	Vocab      *vision.Vocabulary
+	Network    *social.Network
+	VisualWord map[media.FID]int           // FID → visual word index
+	UserOf     map[media.FID]social.UserID // FID → user
+	Thresholds Thresholds
+
+	// AudioVocab/AudioWord extend the dispatch to the audio modality
+	// (music corpora); set via SetAudio.
+	AudioVocab *vision.Vocabulary
+	AudioWord  map[media.FID]int
+
+	mu    sync.Mutex
+	cache map[pairKey]float64
+}
+
+type pairKey struct{ a, b media.FID }
+
+// NewModel wires a correlation model over the given substrates. Any of
+// taxonomy, vocab or network may be nil, in which case the corresponding
+// intra-type rule falls back to the Eq. 1 cosine.
+func NewModel(stats *Stats, tax *lexicon.Taxonomy, vocab *vision.Vocabulary, net *social.Network,
+	visualWord map[media.FID]int, userOf map[media.FID]social.UserID) *Model {
+	return &Model{
+		Stats:      stats,
+		Taxonomy:   tax,
+		Vocab:      vocab,
+		Network:    net,
+		VisualWord: visualWord,
+		UserOf:     userOf,
+		Thresholds: DefaultThresholds(),
+		cache:      make(map[pairKey]float64),
+	}
+}
+
+// Cor returns the correlation between two interned features in [0, 1].
+func (m *Model) Cor(a, b media.FID) float64 {
+	if a == b {
+		return 1
+	}
+	dict := m.Stats.Corpus().Dict
+	fa, fb := dict.Feature(a), dict.Feature(b)
+	if fa.Kind == fb.Kind {
+		switch fa.Kind {
+		case media.Text:
+			if m.Taxonomy != nil {
+				if wup, ok := m.Taxonomy.WUP(fa.Name, fb.Name); ok {
+					return wup
+				}
+			}
+		case media.Visual:
+			if m.Vocab != nil {
+				wa, oka := m.VisualWord[a]
+				wb, okb := m.VisualWord[b]
+				if oka && okb {
+					return m.Vocab.WordSimilarity(wa, wb)
+				}
+			}
+		case media.User:
+			if m.Network != nil {
+				ua, oka := m.UserOf[a]
+				ub, okb := m.UserOf[b]
+				if oka && okb {
+					return m.Network.GroupSimilarity(ua, ub)
+				}
+			}
+		case media.Audio:
+			if m.AudioVocab != nil {
+				wa, oka := m.AudioWord[a]
+				wb, okb := m.AudioWord[b]
+				if oka && okb {
+					return m.AudioVocab.WordSimilarity(wa, wb)
+				}
+			}
+		}
+	}
+	return m.cosine(a, b)
+}
+
+// SetAudio wires the audio-word substrate into the model's intra-type
+// dispatch, extending the fusion to music corpora. The vocabulary shares
+// the vector-quantization type of the visual substrate.
+func (m *Model) SetAudio(vocab *vision.Vocabulary, words map[media.FID]int) {
+	m.AudioVocab = vocab
+	m.AudioWord = words
+}
+
+func (m *Model) cosine(a, b media.FID) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	key := pairKey{a, b}
+	m.mu.Lock()
+	if v, ok := m.cache[key]; ok {
+		m.mu.Unlock()
+		return v
+	}
+	m.mu.Unlock()
+	v := m.Stats.Cosine(a, b)
+	m.mu.Lock()
+	m.cache[key] = v
+	m.mu.Unlock()
+	return v
+}
+
+// Correlated reports whether the trained threshold admits an edge between
+// the two features (Section 3.2).
+func (m *Model) Correlated(a, b media.FID) bool {
+	if a == b {
+		return false // no self loops in a FIG
+	}
+	dict := m.Stats.Corpus().Dict
+	ka := dict.Feature(a).Kind
+	kb := dict.Feature(b).Kind
+	return m.Cor(a, b) > m.Thresholds[ka][kb]
+}
+
+// TrainThresholds learns one threshold per kind pair from the corpus, the
+// paper's "trained correlation threshold". For each kind pair it samples
+// correlations of feature pairs co-occurring within sampled objects and sets
+// the threshold at the given upper quantile (e.g. quantile 0.2 keeps the
+// top 20% strongest co-occurring pairs as edges). Kind pairs with no samples
+// keep their previous thresholds.
+func (m *Model) TrainThresholds(sampleObjects int, quantile float64, rng *rand.Rand) {
+	corpus := m.Stats.Corpus()
+	if corpus.Len() == 0 || sampleObjects <= 0 {
+		return
+	}
+	quantile = math.Max(0, math.Min(1, quantile))
+	samples := make([][media.NumKinds][]float64, media.NumKinds)
+	for s := 0; s < sampleObjects; s++ {
+		o := corpus.Object(media.ObjectID(rng.Intn(corpus.Len())))
+		// Bound per-object pair work so a few giant objects cannot dominate
+		// the training budget.
+		const maxPairsPerObject = 200
+		pairs := 0
+		for i := 0; i < len(o.Feats) && pairs < maxPairsPerObject; i++ {
+			for j := i + 1; j < len(o.Feats) && pairs < maxPairsPerObject; j++ {
+				a, b := o.Feats[i], o.Feats[j]
+				ka := corpus.KindOf(a)
+				kb := corpus.KindOf(b)
+				v := m.Cor(a, b)
+				samples[ka][kb] = append(samples[ka][kb], v)
+				if ka != kb {
+					samples[kb][ka] = append(samples[kb][ka], v)
+				}
+				pairs++
+			}
+		}
+	}
+	for a := 0; a < media.NumKinds; a++ {
+		for b := 0; b < media.NumKinds; b++ {
+			vals := samples[a][b]
+			if len(vals) == 0 {
+				continue
+			}
+			sort.Float64s(vals)
+			idx := int(float64(len(vals)) * (1 - quantile))
+			if idx >= len(vals) {
+				idx = len(vals) - 1
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			m.Thresholds[a][b] = vals[idx]
+		}
+	}
+}
+
+// InvalidateCache drops memoised cosine correlations. Call after appending
+// objects to the underlying statistics: co-occurrence cosines are corpus-
+// global and shift with every insertion.
+func (m *Model) InvalidateCache() {
+	m.mu.Lock()
+	m.cache = make(map[pairKey]float64)
+	m.mu.Unlock()
+}

@@ -1,0 +1,223 @@
+// Package corr implements the correlation machinery of the paper:
+//
+//   - Eq. 1 — the statistical co-occurrence correlation between two features,
+//     the cosine of their object-incidence vectors, used for inter-type edges
+//     and available for intra-type edges;
+//   - the six pair-wise feature correlation tables (T×T, V×V, U×U, T×V,
+//     T×U, V×U) consulted when building Feature Interaction Graphs
+//     (Section 3.5);
+//   - Eq. 8 — CorS, the multi-feature standardized co-moment (covariance
+//     generalised beyond two variables) that weights cliques in Eq. 9;
+//   - the trained correlation threshold that decides which correlations
+//     become FIG edges (Section 3.2).
+package corr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"figfusion/internal/media"
+)
+
+// Stats holds per-feature corpus statistics: posting lists and frequency
+// moments. It is built once per corpus and is safe for concurrent reads.
+type Stats struct {
+	corpus   *media.Corpus
+	postings [][]media.ObjectID // FID -> sorted objects containing it
+	sumCount []float64          // FID -> Σ_i n_{f,i}
+	sumSq    []float64          // FID -> Σ_i n_{f,i}²
+}
+
+// NewStats scans the corpus and builds posting lists and moments.
+func NewStats(c *media.Corpus) *Stats {
+	nf := c.Dict.Len()
+	s := &Stats{
+		corpus:   c,
+		postings: make([][]media.ObjectID, nf),
+		sumCount: make([]float64, nf),
+		sumSq:    make([]float64, nf),
+	}
+	for _, o := range c.Objects {
+		for i, fid := range o.Feats {
+			cnt := float64(o.Counts[i])
+			s.postings[fid] = append(s.postings[fid], o.ID)
+			s.sumCount[fid] += cnt
+			s.sumSq[fid] += cnt * cnt
+		}
+	}
+	return s
+}
+
+// Corpus returns the corpus the stats were built from.
+func (s *Stats) Corpus() *media.Corpus { return s.corpus }
+
+// Postings returns the sorted list of objects containing fid.
+func (s *Stats) Postings(fid media.FID) []media.ObjectID {
+	if int(fid) >= len(s.postings) {
+		return nil
+	}
+	return s.postings[fid]
+}
+
+// Norm returns |n⃗| of Eq. 1: the Euclidean norm of the feature's
+// object-incidence vector.
+func (s *Stats) Norm(fid media.FID) float64 {
+	if int(fid) >= len(s.sumSq) {
+		return 0
+	}
+	return math.Sqrt(s.sumSq[fid])
+}
+
+// Mean returns the mean frequency n̄_j of Eq. 8 across all objects.
+func (s *Stats) Mean(fid media.FID) float64 {
+	if int(fid) >= len(s.sumCount) || s.corpus.Len() == 0 {
+		return 0
+	}
+	return s.sumCount[fid] / float64(s.corpus.Len())
+}
+
+// Variance returns the population variance var(n_j) of Eq. 8.
+func (s *Stats) Variance(fid media.FID) float64 {
+	n := float64(s.corpus.Len())
+	if int(fid) >= len(s.sumSq) || n == 0 {
+		return 0
+	}
+	mean := s.sumCount[fid] / n
+	v := s.sumSq[fid]/n - mean*mean
+	if v < 0 {
+		return 0 // numerical noise
+	}
+	return v
+}
+
+// Dot returns n⃗1·n⃗2: the sum over objects of the product of the two
+// features' frequencies, computed by intersecting posting lists.
+func (s *Stats) Dot(a, b media.FID) float64 {
+	pa, pb := s.Postings(a), s.Postings(b)
+	if len(pa) > len(pb) {
+		pa, pb = pb, pa
+		a, b = b, a
+	}
+	var dot float64
+	j := 0
+	for _, oid := range pa {
+		// Galloping would help for very skewed lists; linear merge is fine
+		// at our posting densities.
+		for j < len(pb) && pb[j] < oid {
+			j++
+		}
+		if j < len(pb) && pb[j] == oid {
+			o := s.corpus.Object(oid)
+			dot += float64(o.Count(a)) * float64(o.Count(b))
+		}
+	}
+	return dot
+}
+
+// Cosine computes Eq. 1: Cor(n1, n2) = n⃗1·n⃗2 / (|n⃗1|·|n⃗2|).
+// Features that never occur give 0.
+func (s *Stats) Cosine(a, b media.FID) float64 {
+	na, nb := s.Norm(a), s.Norm(b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return s.Dot(a, b) / (na * nb)
+}
+
+// CorS computes Eq. 8 for the features of a clique:
+//
+//	CorS(n1..nk) = Σ_{i=1..|D|} Π_{j=1..k} (n_{j,i} − n̄_j) / sd(n_j)
+//
+// For k = 2 this is |D|·Pearson-correlation (the paper notes it reduces to
+// covariance). For k = 1 the sum is identically zero by construction, so
+// CorS is defined as 1 for singleton cliques — singleton cliques carry no
+// interaction information to weight (Section 3.4 uses CorS to code the
+// importance of multi-feature cliques).
+//
+// The exact sum is computed by iterating only the union of posting lists and
+// adding an analytic correction for the objects containing none of the
+// features, whose per-object term is the constant Π_j (−n̄_j / sd_j).
+func (s *Stats) CorS(fids []media.FID) float64 {
+	if len(fids) <= 1 {
+		return 1
+	}
+	n := s.corpus.Len()
+	if n == 0 {
+		return 0
+	}
+	k := len(fids)
+	means := make([]float64, k)
+	sds := make([]float64, k)
+	for j, fid := range fids {
+		means[j] = s.Mean(fid)
+		v := s.Variance(fid)
+		if v == 0 {
+			return 0 // a constant feature correlates with nothing
+		}
+		sds[j] = math.Sqrt(v)
+	}
+	union := s.unionPostings(fids)
+	var sum float64
+	for _, oid := range union {
+		o := s.corpus.Object(oid)
+		term := 1.0
+		for j, fid := range fids {
+			term *= (float64(o.Count(fid)) - means[j]) / sds[j]
+		}
+		sum += term
+	}
+	// All-absent objects contribute the constant term.
+	absentTerm := 1.0
+	for j := range fids {
+		absentTerm *= -means[j] / sds[j]
+	}
+	sum += float64(n-len(union)) * absentTerm
+	return sum
+}
+
+// unionPostings returns the sorted union of the features' posting lists.
+func (s *Stats) unionPostings(fids []media.FID) []media.ObjectID {
+	var union []media.ObjectID
+	for _, fid := range fids {
+		union = append(union, s.Postings(fid)...)
+	}
+	if len(union) == 0 {
+		return nil
+	}
+	sort.Slice(union, func(i, j int) bool { return union[i] < union[j] })
+	out := union[:1]
+	for _, oid := range union[1:] {
+		if oid != out[len(out)-1] {
+			out = append(out, oid)
+		}
+	}
+	return out
+}
+
+// Append folds one newly added corpus object into the statistics: posting
+// lists and frequency moments grow in place. The object must already be in
+// the corpus this Stats was built from (same ObjectID space) and must have
+// an ID larger than any previously accounted object, so posting lists stay
+// sorted. Callers owning derived caches (correlation cosines, CorS) must
+// invalidate them; corpus-level statistics shift with every insertion.
+func (s *Stats) Append(o *media.Object) error {
+	if int(o.ID) >= s.corpus.Len() || s.corpus.Object(o.ID) != o {
+		return fmt.Errorf("corr: object %d is not part of the corpus", o.ID)
+	}
+	for i, fid := range o.Feats {
+		for int(fid) >= len(s.postings) {
+			s.postings = append(s.postings, nil)
+			s.sumCount = append(s.sumCount, 0)
+			s.sumSq = append(s.sumSq, 0)
+		}
+		if n := len(s.postings[fid]); n > 0 && s.postings[fid][n-1] >= o.ID {
+			return fmt.Errorf("corr: object %d appended out of order for feature %d", o.ID, fid)
+		}
+		cnt := float64(o.Counts[i])
+		s.postings[fid] = append(s.postings[fid], o.ID)
+		s.sumCount[fid] += cnt
+		s.sumSq[fid] += cnt * cnt
+	}
+	return nil
+}

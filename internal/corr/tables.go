@@ -1,0 +1,103 @@
+package corr
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"figfusion/internal/media"
+)
+
+// PairTableStats summarises one of the six pair-wise feature correlation
+// tables of Section 3.5 (T×T, V×V, U×U, T×V, T×U, V×U — plus the audio
+// pairs when that modality is present): the distribution of correlations
+// among co-occurring feature pairs and the fraction admitted as FIG edges
+// by the trained threshold.
+type PairTableStats struct {
+	KindA, KindB media.Kind
+	// Samples is the number of co-occurring pairs sampled.
+	Samples int
+	// Mean and Max of the sampled correlations.
+	Mean, Max float64
+	// Threshold is the trained edge threshold for this kind pair.
+	Threshold float64
+	// EdgeRate is the fraction of sampled pairs above the threshold.
+	EdgeRate float64
+}
+
+// TableStats samples feature pairs co-occurring within objects and
+// summarises every kind-pair correlation table. It is the introspection
+// companion to TrainThresholds, using the same sampling scheme.
+func (m *Model) TableStats(sampleObjects int, rng *rand.Rand) []PairTableStats {
+	corpus := m.Stats.Corpus()
+	type bucket struct {
+		values []float64
+	}
+	var buckets [media.NumKinds][media.NumKinds]bucket
+	if corpus.Len() > 0 && sampleObjects > 0 {
+		for s := 0; s < sampleObjects; s++ {
+			o := corpus.Object(media.ObjectID(rng.Intn(corpus.Len())))
+			const maxPairsPerObject = 200
+			pairs := 0
+			for i := 0; i < len(o.Feats) && pairs < maxPairsPerObject; i++ {
+				for j := i + 1; j < len(o.Feats) && pairs < maxPairsPerObject; j++ {
+					a, b := o.Feats[i], o.Feats[j]
+					ka, kb := corpus.KindOf(a), corpus.KindOf(b)
+					if ka > kb {
+						ka, kb = kb, ka
+					}
+					buckets[ka][kb].values = append(buckets[ka][kb].values, m.Cor(a, b))
+					pairs++
+				}
+			}
+		}
+	}
+	var out []PairTableStats
+	for a := 0; a < media.NumKinds; a++ {
+		for b := a; b < media.NumKinds; b++ {
+			vals := buckets[a][b].values
+			if len(vals) == 0 {
+				continue
+			}
+			st := PairTableStats{
+				KindA:     media.Kind(a),
+				KindB:     media.Kind(b),
+				Samples:   len(vals),
+				Threshold: m.Thresholds[a][b],
+			}
+			for _, v := range vals {
+				st.Mean += v
+				if v > st.Max {
+					st.Max = v
+				}
+				if v > st.Threshold {
+					st.EdgeRate++
+				}
+			}
+			st.Mean /= float64(len(vals))
+			st.EdgeRate /= float64(len(vals))
+			out = append(out, st)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].KindA != out[j].KindA {
+			return out[i].KindA < out[j].KindA
+		}
+		return out[i].KindB < out[j].KindB
+	})
+	return out
+}
+
+// FormatTableStats renders the table summaries as aligned text.
+func FormatTableStats(stats []PairTableStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %8s %8s %8s %10s %9s\n",
+		"table", "pairs", "mean", "max", "threshold", "edgeRate")
+	for _, st := range stats {
+		fmt.Fprintf(&b, "%-16s %8d %8.4f %8.4f %10.4f %9.4f\n",
+			st.KindA.String()+"×"+st.KindB.String(),
+			st.Samples, st.Mean, st.Max, st.Threshold, st.EdgeRate)
+	}
+	return b.String()
+}

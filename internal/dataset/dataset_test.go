@@ -1,0 +1,446 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"figfusion/internal/media"
+)
+
+// smallConfig keeps unit tests fast.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NumObjects = 120
+	cfg.NumTopics = 4
+	cfg.TagsPerTopic = 8
+	cfg.NoiseTags = 24
+	cfg.UsersPerTopic = 8
+	cfg.VisualVocab = 12
+	cfg.VocabTrainImages = 40
+	cfg.ImageBlocks = 2
+	cfg.KMeansIters = 8
+	return cfg
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	d, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Corpus.Len() != 120 {
+		t.Errorf("corpus size = %d", d.Corpus.Len())
+	}
+	if d.Vocab.Size() != 12 {
+		t.Errorf("visual vocab = %d", d.Vocab.Size())
+	}
+	if d.Network.Len() != 4*8 {
+		t.Errorf("users = %d, want 32", d.Network.Len())
+	}
+	// Every object has all three modalities, a topic, and a valid month.
+	for _, o := range d.Corpus.Objects {
+		var kinds [media.NumKinds]int
+		for _, fid := range o.Feats {
+			kinds[d.Corpus.KindOf(fid)]++
+		}
+		if kinds[media.Text] == 0 || kinds[media.Visual] == 0 || kinds[media.User] == 0 {
+			t.Fatalf("object %d missing a modality: %v", o.ID, kinds)
+		}
+		if o.PrimaryTopic < 0 || o.PrimaryTopic >= 4 {
+			t.Fatalf("object %d topic = %d", o.ID, o.PrimaryTopic)
+		}
+		if o.Month < 0 || o.Month >= d.Config.Months {
+			t.Fatalf("object %d month = %d", o.ID, o.Month)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Corpus.Dict.Len() != b.Corpus.Dict.Len() {
+		t.Fatalf("dict sizes differ: %d vs %d", a.Corpus.Dict.Len(), b.Corpus.Dict.Len())
+	}
+	for i, oa := range a.Corpus.Objects {
+		ob := b.Corpus.Objects[i]
+		if oa.PrimaryTopic != ob.PrimaryTopic || oa.Month != ob.Month || oa.Len() != ob.Len() {
+			t.Fatalf("object %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateSeedChangesOutput(t *testing.T) {
+	cfg := smallConfig()
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 99
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Corpus.Objects {
+		if a.Corpus.Objects[i].PrimaryTopic != b.Corpus.Objects[i].PrimaryTopic {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical topic assignments")
+	}
+}
+
+func TestFeatureMapsResolve(t *testing.T) {
+	d, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	visual, user := 0, 0
+	for fid := media.FID(0); int(fid) < d.Corpus.Dict.Len(); fid++ {
+		switch d.Corpus.Dict.Feature(fid).Kind {
+		case media.Visual:
+			w, ok := d.VisualWord[fid]
+			if !ok {
+				t.Fatalf("visual FID %d unmapped", fid)
+			}
+			if w < 0 || w >= d.Vocab.Size() {
+				t.Fatalf("visual word %d out of range", w)
+			}
+			visual++
+		case media.User:
+			if _, ok := d.UserOf[fid]; !ok {
+				t.Fatalf("user FID %d unmapped", fid)
+			}
+			user++
+		}
+	}
+	if visual == 0 || user == 0 {
+		t.Errorf("no visual (%d) or user (%d) features interned", visual, user)
+	}
+}
+
+func TestTopicCoherence(t *testing.T) {
+	// Same-topic objects must share more features than cross-topic
+	// objects on average — the property all experiments rely on.
+	d, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sameSum, crossSum float64
+	var sameN, crossN int
+	objs := d.Corpus.Objects
+	for i := 0; i < 60; i++ {
+		for j := i + 1; j < 60; j++ {
+			ov := overlap(objs[i], objs[j])
+			if objs[i].PrimaryTopic == objs[j].PrimaryTopic {
+				sameSum += ov
+				sameN++
+			} else {
+				crossSum += ov
+				crossN++
+			}
+		}
+	}
+	if sameN == 0 || crossN == 0 {
+		t.Skip("degenerate sample")
+	}
+	if sameSum/float64(sameN) <= crossSum/float64(crossN) {
+		t.Errorf("same-topic overlap %v not above cross-topic %v",
+			sameSum/float64(sameN), crossSum/float64(crossN))
+	}
+}
+
+func overlap(a, b *media.Object) float64 {
+	shared := 0
+	for _, f := range a.Feats {
+		if b.Has(f) {
+			shared++
+		}
+	}
+	return float64(shared)
+}
+
+func TestModelWiring(t *testing.T) {
+	d, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Model()
+	if m.Stats.Corpus() != d.Corpus {
+		t.Error("model not wired to corpus")
+	}
+	// Correlation between two tags of the same topic must beat two tags
+	// of different topics (WUP via the generated taxonomy).
+	t0a, ok1 := d.Corpus.Dict.Lookup(media.Feature{Kind: media.Text, Name: "topic00tag00"})
+	t0b, ok2 := d.Corpus.Dict.Lookup(media.Feature{Kind: media.Text, Name: "topic00tag01"})
+	t1a, ok3 := d.Corpus.Dict.Lookup(media.Feature{Kind: media.Text, Name: "topic01tag00"})
+	if !ok1 || !ok2 || !ok3 {
+		t.Skip("expected tags not present in this sample")
+	}
+	if m.Cor(t0a, t0b) <= m.Cor(t0a, t1a) {
+		t.Errorf("intra-topic Cor %v not above cross-topic %v", m.Cor(t0a, t0b), m.Cor(t0a, t1a))
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := smallConfig()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.NumObjects = 0 },
+		func(c *Config) { c.NumTopics = 1 },
+		func(c *Config) { c.Months = 0 },
+		func(c *Config) { c.TagsPerTopic = 0 },
+		func(c *Config) { c.UsersPerObject = 0 },
+		func(c *Config) { c.PrototypesPerTopic = 0 },
+		func(c *Config) { c.VisualVocab = 1 },
+		func(c *Config) { c.VocabTrainImages = 0 },
+		func(c *Config) { c.NoiseTagProb = 1.5 },
+		func(c *Config) { c.SecondaryTopicProb = -0.1 },
+		func(c *Config) { c.VisualNoise = -1 },
+	}
+	for i, mutate := range cases {
+		cfg := smallConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestSampleQueries(t *testing.T) {
+	d, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	qs := d.SampleQueries(10, rng)
+	if len(qs) != 10 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	seen := make(map[media.ObjectID]bool)
+	for _, q := range qs {
+		if seen[q] {
+			t.Error("duplicate query")
+		}
+		seen[q] = true
+	}
+	// Requesting more than |D| clamps.
+	if got := d.SampleQueries(10_000, rng); len(got) != d.Corpus.Len() {
+		t.Errorf("clamp failed: %d", len(got))
+	}
+}
+
+func TestRelevant(t *testing.T) {
+	a := &media.Object{PrimaryTopic: 2}
+	b := &media.Object{PrimaryTopic: 2}
+	c := &media.Object{PrimaryTopic: 3}
+	u := &media.Object{PrimaryTopic: -1}
+	if !Relevant(a, b) {
+		t.Error("same topic should be relevant")
+	}
+	if Relevant(a, c) {
+		t.Error("different topics should not be relevant")
+	}
+	if Relevant(u, u) {
+		t.Error("unlabeled objects are never relevant")
+	}
+}
+
+func TestGenerateRec(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumObjects = 400
+	rc := DefaultRecConfig()
+	rc.NumUsers = 10
+	rc.MinHistory = 3
+	rd, err := GenerateRec(cfg, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rd.Profiles) == 0 {
+		t.Fatal("no profiles")
+	}
+	if rd.Now != rc.TrainMonths {
+		t.Errorf("Now = %d, want %d", rd.Now, rc.TrainMonths)
+	}
+	candSet := make(map[media.ObjectID]bool)
+	for _, id := range rd.Candidates {
+		candSet[id] = true
+		if rd.Corpus.Object(id).Month < rc.TrainMonths {
+			t.Fatal("candidate from training months")
+		}
+	}
+	for _, p := range rd.Profiles {
+		if len(p.History) < rc.MinHistory {
+			t.Errorf("history too short: %d", len(p.History))
+		}
+		for _, id := range p.History {
+			if rd.Corpus.Object(id).Month >= rc.TrainMonths {
+				t.Error("history object from eval months")
+			}
+		}
+		for id := range p.Future {
+			if !candSet[id] {
+				t.Error("future favourite outside candidate pool")
+			}
+		}
+		// History objects match the user's interests.
+		hist := rd.HistoryObjects(p)
+		for _, o := range hist {
+			ok := false
+			for _, topic := range p.Interests {
+				if o.PrimaryTopic == topic {
+					ok = true
+				}
+			}
+			if p.Transient >= 0 && o.PrimaryTopic == p.Transient {
+				ok = true
+			}
+			if !ok {
+				t.Errorf("history object topic %d not among interests", o.PrimaryTopic)
+			}
+		}
+		// Transient interests end before the evaluation period.
+		if p.Transient >= 0 && p.TransientEnd > rc.TrainMonths {
+			t.Errorf("transient window leaks into eval months: end=%d", p.TransientEnd)
+		}
+	}
+}
+
+func TestGenerateRecValidate(t *testing.T) {
+	cfg := smallConfig()
+	bad := DefaultRecConfig()
+	bad.TrainMonths = cfg.Months // must split
+	if _, err := GenerateRec(cfg, bad); err == nil {
+		t.Error("want error for non-splitting TrainMonths")
+	}
+	bad2 := DefaultRecConfig()
+	bad2.PersistentTopics = cfg.NumTopics + 1
+	if _, err := GenerateRec(cfg, bad2); err == nil {
+		t.Error("want error for too many persistent topics")
+	}
+	bad3 := DefaultRecConfig()
+	bad3.NumUsers = 0
+	if _, err := GenerateRec(cfg, bad3); err == nil {
+		t.Error("want error for zero users")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := d.Subset(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Corpus.Len() != 50 {
+		t.Fatalf("subset size = %d", sub.Corpus.Len())
+	}
+	// Objects preserved in order with labels.
+	for i := 0; i < 50; i++ {
+		a := d.Corpus.Object(media.ObjectID(i))
+		b := sub.Corpus.Object(media.ObjectID(i))
+		if a.PrimaryTopic != b.PrimaryTopic || a.Month != b.Month || a.Len() != b.Len() {
+			t.Fatalf("object %d differs in subset", i)
+		}
+		if a.TotalCount() != b.TotalCount() {
+			t.Fatalf("object %d counts differ", i)
+		}
+	}
+	// Feature maps resolve in the new dictionary.
+	for fid := media.FID(0); int(fid) < sub.Corpus.Dict.Len(); fid++ {
+		switch sub.Corpus.Dict.Feature(fid).Kind {
+		case media.Visual:
+			if _, ok := sub.VisualWord[fid]; !ok {
+				t.Fatalf("visual FID %d unmapped in subset", fid)
+			}
+		case media.User:
+			if _, ok := sub.UserOf[fid]; !ok {
+				t.Fatalf("user FID %d unmapped in subset", fid)
+			}
+		}
+	}
+	// Bounds checked.
+	if _, err := d.Subset(0); err == nil {
+		t.Error("want error for subset 0")
+	}
+	if _, err := d.Subset(d.Corpus.Len() + 1); err == nil {
+		t.Error("want error for oversize subset")
+	}
+	// The subset can power a working model.
+	m := sub.Model()
+	if m.Stats.Corpus().Len() != 50 {
+		t.Error("subset model corpus mismatch")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Corpus.Len() != d.Corpus.Len() {
+		t.Fatalf("corpus size %d != %d", got.Corpus.Len(), d.Corpus.Len())
+	}
+	if got.Corpus.Dict.Len() != d.Corpus.Dict.Len() {
+		t.Fatalf("dict size %d != %d", got.Corpus.Dict.Len(), d.Corpus.Dict.Len())
+	}
+	if got.Vocab.Size() != d.Vocab.Size() {
+		t.Fatalf("vocab size %d != %d", got.Vocab.Size(), d.Vocab.Size())
+	}
+	if got.Network.Len() != d.Network.Len() {
+		t.Fatalf("network size %d != %d", got.Network.Len(), d.Network.Len())
+	}
+	for i, oa := range d.Corpus.Objects {
+		ob := got.Corpus.Objects[i]
+		if oa.PrimaryTopic != ob.PrimaryTopic || oa.Month != ob.Month ||
+			oa.Len() != ob.Len() || oa.TotalCount() != ob.TotalCount() {
+			t.Fatalf("object %d differs after round trip", i)
+		}
+		for j, fid := range oa.Feats {
+			fa := d.Corpus.Dict.Feature(fid)
+			fb := got.Corpus.Dict.Feature(ob.Feats[j])
+			if fa != fb {
+				t.Fatalf("object %d feature %d: %v != %v", i, j, fa, fb)
+			}
+		}
+	}
+	// Substrates are functional: same WUP values, same user correlations.
+	if a, _ := d.Taxonomy.WUP("topic00tag00", "topic00tag01"); a > 0 {
+		b, _ := got.Taxonomy.WUP("topic00tag00", "topic00tag01")
+		if a != b {
+			t.Errorf("WUP differs after round trip: %v vs %v", a, b)
+		}
+	}
+	// A loaded dataset powers a working model end to end.
+	m := got.Model()
+	if m.Stats.Corpus().Len() != got.Corpus.Len() {
+		t.Error("loaded model corpus mismatch")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Error("want error for garbage input")
+	}
+}

@@ -1,0 +1,273 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"figfusion/internal/audio"
+	"figfusion/internal/lexicon"
+	"figfusion/internal/media"
+	"figfusion/internal/social"
+)
+
+// MusicConfig controls generation of a music corpus (the last.fm-style
+// environment of the paper's extension claim): tracks carry tags, audio
+// words and listeners, correlated within planted genres.
+type MusicConfig struct {
+	// Seed makes generation reproducible.
+	Seed int64
+	// NumTracks is |D|.
+	NumTracks int
+	// NumGenres is the number of planted genres.
+	NumGenres int
+	// Months spans the corpus timeline.
+	Months int
+
+	// TagsPerGenre / NoiseTags / TagsPerTrack / NoiseTagProb mirror the
+	// photo generator's tag model.
+	TagsPerGenre int
+	NoiseTags    int
+	TagsPerTrack int
+	NoiseTagProb float64
+
+	// ListenersPerGenre / ListenersPerTrack / NoiseListenerProb mirror
+	// the user model ("scrobblers" instead of favouriters).
+	ListenersPerGenre int
+	ListenersPerTrack int
+	NoiseListenerProb float64
+
+	// ChordsPerGenre is each genre's audio palette size, drawn from a
+	// global pool of ChordPool chords (shared chords = the audio
+	// semantic gap).
+	ChordsPerGenre int
+	ChordPool      int
+	// FramesPerTrack is the rendered clip length in analysis frames.
+	FramesPerTrack int
+	// AudioVocab is the audio-word codebook size.
+	AudioVocab int
+	// AudioNoise is the synthesis noise level.
+	AudioNoise float64
+	// VocabTrainTracks is the number of clips used to train the codebook.
+	VocabTrainTracks int
+	// KMeansIters bounds codebook training.
+	KMeansIters int
+
+	// SecondaryGenreProb is the probability a track blends two genres.
+	SecondaryGenreProb float64
+}
+
+// DefaultMusicConfig returns a laptop-scale music corpus configuration.
+func DefaultMusicConfig() MusicConfig {
+	return MusicConfig{
+		Seed:               1,
+		NumTracks:          1000,
+		NumGenres:          10,
+		Months:             6,
+		TagsPerGenre:       20,
+		NoiseTags:          100,
+		TagsPerTrack:       5,
+		NoiseTagProb:       0.3,
+		ListenersPerGenre:  30,
+		ListenersPerTrack:  3,
+		NoiseListenerProb:  0.3,
+		ChordsPerGenre:     3,
+		ChordPool:          12,
+		FramesPerTrack:     4,
+		AudioVocab:         24,
+		AudioNoise:         0.1,
+		VocabTrainTracks:   60,
+		KMeansIters:        12,
+		SecondaryGenreProb: 0.25,
+	}
+}
+
+// Validate reports configuration errors.
+func (c MusicConfig) Validate() error {
+	switch {
+	case c.NumTracks < 1:
+		return fmt.Errorf("dataset: NumTracks = %d", c.NumTracks)
+	case c.NumGenres < 2:
+		return fmt.Errorf("dataset: NumGenres = %d, need ≥ 2", c.NumGenres)
+	case c.Months < 1:
+		return fmt.Errorf("dataset: Months = %d", c.Months)
+	case c.TagsPerGenre < 1 || c.TagsPerTrack < 1:
+		return fmt.Errorf("dataset: tag parameters must be positive")
+	case c.ListenersPerGenre < 1 || c.ListenersPerTrack < 1:
+		return fmt.Errorf("dataset: listener parameters must be positive")
+	case c.ChordsPerGenre < 1 || c.ChordPool < 1 || c.FramesPerTrack < 1:
+		return fmt.Errorf("dataset: audio parameters must be positive")
+	case c.AudioVocab < 2 || c.VocabTrainTracks < 1:
+		return fmt.Errorf("dataset: codebook parameters must be positive")
+	case c.NoiseTagProb < 0 || c.NoiseTagProb > 1 ||
+		c.NoiseListenerProb < 0 || c.NoiseListenerProb > 1 ||
+		c.SecondaryGenreProb < 0 || c.SecondaryGenreProb > 1:
+		return fmt.Errorf("dataset: probabilities must be in [0,1]")
+	case c.AudioNoise < 0:
+		return fmt.Errorf("dataset: AudioNoise = %v", c.AudioNoise)
+	}
+	return nil
+}
+
+// chord is one palette entry: a small set of sinusoid frequencies.
+type chord []float64
+
+// GenerateMusic builds a music dataset: tracks ⟨T, A, U⟩ with genre-planted
+// correlation across tags, audio words and listeners. The returned Dataset
+// carries an audio vocabulary instead of a visual one; its Model() wires
+// the audio dispatch automatically.
+func GenerateMusic(cfg MusicConfig) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := &Dataset{
+		Corpus:     media.NewCorpus(),
+		Network:    social.NewNetwork(),
+		VisualWord: make(map[media.FID]int),
+		UserOf:     make(map[media.FID]social.UserID),
+		AudioWord:  make(map[media.FID]int),
+	}
+	// Genre tag vocabularies and taxonomy.
+	genreTags := make([][]string, cfg.NumGenres)
+	var groups []lexicon.TopicGroup
+	for g := range genreTags {
+		tags := make([]string, cfg.TagsPerGenre)
+		for i := range tags {
+			tags[i] = fmt.Sprintf("genre%02dtag%02d", g, i)
+		}
+		genreTags[g] = tags
+		groups = append(groups, lexicon.TopicGroup{
+			Name:   fmt.Sprintf("genre%02d", g),
+			Domain: fmt.Sprintf("style%d", g/3),
+			Words:  tags,
+		})
+	}
+	noiseTags := make([]string, cfg.NoiseTags)
+	for i := range noiseTags {
+		noiseTags[i] = fmt.Sprintf("mnoise%03d", i)
+	}
+	if len(noiseTags) > 0 {
+		groups = append(groups, lexicon.TopicGroup{Name: "miscmusic", Domain: "miscellany", Words: noiseTags})
+	}
+	tax, err := lexicon.Generate(groups)
+	if err != nil {
+		return nil, err
+	}
+	d.Taxonomy = tax
+	// Listener communities.
+	listeners := make([][]string, cfg.NumGenres)
+	for g := range listeners {
+		names := make([]string, cfg.ListenersPerGenre)
+		for i := range names {
+			name := fmt.Sprintf("l_g%02d_%02d", g, i)
+			d.Network.AddUser(name, []social.GroupID{social.GroupID(g)})
+			names[i] = name
+		}
+		listeners[g] = names
+	}
+	// Chord pool and genre palettes.
+	// Roots log-spaced over ~150–2400 Hz, jittered, so chords spread the
+	// audible band; each chord is root + fifth + octave.
+	pool := make([]chord, cfg.ChordPool)
+	for i := range pool {
+		root := 150 * math.Pow(16, (float64(i)+rng.Float64())/float64(cfg.ChordPool))
+		pool[i] = chord{root, root * 1.5, root * 2}
+	}
+	palettes := make([][]chord, cfg.NumGenres)
+	for g := range palettes {
+		p := make([]chord, cfg.ChordsPerGenre)
+		for i := range p {
+			p[i] = pool[rng.Intn(len(pool))]
+		}
+		palettes[g] = p
+	}
+	// Audio codebook from training clips.
+	var samples []audio.Descriptor
+	for i := 0; i < cfg.VocabTrainTracks; i++ {
+		g := rng.Intn(cfg.NumGenres)
+		descs, err := renderTrack(palettes[g], cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, descs...)
+	}
+	vocab, err := audio.TrainVocabulary(samples, cfg.AudioVocab, cfg.KMeansIters, rng)
+	if err != nil {
+		return nil, err
+	}
+	d.AudioVocab = vocab
+	// Tracks.
+	for i := 0; i < cfg.NumTracks; i++ {
+		genre := rng.Intn(cfg.NumGenres)
+		second := -1
+		if rng.Float64() < cfg.SecondaryGenreProb {
+			second = rng.Intn(cfg.NumGenres)
+			if second == genre {
+				second = -1
+			}
+		}
+		var feats []media.Feature
+		var counts []int
+		add := func(f media.Feature) {
+			feats = append(feats, f)
+			counts = append(counts, 1)
+		}
+		pick := func() int {
+			if second >= 0 && rng.Float64() < 0.3 {
+				return second
+			}
+			return genre
+		}
+		for n := 0; n < cfg.TagsPerTrack; n++ {
+			if len(noiseTags) > 0 && rng.Float64() < cfg.NoiseTagProb {
+				add(media.Feature{Kind: media.Text, Name: noiseTags[rng.Intn(len(noiseTags))]})
+			} else {
+				tags := genreTags[pick()]
+				add(media.Feature{Kind: media.Text, Name: tags[rng.Intn(len(tags))]})
+			}
+		}
+		for n := 0; n < cfg.ListenersPerTrack; n++ {
+			community := listeners[pick()]
+			if rng.Float64() < cfg.NoiseListenerProb {
+				community = listeners[rng.Intn(cfg.NumGenres)]
+			}
+			add(media.Feature{Kind: media.User, Name: community[rng.Intn(len(community))]})
+		}
+		descs, err := renderTrack(palettes[pick()], cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		seen := make(map[int]bool)
+		for _, w := range vocab.QuantizeAll(descs) {
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			add(media.Feature{Kind: media.Audio, Name: "aw" + strconv.Itoa(w)})
+		}
+		o, err := d.Corpus.Add(feats, counts, rng.Intn(cfg.Months))
+		if err != nil {
+			return nil, err
+		}
+		o.PrimaryTopic = genre
+		o.Topics = []int{genre}
+		if second >= 0 {
+			o.Topics = append(o.Topics, second)
+		}
+	}
+	d.buildFeatureMaps()
+	return d, nil
+}
+
+// renderTrack synthesizes one clip from a genre palette (one chord per
+// frame-sized segment) and extracts its frame descriptors.
+func renderTrack(palette []chord, cfg MusicConfig, rng *rand.Rand) ([]audio.Descriptor, error) {
+	var wave []float64
+	for f := 0; f < cfg.FramesPerTrack; f++ {
+		c := palette[rng.Intn(len(palette))]
+		wave = append(wave, audio.Synthesize(c, 1, cfg.AudioNoise, rng)...)
+	}
+	return audio.ExtractFrameDescriptors(wave)
+}

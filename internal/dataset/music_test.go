@@ -1,0 +1,202 @@
+package dataset
+
+import (
+	"testing"
+
+	"figfusion/internal/media"
+)
+
+func smallMusicConfig() MusicConfig {
+	cfg := DefaultMusicConfig()
+	cfg.NumTracks = 150
+	cfg.NumGenres = 4
+	cfg.TagsPerGenre = 8
+	cfg.NoiseTags = 20
+	cfg.ListenersPerGenre = 8
+	cfg.AudioVocab = 10
+	cfg.VocabTrainTracks = 20
+	cfg.FramesPerTrack = 2
+	cfg.KMeansIters = 8
+	return cfg
+}
+
+func TestGenerateMusicShape(t *testing.T) {
+	d, err := GenerateMusic(smallMusicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Corpus.Len() != 150 {
+		t.Fatalf("tracks = %d", d.Corpus.Len())
+	}
+	if d.AudioVocab == nil || d.AudioVocab.Size() != 10 {
+		t.Fatal("audio vocabulary missing")
+	}
+	// Every track carries text, audio and user features; no visual.
+	for _, o := range d.Corpus.Objects {
+		var kinds [media.NumKinds]int
+		for _, fid := range o.Feats {
+			kinds[d.Corpus.KindOf(fid)]++
+		}
+		if kinds[media.Text] == 0 || kinds[media.Audio] == 0 || kinds[media.User] == 0 {
+			t.Fatalf("track %d missing modality: %v", o.ID, kinds)
+		}
+		if kinds[media.Visual] != 0 {
+			t.Fatalf("track %d has visual features", o.ID)
+		}
+		if o.PrimaryTopic < 0 || o.PrimaryTopic >= 4 {
+			t.Fatalf("track %d genre = %d", o.ID, o.PrimaryTopic)
+		}
+	}
+	// Audio feature map resolves.
+	audioFeats := 0
+	for fid := media.FID(0); int(fid) < d.Corpus.Dict.Len(); fid++ {
+		if d.Corpus.KindOf(fid) == media.Audio {
+			w, ok := d.AudioWord[fid]
+			if !ok || w < 0 || w >= d.AudioVocab.Size() {
+				t.Fatalf("audio FID %d unmapped", fid)
+			}
+			audioFeats++
+		}
+	}
+	if audioFeats == 0 {
+		t.Fatal("no audio features interned")
+	}
+}
+
+func TestGenerateMusicDeterministic(t *testing.T) {
+	cfg := smallMusicConfig()
+	a, err := GenerateMusic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateMusic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Corpus.Dict.Len() != b.Corpus.Dict.Len() {
+		t.Fatal("dict sizes differ")
+	}
+	for i := range a.Corpus.Objects {
+		if a.Corpus.Objects[i].PrimaryTopic != b.Corpus.Objects[i].PrimaryTopic {
+			t.Fatal("genres differ between runs")
+		}
+	}
+}
+
+func TestGenerateMusicModelDispatch(t *testing.T) {
+	d, err := GenerateMusic(smallMusicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Model()
+	if m.AudioVocab == nil {
+		t.Fatal("audio substrate not wired")
+	}
+	// Find two audio features and check Cor dispatches to word similarity.
+	var a, b media.FID = -1, -1
+	for fid := media.FID(0); int(fid) < d.Corpus.Dict.Len(); fid++ {
+		if d.Corpus.KindOf(fid) == media.Audio {
+			if a < 0 {
+				a = fid
+			} else {
+				b = fid
+				break
+			}
+		}
+	}
+	if b < 0 {
+		t.Skip("fewer than two audio words in sample")
+	}
+	want := d.AudioVocab.WordSimilarity(d.AudioWord[a], d.AudioWord[b])
+	if got := m.Cor(a, b); got != want {
+		t.Errorf("audio Cor = %v, want word similarity %v", got, want)
+	}
+}
+
+func TestMusicConfigValidate(t *testing.T) {
+	if err := smallMusicConfig().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	cases := []func(*MusicConfig){
+		func(c *MusicConfig) { c.NumTracks = 0 },
+		func(c *MusicConfig) { c.NumGenres = 1 },
+		func(c *MusicConfig) { c.Months = 0 },
+		func(c *MusicConfig) { c.TagsPerTrack = 0 },
+		func(c *MusicConfig) { c.ListenersPerGenre = 0 },
+		func(c *MusicConfig) { c.ChordPool = 0 },
+		func(c *MusicConfig) { c.AudioVocab = 1 },
+		func(c *MusicConfig) { c.NoiseTagProb = -0.1 },
+		func(c *MusicConfig) { c.AudioNoise = -1 },
+	}
+	for i, mutate := range cases {
+		cfg := smallMusicConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestMusicGenreCoherence(t *testing.T) {
+	d, err := GenerateMusic(smallMusicConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sameSum, crossSum float64
+	var sameN, crossN int
+	objs := d.Corpus.Objects
+	for i := 0; i < 60; i++ {
+		for j := i + 1; j < 60; j++ {
+			ov := overlap(objs[i], objs[j])
+			if objs[i].PrimaryTopic == objs[j].PrimaryTopic {
+				sameSum += ov
+				sameN++
+			} else {
+				crossSum += ov
+				crossN++
+			}
+		}
+	}
+	if sameN == 0 || crossN == 0 {
+		t.Skip("degenerate sample")
+	}
+	if sameSum/float64(sameN) <= crossSum/float64(crossN) {
+		t.Errorf("same-genre overlap %v not above cross-genre %v",
+			sameSum/float64(sameN), crossSum/float64(crossN))
+	}
+}
+
+func TestGenerateRecFromMusic(t *testing.T) {
+	cfg := smallMusicConfig()
+	cfg.NumTracks = 400
+	d, err := GenerateMusic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := DefaultRecConfig()
+	rc.NumUsers = 8
+	rc.MinHistory = 3
+	rd, err := GenerateRecFrom(d, cfg.NumGenres, cfg.Months, rc, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rd.Profiles) == 0 {
+		t.Fatal("no music profiles")
+	}
+	for _, p := range rd.Profiles {
+		for _, id := range p.History {
+			if rd.Corpus.Object(id).Month >= rc.TrainMonths {
+				t.Fatal("history leaks into eval months")
+			}
+		}
+	}
+	// Validation paths.
+	if _, err := GenerateRecFrom(d, 1, cfg.Months, rc, 1); err == nil {
+		t.Error("want error for too few topics")
+	}
+	badRC := rc
+	badRC.TrainMonths = cfg.Months
+	if _, err := GenerateRecFrom(d, cfg.NumGenres, cfg.Months, badRC, 1); err == nil {
+		t.Error("want error for non-splitting TrainMonths")
+	}
+}

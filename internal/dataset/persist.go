@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"figfusion/internal/media"
+	"figfusion/internal/social"
+	"figfusion/internal/vision"
+)
+
+// snapshot is the gob wire format of a Dataset. It stores the substrate
+// definitions (tag vocabularies, user communities with group memberships,
+// visual prototypes, the trained visual vocabulary) and every object's raw
+// features, so Load can rebuild the dataset through the same public APIs
+// that Generate uses.
+type snapshot struct {
+	Config     Config
+	TopicTags  [][]string
+	NoiseTags  []string
+	TopicUsers [][]string
+	UserGroups [][]social.GroupID // parallel to flattened TopicUsers order
+	Protos     [][]vision.Descriptor
+	Pool       []vision.Descriptor
+	Centroids  []vision.Descriptor
+	Objects    []objectSnapshot
+}
+
+type objectSnapshot struct {
+	Feats        []media.Feature
+	Counts       []uint16
+	Month        int
+	PrimaryTopic int
+	Topics       []int
+}
+
+// Save writes the dataset to w in gob format.
+func (d *Dataset) Save(w io.Writer) error {
+	snap := snapshot{
+		Config:     d.Config,
+		TopicTags:  d.topicTags,
+		NoiseTags:  d.noiseTags,
+		TopicUsers: d.topicUsers,
+		Protos:     d.protos,
+		Pool:       d.pool,
+		Centroids:  d.Vocab.Centroids,
+	}
+	for _, community := range d.topicUsers {
+		for _, name := range community {
+			id, ok := d.Network.Lookup(name)
+			if !ok {
+				return fmt.Errorf("dataset: user %q missing from network", name)
+			}
+			snap.UserGroups = append(snap.UserGroups, d.Network.Groups(id))
+		}
+	}
+	for _, o := range d.Corpus.Objects {
+		os := objectSnapshot{
+			Counts:       append([]uint16(nil), o.Counts...),
+			Month:        o.Month,
+			PrimaryTopic: o.PrimaryTopic,
+			Topics:       append([]int(nil), o.Topics...),
+		}
+		for _, fid := range o.Feats {
+			os.Feats = append(os.Feats, d.Corpus.Dict.Feature(fid))
+		}
+		snap.Objects = append(snap.Objects, os)
+	}
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// Load reads a dataset written by Save.
+func Load(r io.Reader) (*Dataset, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	d := &Dataset{
+		Config:     snap.Config,
+		Corpus:     media.NewCorpus(),
+		Network:    social.NewNetwork(),
+		Vocab:      &vision.Vocabulary{Centroids: snap.Centroids},
+		VisualWord: make(map[media.FID]int),
+		UserOf:     make(map[media.FID]social.UserID),
+		topicTags:  snap.TopicTags,
+		topicUsers: snap.TopicUsers,
+		protos:     snap.Protos,
+		pool:       snap.Pool,
+		noiseTags:  snap.NoiseTags,
+	}
+	if err := d.buildTaxonomy(); err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, community := range snap.TopicUsers {
+		for _, name := range community {
+			if i >= len(snap.UserGroups) {
+				return nil, fmt.Errorf("dataset: user groups truncated")
+			}
+			d.Network.AddUser(name, snap.UserGroups[i])
+			i++
+		}
+	}
+	for _, os := range snap.Objects {
+		counts := make([]int, len(os.Counts))
+		for j, c := range os.Counts {
+			counts[j] = int(c)
+		}
+		o, err := d.Corpus.Add(os.Feats, counts, os.Month)
+		if err != nil {
+			return nil, err
+		}
+		o.PrimaryTopic = os.PrimaryTopic
+		o.Topics = os.Topics
+	}
+	d.buildFeatureMaps()
+	return d, nil
+}

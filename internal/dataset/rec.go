@@ -1,0 +1,223 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"figfusion/internal/media"
+)
+
+// RecConfig controls generation of user favourite histories (the Drec crawl
+// of Section 5.1.2: per-user favourite images over six months, the first
+// three modelling interest, the rest held out for evaluation).
+type RecConfig struct {
+	// NumUsers is the number of evaluation users (the paper keeps 279).
+	NumUsers int
+	// PersistentTopics is how many long-running interests each user has
+	// (the "cosmetic and fashion" common interest of Figure 4).
+	PersistentTopics int
+	// TransientProb is the probability a user also has a transient
+	// interest confined to a month window (the "Obama during the
+	// election" example).
+	TransientProb float64
+	// TransientMonths is the length of the transient window, which starts
+	// at month 0: transient interests are bursts that lapse before the
+	// evaluation period (the paper's "Obama during the 2008 election").
+	TransientMonths int
+	// TransientBoost multiplies the favourite rate during the transient
+	// window — bursts are intense while they last.
+	TransientBoost int
+	// FavoritesPerMonth is how many objects a user favourites per active
+	// topic per month.
+	FavoritesPerMonth int
+	// TrainMonths splits the timeline: months < TrainMonths form the
+	// history H_u, the rest are the evaluation period.
+	TrainMonths int
+	// MinHistory drops users with fewer history favourites, mirroring
+	// the paper's 100–1000 favourite filter.
+	MinHistory int
+}
+
+// DefaultRecConfig returns a laptop-scale recommendation setup.
+func DefaultRecConfig() RecConfig {
+	return RecConfig{
+		NumUsers:          40,
+		PersistentTopics:  2,
+		TransientProb:     0.7,
+		TransientMonths:   2,
+		TransientBoost:    2,
+		FavoritesPerMonth: 4,
+		TrainMonths:       3,
+		MinHistory:        6,
+	}
+}
+
+// Validate reports configuration errors (cfg is the corpus config the
+// recommendation layer sits on).
+func (rc RecConfig) Validate(cfg Config) error {
+	switch {
+	case rc.NumUsers < 1:
+		return fmt.Errorf("dataset: NumUsers = %d", rc.NumUsers)
+	case rc.PersistentTopics < 1 || rc.PersistentTopics > cfg.NumTopics:
+		return fmt.Errorf("dataset: PersistentTopics = %d with %d topics", rc.PersistentTopics, cfg.NumTopics)
+	case rc.TransientProb < 0 || rc.TransientProb > 1:
+		return fmt.Errorf("dataset: TransientProb = %v", rc.TransientProb)
+	case rc.TransientMonths < 1:
+		return fmt.Errorf("dataset: TransientMonths = %d", rc.TransientMonths)
+	case rc.TransientBoost < 1:
+		return fmt.Errorf("dataset: TransientBoost = %d", rc.TransientBoost)
+	case rc.FavoritesPerMonth < 1:
+		return fmt.Errorf("dataset: FavoritesPerMonth = %d", rc.FavoritesPerMonth)
+	case rc.TrainMonths < 1 || rc.TrainMonths >= cfg.Months:
+		return fmt.Errorf("dataset: TrainMonths = %d must split the %d-month timeline", rc.TrainMonths, cfg.Months)
+	case rc.MinHistory < 0:
+		return fmt.Errorf("dataset: MinHistory = %d", rc.MinHistory)
+	}
+	return nil
+}
+
+// Profile is one evaluation user: their interest schedule, the favourite
+// history H_u (training months) and the held-out future favourites that
+// serve as the correct recommendations (the paper treats "the image in the
+// 'favorite' list" as the correct recommendation).
+type Profile struct {
+	Interests      []int // persistent topics
+	Transient      int   // transient topic, -1 if none
+	TransientStart int
+	TransientEnd   int // exclusive
+	History        []media.ObjectID
+	Future         map[media.ObjectID]bool
+}
+
+// RecDataset is a corpus plus user histories and the candidate pool of
+// newly incoming objects.
+type RecDataset struct {
+	*Dataset
+	RC       RecConfig
+	Profiles []Profile
+	// Candidates are the objects in the evaluation months, the "newly
+	// incoming set" recommendations are drawn from.
+	Candidates []media.ObjectID
+	// Now is the recommendation timestamp t_c (the first eval month).
+	Now int
+}
+
+// GenerateRec builds a corpus and layers user favourite histories with
+// interest drift on top of it.
+func GenerateRec(cfg Config, rc RecConfig) (*RecDataset, error) {
+	if err := rc.Validate(cfg); err != nil {
+		return nil, err
+	}
+	d, err := Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return GenerateRecFrom(d, cfg.NumTopics, cfg.Months, rc, cfg.Seed+1)
+}
+
+// GenerateRecFrom layers user favourite histories over an existing dataset
+// — any dataset with planted primary topics and month labels, including
+// music corpora from GenerateMusic. numTopics and months describe the
+// dataset's label spaces.
+func GenerateRecFrom(d *Dataset, numTopics, months int, rc RecConfig, seed int64) (*RecDataset, error) {
+	if numTopics < rc.PersistentTopics+1 {
+		return nil, fmt.Errorf("dataset: %d topics cannot support %d persistent interests", numTopics, rc.PersistentTopics)
+	}
+	if rc.TrainMonths < 1 || rc.TrainMonths >= months {
+		return nil, fmt.Errorf("dataset: TrainMonths = %d must split the %d-month timeline", rc.TrainMonths, months)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Index objects by (topic, month).
+	byTopicMonth := make([][][]media.ObjectID, numTopics)
+	for t := range byTopicMonth {
+		byTopicMonth[t] = make([][]media.ObjectID, months)
+	}
+	for _, o := range d.Corpus.Objects {
+		if o.PrimaryTopic < 0 || o.PrimaryTopic >= numTopics || o.Month < 0 || o.Month >= months {
+			return nil, fmt.Errorf("dataset: object %d labels (%d, %d) outside (%d topics, %d months)",
+				o.ID, o.PrimaryTopic, o.Month, numTopics, months)
+		}
+		byTopicMonth[o.PrimaryTopic][o.Month] = append(byTopicMonth[o.PrimaryTopic][o.Month], o.ID)
+	}
+	rd := &RecDataset{Dataset: d, RC: rc, Now: rc.TrainMonths}
+	for _, o := range d.Corpus.Objects {
+		if o.Month >= rc.TrainMonths {
+			rd.Candidates = append(rd.Candidates, o.ID)
+		}
+	}
+	for u := 0; u < rc.NumUsers; u++ {
+		p := buildProfile(numTopics, months, rc, byTopicMonth, rng)
+		if len(p.History) < rc.MinHistory || len(p.Future) == 0 {
+			continue
+		}
+		rd.Profiles = append(rd.Profiles, p)
+	}
+	if len(rd.Profiles) == 0 {
+		return nil, fmt.Errorf("dataset: no user passed the history filter; corpus too small for %+v", rc)
+	}
+	return rd, nil
+}
+
+func buildProfile(numTopics, months int, rc RecConfig, byTopicMonth [][][]media.ObjectID, rng *rand.Rand) Profile {
+	p := Profile{Transient: -1, Future: make(map[media.ObjectID]bool)}
+	perm := rng.Perm(numTopics)
+	p.Interests = append(p.Interests, perm[:rc.PersistentTopics]...)
+	if rng.Float64() < rc.TransientProb {
+		p.Transient = perm[rc.PersistentTopics]
+		// Transients are early bursts that lapse well before the
+		// train/eval split — the drift signal the decay model exploits.
+		p.TransientStart = 0
+		p.TransientEnd = rc.TransientMonths
+		if p.TransientEnd > rc.TrainMonths {
+			p.TransientEnd = rc.TrainMonths
+		}
+	}
+	for month := 0; month < months; month++ {
+		type draw struct {
+			topic int
+			count int
+		}
+		var draws []draw
+		for _, topic := range p.Interests {
+			draws = append(draws, draw{topic, rc.FavoritesPerMonth})
+		}
+		if p.Transient >= 0 && month >= p.TransientStart && month < p.TransientEnd {
+			draws = append(draws, draw{p.Transient, rc.FavoritesPerMonth * rc.TransientBoost})
+		}
+		for _, dr := range draws {
+			pool := byTopicMonth[dr.topic][month]
+			for f := 0; f < dr.count && len(pool) > 0; f++ {
+				oid := pool[rng.Intn(len(pool))]
+				if month < rc.TrainMonths {
+					p.History = append(p.History, oid)
+				} else {
+					p.Future[oid] = true
+				}
+			}
+		}
+	}
+	p.History = dedupIDs(p.History)
+	return p
+}
+
+func dedupIDs(ids []media.ObjectID) []media.ObjectID {
+	seen := make(map[media.ObjectID]bool, len(ids))
+	out := ids[:0]
+	for _, id := range ids {
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		out = append(out, id)
+	}
+	return out
+}
+
+// HistoryObjects resolves a profile's history IDs into objects.
+func (rd *RecDataset) HistoryObjects(p Profile) []*media.Object {
+	out := make([]*media.Object, len(p.History))
+	for i, id := range p.History {
+		out[i] = rd.Corpus.Object(id)
+	}
+	return out
+}

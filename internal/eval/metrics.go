@@ -1,0 +1,121 @@
+package eval
+
+import (
+	"math"
+
+	"figfusion/internal/media"
+	"figfusion/internal/topk"
+)
+
+// Rank-accuracy metrics complementing Precision@N. The paper's cited
+// survey (Herlocker et al. [10]) distinguishes predictive, classification
+// and rank accuracy metric classes; the paper itself reports the
+// classification metric Precision@N, and these rank metrics extend the
+// harness for finer-grained comparisons.
+
+// AveragePrecision computes AP of a ranked result list against a relevance
+// oracle: the mean of precision-at-i over the ranks i holding relevant
+// results, normalised by min(|results|, totalRelevant). A zero
+// totalRelevant yields 0.
+func AveragePrecision(q *media.Object, results []topk.Item, corpus *media.Corpus,
+	relevant func(q, o *media.Object) bool, totalRelevant int) float64 {
+	if totalRelevant <= 0 || len(results) == 0 {
+		return 0
+	}
+	var sum float64
+	hits := 0
+	for i, it := range results {
+		if relevant(q, corpus.Object(it.ID)) {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	denom := totalRelevant
+	if len(results) < denom {
+		denom = len(results)
+	}
+	return sum / float64(denom)
+}
+
+// ReciprocalRank returns 1/rank of the first relevant result (0 if none).
+func ReciprocalRank(q *media.Object, results []topk.Item, corpus *media.Corpus,
+	relevant func(q, o *media.Object) bool) float64 {
+	for i, it := range results {
+		if relevant(q, corpus.Object(it.ID)) {
+			return 1 / float64(i+1)
+		}
+	}
+	return 0
+}
+
+// NDCG computes the normalised discounted cumulative gain at the list
+// depth with binary gains: DCG = Σ rel_i / log2(i+1), normalised by the
+// ideal DCG for min(|results|, totalRelevant) relevant results in front.
+func NDCG(q *media.Object, results []topk.Item, corpus *media.Corpus,
+	relevant func(q, o *media.Object) bool, totalRelevant int) float64 {
+	if len(results) == 0 || totalRelevant <= 0 {
+		return 0
+	}
+	var dcg float64
+	for i, it := range results {
+		if relevant(q, corpus.Object(it.ID)) {
+			dcg += 1 / math.Log2(float64(i)+2)
+		}
+	}
+	ideal := totalRelevant
+	if len(results) < ideal {
+		ideal = len(results)
+	}
+	var idcg float64
+	for i := 0; i < ideal; i++ {
+		idcg += 1 / math.Log2(float64(i)+2)
+	}
+	if idcg == 0 {
+		return 0
+	}
+	return dcg / idcg
+}
+
+// RankMetrics aggregates MAP, MRR and mean NDCG of a system over queries at
+// depth k. totalRelevant maps each query to its corpus-wide relevant count
+// (for the planted corpus, the number of same-topic objects minus one).
+type RankMetrics struct {
+	MAP  float64
+	MRR  float64
+	NDCG float64
+}
+
+// RetrievalRankMetrics evaluates a system's ranked lists with the rank
+// metrics at depth k.
+func RetrievalRankMetrics(sys System, corpus *media.Corpus, queries []media.ObjectID,
+	k int, relevant func(q, o *media.Object) bool, totalRelevant func(q *media.Object) int) RankMetrics {
+	var m RankMetrics
+	if len(queries) == 0 {
+		return m
+	}
+	for _, qid := range queries {
+		q := corpus.Object(qid)
+		results := sys.Search(q, k, qid)
+		tr := totalRelevant(q)
+		m.MAP += AveragePrecision(q, results, corpus, relevant, tr)
+		m.MRR += ReciprocalRank(q, results, corpus, relevant)
+		m.NDCG += NDCG(q, results, corpus, relevant, tr)
+	}
+	n := float64(len(queries))
+	m.MAP /= n
+	m.MRR /= n
+	m.NDCG /= n
+	return m
+}
+
+// TopicCounts returns, for a planted corpus, the number of objects per
+// primary topic — the totalRelevant source for rank metrics.
+func TopicCounts(corpus *media.Corpus) map[int]int {
+	counts := make(map[int]int)
+	for _, o := range corpus.Objects {
+		if o.PrimaryTopic >= 0 {
+			counts[o.PrimaryTopic]++
+		}
+	}
+	return counts
+}

@@ -1,0 +1,143 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"figfusion/internal/dataset"
+	"figfusion/internal/media"
+	"figfusion/internal/retrieval"
+	"figfusion/internal/topk"
+)
+
+// metricWorld builds a 5-object corpus where objects 1,2 share topic 0 with
+// the query (object 0) and objects 3,4 are topic 1.
+func metricWorld(t *testing.T) (*media.Corpus, *media.Object) {
+	t.Helper()
+	c := media.NewCorpus()
+	for i := 0; i < 5; i++ {
+		o, err := c.Add([]media.Feature{{Kind: media.Text, Name: string(rune('a' + i))}}, []int{1}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 3 {
+			o.PrimaryTopic = 0
+		} else {
+			o.PrimaryTopic = 1
+		}
+	}
+	return c, c.Object(0)
+}
+
+func items(ids ...media.ObjectID) []topk.Item {
+	out := make([]topk.Item, len(ids))
+	for i, id := range ids {
+		out[i] = topk.Item{ID: id, Score: float64(len(ids) - i)}
+	}
+	return out
+}
+
+func TestAveragePrecision(t *testing.T) {
+	c, q := metricWorld(t)
+	// Results: rel, irrel, rel → AP = (1/1 + 2/3)/2 = 0.8333 (2 relevant
+	// in corpus besides the query).
+	got := AveragePrecision(q, items(1, 3, 2), c, dataset.Relevant, 2)
+	want := (1.0 + 2.0/3) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("AP = %v, want %v", got, want)
+	}
+	// Perfect ranking → 1.
+	if got := AveragePrecision(q, items(1, 2), c, dataset.Relevant, 2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect AP = %v", got)
+	}
+	// No relevant results → 0.
+	if got := AveragePrecision(q, items(3, 4), c, dataset.Relevant, 2); got != 0 {
+		t.Errorf("all-irrelevant AP = %v", got)
+	}
+	// Degenerate inputs.
+	if AveragePrecision(q, nil, c, dataset.Relevant, 2) != 0 {
+		t.Error("empty results AP should be 0")
+	}
+	if AveragePrecision(q, items(1), c, dataset.Relevant, 0) != 0 {
+		t.Error("zero totalRelevant AP should be 0")
+	}
+	// Short list normalised by list length: one relevant at rank 1 of a
+	// 1-item list with 2 relevant overall → AP 1.
+	if got := AveragePrecision(q, items(1), c, dataset.Relevant, 2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("short-list AP = %v, want 1", got)
+	}
+}
+
+func TestReciprocalRank(t *testing.T) {
+	c, q := metricWorld(t)
+	if got := ReciprocalRank(q, items(3, 4, 1), c, dataset.Relevant); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("RR = %v, want 1/3", got)
+	}
+	if got := ReciprocalRank(q, items(1), c, dataset.Relevant); got != 1 {
+		t.Errorf("RR = %v, want 1", got)
+	}
+	if got := ReciprocalRank(q, items(3, 4), c, dataset.Relevant); got != 0 {
+		t.Errorf("RR = %v, want 0", got)
+	}
+}
+
+func TestNDCG(t *testing.T) {
+	c, q := metricWorld(t)
+	// Perfect ranking of both relevant objects → 1.
+	if got := NDCG(q, items(1, 2, 3), c, dataset.Relevant, 2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect NDCG = %v", got)
+	}
+	// Relevant at ranks 2,3: DCG = 1/log2(3)+1/log2(4); IDCG = 1+1/log2(3).
+	got := NDCG(q, items(3, 1, 2), c, dataset.Relevant, 2)
+	want := (1/math.Log2(3) + 0.5) / (1 + 1/math.Log2(3))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("NDCG = %v, want %v", got, want)
+	}
+	if NDCG(q, nil, c, dataset.Relevant, 2) != 0 {
+		t.Error("empty NDCG should be 0")
+	}
+	// NDCG is monotone under rank improvement of a relevant item.
+	worse := NDCG(q, items(3, 4, 1), c, dataset.Relevant, 2)
+	better := NDCG(q, items(3, 1, 4), c, dataset.Relevant, 2)
+	if better <= worse {
+		t.Errorf("NDCG not monotone: %v vs %v", better, worse)
+	}
+}
+
+func TestTopicCounts(t *testing.T) {
+	c, _ := metricWorld(t)
+	counts := TopicCounts(c)
+	if counts[0] != 3 || counts[1] != 2 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestRetrievalRankMetricsEndToEnd(t *testing.T) {
+	d := testData(t)
+	e, err := retrieval.NewEngine(d.Model(), retrieval.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := TopicCounts(d.Corpus)
+	rng := rand.New(rand.NewSource(15))
+	queries := d.SampleQueries(5, rng)
+	m := RetrievalRankMetrics(FIGSystem{Engine: e}, d.Corpus, queries, 10,
+		dataset.Relevant, func(q *media.Object) int { return counts[q.PrimaryTopic] - 1 })
+	for name, v := range map[string]float64{"MAP": m.MAP, "MRR": m.MRR, "NDCG": m.NDCG} {
+		if v < 0 || v > 1 {
+			t.Errorf("%s = %v out of range", name, v)
+		}
+	}
+	// A planted corpus should give a strong MRR (first result usually
+	// relevant).
+	if m.MRR < 0.5 {
+		t.Errorf("MRR = %v, implausibly low", m.MRR)
+	}
+	// Empty query set → zero value.
+	zero := RetrievalRankMetrics(FIGSystem{Engine: e}, d.Corpus, nil, 10,
+		dataset.Relevant, func(*media.Object) int { return 1 })
+	if zero.MAP != 0 || zero.MRR != 0 || zero.NDCG != 0 {
+		t.Errorf("empty-query metrics = %+v", zero)
+	}
+}

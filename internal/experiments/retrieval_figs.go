@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"figfusion/internal/dataset"
+	"figfusion/internal/eval"
+	"figfusion/internal/fig"
+	"figfusion/internal/media"
+	"figfusion/internal/retrieval"
+)
+
+// retrievalNs are the N values of Figures 5 and 7.
+var retrievalNs = []int{3, 5, 10, 20}
+
+// Figure5 reproduces "Retrieval Performance with Varied Feature
+// Combinations": Precision@N of the FIG model restricted to each modality
+// subset. The paper's finding — visual weakest alone, text strongest
+// single, and the full three-way combination best — is a property of the
+// feature fusion, not of the corpus scale.
+func Figure5(o Options) (*Table, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	d, err := dataset.Generate(o.retrievalConfig())
+	if err != nil {
+		return nil, err
+	}
+	trainQ, evalQ := splitQueries(d, o)
+	// Train Λ once on the full model; the modality-restricted variants
+	// reuse the trained parameters (λ depends only on clique size).
+	fullSys, err := buildFIGSystem(d, retrieval.Config{}, o.Seed, trainQ)
+	if err != nil {
+		return nil, err
+	}
+	trained := fullSys.Engine.Scorer.Params
+	combos := []struct {
+		label string
+		kinds []media.Kind
+	}{
+		{"Visual", []media.Kind{media.Visual}},
+		{"Text", []media.Kind{media.Text}},
+		{"User", []media.Kind{media.User}},
+		{"Visual+Text", []media.Kind{media.Visual, media.Text}},
+		{"Visual+User", []media.Kind{media.Visual, media.User}},
+		{"Text+User", []media.Kind{media.Text, media.User}},
+		{"FIG", nil},
+	}
+	t := &Table{
+		Title:   "Figure 5: Retrieval Precision@N with varied feature combinations",
+		Columns: nColumns(retrievalNs),
+		Note:    fmt.Sprintf("|D|=%d, %d queries, planted-topic relevance", d.Corpus.Len(), len(evalQ)),
+	}
+	for _, combo := range combos {
+		sys := fullSys
+		if combo.kinds != nil {
+			sys, err = buildFIGSystem(d, retrieval.Config{
+				Params:    trained,
+				BuildOpts: fig.Options{Kinds: combo.kinds},
+			}, o.Seed, nil)
+			if err != nil {
+				return nil, fmt.Errorf("figure5 %s: %w", combo.label, err)
+			}
+		}
+		p := eval.RetrievalPrecision(sys, d.Corpus, evalQ, retrievalNs, dataset.Relevant)
+		t.Rows = append(t.Rows, Row{Label: combo.label, Values: valuesFor(p, retrievalNs)})
+	}
+	return t, nil
+}
+
+// Figure6 reproduces the qualitative query example: one query and its top
+// results, annotated with the tags and users they share with the query —
+// demonstrating, as in the paper, that matches combine visual, textual and
+// user evidence.
+func Figure6(o Options) (string, error) {
+	if err := o.validate(); err != nil {
+		return "", err
+	}
+	d, err := dataset.Generate(o.retrievalConfig())
+	if err != nil {
+		return "", err
+	}
+	sys, err := buildFIGSystem(d, retrieval.Config{}, o.Seed, nil)
+	if err != nil {
+		return "", err
+	}
+	q := d.Corpus.Object(media.ObjectID(o.Seed % int64(d.Corpus.Len())))
+	results := sys.Search(q, 4, q.ID)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: Example query result (query object %d, topic %d)\n", q.ID, q.PrimaryTopic)
+	fmt.Fprintf(&b, "query tags: %s\n", strings.Join(featureNames(d, q, media.Text, 6), ", "))
+	for rank, it := range results {
+		obj := d.Corpus.Object(it.ID)
+		fmt.Fprintf(&b, "result %d: object %d (topic %d, score %.4f)\n", rank+1, obj.ID, obj.PrimaryTopic, it.Score)
+		fmt.Fprintf(&b, "  shared tags:  %s\n", strings.Join(sharedNames(d, q, obj, media.Text, 6), ", "))
+		fmt.Fprintf(&b, "  shared users: %s\n", strings.Join(sharedNames(d, q, obj, media.User, 6), ", "))
+	}
+	return b.String(), nil
+}
+
+// Figure7 reproduces "Retrieval Performance with Varied N": Precision@N of
+// FIG against the RB, TP and LSA baselines.
+func Figure7(o Options) (*Table, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	d, err := dataset.Generate(o.retrievalConfig())
+	if err != nil {
+		return nil, err
+	}
+	trainQ, evalQ := splitQueries(d, o)
+	figSys, err := buildFIGSystem(d, retrieval.Config{}, o.Seed, trainQ)
+	if err != nil {
+		return nil, err
+	}
+	base, err := buildBaselineSystems(d, trainQ, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	systems := append([]eval.System{figSys}, base...)
+	t := &Table{
+		Title:   "Figure 7: Retrieval Precision@N, FIG vs baselines",
+		Columns: nColumns(retrievalNs),
+		Note:    fmt.Sprintf("|D|=%d, %d eval queries, RB trained on %d held-out queries", d.Corpus.Len(), len(evalQ), len(trainQ)),
+	}
+	for _, sys := range systems {
+		p := eval.RetrievalPrecision(sys, d.Corpus, evalQ, retrievalNs, dataset.Relevant)
+		t.Rows = append(t.Rows, Row{Label: sys.Name(), Values: valuesFor(p, retrievalNs)})
+	}
+	return t, nil
+}
+
+// sizeFractions mirror the paper's 50K/100K/150K/200K/236K splits as
+// fractions of the configured scale.
+var sizeFractions = []float64{0.21, 0.42, 0.63, 0.85, 1.0}
+
+// Figure8 reproduces "Retrieval Performance with Different Data Size":
+// Precision@10 of all four systems over nested corpus prefixes.
+func Figure8(o Options) (*Table, error) {
+	return scalabilityFigure(o, false)
+}
+
+// Figure9 reproduces "Efficiency of Media Retrieval": mean seconds per
+// query over the same corpus prefixes.
+func Figure9(o Options) (*Table, error) {
+	return scalabilityFigure(o, true)
+}
+
+func scalabilityFigure(o Options, timing bool) (*Table, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	full, err := dataset.Generate(o.retrievalConfig())
+	if err != nil {
+		return nil, err
+	}
+	sizes := make([]int, len(sizeFractions))
+	cols := make([]string, len(sizeFractions))
+	for i, f := range sizeFractions {
+		sizes[i] = int(f * float64(full.Corpus.Len()))
+		cols[i] = fmt.Sprintf("%d", sizes[i])
+	}
+	title := "Figure 8: Retrieval Precision@10 vs data size"
+	if timing {
+		title = "Figure 9: Mean time per query (ms) vs data size"
+	}
+	t := &Table{
+		Title:   title,
+		Columns: cols,
+		Note:    "sizes are nested prefixes of one corpus (paper: 50K..236K)",
+	}
+	// Train Λ once on the full corpus and reuse it for every prefix: the
+	// prefixes share the corpus's statistical structure, and retraining
+	// per size would confound the scalability measurement.
+	fullTrainQ, _ := splitQueries(full, o)
+	fullSys, err := buildFIGSystem(full, retrieval.Config{}, o.Seed, fullTrainQ)
+	if err != nil {
+		return nil, err
+	}
+	trained := fullSys.Engine.Scorer.Params
+	series := map[string][]float64{}
+	var order []string
+	for _, n := range sizes {
+		d := full
+		if n < full.Corpus.Len() {
+			d, err = full.Subset(n)
+			if err != nil {
+				return nil, err
+			}
+		}
+		trainQ, evalQ := splitQueries(d, o)
+		figSys := fullSys
+		if d != full {
+			figSys, err = buildFIGSystem(d, retrieval.Config{Params: trained}, o.Seed, nil)
+			if err != nil {
+				return nil, err
+			}
+		}
+		base, err := buildBaselineSystems(d, trainQ, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		systems := append([]eval.System{figSys}, base...)
+		for _, sys := range systems {
+			var v float64
+			if timing {
+				v = float64(eval.RetrievalTime(sys, d.Corpus, evalQ, 10).Microseconds()) / 1000.0
+			} else {
+				v = eval.RetrievalPrecision(sys, d.Corpus, evalQ, []int{10}, dataset.Relevant)[10]
+			}
+			if _, seen := series[sys.Name()]; !seen {
+				order = append(order, sys.Name())
+			}
+			series[sys.Name()] = append(series[sys.Name()], v)
+		}
+	}
+	for _, name := range order {
+		t.Rows = append(t.Rows, Row{Label: name, Values: series[name]})
+	}
+	return t, nil
+}
+
+func nColumns(ns []int) []string {
+	cols := make([]string, len(ns))
+	for i, n := range ns {
+		cols[i] = fmt.Sprintf("P@%d", n)
+	}
+	return cols
+}
+
+func valuesFor(p map[int]float64, ns []int) []float64 {
+	vals := make([]float64, len(ns))
+	for i, n := range ns {
+		vals[i] = p[n]
+	}
+	return vals
+}
+
+// featureNames lists up to max feature names of one kind in an object.
+func featureNames(d *dataset.Dataset, o *media.Object, kind media.Kind, max int) []string {
+	var names []string
+	for _, fid := range o.Feats {
+		f := d.Corpus.Dict.Feature(fid)
+		if f.Kind == kind {
+			names = append(names, f.Name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) > max {
+		names = names[:max]
+	}
+	return names
+}
+
+// sharedNames lists up to max feature names of one kind shared by both
+// objects.
+func sharedNames(d *dataset.Dataset, a, b *media.Object, kind media.Kind, max int) []string {
+	var names []string
+	for _, fid := range a.Feats {
+		f := d.Corpus.Dict.Feature(fid)
+		if f.Kind == kind && b.Has(fid) {
+			names = append(names, f.Name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) > max {
+		names = names[:max]
+	}
+	if len(names) == 0 {
+		return []string{"(none)"}
+	}
+	return names
+}
+
+// RankMetricsTable is an extension experiment beyond the paper's
+// Precision@N: MAP, MRR and NDCG@20 of FIG against the baselines on the
+// retrieval corpus, using the rank-accuracy metric class of the paper's
+// cited evaluation survey [10].
+func RankMetricsTable(o Options) (*Table, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	d, err := dataset.Generate(o.retrievalConfig())
+	if err != nil {
+		return nil, err
+	}
+	trainQ, evalQ := splitQueries(d, o)
+	figSys, err := buildFIGSystem(d, retrieval.Config{}, o.Seed, trainQ)
+	if err != nil {
+		return nil, err
+	}
+	base, err := buildBaselineSystems(d, trainQ, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	counts := eval.TopicCounts(d.Corpus)
+	totalRelevant := func(q *media.Object) int { return counts[q.PrimaryTopic] - 1 }
+	t := &Table{
+		Title:   "Extension: rank-accuracy metrics at depth 20 (MAP / MRR / NDCG)",
+		Columns: []string{"MAP", "MRR", "NDCG"},
+		Note:    fmt.Sprintf("|D|=%d, %d eval queries, planted-topic relevance", d.Corpus.Len(), len(evalQ)),
+	}
+	for _, sys := range append([]eval.System{figSys}, base...) {
+		m := eval.RetrievalRankMetrics(sys, d.Corpus, evalQ, 20, dataset.Relevant, totalRelevant)
+		t.Rows = append(t.Rows, Row{Label: sys.Name(), Values: []float64{m.MAP, m.MRR, m.NDCG}})
+	}
+	return t, nil
+}

@@ -1,0 +1,96 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Section 5) as a text table: Figure 5 (feature combinations), Figure 6
+// (qualitative query result), Figure 7 (retrieval precision vs baselines),
+// Figures 8–9 (scalability of precision and query time), Figure 10
+// (decay-parameter sweep) and Figure 11 (recommendation precision vs
+// baselines). Each driver is deterministic for a given Options value and is
+// shared by cmd/figbench and the root bench_test.go harness.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result: a titled grid of float series.
+type Table struct {
+	Title string
+	// Columns are the value column names (e.g. "P@3", "P@5").
+	Columns []string
+	// Rows are the systems/series.
+	Rows []Row
+	// Note carries caveats (scaled sizes, substitutions).
+	Note string
+}
+
+// Row is one labelled series.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Get returns the value at (rowLabel, column), with ok=false when absent.
+func (t *Table) Get(rowLabel, column string) (float64, bool) {
+	col := -1
+	for i, c := range t.Columns {
+		if c == column {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return 0, false
+	}
+	for _, r := range t.Rows {
+		if r.Label == rowLabel && col < len(r.Values) {
+			return r.Values[col], true
+		}
+	}
+	return 0, false
+}
+
+// Row returns the series with the given label.
+func (t *Table) Row(label string) (Row, bool) {
+	for _, r := range t.Rows {
+		if r.Label == label {
+			return r, true
+		}
+	}
+	return Row{}, false
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	labelWidth := len("system")
+	for _, r := range t.Rows {
+		if len(r.Label) > labelWidth {
+			labelWidth = len(r.Label)
+		}
+	}
+	colWidth := 9
+	for _, c := range t.Columns {
+		if len(c)+2 > colWidth {
+			colWidth = len(c) + 2
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", labelWidth+2, "system")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%*s", colWidth, c)
+	}
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", labelWidth+2+colWidth*len(t.Columns)))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", labelWidth+2, r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, "%*.4f", colWidth, v)
+		}
+		b.WriteByte('\n')
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}

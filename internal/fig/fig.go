@@ -1,0 +1,231 @@
+// Package fig implements the Feature Interaction Graph of Section 3.2, the
+// paper's central representation: a multimedia object becomes an undirected
+// graph with a virtual root for the object itself, one node per feature, an
+// edge from the root to every feature, and an edge between two feature nodes
+// iff their correlation exceeds the trained threshold. Cliques of this graph
+// (complete subgraphs containing the root and at least one feature node) are
+// the units the MRF similarity model scores and the inverted index is keyed
+// on.
+package fig
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"figfusion/internal/corr"
+	"figfusion/internal/media"
+)
+
+// Graph is the FIG of one object. The virtual root is implicit: it is
+// adjacent to every node in Nodes. Adjacency lists are sorted by FID.
+type Graph struct {
+	Object *media.Object
+	Nodes  []media.FID
+	adj    map[media.FID][]media.FID
+}
+
+// Options configure FIG construction.
+type Options struct {
+	// Kinds restricts the graph to features of the given modalities; empty
+	// means all modalities. Used by the Figure 5 feature-combination study.
+	Kinds []media.Kind
+	// Keep, when non-nil, restricts nodes to features in the set (the
+	// min-document-frequency pruning of Section 5.1.3).
+	Keep map[media.FID]bool
+	// MaxNodes caps the number of feature nodes (0 = unlimited). Nodes are
+	// kept in object order, which for generated corpora is insertion order.
+	MaxNodes int
+}
+
+func (o Options) admits(kind media.Kind) bool {
+	if len(o.Kinds) == 0 {
+		return true
+	}
+	for _, k := range o.Kinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Build constructs the FIG for an object: one node per (kept) feature, and
+// an edge between every pair the correlation model admits.
+func Build(o *media.Object, m *corr.Model, opts Options) *Graph {
+	corpus := m.Stats.Corpus()
+	nf := media.FID(corpus.Dict.Len())
+	g := &Graph{Object: o, adj: make(map[media.FID][]media.FID)}
+	for _, fid := range o.Feats {
+		// External query objects may carry features unknown to the
+		// corpus; they correlate with nothing and are dropped.
+		if fid < 0 || fid >= nf {
+			continue
+		}
+		if opts.Keep != nil && !opts.Keep[fid] {
+			continue
+		}
+		if !opts.admits(corpus.KindOf(fid)) {
+			continue
+		}
+		g.Nodes = append(g.Nodes, fid)
+		if opts.MaxNodes > 0 && len(g.Nodes) >= opts.MaxNodes {
+			break
+		}
+	}
+	sort.Slice(g.Nodes, func(i, j int) bool { return g.Nodes[i] < g.Nodes[j] })
+	for i := 0; i < len(g.Nodes); i++ {
+		for j := i + 1; j < len(g.Nodes); j++ {
+			a, b := g.Nodes[i], g.Nodes[j]
+			if m.Correlated(a, b) {
+				g.adj[a] = append(g.adj[a], b)
+				g.adj[b] = append(g.adj[b], a)
+			}
+		}
+	}
+	for fid := range g.adj {
+		nb := g.adj[fid]
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+	}
+	return g
+}
+
+// Len returns the number of feature nodes.
+func (g *Graph) Len() int { return len(g.Nodes) }
+
+// Edges returns the number of feature–feature edges (excluding the implicit
+// root edges).
+func (g *Graph) Edges() int {
+	total := 0
+	for _, nb := range g.adj {
+		total += len(nb)
+	}
+	return total / 2
+}
+
+// Adjacent reports whether two feature nodes are linked.
+func (g *Graph) Adjacent(a, b media.FID) bool {
+	nb := g.adj[a]
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= b })
+	return i < len(nb) && nb[i] == b
+}
+
+// Neighbors returns the sorted neighbour list of a feature node.
+func (g *Graph) Neighbors(fid media.FID) []media.FID { return g.adj[fid] }
+
+// Clique is a complete subgraph of a FIG: the (implicit) virtual root plus
+// Feats, which is sorted and duplicate-free. Month carries the timestamp the
+// recommendation model attaches to cliques (Section 4); -1 means untimed.
+type Clique struct {
+	Feats []media.FID
+	Month int
+}
+
+// Size returns |c|: the number of vertices including the virtual root, the
+// quantity the λ parameters of the MRF are keyed on (Section 3.4).
+func (c Clique) Size() int { return len(c.Feats) + 1 }
+
+// Key returns a canonical byte-string key for the clique's feature set,
+// independent of Month, suitable as an inverted-index map key.
+func (c Clique) Key() string {
+	buf := make([]byte, 4*len(c.Feats))
+	for i, fid := range c.Feats {
+		binary.BigEndian.PutUint32(buf[4*i:], uint32(fid))
+	}
+	return string(buf)
+}
+
+// KeyFeats decodes a clique key back into its FIDs.
+func KeyFeats(key string) []media.FID {
+	fids := make([]media.FID, len(key)/4)
+	for i := range fids {
+		fids[i] = media.FID(binary.BigEndian.Uint32([]byte(key[4*i : 4*i+4])))
+	}
+	return fids
+}
+
+// EnumerateOptions bound clique enumeration.
+type EnumerateOptions struct {
+	// MaxFeatures caps the number of feature nodes per clique (clique size
+	// minus the root). The paper's examples use up to three features; the
+	// ablation benches sweep this. Values < 1 default to 3.
+	MaxFeatures int
+	// MaxCliques caps the total number of cliques produced (0 = unlimited).
+	// Enumeration is deterministic, so truncation is stable.
+	MaxCliques int
+}
+
+func (o EnumerateOptions) maxFeatures() int {
+	if o.MaxFeatures < 1 {
+		return 3
+	}
+	return o.MaxFeatures
+}
+
+// Cliques enumerates every clique of the FIG with the virtual root and at
+// least one feature node, up to the configured bounds. Because the root is
+// adjacent to all feature nodes, this equals enumerating the cliques of the
+// feature-node subgraph, including singletons. Enumeration extends each
+// clique only with higher-numbered common neighbours, so each clique is
+// produced exactly once, in lexicographic order of its sorted feature set.
+func (g *Graph) Cliques(opts EnumerateOptions) []Clique {
+	maxF := opts.maxFeatures()
+	var out []Clique
+	month := -1
+	if g.Object != nil {
+		month = g.Object.Month
+	}
+	var grow func(current []media.FID, candidates []media.FID) bool
+	emit := func(feats []media.FID) bool {
+		c := Clique{Feats: append([]media.FID(nil), feats...), Month: month}
+		out = append(out, c)
+		return opts.MaxCliques > 0 && len(out) >= opts.MaxCliques
+	}
+	grow = func(current, candidates []media.FID) bool {
+		if emit(current) {
+			return true
+		}
+		if len(current) >= maxF {
+			return false
+		}
+		for i, cand := range candidates {
+			next := intersectSorted(candidates[i+1:], g.adj[cand])
+			if grow(append(current, cand), next) {
+				return true
+			}
+		}
+		return false
+	}
+	for i, n := range g.Nodes {
+		// Candidates: higher-numbered neighbours of n.
+		var higher []media.FID
+		for _, nb := range g.adj[n] {
+			if nb > n {
+				higher = append(higher, nb)
+			}
+		}
+		_ = i
+		if grow([]media.FID{n}, higher) {
+			break
+		}
+	}
+	return out
+}
+
+// intersectSorted returns the intersection of two sorted FID slices.
+func intersectSorted(a, b []media.FID) []media.FID {
+	var out []media.FID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,292 @@
+package fig
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"figfusion/internal/corr"
+	"figfusion/internal/lexicon"
+	"figfusion/internal/media"
+)
+
+// testWorld builds a corpus and correlation model where text edges are
+// decided by a generated taxonomy:
+//
+//	hamster–animal–vegetable form one "pets" hypernym group (WUP 0.75 > 0.6)
+//	car is in another domain (WUP 0.25 with the others)
+//
+// Object o0 carries hamster, animal, vegetable, car and user u1.
+func testWorld(t testing.TB) (*media.Corpus, *corr.Model, *media.Object, map[string]media.FID) {
+	t.Helper()
+	c := media.NewCorpus()
+	tf := func(n string) media.Feature { return media.Feature{Kind: media.Text, Name: n} }
+	uf := func(n string) media.Feature { return media.Feature{Kind: media.User, Name: n} }
+	o0, err := c.Add(
+		[]media.Feature{tf("hamster"), tf("animal"), tf("vegetable"), tf("car"), uf("u1")},
+		[]int{1, 1, 1, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A couple more objects so cosine correlations are non-trivial.
+	if _, err := c.Add([]media.Feature{tf("hamster"), uf("u1")}, []int{2, 1}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Add([]media.Feature{tf("car")}, []int{1}, 4); err != nil {
+		t.Fatal(err)
+	}
+	tax, err := lexicon.Generate([]lexicon.TopicGroup{
+		{Name: "pets", Domain: "living", Words: []string{"hamster", "animal", "vegetable"}},
+		{Name: "vehicle", Domain: "artifact", Words: []string{"car"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := corr.NewModel(corr.NewStats(c), tax, nil, nil, nil, nil)
+	// Make inter-type edges predictable: only very strong cosine pairs.
+	m.Thresholds[media.Text][media.User] = 0.99
+	m.Thresholds[media.User][media.Text] = 0.99
+	ids := make(map[string]media.FID)
+	for _, n := range []string{"hamster", "animal", "vegetable", "car"} {
+		id, _ := c.Dict.Lookup(tf(n))
+		ids[n] = id
+	}
+	id, _ := c.Dict.Lookup(uf("u1"))
+	ids["u1"] = id
+	return c, m, o0, ids
+}
+
+func TestBuildEdges(t *testing.T) {
+	_, m, o0, ids := testWorld(t)
+	g := Build(o0, m, Options{})
+	if g.Len() != 5 {
+		t.Fatalf("nodes = %d, want 5", g.Len())
+	}
+	// The three pets-group words form a triangle.
+	for _, pair := range [][2]string{{"hamster", "animal"}, {"hamster", "vegetable"}, {"animal", "vegetable"}} {
+		if !g.Adjacent(ids[pair[0]], ids[pair[1]]) {
+			t.Errorf("edge %v missing", pair)
+		}
+	}
+	// car links to nobody in the pets group.
+	for _, w := range []string{"hamster", "animal", "vegetable"} {
+		if g.Adjacent(ids["car"], ids[w]) {
+			t.Errorf("unexpected edge car-%s", w)
+		}
+	}
+	if g.Edges() != 3 {
+		t.Errorf("Edges = %d, want 3", g.Edges())
+	}
+}
+
+func TestBuildKindsFilter(t *testing.T) {
+	_, m, o0, ids := testWorld(t)
+	g := Build(o0, m, Options{Kinds: []media.Kind{media.Text}})
+	if g.Len() != 4 {
+		t.Fatalf("nodes = %d, want 4 text nodes", g.Len())
+	}
+	for _, n := range g.Nodes {
+		if n == ids["u1"] {
+			t.Error("user node should be filtered out")
+		}
+	}
+	gu := Build(o0, m, Options{Kinds: []media.Kind{media.User}})
+	if gu.Len() != 1 || gu.Nodes[0] != ids["u1"] {
+		t.Errorf("user-only graph nodes = %v", gu.Nodes)
+	}
+}
+
+func TestBuildKeepFilter(t *testing.T) {
+	_, m, o0, ids := testWorld(t)
+	keep := map[media.FID]bool{ids["hamster"]: true, ids["car"]: true}
+	g := Build(o0, m, Options{Keep: keep})
+	if g.Len() != 2 {
+		t.Fatalf("nodes = %d, want 2", g.Len())
+	}
+}
+
+func TestBuildMaxNodes(t *testing.T) {
+	_, m, o0, _ := testWorld(t)
+	g := Build(o0, m, Options{MaxNodes: 2})
+	if g.Len() != 2 {
+		t.Errorf("nodes = %d, want 2", g.Len())
+	}
+}
+
+func cliqueSets(cliques []Clique) [][]media.FID {
+	out := make([][]media.FID, len(cliques))
+	for i, c := range cliques {
+		out[i] = c.Feats
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+func TestCliquesEnumeration(t *testing.T) {
+	_, m, o0, ids := testWorld(t)
+	g := Build(o0, m, Options{})
+	cliques := g.Cliques(EnumerateOptions{MaxFeatures: 3})
+	// Expected: 5 singletons, 3 edges (pets triangle), 1 triangle = 9.
+	if len(cliques) != 9 {
+		t.Fatalf("cliques = %d, want 9: %v", len(cliques), cliqueSets(cliques))
+	}
+	// The triangle must be present.
+	tri := []media.FID{ids["hamster"], ids["animal"], ids["vegetable"]}
+	sort.Slice(tri, func(i, j int) bool { return tri[i] < tri[j] })
+	found := false
+	for _, c := range cliques {
+		if reflect.DeepEqual(c.Feats, tri) {
+			found = true
+			if c.Size() != 4 {
+				t.Errorf("triangle Size = %d, want 4 (3 features + root)", c.Size())
+			}
+			if c.Month != o0.Month {
+				t.Errorf("clique Month = %d, want %d", c.Month, o0.Month)
+			}
+		}
+	}
+	if !found {
+		t.Error("pets triangle clique missing")
+	}
+	// All cliques are complete subgraphs with sorted features.
+	for _, c := range cliques {
+		if !sort.SliceIsSorted(c.Feats, func(i, j int) bool { return c.Feats[i] < c.Feats[j] }) {
+			t.Errorf("clique %v not sorted", c.Feats)
+		}
+		for i := 0; i < len(c.Feats); i++ {
+			for j := i + 1; j < len(c.Feats); j++ {
+				if !g.Adjacent(c.Feats[i], c.Feats[j]) {
+					t.Errorf("clique %v not complete", c.Feats)
+				}
+			}
+		}
+	}
+}
+
+func TestCliquesMaxFeatures(t *testing.T) {
+	_, m, o0, _ := testWorld(t)
+	g := Build(o0, m, Options{})
+	cliques := g.Cliques(EnumerateOptions{MaxFeatures: 1})
+	if len(cliques) != 5 {
+		t.Errorf("MaxFeatures=1: %d cliques, want 5 singletons", len(cliques))
+	}
+	cliques2 := g.Cliques(EnumerateOptions{MaxFeatures: 2})
+	if len(cliques2) != 8 {
+		t.Errorf("MaxFeatures=2: %d cliques, want 8", len(cliques2))
+	}
+	// Default (0) behaves as 3.
+	if got := len(g.Cliques(EnumerateOptions{})); got != 9 {
+		t.Errorf("default MaxFeatures: %d cliques, want 9", got)
+	}
+}
+
+func TestCliquesMaxCliques(t *testing.T) {
+	_, m, o0, _ := testWorld(t)
+	g := Build(o0, m, Options{})
+	cliques := g.Cliques(EnumerateOptions{MaxFeatures: 3, MaxCliques: 4})
+	if len(cliques) != 4 {
+		t.Errorf("MaxCliques=4: got %d", len(cliques))
+	}
+	// Truncation is deterministic.
+	again := g.Cliques(EnumerateOptions{MaxFeatures: 3, MaxCliques: 4})
+	if !reflect.DeepEqual(cliqueSets(cliques), cliqueSets(again)) {
+		t.Error("truncated enumeration not deterministic")
+	}
+}
+
+func TestCliquesNoDuplicates(t *testing.T) {
+	_, m, o0, _ := testWorld(t)
+	g := Build(o0, m, Options{})
+	cliques := g.Cliques(EnumerateOptions{MaxFeatures: 4})
+	seen := make(map[string]bool)
+	for _, c := range cliques {
+		k := c.Key()
+		if seen[k] {
+			t.Errorf("duplicate clique %v", c.Feats)
+		}
+		seen[k] = true
+	}
+}
+
+func TestCliqueKeyRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		fids := make([]media.FID, len(raw))
+		for i, r := range raw {
+			fids[i] = media.FID(r)
+		}
+		c := Clique{Feats: fids}
+		got := KeyFeats(c.Key())
+		if len(got) != len(fids) {
+			return false
+		}
+		for i := range fids {
+			if got[i] != fids[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCliqueKeyDistinguishes(t *testing.T) {
+	a := Clique{Feats: []media.FID{1, 2}}
+	b := Clique{Feats: []media.FID{1, 3}}
+	if a.Key() == b.Key() {
+		t.Error("distinct cliques share a key")
+	}
+	// Month does not affect the key.
+	c := Clique{Feats: []media.FID{1, 2}, Month: 7}
+	if a.Key() != c.Key() {
+		t.Error("Month must not affect Key")
+	}
+}
+
+func TestProfileCliquesPerObjectEdges(t *testing.T) {
+	c, m, _, ids := testWorld(t)
+	// History: object 1 has {hamster, u1} at month 3; object 2 {car} at 4.
+	history := []*media.Object{c.Object(1), c.Object(2)}
+	cliques := ProfileCliques(history, m, Options{}, EnumerateOptions{MaxFeatures: 3})
+	// Object 1: hamster, u1 singletons (+edge iff correlated); object 2: car.
+	byMonth := map[int]int{}
+	for _, cl := range cliques {
+		byMonth[cl.Month]++
+		// No clique may mix features that only co-occur across objects:
+		// hamster (obj 1) and car (obj 2) must never share a clique.
+		hasHam, hasCar := false, false
+		for _, f := range cl.Feats {
+			if f == ids["hamster"] {
+				hasHam = true
+			}
+			if f == ids["car"] {
+				hasCar = true
+			}
+		}
+		if hasHam && hasCar {
+			t.Errorf("cross-object clique %v", cl.Feats)
+		}
+	}
+	if byMonth[3] == 0 || byMonth[4] == 0 {
+		t.Errorf("cliques missing months: %v", byMonth)
+	}
+}
+
+func BenchmarkBuildAndEnumerate(b *testing.B) {
+	_, m, o0, _ := testWorld(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := Build(o0, m, Options{})
+		g.Cliques(EnumerateOptions{MaxFeatures: 3})
+	}
+}

@@ -1,0 +1,25 @@
+package fig
+
+import (
+	"figfusion/internal/corr"
+	"figfusion/internal/media"
+)
+
+// ProfileCliques builds the timestamped clique set of a user profile Hu
+// (Section 4). The profile is the "big object" union of the user's history,
+// but — as the paper prescribes to avoid noisy edges — feature nodes are
+// connected only when they come from the same individual object. Each
+// clique therefore originates in exactly one history object and carries that
+// object's month as its timestamp t_i for the temporal potential of Eq. 10.
+//
+// Cliques recurring across several history objects are kept once per
+// occurrence: Eq. 10 sums δ^(t_c − t_i) over all timestamped cliques, so a
+// recurring interest legitimately contributes once per month it recurs.
+func ProfileCliques(history []*media.Object, m *corr.Model, bopts Options, eopts EnumerateOptions) []Clique {
+	var out []Clique
+	for _, o := range history {
+		g := Build(o, m, bopts)
+		out = append(out, g.Cliques(eopts)...)
+	}
+	return out
+}

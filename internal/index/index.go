@@ -1,0 +1,170 @@
+// Package index implements the inverted list on cliques of Section 3.5:
+// every database object is converted to its Feature Interaction Graph, the
+// graph's cliques are enumerated, and for each clique the index stores the
+// correlation strength CorS of its features together with the list of
+// objects containing the clique. At query time the index yields, for every
+// clique of the query's FIG, the candidate objects sharing that clique —
+// Algorithm 1's InvList(c_i) — so retrieval avoids a sequential scan of D.
+package index
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"figfusion/internal/corr"
+	"figfusion/internal/fig"
+	"figfusion/internal/media"
+)
+
+// Entry is one inverted-list row: the clique's trained correlation strength
+// and the sorted postings of objects whose FIG contains the clique.
+type Entry struct {
+	Feats   []media.FID
+	CorS    float64
+	Objects []media.ObjectID
+}
+
+// Inverted is the clique inverted index. It is immutable after Build and
+// safe for concurrent reads.
+type Inverted struct {
+	entries map[string]*Entry
+}
+
+// Build constructs the index over the model's corpus: each object's FIG is
+// built with bopts and its cliques enumerated with eopts (the same options
+// later used on queries, so query cliques line up with indexed cliques).
+// FIG construction fans out across CPUs; the merge is deterministic.
+func Build(m *corr.Model, bopts fig.Options, eopts fig.EnumerateOptions) *Inverted {
+	corpus := m.Stats.Corpus()
+	n := corpus.Len()
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type objCliques struct {
+		id      media.ObjectID
+		cliques []fig.Clique
+	}
+	results := make([][]objCliques, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				o := corpus.Object(media.ObjectID(i))
+				g := fig.Build(o, m, bopts)
+				results[w] = append(results[w], objCliques{id: o.ID, cliques: g.Cliques(eopts)})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	inv := &Inverted{entries: make(map[string]*Entry)}
+	// Merge in object-ID order so postings come out sorted.
+	cursors := make([]int, workers)
+	for i := 0; i < n; i++ {
+		w := i % workers
+		oc := results[w][cursors[w]]
+		cursors[w]++
+		for _, c := range oc.cliques {
+			key := c.Key()
+			e, ok := inv.entries[key]
+			if !ok {
+				e = &Entry{Feats: append([]media.FID(nil), c.Feats...)}
+				inv.entries[key] = e
+			}
+			if len(e.Objects) == 0 || e.Objects[len(e.Objects)-1] != oc.id {
+				e.Objects = append(e.Objects, oc.id)
+			}
+		}
+	}
+	// Attach the stored correlation strengths (clamped non-negative, as in
+	// the Eq. 9 weighting).
+	for _, e := range inv.entries {
+		if v := m.Stats.CorS(e.Feats); v > 0 {
+			e.CorS = v
+		}
+	}
+	return inv
+}
+
+// Lookup returns the index entry for a clique's feature set.
+func (inv *Inverted) Lookup(c fig.Clique) (*Entry, bool) {
+	e, ok := inv.entries[c.Key()]
+	return e, ok
+}
+
+// NumCliques returns the number of distinct indexed cliques.
+func (inv *Inverted) NumCliques() int { return len(inv.entries) }
+
+// Postings returns the total number of postings across all cliques.
+func (inv *Inverted) Postings() int {
+	total := 0
+	for _, e := range inv.entries {
+		total += len(e.Objects)
+	}
+	return total
+}
+
+// Entries returns all entries sorted by descending posting-list length,
+// useful for diagnostics and the Figure 6 qualitative drill-down.
+func (inv *Inverted) Entries() []*Entry {
+	out := make([]*Entry, 0, len(inv.entries))
+	for _, e := range inv.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Objects) != len(out[j].Objects) {
+			return len(out[i].Objects) > len(out[j].Objects)
+		}
+		return lessFIDs(out[i].Feats, out[j].Feats)
+	})
+	return out
+}
+
+func lessFIDs(a, b []media.FID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Insert adds one object's cliques to the index: new postings are appended
+// (the object ID must exceed all indexed IDs so lists stay sorted) and the
+// stored CorS of every touched clique is recomputed from the given
+// statistics. CorS values of untouched cliques become slightly stale as the
+// corpus grows; Build from scratch refreshes everything.
+func (inv *Inverted) Insert(id media.ObjectID, cliques []fig.Clique, stats *corr.Stats) error {
+	touched := make([]*Entry, 0, len(cliques))
+	for _, c := range cliques {
+		key := c.Key()
+		e, ok := inv.entries[key]
+		if !ok {
+			e = &Entry{Feats: append([]media.FID(nil), c.Feats...)}
+			inv.entries[key] = e
+		}
+		if n := len(e.Objects); n > 0 && e.Objects[n-1] >= id {
+			if e.Objects[n-1] == id {
+				continue // duplicate clique of the same object
+			}
+			return fmt.Errorf("index: object %d inserted out of order", id)
+		}
+		e.Objects = append(e.Objects, id)
+		touched = append(touched, e)
+	}
+	for _, e := range touched {
+		e.CorS = 0
+		if v := stats.CorS(e.Feats); v > 0 {
+			e.CorS = v
+		}
+	}
+	return nil
+}

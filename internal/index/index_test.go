@@ -1,0 +1,271 @@
+package index
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"figfusion/internal/corr"
+	"figfusion/internal/fig"
+	"figfusion/internal/lexicon"
+	"figfusion/internal/media"
+)
+
+// world: three objects over a small pets/vehicles vocabulary.
+func world(t testing.TB) (*media.Corpus, *corr.Model, map[string]media.FID) {
+	t.Helper()
+	c := media.NewCorpus()
+	tf := func(n string) media.Feature { return media.Feature{Kind: media.Text, Name: n} }
+	add := func(names []string, month int) {
+		t.Helper()
+		feats := make([]media.Feature, len(names))
+		counts := make([]int, len(names))
+		for i, n := range names {
+			feats[i] = tf(n)
+			counts[i] = 1
+		}
+		if _, err := c.Add(feats, counts, month); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add([]string{"hamster", "animal"}, 0)
+	add([]string{"hamster", "animal", "vegetable"}, 1)
+	add([]string{"car", "engine"}, 2)
+	tax, err := lexicon.Generate([]lexicon.TopicGroup{
+		{Name: "pets", Domain: "living", Words: []string{"hamster", "animal", "vegetable"}},
+		{Name: "vehicles", Domain: "artifact", Words: []string{"car", "engine"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := corr.NewModel(corr.NewStats(c), tax, nil, nil, nil, nil)
+	ids := make(map[string]media.FID)
+	for _, n := range []string{"hamster", "animal", "vegetable", "car", "engine"} {
+		id, ok := c.Dict.Lookup(tf(n))
+		if !ok {
+			t.Fatalf("missing %s", n)
+		}
+		ids[n] = id
+	}
+	return c, m, ids
+}
+
+func sortedPair(a, b media.FID) []media.FID {
+	s := []media.FID{a, b}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s
+}
+
+func TestBuildPostings(t *testing.T) {
+	_, m, ids := world(t)
+	inv := Build(m, fig.Options{}, fig.EnumerateOptions{MaxFeatures: 3})
+	// Singleton clique {hamster} appears in objects 0 and 1.
+	e, ok := inv.Lookup(fig.Clique{Feats: []media.FID{ids["hamster"]}})
+	if !ok {
+		t.Fatal("hamster clique missing")
+	}
+	if len(e.Objects) != 2 || e.Objects[0] != 0 || e.Objects[1] != 1 {
+		t.Errorf("postings = %v, want [0 1]", e.Objects)
+	}
+	// Pair clique {hamster, animal} (taxonomy edge) in objects 0 and 1.
+	pe, ok := inv.Lookup(fig.Clique{Feats: sortedPair(ids["hamster"], ids["animal"])})
+	if !ok {
+		t.Fatal("hamster-animal clique missing")
+	}
+	if len(pe.Objects) != 2 {
+		t.Errorf("pair postings = %v", pe.Objects)
+	}
+	// Vehicles clique only in object 2.
+	ve, ok := inv.Lookup(fig.Clique{Feats: sortedPair(ids["car"], ids["engine"])})
+	if !ok {
+		t.Fatal("car-engine clique missing")
+	}
+	if len(ve.Objects) != 1 || ve.Objects[0] != 2 {
+		t.Errorf("vehicle postings = %v", ve.Objects)
+	}
+	// Cross-topic cliques must not exist.
+	if _, ok := inv.Lookup(fig.Clique{Feats: sortedPair(ids["hamster"], ids["car"])}); ok {
+		t.Error("hamster-car clique should not be indexed")
+	}
+}
+
+func TestBuildPostingsSorted(t *testing.T) {
+	_, m, _ := world(t)
+	inv := Build(m, fig.Options{}, fig.EnumerateOptions{MaxFeatures: 3})
+	for _, e := range inv.Entries() {
+		if !sort.SliceIsSorted(e.Objects, func(i, j int) bool { return e.Objects[i] < e.Objects[j] }) {
+			t.Errorf("postings of %v not sorted: %v", e.Feats, e.Objects)
+		}
+	}
+}
+
+func TestCorSStored(t *testing.T) {
+	_, m, ids := world(t)
+	inv := Build(m, fig.Options{}, fig.EnumerateOptions{MaxFeatures: 3})
+	e, ok := inv.Lookup(fig.Clique{Feats: sortedPair(ids["hamster"], ids["animal"])})
+	if !ok {
+		t.Fatal("clique missing")
+	}
+	want := m.Stats.CorS(e.Feats)
+	if want < 0 {
+		want = 0
+	}
+	if e.CorS != want {
+		t.Errorf("CorS = %v, want %v", e.CorS, want)
+	}
+	if e.CorS <= 0 {
+		t.Errorf("hamster/animal co-occur in both pets objects; CorS = %v, want > 0", e.CorS)
+	}
+}
+
+func TestNumCliquesAndPostings(t *testing.T) {
+	_, m, _ := world(t)
+	inv := Build(m, fig.Options{}, fig.EnumerateOptions{MaxFeatures: 3})
+	if inv.NumCliques() == 0 {
+		t.Fatal("no cliques indexed")
+	}
+	if inv.Postings() < inv.NumCliques() {
+		t.Errorf("postings %d < cliques %d", inv.Postings(), inv.NumCliques())
+	}
+	entries := inv.Entries()
+	if len(entries) != inv.NumCliques() {
+		t.Errorf("Entries len %d != NumCliques %d", len(entries), inv.NumCliques())
+	}
+	// Entries sorted by posting length descending.
+	for i := 1; i < len(entries); i++ {
+		if len(entries[i].Objects) > len(entries[i-1].Objects) {
+			t.Error("Entries not sorted by posting length")
+		}
+	}
+}
+
+func TestBuildEmptyCorpus(t *testing.T) {
+	c := media.NewCorpus()
+	m := corr.NewModel(corr.NewStats(c), nil, nil, nil, nil, nil)
+	inv := Build(m, fig.Options{}, fig.EnumerateOptions{})
+	if inv.NumCliques() != 0 {
+		t.Errorf("NumCliques = %d, want 0", inv.NumCliques())
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	_, m, _ := world(t)
+	a := Build(m, fig.Options{}, fig.EnumerateOptions{MaxFeatures: 3})
+	b := Build(m, fig.Options{}, fig.EnumerateOptions{MaxFeatures: 3})
+	if a.NumCliques() != b.NumCliques() || a.Postings() != b.Postings() {
+		t.Error("parallel build not deterministic")
+	}
+	ea, eb := a.Entries(), b.Entries()
+	for i := range ea {
+		if ea[i].CorS != eb[i].CorS || len(ea[i].Objects) != len(eb[i].Objects) {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestQueryCliquesHitIndexedCliques(t *testing.T) {
+	// Integration: cliques of a query built with the same options must be
+	// found in the index when the query shares features with the corpus.
+	c, m, _ := world(t)
+	inv := Build(m, fig.Options{}, fig.EnumerateOptions{MaxFeatures: 3})
+	q := c.Object(1) // in-corpus object as query
+	g := fig.Build(q, m, fig.Options{})
+	hits := 0
+	for _, cl := range g.Cliques(fig.EnumerateOptions{MaxFeatures: 3}) {
+		if e, ok := inv.Lookup(cl); ok {
+			hits++
+			found := false
+			for _, oid := range e.Objects {
+				if oid == q.ID {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("query object missing from its own clique postings %v", cl.Feats)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Error("no query cliques found in index")
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	_, m, _ := world(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Build(m, fig.Options{}, fig.EnumerateOptions{MaxFeatures: 3})
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	_, m, _ := world(t)
+	inv := Build(m, fig.Options{}, fig.EnumerateOptions{MaxFeatures: 3})
+	var buf bytes.Buffer
+	if err := inv.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumCliques() != inv.NumCliques() || got.Postings() != inv.Postings() {
+		t.Fatalf("shape differs: %d/%d vs %d/%d",
+			got.NumCliques(), got.Postings(), inv.NumCliques(), inv.Postings())
+	}
+	// Every entry matches by key, CorS and postings.
+	for _, e := range inv.Entries() {
+		le, ok := got.Lookup(fig.Clique{Feats: e.Feats})
+		if !ok {
+			t.Fatalf("clique %v missing after load", e.Feats)
+		}
+		if le.CorS != e.CorS || len(le.Objects) != len(e.Objects) {
+			t.Fatalf("entry %v differs after load", e.Feats)
+		}
+		for i := range e.Objects {
+			if le.Objects[i] != e.Objects[i] {
+				t.Fatalf("postings of %v differ", e.Feats)
+			}
+		}
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("want error for garbage")
+	}
+}
+
+func TestInsertIntoIndex(t *testing.T) {
+	c, m, ids := world(t)
+	inv := Build(m, fig.Options{}, fig.EnumerateOptions{MaxFeatures: 3})
+	before := inv.Postings()
+	// A new object (appended to the corpus) with an existing singleton
+	// clique plus a brand-new one.
+	o, err := c.Add([]media.Feature{
+		{Kind: media.Text, Name: "hamster"},
+		{Kind: media.Text, Name: "newtag"},
+	}, []int{1, 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := corr.NewStats(c)
+	cliques := []fig.Clique{
+		{Feats: []media.FID{ids["hamster"]}},
+		{Feats: []media.FID{ids["hamster"] + 100}}, // synthetic new clique key
+	}
+	if err := inv.Insert(o.ID, cliques, stats); err != nil {
+		t.Fatal(err)
+	}
+	if inv.Postings() != before+2 {
+		t.Errorf("postings = %d, want %d", inv.Postings(), before+2)
+	}
+	e, ok := inv.Lookup(cliques[0])
+	if !ok || e.Objects[len(e.Objects)-1] != o.ID {
+		t.Error("inserted posting missing")
+	}
+	// Out-of-order insert rejected.
+	if err := inv.Insert(0, cliques, stats); err == nil {
+		t.Error("want error for out-of-order insert")
+	}
+}

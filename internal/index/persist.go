@@ -1,0 +1,57 @@
+package index
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"figfusion/internal/media"
+)
+
+// wireEntry is the gob form of one inverted-list row.
+type wireEntry struct {
+	Feats   []media.FID
+	CorS    float64
+	Objects []media.ObjectID
+}
+
+// Save writes the index to w in gob format. Combined with the dataset's
+// own Save, a deployment can persist everything a serving engine needs and
+// skip the O(|D|) clique enumeration at startup.
+func (inv *Inverted) Save(w io.Writer) error {
+	rows := make([]wireEntry, 0, len(inv.entries))
+	for _, e := range inv.entries {
+		rows = append(rows, wireEntry{Feats: e.Feats, CorS: e.CorS, Objects: e.Objects})
+	}
+	return gob.NewEncoder(w).Encode(rows)
+}
+
+// Load reads an index written by Save. The FID space must match the corpus
+// the index was built over; Load cannot verify that, so pair index files
+// with their dataset files.
+func Load(r io.Reader) (*Inverted, error) {
+	var rows []wireEntry
+	if err := gob.NewDecoder(r).Decode(&rows); err != nil {
+		return nil, fmt.Errorf("index: decode: %w", err)
+	}
+	inv := &Inverted{entries: make(map[string]*Entry, len(rows))}
+	for i := range rows {
+		row := rows[i]
+		key := keyOf(row.Feats)
+		inv.entries[key] = &Entry{Feats: row.Feats, CorS: row.CorS, Objects: row.Objects}
+	}
+	return inv, nil
+}
+
+// keyOf mirrors fig.Clique.Key without allocating a Clique.
+func keyOf(fids []media.FID) string {
+	buf := make([]byte, 4*len(fids))
+	for i, fid := range fids {
+		v := uint32(fid)
+		buf[4*i] = byte(v >> 24)
+		buf[4*i+1] = byte(v >> 16)
+		buf[4*i+2] = byte(v >> 8)
+		buf[4*i+3] = byte(v)
+	}
+	return string(buf)
+}

@@ -1,0 +1,57 @@
+package lexicon
+
+import "fmt"
+
+// TopicGroup describes one hypernym group for taxonomy generation: a set of
+// words that share a common parent concept.
+type TopicGroup struct {
+	// Name of the hypernym concept, e.g. "animal".
+	Name string
+	// Words attached under the hypernym, e.g. ["hamster", "dog"].
+	Words []string
+	// Domain optionally groups several topics under an intermediate
+	// concept between the root and the hypernym; empty means the hypernym
+	// hangs directly off the root.
+	Domain string
+}
+
+// Generate builds a taxonomy from topic groups. Layout:
+//
+//	entity → [domain] → topic hypernym → leaf concept per word
+//
+// Each word gets its own leaf concept so that two words in the same topic
+// have WUP = 2·d/(d+1+d+1) with d the hypernym depth — high but below 1 —
+// while words from different domains meet only near the root and score low.
+// Words listed in several groups keep their first attachment (tags in social
+// media are noisy; first wins mirrors the paper's frequency-based cleanup).
+func Generate(groups []TopicGroup) (*Taxonomy, error) {
+	t := New()
+	for _, g := range groups {
+		parent := RootConcept
+		if g.Domain != "" {
+			if err := t.AddConcept(g.Domain, RootConcept); err != nil {
+				return nil, err
+			}
+			parent = g.Domain
+		}
+		if g.Name == "" {
+			return nil, fmt.Errorf("lexicon: topic group with empty name")
+		}
+		if err := t.AddConcept(g.Name, parent); err != nil {
+			return nil, err
+		}
+		for _, w := range g.Words {
+			if t.HasWord(w) {
+				continue
+			}
+			leaf := g.Name + "/" + w
+			if err := t.AddConcept(leaf, g.Name); err != nil {
+				return nil, err
+			}
+			if err := t.AddWord(w, leaf); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}

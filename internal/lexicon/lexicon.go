@@ -1,0 +1,165 @@
+// Package lexicon provides the WordNet substitute the FIG model uses to
+// decide intra-type edges between textual feature nodes (paper Section 3.2).
+//
+// The paper computes word–word correlation with the Wu–Palmer (WUP)
+// similarity over the WordNet IS-A hierarchy. WordNet itself is a large
+// proprietary-licensed lexical database; this package implements the same
+// interface over an explicitly constructed rooted taxonomy. The synthetic
+// corpus generator builds a taxonomy whose hypernym groups mirror the planted
+// topic structure, so semantically related tags receive high WUP scores —
+// the property the FIG edge construction depends on.
+package lexicon
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RootConcept is the name of the implicit root of every Taxonomy.
+const RootConcept = "entity"
+
+// conceptID indexes into Taxonomy.parents/depths.
+type conceptID int
+
+// Taxonomy is a rooted IS-A hierarchy of concepts with words attached to
+// concepts. It is immutable once handed to concurrent readers; all methods
+// except AddConcept and AddWord are safe for concurrent use after building
+// completes.
+type Taxonomy struct {
+	names   []string             // conceptID -> name
+	ids     map[string]conceptID // name -> conceptID
+	parents []conceptID          // conceptID -> parent (root points to itself)
+	depths  []int                // conceptID -> depth, root = 1 (WUP convention)
+	words   map[string]conceptID // word -> concept it is attached to
+}
+
+// New returns a taxonomy containing only the root concept.
+func New() *Taxonomy {
+	t := &Taxonomy{
+		ids:   make(map[string]conceptID),
+		words: make(map[string]conceptID),
+	}
+	t.names = append(t.names, RootConcept)
+	t.ids[RootConcept] = 0
+	t.parents = append(t.parents, 0)
+	t.depths = append(t.depths, 1)
+	return t
+}
+
+// ErrUnknownConcept is returned when a referenced concept does not exist.
+var ErrUnknownConcept = errors.New("lexicon: unknown concept")
+
+// AddConcept inserts a concept under the named parent. Adding an existing
+// concept with the same parent is a no-op; with a different parent it is an
+// error, since the hierarchy is a tree.
+func (t *Taxonomy) AddConcept(name, parent string) error {
+	pid, ok := t.ids[parent]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownConcept, parent)
+	}
+	if cid, exists := t.ids[name]; exists {
+		if t.parents[cid] != pid {
+			return fmt.Errorf("lexicon: concept %q already exists under %q", name, t.names[t.parents[cid]])
+		}
+		return nil
+	}
+	cid := conceptID(len(t.names))
+	t.names = append(t.names, name)
+	t.ids[name] = cid
+	t.parents = append(t.parents, pid)
+	t.depths = append(t.depths, t.depths[pid]+1)
+	return nil
+}
+
+// AddWord attaches a word to a concept. A word may be attached only once;
+// re-attaching to the same concept is a no-op.
+func (t *Taxonomy) AddWord(word, concept string) error {
+	cid, ok := t.ids[concept]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownConcept, concept)
+	}
+	if prev, exists := t.words[word]; exists {
+		if prev != cid {
+			return fmt.Errorf("lexicon: word %q already attached to %q", word, t.names[prev])
+		}
+		return nil
+	}
+	t.words[word] = cid
+	return nil
+}
+
+// HasWord reports whether the word is known to the taxonomy.
+func (t *Taxonomy) HasWord(word string) bool {
+	_, ok := t.words[word]
+	return ok
+}
+
+// ConceptOf returns the concept a word is attached to.
+func (t *Taxonomy) ConceptOf(word string) (string, bool) {
+	cid, ok := t.words[word]
+	if !ok {
+		return "", false
+	}
+	return t.names[cid], true
+}
+
+// Depth returns the WUP depth of a concept (root has depth 1).
+func (t *Taxonomy) Depth(concept string) (int, bool) {
+	cid, ok := t.ids[concept]
+	if !ok {
+		return 0, false
+	}
+	return t.depths[cid], true
+}
+
+// Len returns the number of concepts including the root.
+func (t *Taxonomy) Len() int { return len(t.names) }
+
+// Words returns the number of attached words.
+func (t *Taxonomy) Words() int { return len(t.words) }
+
+// lcs returns the least common subsumer of two concepts.
+func (t *Taxonomy) lcs(a, b conceptID) conceptID {
+	// Walk the deeper node up until both depths match, then walk both.
+	for t.depths[a] > t.depths[b] {
+		a = t.parents[a]
+	}
+	for t.depths[b] > t.depths[a] {
+		b = t.parents[b]
+	}
+	for a != b {
+		a = t.parents[a]
+		b = t.parents[b]
+	}
+	return a
+}
+
+// LCS returns the least common subsumer concept of two concepts.
+func (t *Taxonomy) LCS(c1, c2 string) (string, bool) {
+	a, ok1 := t.ids[c1]
+	b, ok2 := t.ids[c2]
+	if !ok1 || !ok2 {
+		return "", false
+	}
+	return t.names[t.lcs(a, b)], true
+}
+
+// WUP computes the Wu–Palmer similarity between two words:
+//
+//	WUP(w1, w2) = 2·depth(LCS) / (depth(w1) + depth(w2))
+//
+// where word depth is the depth of the concept the word is attached to.
+// The result is in (0, 1]; identical words (or synonyms attached to the same
+// concept) score 1. The boolean is false when either word is unknown.
+func (t *Taxonomy) WUP(w1, w2 string) (float64, bool) {
+	a, ok1 := t.words[w1]
+	b, ok2 := t.words[w2]
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	if a == b {
+		return 1, true
+	}
+	l := t.lcs(a, b)
+	return 2 * float64(t.depths[l]) / float64(t.depths[a]+t.depths[b]), true
+}

@@ -1,0 +1,220 @@
+package lexicon
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// buildAnimalTaxonomy constructs the running-example hierarchy:
+//
+//	entity
+//	├── living
+//	│   ├── animal: hamster, dog, cat
+//	│   └── plant: broccoli, tree
+//	└── artifact
+//	    └── vehicle: car
+func buildAnimalTaxonomy(t *testing.T) *Taxonomy {
+	t.Helper()
+	tax, err := Generate([]TopicGroup{
+		{Name: "animal", Domain: "living", Words: []string{"hamster", "dog", "cat"}},
+		{Name: "plant", Domain: "living", Words: []string{"broccoli", "tree"}},
+		{Name: "vehicle", Domain: "artifact", Words: []string{"car"}},
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return tax
+}
+
+func TestWUPIdenticalWord(t *testing.T) {
+	tax := buildAnimalTaxonomy(t)
+	got, ok := tax.WUP("hamster", "hamster")
+	if !ok || got != 1 {
+		t.Errorf("WUP(hamster,hamster) = %v,%v want 1,true", got, ok)
+	}
+}
+
+func TestWUPSameTopicHigherThanCrossTopic(t *testing.T) {
+	tax := buildAnimalTaxonomy(t)
+	same, _ := tax.WUP("hamster", "dog")        // meet at "animal"
+	crossDomain, _ := tax.WUP("hamster", "car") // meet at root
+	crossTopic, _ := tax.WUP("hamster", "tree") // meet at "living"
+	if !(same > crossTopic && crossTopic > crossDomain) {
+		t.Errorf("want WUP ordering same-topic(%v) > same-domain(%v) > cross-domain(%v)",
+			same, crossTopic, crossDomain)
+	}
+}
+
+func TestWUPExactValues(t *testing.T) {
+	tax := buildAnimalTaxonomy(t)
+	// Depths: root=1, living=2, animal=3, leaf=4.
+	// WUP(hamster,dog) = 2*3/(4+4) = 0.75
+	if got, _ := tax.WUP("hamster", "dog"); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("WUP(hamster,dog) = %v, want 0.75", got)
+	}
+	// WUP(hamster,tree): LCS=living depth 2 → 2*2/8 = 0.5
+	if got, _ := tax.WUP("hamster", "tree"); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("WUP(hamster,tree) = %v, want 0.5", got)
+	}
+	// WUP(hamster,car): LCS=root depth 1 → 2*1/8 = 0.25
+	if got, _ := tax.WUP("hamster", "car"); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("WUP(hamster,car) = %v, want 0.25", got)
+	}
+}
+
+func TestWUPUnknownWord(t *testing.T) {
+	tax := buildAnimalTaxonomy(t)
+	if _, ok := tax.WUP("hamster", "zebra"); ok {
+		t.Error("WUP with unknown word should report !ok")
+	}
+	if _, ok := tax.WUP("zebra", "quokka"); ok {
+		t.Error("WUP with two unknown words should report !ok")
+	}
+}
+
+func TestWUPSymmetric(t *testing.T) {
+	tax := buildAnimalTaxonomy(t)
+	words := []string{"hamster", "dog", "cat", "broccoli", "tree", "car"}
+	for _, a := range words {
+		for _, b := range words {
+			ab, _ := tax.WUP(a, b)
+			ba, _ := tax.WUP(b, a)
+			if ab != ba {
+				t.Errorf("WUP(%s,%s)=%v != WUP(%s,%s)=%v", a, b, ab, b, a, ba)
+			}
+		}
+	}
+}
+
+func TestLCS(t *testing.T) {
+	tax := buildAnimalTaxonomy(t)
+	tests := []struct{ c1, c2, want string }{
+		{"animal", "plant", "living"},
+		{"animal", "vehicle", RootConcept},
+		{"animal", "animal", "animal"},
+		{"animal/hamster", "animal", "animal"},
+	}
+	for _, tt := range tests {
+		got, ok := tax.LCS(tt.c1, tt.c2)
+		if !ok || got != tt.want {
+			t.Errorf("LCS(%s,%s) = %v,%v want %v", tt.c1, tt.c2, got, ok, tt.want)
+		}
+	}
+	if _, ok := tax.LCS("animal", "nope"); ok {
+		t.Error("LCS with unknown concept should report !ok")
+	}
+}
+
+func TestAddConceptErrors(t *testing.T) {
+	tax := New()
+	if err := tax.AddConcept("animal", "ghost"); err == nil {
+		t.Error("want error for unknown parent")
+	}
+	if err := tax.AddConcept("animal", RootConcept); err != nil {
+		t.Fatalf("AddConcept: %v", err)
+	}
+	// Same parent: idempotent.
+	if err := tax.AddConcept("animal", RootConcept); err != nil {
+		t.Errorf("re-adding with same parent should be a no-op, got %v", err)
+	}
+	if err := tax.AddConcept("mammal", "animal"); err != nil {
+		t.Fatalf("AddConcept: %v", err)
+	}
+	// Different parent: error.
+	if err := tax.AddConcept("animal", "mammal"); err == nil {
+		t.Error("want error when re-parenting an existing concept")
+	}
+}
+
+func TestAddWordErrors(t *testing.T) {
+	tax := New()
+	if err := tax.AddWord("dog", "animal"); err == nil {
+		t.Error("want error for unknown concept")
+	}
+	mustAdd := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(tax.AddConcept("animal", RootConcept))
+	mustAdd(tax.AddConcept("plant", RootConcept))
+	mustAdd(tax.AddWord("dog", "animal"))
+	if err := tax.AddWord("dog", "animal"); err != nil {
+		t.Errorf("re-attaching to same concept should be a no-op, got %v", err)
+	}
+	if err := tax.AddWord("dog", "plant"); err == nil {
+		t.Error("want error when re-attaching a word to another concept")
+	}
+}
+
+func TestDepths(t *testing.T) {
+	tax := buildAnimalTaxonomy(t)
+	for _, tt := range []struct {
+		concept string
+		want    int
+	}{
+		{RootConcept, 1}, {"living", 2}, {"animal", 3}, {"animal/hamster", 4},
+	} {
+		got, ok := tax.Depth(tt.concept)
+		if !ok || got != tt.want {
+			t.Errorf("Depth(%s) = %v,%v want %v", tt.concept, got, ok, tt.want)
+		}
+	}
+}
+
+func TestGenerateSharedWordKeepsFirstAttachment(t *testing.T) {
+	tax, err := Generate([]TopicGroup{
+		{Name: "animal", Words: []string{"jaguar"}},
+		{Name: "vehicle", Words: []string{"jaguar", "car"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := tax.ConceptOf("jaguar")
+	if !ok || c != "animal/jaguar" {
+		t.Errorf("ConceptOf(jaguar) = %v,%v want animal/jaguar", c, ok)
+	}
+}
+
+func TestGenerateEmptyName(t *testing.T) {
+	if _, err := Generate([]TopicGroup{{Name: "", Words: []string{"x"}}}); err == nil {
+		t.Error("want error for empty topic name")
+	}
+}
+
+func TestWUPRangeProperty(t *testing.T) {
+	tax := buildAnimalTaxonomy(t)
+	words := []string{"hamster", "dog", "cat", "broccoli", "tree", "car"}
+	// WUP is always in (0,1] for known words and WUP(a,a)=1.
+	f := func(i, j uint) bool {
+		a := words[i%uint(len(words))]
+		b := words[j%uint(len(words))]
+		v, ok := tax.WUP(a, b)
+		if !ok {
+			return false
+		}
+		if a == b && v != 1 {
+			return false
+		}
+		return v > 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWUP(b *testing.B) {
+	tax, err := Generate([]TopicGroup{
+		{Name: "animal", Domain: "living", Words: []string{"hamster", "dog", "cat"}},
+		{Name: "plant", Domain: "living", Words: []string{"broccoli", "tree"}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tax.WUP("hamster", "tree")
+	}
+}

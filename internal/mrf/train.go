@@ -1,0 +1,95 @@
+package mrf
+
+import "math"
+
+// Objective evaluates a parameter setting and returns a quality score to
+// maximise — in this repo, mean Precision@10 over training queries, which is
+// the rank-metric-driven training of Metzler & Croft [16] the paper adopts
+// (Section 5.2: "we simply adopt the method proposed in [16]").
+type Objective func(Params) float64
+
+// Train searches the constrained parameter space of Section 3.4 by
+// coordinate ascent: λ is restricted to the simplex over clique sizes and α
+// to [0, 1], each swept over a small grid, repeating until no coordinate
+// move improves the objective or maxRounds is reached. It returns the best
+// parameters found and their objective value. The base parameters supply
+// the fixed switches (UseCorS, Delta) and the λ dimensionality.
+func Train(base Params, objective Objective, maxRounds int) (Params, float64) {
+	best := clone(base)
+	normalize(best.Lambda)
+	bestScore := objective(best)
+
+	lambdaGrid := []float64{0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8}
+	alphaGrid := []float64{0, 0.1, 0.25, 0.5, 0.75}
+
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+		// Sweep each λ coordinate.
+		for i := range best.Lambda {
+			for _, v := range lambdaGrid {
+				cand := clone(best)
+				cand.Lambda[i] = v
+				normalize(cand.Lambda)
+				if score := objective(cand); score > bestScore {
+					best, bestScore = cand, score
+					improved = true
+				}
+			}
+		}
+		// Sweep α.
+		for _, a := range alphaGrid {
+			cand := clone(best)
+			cand.Alpha = a
+			if score := objective(cand); score > bestScore {
+				best, bestScore = cand, score
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return best, bestScore
+}
+
+// TrainDelta sweeps the temporal decay δ of Eq. 10 on a recommendation
+// objective (the Figure 10 experiment) and returns the best setting.
+func TrainDelta(base Params, objective Objective, grid []float64) (Params, float64) {
+	if len(grid) == 0 {
+		grid = []float64{1.0, 0.8, 0.6, 0.4, 0.2, 0.1}
+	}
+	best := clone(base)
+	bestScore := math.Inf(-1)
+	for _, d := range grid {
+		cand := clone(base)
+		cand.Delta = d
+		if score := objective(cand); score > bestScore {
+			best, bestScore = cand, score
+		}
+	}
+	return best, bestScore
+}
+
+func clone(p Params) Params {
+	out := p
+	out.Lambda = append([]float64(nil), p.Lambda...)
+	return out
+}
+
+// normalize scales λ onto the probability simplex; an all-zero vector
+// becomes uniform.
+func normalize(lambda []float64) {
+	var sum float64
+	for _, l := range lambda {
+		sum += l
+	}
+	if sum == 0 {
+		for i := range lambda {
+			lambda[i] = 1 / float64(len(lambda))
+		}
+		return
+	}
+	for i := range lambda {
+		lambda[i] /= sum
+	}
+}

@@ -1,0 +1,210 @@
+package recommend
+
+import (
+	"math"
+	"testing"
+
+	"figfusion/internal/dataset"
+	"figfusion/internal/media"
+	"figfusion/internal/mrf"
+)
+
+func recData(t testing.TB) *dataset.RecDataset {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.NumObjects = 400
+	cfg.NumTopics = 5
+	cfg.TagsPerTopic = 8
+	cfg.NoiseTags = 24
+	cfg.UsersPerTopic = 8
+	cfg.VisualVocab = 12
+	cfg.VocabTrainImages = 40
+	cfg.ImageBlocks = 2
+	cfg.KMeansIters = 8
+	rc := dataset.DefaultRecConfig()
+	rc.NumUsers = 12
+	rc.MinHistory = 3
+	rd, err := dataset.GenerateRec(cfg, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rd
+}
+
+func newRec(t testing.TB, rd *dataset.RecDataset, cfg Config) *Recommender {
+	t.Helper()
+	r, err := New(rd.Model(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRecommendHitsFutureFavorites(t *testing.T) {
+	rd := recData(t)
+	r := newRec(t, rd, Config{Temporal: true})
+	p := rd.Profiles[0]
+	got := r.Recommend(rd.HistoryObjects(p), rd.Candidates, 10, rd.Now)
+	if len(got) == 0 {
+		t.Fatal("no recommendations")
+	}
+	// Recommendations should skew towards the user's persistent topics.
+	interest := make(map[int]bool)
+	for _, topic := range p.Interests {
+		interest[topic] = true
+	}
+	onTopic := 0
+	for _, it := range got {
+		if interest[rd.Corpus.Object(it.ID).PrimaryTopic] {
+			onTopic++
+		}
+	}
+	if onTopic < len(got)/2 {
+		t.Errorf("only %d/%d recommendations on persistent topics", onTopic, len(got))
+	}
+}
+
+func TestTemporalDowweightsLapsedTransient(t *testing.T) {
+	rd := recData(t)
+	// Find a profile with a transient interest.
+	var p *dataset.Profile
+	for i := range rd.Profiles {
+		if rd.Profiles[i].Transient >= 0 {
+			p = &rd.Profiles[i]
+			break
+		}
+	}
+	if p == nil {
+		t.Skip("no transient profile in sample")
+	}
+	params := mrf.DefaultParams()
+	params.Delta = 0.3
+	temporal := newRec(t, rd, Config{Temporal: true, Params: params})
+	flat := newRec(t, rd, Config{Temporal: false, Params: params})
+	hist := rd.HistoryObjects(*p)
+	k := 20
+	tGot := temporal.Recommend(hist, rd.Candidates, k, rd.Now)
+	fGot := flat.Recommend(hist, rd.Candidates, k, rd.Now)
+	tTrans, fTrans := 0, 0
+	for _, it := range tGot {
+		if rd.Corpus.Object(it.ID).PrimaryTopic == p.Transient {
+			tTrans++
+		}
+	}
+	for _, it := range fGot {
+		if rd.Corpus.Object(it.ID).PrimaryTopic == p.Transient {
+			fTrans++
+		}
+	}
+	// The transient interest lapsed before the evaluation period; decay
+	// must not recommend MORE of it than the flat model.
+	if tTrans > fTrans {
+		t.Errorf("temporal recommends more lapsed-transient items (%d) than flat (%d)", tTrans, fTrans)
+	}
+}
+
+func TestBuildProfileWeights(t *testing.T) {
+	rd := recData(t)
+	params := mrf.DefaultParams()
+	params.Delta = 0.5
+	r := newRec(t, rd, Config{Temporal: true, Params: params})
+	p := rd.Profiles[0]
+	hist := rd.HistoryObjects(p)
+	prof := r.BuildProfile(hist, rd.Now)
+	if prof.Len() == 0 {
+		t.Fatal("empty profile")
+	}
+	// Weights are in (0, len(history)] — each occurrence contributes at
+	// most δ^0 = 1.
+	for _, wc := range prof.cliques {
+		if wc.weight <= 0 || wc.weight > float64(len(hist)) {
+			t.Errorf("weight %v out of range", wc.weight)
+		}
+	}
+	// Non-temporal weights are integer occurrence counts.
+	rFlat := newRec(t, rd, Config{Temporal: false, Params: params})
+	profFlat := rFlat.BuildProfile(hist, rd.Now)
+	for _, wc := range profFlat.cliques {
+		if wc.weight != math.Trunc(wc.weight) {
+			t.Errorf("flat weight %v not integral", wc.weight)
+		}
+	}
+}
+
+func TestProfileCompressionScoresExactly(t *testing.T) {
+	// Compressed scoring must equal naive per-occurrence scoring.
+	rd := recData(t)
+	params := mrf.DefaultParams()
+	params.Delta = 0.6
+	r := newRec(t, rd, Config{Temporal: true, Params: params})
+	p := rd.Profiles[0]
+	hist := rd.HistoryObjects(p)
+	prof := r.BuildProfile(hist, rd.Now)
+	cand := rd.Corpus.Object(rd.Candidates[0])
+	got := r.Score(prof, cand)
+	// Naive: sum ϕ_rec over raw per-object cliques.
+	var want float64
+	for _, o := range hist {
+		tmp := r.BuildProfile([]*media.Object{o}, rd.Now)
+		want += r.Score(tmp, cand)
+	}
+	if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+		t.Errorf("compressed score %v != naive %v", got, want)
+	}
+}
+
+func TestRecommendDeterministic(t *testing.T) {
+	rd := recData(t)
+	r := newRec(t, rd, Config{Temporal: true})
+	p := rd.Profiles[0]
+	hist := rd.HistoryObjects(p)
+	a := r.Recommend(hist, rd.Candidates, 5, rd.Now)
+	b := r.Recommend(hist, rd.Candidates, 5, rd.Now)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("rank %d differs", i)
+		}
+	}
+}
+
+func TestNewDefaultsAndValidation(t *testing.T) {
+	rd := recData(t)
+	r, err := New(rd.Model(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Scorer.Params.Lambda) == 0 {
+		t.Error("params not defaulted")
+	}
+	if r.Temporal() {
+		t.Error("default should be non-temporal")
+	}
+	if _, err := New(rd.Model(), Config{Params: mrf.Params{Lambda: []float64{1}, Alpha: 2, Delta: 1}}); err == nil {
+		t.Error("want error for invalid params")
+	}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	rd := recData(t)
+	r := newRec(t, rd, Config{Temporal: true})
+	got := r.Recommend(nil, rd.Candidates, 5, rd.Now)
+	if len(got) != 0 {
+		t.Errorf("empty history should recommend nothing, got %v", got)
+	}
+}
+
+func BenchmarkRecommend(b *testing.B) {
+	rd := recData(b)
+	r := newRec(b, rd, Config{Temporal: true})
+	p := rd.Profiles[0]
+	hist := rd.HistoryObjects(p)
+	prof := r.BuildProfile(hist, rd.Now)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.RecommendProfile(prof, rd.Candidates, 10)
+	}
+}

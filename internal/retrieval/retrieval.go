@@ -1,0 +1,337 @@
+// Package retrieval implements the social media retrieval engine of
+// Sections 3.3–3.5. A query object is converted to its Feature Interaction
+// Graph, the graph's cliques are extracted, and candidates are ranked by the
+// MRF similarity score. Two search paths are provided:
+//
+//   - Search — Algorithm 1: probe the clique inverted index for each query
+//     clique, score the candidates of each list with the potential function,
+//     and merge the ranked lists with the Threshold Algorithm. Objects
+//     sharing no clique with the query are pruned, which is the index's
+//     (paper-prescribed) approximation.
+//   - SearchScan — the sequential comparison of Section 3.5's first stage:
+//     score every database object, used as the exactness reference and the
+//     no-index ablation.
+package retrieval
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"figfusion/internal/corr"
+	"figfusion/internal/fig"
+	"figfusion/internal/index"
+	"figfusion/internal/media"
+	"figfusion/internal/mrf"
+	"figfusion/internal/topk"
+)
+
+// NoExclude disables query-object exclusion in Search calls.
+const NoExclude = media.ObjectID(-1)
+
+// Config assembles an Engine.
+type Config struct {
+	// Params are the MRF parameters; zero value means mrf.DefaultParams.
+	Params mrf.Params
+	// BuildOpts configure FIG construction for both indexing and queries.
+	BuildOpts fig.Options
+	// EnumOpts configure clique enumeration for both indexing and queries.
+	EnumOpts fig.EnumerateOptions
+	// SkipIndex suppresses inverted-index construction; Search then
+	// falls back to SearchScan. Used by scan-only ablations.
+	SkipIndex bool
+	// Index, when non-nil, is used instead of building one — e.g. an
+	// index persisted by a previous run. It must have been built over the
+	// same corpus (FID and ObjectID spaces) with the same Build/Enum
+	// options.
+	Index *index.Inverted
+	// CandidateCap bounds how many index candidates receive the full MRF
+	// score per query (0 = unlimited). When the candidate set exceeds the
+	// cap, candidates are pre-ranked by the number of query cliques they
+	// share — the cheap evidence the index provides for free — and only
+	// the top CandidateCap are scored. This two-stage refinement bounds
+	// query latency at large |D| at a small recall cost (see the
+	// BenchmarkAblationCandidateCap ablation).
+	CandidateCap int
+}
+
+// Engine is a retrieval engine over one corpus. Safe for concurrent
+// searches once constructed.
+type Engine struct {
+	Model  *corr.Model
+	Scorer *mrf.Scorer
+	Index  *index.Inverted
+
+	buildOpts    fig.Options
+	enumOpts     fig.EnumerateOptions
+	candidateCap int
+}
+
+// NewEngine trains nothing by itself: it wires the correlation model,
+// scorer and (unless skipped) the clique inverted index.
+func NewEngine(m *corr.Model, cfg Config) (*Engine, error) {
+	params := cfg.Params
+	if len(params.Lambda) == 0 {
+		params = mrf.DefaultParams()
+	}
+	scorer, err := mrf.NewScorer(m, params)
+	if err != nil {
+		return nil, fmt.Errorf("retrieval: %w", err)
+	}
+	e := &Engine{
+		Model:        m,
+		Scorer:       scorer,
+		buildOpts:    cfg.BuildOpts,
+		enumOpts:     cfg.EnumOpts,
+		candidateCap: cfg.CandidateCap,
+	}
+	switch {
+	case cfg.Index != nil:
+		e.Index = cfg.Index
+	case !cfg.SkipIndex:
+		e.Index = index.Build(m, cfg.BuildOpts, cfg.EnumOpts)
+	}
+	return e, nil
+}
+
+// WithParams returns an engine sharing this engine's model and inverted
+// index but scoring with different MRF parameters. The index stores only
+// postings and CorS values, which do not depend on Λ, so parameter training
+// can sweep candidates without rebuilding it.
+func (e *Engine) WithParams(params mrf.Params) (*Engine, error) {
+	scorer, err := mrf.NewScorer(e.Model, params)
+	if err != nil {
+		return nil, fmt.Errorf("retrieval: %w", err)
+	}
+	clone := *e
+	clone.Scorer = scorer
+	return &clone, nil
+}
+
+// QueryCliques converts a query object to its FIG clique set (Algorithm 1,
+// lines 4–5).
+func (e *Engine) QueryCliques(q *media.Object) []fig.Clique {
+	g := fig.Build(q, e.Model, e.buildOpts)
+	return g.Cliques(e.enumOpts)
+}
+
+// Search returns the top-k objects most similar to the query. Following
+// Section 3.5 ("we find the objects from the database which share some same
+// cliques as the query object, and compute the similarity score"), the
+// inverted index generates the candidate set — the union of the query
+// cliques' posting lists — and each candidate receives the full MRF score.
+// Objects sharing no clique with the query are pruned, which is the
+// index's (paper-prescribed) approximation. exclude removes one object
+// (normally the query itself, when it comes from the corpus) from the
+// results; pass NoExclude to keep everything.
+func (e *Engine) Search(q *media.Object, k int, exclude media.ObjectID) []topk.Item {
+	if e.Index == nil {
+		return e.SearchScan(q, k, exclude)
+	}
+	cliques := e.QueryCliques(q)
+	candidates := e.candidateSet(cliques, exclude)
+	corpus := e.Model.Stats.Corpus()
+	h := topk.NewHeap(k)
+	for _, oid := range candidates {
+		if s := e.Scorer.Score(cliques, corpus.Object(oid)); s > 0 {
+			h.Push(topk.Item{ID: oid, Score: s})
+		}
+	}
+	return h.Results()
+}
+
+// candidateSet unions the posting lists of the query cliques. When the
+// union exceeds the configured CandidateCap, candidates are pre-ranked by
+// shared-clique count (ties by ID) and truncated.
+func (e *Engine) candidateSet(cliques []fig.Clique, exclude media.ObjectID) []media.ObjectID {
+	counts := make(map[media.ObjectID]int)
+	var out []media.ObjectID
+	for _, c := range cliques {
+		entry, ok := e.Index.Lookup(c)
+		if !ok {
+			continue
+		}
+		for _, oid := range entry.Objects {
+			if oid == exclude {
+				continue
+			}
+			if counts[oid] == 0 {
+				out = append(out, oid)
+			}
+			counts[oid]++
+		}
+	}
+	if e.candidateCap <= 0 || len(out) <= e.candidateCap {
+		return out
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if counts[out[i]] != counts[out[j]] {
+			return counts[out[i]] > counts[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out[:e.candidateCap]
+}
+
+// SearchTA is the literal Algorithm 1 variant: every query clique's posting
+// list becomes a ranked candidate list scored by that clique's potential
+// alone, and the lists are merged with the Threshold Algorithm. It trades
+// the cross-clique smoothing mass of Search for cheaper scoring; the
+// ablation benchmarks compare the two.
+func (e *Engine) SearchTA(q *media.Object, k int, exclude media.ObjectID) []topk.Item {
+	if e.Index == nil {
+		return e.SearchScan(q, k, exclude)
+	}
+	cliques := e.QueryCliques(q)
+	corpus := e.Model.Stats.Corpus()
+	lists := make([][]topk.Item, 0, len(cliques))
+	for _, c := range cliques {
+		entry, ok := e.Index.Lookup(c)
+		if !ok {
+			continue
+		}
+		list := make([]topk.Item, 0, len(entry.Objects))
+		for _, oid := range entry.Objects {
+			if oid == exclude {
+				continue
+			}
+			score := e.Scorer.Potential(c, corpus.Object(oid))
+			if score <= 0 {
+				continue
+			}
+			list = append(list, topk.Item{ID: oid, Score: score})
+		}
+		sortItems(list)
+		lists = append(lists, list)
+	}
+	return topk.ThresholdMerge(lists, k)
+}
+
+// SearchScan ranks every database object by the full MRF score — the
+// sequential comparison path. Scoring fans out across CPUs; results are
+// deterministic (ties break by object ID).
+func (e *Engine) SearchScan(q *media.Object, k int, exclude media.ObjectID) []topk.Item {
+	cliques := e.QueryCliques(q)
+	corpus := e.Model.Stats.Corpus()
+	n := corpus.Len()
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		h := topk.NewHeap(k)
+		for _, o := range corpus.Objects {
+			if o.ID == exclude {
+				continue
+			}
+			if s := e.Scorer.Score(cliques, o); s > 0 {
+				h.Push(topk.Item{ID: o.ID, Score: s})
+			}
+		}
+		return h.Results()
+	}
+	partial := make([][]topk.Item, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := topk.NewHeap(k)
+			for i := w; i < n; i += workers {
+				o := corpus.Object(media.ObjectID(i))
+				if o.ID == exclude {
+					continue
+				}
+				if s := e.Scorer.Score(cliques, o); s > 0 {
+					h.Push(topk.Item{ID: o.ID, Score: s})
+				}
+			}
+			partial[w] = h.Results()
+		}(w)
+	}
+	wg.Wait()
+	h := topk.NewHeap(k)
+	for _, items := range partial {
+		for _, it := range items {
+			h.Push(it)
+		}
+	}
+	return h.Results()
+}
+
+// SearchMergeFull is the no-TA ablation of SearchTA: identical per-clique
+// candidate lists but an exhaustive merge instead of threshold termination.
+func (e *Engine) SearchMergeFull(q *media.Object, k int, exclude media.ObjectID) []topk.Item {
+	if e.Index == nil {
+		return e.SearchScan(q, k, exclude)
+	}
+	cliques := e.QueryCliques(q)
+	corpus := e.Model.Stats.Corpus()
+	lists := make([][]topk.Item, 0, len(cliques))
+	for _, c := range cliques {
+		entry, ok := e.Index.Lookup(c)
+		if !ok {
+			continue
+		}
+		list := make([]topk.Item, 0, len(entry.Objects))
+		for _, oid := range entry.Objects {
+			if oid == exclude {
+				continue
+			}
+			score := e.Scorer.Potential(c, corpus.Object(oid))
+			if score <= 0 {
+				continue
+			}
+			list = append(list, topk.Item{ID: oid, Score: score})
+		}
+		lists = append(lists, list)
+	}
+	return topk.FullMerge(lists, k)
+}
+
+func sortItems(items []topk.Item) {
+	// Insertion sort is enough for typical posting lengths; fall back to
+	// heap-based ordering for long lists.
+	if len(items) < 64 {
+		for i := 1; i < len(items); i++ {
+			for j := i; j > 0 && topk.Less(items[j], items[j-1]); j-- {
+				items[j], items[j-1] = items[j-1], items[j]
+			}
+		}
+		return
+	}
+	h := topk.NewHeap(len(items))
+	for _, it := range items {
+		h.Push(it)
+	}
+	copy(items, h.Results())
+}
+
+// Insert ingests one new object into a live engine without a rebuild — the
+// growth path of a social media database (the paper cites 2 million new
+// Flickr images per day). The object joins the corpus, the correlation
+// statistics grow incrementally, the object's cliques are added to the
+// inverted index, and the corpus-global memoisation caches (cosines, CorS,
+// smoothing sums) are dropped since every global statistic shifted.
+// Trained thresholds and Λ parameters are kept; retrain periodically if the
+// corpus distribution drifts. Not safe to call concurrently with searches.
+func (e *Engine) Insert(feats []media.Feature, counts []int, month int) (*media.Object, error) {
+	corpus := e.Model.Stats.Corpus()
+	o, err := corpus.Add(feats, counts, month)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Model.Stats.Append(o); err != nil {
+		return nil, err
+	}
+	e.Model.InvalidateCache()
+	e.Scorer.Reset()
+	if e.Index != nil {
+		g := fig.Build(o, e.Model, e.buildOpts)
+		if err := e.Index.Insert(o.ID, g.Cliques(e.enumOpts), e.Model.Stats); err != nil {
+			return nil, err
+		}
+	}
+	return o, nil
+}

@@ -1,0 +1,324 @@
+// Package server exposes the retrieval engine over HTTP/JSON — the
+// deployment surface an open-source release of the paper's system ships:
+// similarity search by object ID or free text, object inspection, and
+// incremental ingestion of new objects into the live index.
+//
+// Routes:
+//
+//	GET  /healthz                      liveness + corpus stats
+//	GET  /search?id=42&k=10            top-k similar to a corpus object
+//	GET  /search?text=sunset+beach&k=5 top-k for a free-text query
+//	GET  /object?id=42                 one object's features and labels
+//	POST /objects                      insert {"tags":[],"users":[],"visualWords":[],"month":0}
+//	POST /recommend                    {"history":[ids],"k":10,"now":3} → FIG-T recommendations
+//
+// Searches and recommendations run concurrently under a read lock;
+// ingestion takes the write lock (Engine.Insert mutates global statistics
+// and caches).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"figfusion/internal/media"
+	"figfusion/internal/recommend"
+	"figfusion/internal/retrieval"
+	"figfusion/internal/textproc"
+)
+
+// Server wires an engine into an http.Handler. Construct with New.
+type Server struct {
+	mu     sync.RWMutex
+	engine *retrieval.Engine
+	rec    *recommend.Recommender
+}
+
+// New returns a server over the engine. The recommendation endpoint uses
+// a temporal (FIG-T) recommender over the same model.
+func New(engine *retrieval.Engine) *Server {
+	// recommend.New only fails on invalid parameters; defaults are valid.
+	rec, _ := recommend.New(engine.Model, recommend.Config{Temporal: true})
+	return &Server{engine: engine, rec: rec}
+}
+
+// Handler returns the route multiplexer.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /search", s.handleSearch)
+	mux.HandleFunc("GET /object", s.handleObject)
+	mux.HandleFunc("POST /objects", s.handleInsert)
+	mux.HandleFunc("POST /recommend", s.handleRecommend)
+	return mux
+}
+
+// ResultItem is one search hit.
+type ResultItem struct {
+	ID    int64    `json:"id"`
+	Score float64  `json:"score"`
+	Month int      `json:"month"`
+	Tags  []string `json:"tags,omitempty"`
+}
+
+// SearchResponse is the /search payload.
+type SearchResponse struct {
+	Query   string       `json:"query"`
+	Results []ResultItem `json:"results"`
+}
+
+// ObjectResponse is the /object payload.
+type ObjectResponse struct {
+	ID          int64    `json:"id"`
+	Month       int      `json:"month"`
+	Tags        []string `json:"tags"`
+	Users       []string `json:"users"`
+	VisualWords []string `json:"visualWords"`
+}
+
+// InsertRequest is the /objects payload.
+type InsertRequest struct {
+	Tags        []string `json:"tags"`
+	Users       []string `json:"users"`
+	VisualWords []string `json:"visualWords"`
+	Month       int      `json:"month"`
+}
+
+// InsertResponse reports the assigned ID.
+type InsertResponse struct {
+	ID int64 `json:"id"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	corpus := s.engine.Model.Stats.Corpus()
+	resp := map[string]interface{}{
+		"status":   "ok",
+		"objects":  corpus.Len(),
+		"features": corpus.Dict.Len(),
+	}
+	if s.engine.Index != nil {
+		resp["cliques"] = s.engine.Index.NumCliques()
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 || v > 1000 {
+			writeError(w, http.StatusBadRequest, "k must be an integer in [1,1000], got %q", raw)
+			return
+		}
+		k = v
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	corpus := s.engine.Model.Stats.Corpus()
+
+	var q *media.Object
+	exclude := retrieval.NoExclude
+	label := ""
+	switch {
+	case r.URL.Query().Get("id") != "":
+		raw := r.URL.Query().Get("id")
+		id, err := strconv.Atoi(raw)
+		if err != nil || id < 0 || id >= corpus.Len() {
+			writeError(w, http.StatusBadRequest, "id must identify a corpus object in [0,%d), got %q", corpus.Len(), raw)
+			return
+		}
+		q = corpus.Object(media.ObjectID(id))
+		exclude = q.ID
+		label = "id:" + raw
+	case r.URL.Query().Get("text") != "":
+		text := r.URL.Query().Get("text")
+		var ok bool
+		q, ok = textQuery(corpus, text)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no term of %q matches the corpus vocabulary", text)
+			return
+		}
+		label = "text:" + text
+	default:
+		writeError(w, http.StatusBadRequest, "provide either ?id= or ?text=")
+		return
+	}
+	results := s.engine.Search(q, k, exclude)
+	resp := SearchResponse{Query: label, Results: make([]ResultItem, 0, len(results))}
+	for _, it := range results {
+		o := corpus.Object(it.ID)
+		resp.Results = append(resp.Results, ResultItem{
+			ID:    int64(o.ID),
+			Score: it.Score,
+			Month: o.Month,
+			Tags:  featureNames(corpus, o, media.Text, 8),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	corpus := s.engine.Model.Stats.Corpus()
+	raw := r.URL.Query().Get("id")
+	id, err := strconv.Atoi(raw)
+	if err != nil || id < 0 || id >= corpus.Len() {
+		writeError(w, http.StatusNotFound, "unknown object %q", raw)
+		return
+	}
+	o := corpus.Object(media.ObjectID(id))
+	writeJSON(w, http.StatusOK, ObjectResponse{
+		ID:          int64(o.ID),
+		Month:       o.Month,
+		Tags:        featureNames(corpus, o, media.Text, 0),
+		Users:       featureNames(corpus, o, media.User, 0),
+		VisualWords: featureNames(corpus, o, media.Visual, 0),
+	})
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req InsertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	var feats []media.Feature
+	var counts []int
+	add := func(kind media.Kind, names []string) {
+		for _, n := range names {
+			if n == "" {
+				continue
+			}
+			feats = append(feats, media.Feature{Kind: kind, Name: n})
+			counts = append(counts, 1)
+		}
+	}
+	add(media.Text, req.Tags)
+	add(media.User, req.Users)
+	add(media.Visual, req.VisualWords)
+	if len(feats) == 0 {
+		writeError(w, http.StatusBadRequest, "object must carry at least one feature")
+		return
+	}
+	s.mu.Lock()
+	o, err := s.engine.Insert(feats, counts, req.Month)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "insert: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, InsertResponse{ID: int64(o.ID)})
+}
+
+// RecommendRequest is the /recommend payload: the caller's favourite
+// history as corpus object IDs, the recommendation depth, and the current
+// month for the Eq. 10 decay.
+type RecommendRequest struct {
+	History []int64 `json:"history"`
+	K       int     `json:"k"`
+	Now     int     `json:"now"`
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	var req RecommendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if req.K < 1 || req.K > 1000 {
+		req.K = 10
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	corpus := s.engine.Model.Stats.Corpus()
+	if len(req.History) == 0 {
+		writeError(w, http.StatusBadRequest, "history must not be empty")
+		return
+	}
+	history := make([]*media.Object, 0, len(req.History))
+	histSet := make(map[media.ObjectID]bool, len(req.History))
+	for _, raw := range req.History {
+		if raw < 0 || int(raw) >= corpus.Len() {
+			writeError(w, http.StatusBadRequest, "unknown history object %d", raw)
+			return
+		}
+		id := media.ObjectID(raw)
+		history = append(history, corpus.Object(id))
+		histSet[id] = true
+	}
+	// Candidates: everything not already in the history.
+	candidates := make([]media.ObjectID, 0, corpus.Len()-len(histSet))
+	for i := 0; i < corpus.Len(); i++ {
+		if id := media.ObjectID(i); !histSet[id] {
+			candidates = append(candidates, id)
+		}
+	}
+	results := s.rec.Recommend(history, candidates, req.K, req.Now)
+	resp := SearchResponse{Query: fmt.Sprintf("recommend:%d-item history", len(history))}
+	for _, it := range results {
+		o := corpus.Object(it.ID)
+		resp.Results = append(resp.Results, ResultItem{
+			ID:    int64(o.ID),
+			Score: it.Score,
+			Month: o.Month,
+			Tags:  featureNames(corpus, o, media.Text, 8),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// textQuery mirrors the facade's TextQuery without importing the root
+// package (which would be an import cycle).
+func textQuery(c *media.Corpus, text string) (*media.Object, bool) {
+	pipeline := textproc.NewPipeline(textproc.WithoutStemming())
+	var fcs []media.FeatureCount
+	for _, term := range pipeline.Normalize(text) {
+		fid, ok := c.Dict.Lookup(media.Feature{Kind: media.Text, Name: term})
+		if !ok {
+			fid, ok = c.Dict.Lookup(media.Feature{Kind: media.Text, Name: textproc.Stem(term)})
+		}
+		if !ok {
+			continue
+		}
+		fcs = append(fcs, media.FeatureCount{FID: fid, Count: 1})
+	}
+	if len(fcs) == 0 {
+		return nil, false
+	}
+	return media.NewObject(-1, fcs, 0), true
+}
+
+func featureNames(c *media.Corpus, o *media.Object, kind media.Kind, max int) []string {
+	var out []string
+	for _, fid := range o.Feats {
+		f := c.Dict.Feature(fid)
+		if f.Kind != kind {
+			continue
+		}
+		out = append(out, f.Name)
+		if max > 0 && len(out) == max {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+// Package social models the user substrate of a social media site: users,
+// interest groups and group membership. The paper derives user–user
+// correlation from shared group membership (Section 3.2: "If two users
+// belong to the same group, two users are considered to be correlated"),
+// and uses uploaders plus users who marked an image as "favorite" as the
+// user features of an object.
+package social
+
+import "sort"
+
+// UserID identifies a user. IDs are dense small integers assigned by the
+// Network in registration order, mirroring Flickr's numeric user IDs.
+type UserID int32
+
+// GroupID identifies an interest group.
+type GroupID int32
+
+// Network is the registry of users and their group memberships. It is
+// append-only; reads are safe for concurrent use once population stops.
+type Network struct {
+	names   []string
+	ids     map[string]UserID
+	groups  [][]GroupID // user -> sorted group list
+	members map[GroupID][]UserID
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{
+		ids:     make(map[string]UserID),
+		members: make(map[GroupID][]UserID),
+	}
+}
+
+// AddUser registers a user with the given group memberships and returns the
+// assigned ID. Registering an existing name merges the new groups into the
+// user's membership.
+func (n *Network) AddUser(name string, groups []GroupID) UserID {
+	id, ok := n.ids[name]
+	if !ok {
+		id = UserID(len(n.names))
+		n.names = append(n.names, name)
+		n.ids[name] = id
+		n.groups = append(n.groups, nil)
+	}
+	for _, g := range groups {
+		if n.hasGroup(id, g) {
+			continue
+		}
+		n.groups[id] = insertSorted(n.groups[id], g)
+		n.members[g] = append(n.members[g], id)
+	}
+	return id
+}
+
+func insertSorted(s []GroupID, g GroupID) []GroupID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= g })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = g
+	return s
+}
+
+func (n *Network) hasGroup(u UserID, g GroupID) bool {
+	s := n.groups[u]
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= g })
+	return i < len(s) && s[i] == g
+}
+
+// Len returns the number of registered users.
+func (n *Network) Len() int { return len(n.names) }
+
+// Name returns the registered name for an ID.
+func (n *Network) Name(id UserID) string { return n.names[id] }
+
+// Lookup returns the ID for a user name.
+func (n *Network) Lookup(name string) (UserID, bool) {
+	id, ok := n.ids[name]
+	return id, ok
+}
+
+// Groups returns the sorted group memberships of a user.
+func (n *Network) Groups(id UserID) []GroupID { return n.groups[id] }
+
+// Members returns the users in a group in registration order.
+func (n *Network) Members(g GroupID) []UserID { return n.members[g] }
+
+// Correlated reports whether two users share at least one group — the
+// paper's binary intra-type correlation rule for user nodes.
+func (n *Network) Correlated(a, b UserID) bool {
+	ga, gb := n.groups[a], n.groups[b]
+	i, j := 0, 0
+	for i < len(ga) && j < len(gb) {
+		switch {
+		case ga[i] == gb[j]:
+			return true
+		case ga[i] < gb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// GroupSimilarity returns the Jaccard similarity of two users' group sets,
+// a graded version of Correlated used where the model needs a correlation
+// strength (the smoothing term of Eq. 7) rather than a binary edge decision.
+// Users with no groups score 0 with everyone, including themselves.
+func (n *Network) GroupSimilarity(a, b UserID) float64 {
+	ga, gb := n.groups[a], n.groups[b]
+	if len(ga) == 0 || len(gb) == 0 {
+		return 0
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(ga) && j < len(gb) {
+		switch {
+		case ga[i] == gb[j]:
+			inter++
+			i++
+			j++
+		case ga[i] < gb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(ga) + len(gb) - inter
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,131 @@
+package social
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddUserAssignsDenseIDs(t *testing.T) {
+	n := NewNetwork()
+	a := n.AddUser("alice", []GroupID{1})
+	b := n.AddUser("bob", []GroupID{2})
+	if a != 0 || b != 1 {
+		t.Errorf("IDs = %d,%d want 0,1", a, b)
+	}
+	if n.Len() != 2 {
+		t.Errorf("Len = %d, want 2", n.Len())
+	}
+	if n.Name(a) != "alice" {
+		t.Errorf("Name(0) = %q", n.Name(a))
+	}
+	if id, ok := n.Lookup("bob"); !ok || id != b {
+		t.Errorf("Lookup(bob) = %v,%v", id, ok)
+	}
+	if _, ok := n.Lookup("carol"); ok {
+		t.Error("Lookup(carol) should miss")
+	}
+}
+
+func TestAddUserMergesGroups(t *testing.T) {
+	n := NewNetwork()
+	id := n.AddUser("alice", []GroupID{3, 1})
+	again := n.AddUser("alice", []GroupID{2, 1})
+	if id != again {
+		t.Fatalf("re-adding changed ID: %d vs %d", id, again)
+	}
+	got := n.Groups(id)
+	want := []GroupID{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Groups = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Groups = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMembers(t *testing.T) {
+	n := NewNetwork()
+	a := n.AddUser("alice", []GroupID{7})
+	b := n.AddUser("bob", []GroupID{7})
+	n.AddUser("carol", []GroupID{8})
+	got := n.Members(7)
+	if len(got) != 2 || got[0] != a || got[1] != b {
+		t.Errorf("Members(7) = %v, want [%d %d]", got, a, b)
+	}
+	if len(n.Members(99)) != 0 {
+		t.Error("Members of unknown group should be empty")
+	}
+}
+
+func TestCorrelated(t *testing.T) {
+	n := NewNetwork()
+	a := n.AddUser("alice", []GroupID{1, 5})
+	b := n.AddUser("bob", []GroupID{5, 9})
+	c := n.AddUser("carol", []GroupID{2})
+	d := n.AddUser("dave", nil)
+	if !n.Correlated(a, b) {
+		t.Error("alice and bob share group 5")
+	}
+	if n.Correlated(a, c) {
+		t.Error("alice and carol share nothing")
+	}
+	if n.Correlated(a, d) || n.Correlated(d, d) {
+		t.Error("groupless users correlate with no one")
+	}
+}
+
+func TestGroupSimilarity(t *testing.T) {
+	n := NewNetwork()
+	a := n.AddUser("alice", []GroupID{1, 2, 3})
+	b := n.AddUser("bob", []GroupID{2, 3, 4})
+	c := n.AddUser("carol", nil)
+	if got := n.GroupSimilarity(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Jaccard = %v, want 0.5 (2 shared / 4 union)", got)
+	}
+	if got := n.GroupSimilarity(a, a); got != 1 {
+		t.Errorf("self similarity = %v, want 1", got)
+	}
+	if got := n.GroupSimilarity(a, c); got != 0 {
+		t.Errorf("similarity with groupless = %v, want 0", got)
+	}
+}
+
+func TestGroupSimilarityProperties(t *testing.T) {
+	n := NewNetwork()
+	users := []UserID{
+		n.AddUser("u0", []GroupID{1}),
+		n.AddUser("u1", []GroupID{1, 2}),
+		n.AddUser("u2", []GroupID{2, 3}),
+		n.AddUser("u3", []GroupID{4}),
+		n.AddUser("u4", nil),
+	}
+	f := func(i, j uint) bool {
+		a := users[i%uint(len(users))]
+		b := users[j%uint(len(users))]
+		s := n.GroupSimilarity(a, b)
+		if s < 0 || s > 1 {
+			return false
+		}
+		if s != n.GroupSimilarity(b, a) {
+			return false
+		}
+		// Positive similarity iff Correlated.
+		return (s > 0) == n.Correlated(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCorrelated(b *testing.B) {
+	n := NewNetwork()
+	u1 := n.AddUser("a", []GroupID{1, 3, 5, 7, 9, 11})
+	u2 := n.AddUser("b", []GroupID{2, 4, 6, 8, 10, 11})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n.Correlated(u1, u2)
+	}
+}

@@ -1,0 +1,79 @@
+package textproc
+
+import (
+	"testing"
+	"unicode"
+)
+
+// FuzzTokenize checks tokenizer invariants on arbitrary input: tokens are
+// non-empty, contain no separators, and re-tokenizing a token is identity.
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"", "hamster eating broccoli", "MoBo Hamster!", "日本語 tags",
+		"a-b_c.d", "123 photo2008", "\x00\xff", "ALL CAPS",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("separator %q inside token %q", r, tok)
+				}
+			}
+			again := Tokenize(tok)
+			if len(again) != 1 || again[0] != tok {
+				t.Fatalf("re-tokenizing %q gave %v", tok, again)
+			}
+		}
+	})
+}
+
+// FuzzStem checks the stemmer never panics, never produces an empty stem
+// from a non-empty word, and never grows the word by more than the one
+// restored 'e' of step 1b. (Porter stemming is famously NOT idempotent —
+// e.g. "aayee" → "aaye" → "aay" → "aai" — so idempotence is deliberately
+// not asserted.)
+func FuzzStem(f *testing.F) {
+	for _, seed := range []string{
+		"", "running", "caresses", "sky", "generalizations", "zzzz",
+		"agreed", "ied", "sses", "a", "be", "aayee",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		stem := Stem(s)
+		if s != "" && stem == "" {
+			t.Fatalf("Stem(%q) = empty", s)
+		}
+		if len(stem) > len(s)+1 {
+			t.Fatalf("Stem(%q) grew to %q", s, stem)
+		}
+		// Non-ASCII or short inputs pass through untouched.
+		if len(s) < 3 && stem != s {
+			t.Fatalf("short word %q changed to %q", s, stem)
+		}
+	})
+}
+
+// FuzzPipeline checks the full normalisation pipeline never panics and
+// never emits stop words.
+func FuzzPipeline(f *testing.F) {
+	f.Add("the cat runs")
+	f.Add("MoBo Hamster Syrian Golden Cream Male Boy")
+	f.Add("\t\n!!!")
+	p := NewPipeline()
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, term := range p.Normalize(s) {
+			if p.IsStopWord(term) {
+				t.Fatalf("stop word %q emitted", term)
+			}
+			if len([]rune(term)) < 2 {
+				t.Fatalf("short term %q emitted", term)
+			}
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package textproc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStemKnownForms(t *testing.T) {
+	tests := []struct{ in, want string }{
+		// Step 1a plurals.
+		{"caresses", "caress"},
+		{"ponies", "poni"},
+		{"ties", "ti"},
+		{"caress", "caress"},
+		{"cats", "cat"},
+		// Step 1b.
+		{"feed", "feed"},
+		{"agreed", "agre"},
+		{"plastered", "plaster"},
+		{"bled", "bled"},
+		{"motoring", "motor"},
+		{"sing", "sing"},
+		{"conflated", "conflat"},
+		{"troubled", "troubl"},
+		{"sized", "size"},
+		{"hopping", "hop"},
+		{"tanned", "tan"},
+		{"falling", "fall"},
+		{"hissing", "hiss"},
+		{"fizzed", "fizz"},
+		{"failing", "fail"},
+		{"filing", "file"},
+		// Step 1c.
+		{"happy", "happi"},
+		{"sky", "sky"},
+		// Step 2.
+		{"relational", "relat"},
+		{"conditional", "condit"},
+		{"rational", "ration"},
+		{"valenci", "valenc"},
+		{"digitizer", "digit"},
+		{"operator", "oper"},
+		// Step 3.
+		{"triplicate", "triplic"},
+		{"formative", "form"},
+		{"formalize", "formal"},
+		{"electrical", "electr"},
+		{"hopeful", "hope"},
+		{"goodness", "good"},
+		// Step 4.
+		{"revival", "reviv"},
+		{"allowance", "allow"},
+		{"inference", "infer"},
+		{"airliner", "airlin"},
+		{"adjustment", "adjust"},
+		{"adoption", "adopt"},
+		{"communism", "commun"},
+		{"activate", "activ"},
+		// Step 5.
+		{"probate", "probat"},
+		{"rate", "rate"},
+		{"cease", "ceas"},
+		{"controll", "control"},
+		{"roll", "roll"},
+		// Domain words from the paper's running example.
+		{"hamsters", "hamster"},
+		{"eating", "eat"},
+		{"vegetables", "veget"},
+		{"animals", "anim"},
+	}
+	for _, tt := range tests {
+		if got := Stem(tt.in); got != tt.want {
+			t.Errorf("Stem(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestStemShortAndNonASCII(t *testing.T) {
+	for _, w := range []string{"a", "be", "日本"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemIdempotentOnCommonWords(t *testing.T) {
+	// Stemming a stem should usually be a no-op; verify on a vocabulary of
+	// already-stemmed outputs.
+	words := []string{"cat", "plaster", "motor", "hop", "tan", "fall",
+		"hiss", "fizz", "fail", "file", "oper", "adjust", "adopt"}
+	for _, w := range words {
+		once := Stem(w)
+		twice := Stem(once)
+		if once != twice {
+			t.Errorf("Stem not idempotent on %q: %q then %q", w, once, twice)
+		}
+	}
+}
+
+func TestStemNeverGrows(t *testing.T) {
+	// The Porter stemmer never makes a lower-case ASCII word longer than
+	// input+1 (the +1 from restoring a final 'e' in step 1b).
+	f := func(raw string) bool {
+		toks := Tokenize(raw)
+		for _, w := range toks {
+			if len(Stem(w)) > len(w)+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"relational", "hamsters", "photographing", "generalizations"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}

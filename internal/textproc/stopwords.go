@@ -1,0 +1,37 @@
+package textproc
+
+// snowballStopWords is the English snowball stop-word list the paper uses to
+// eliminate stop words from Flickr tags (Section 5.1.3).
+var snowballStopWords = []string{
+	"i", "me", "my", "myself", "we", "our", "ours", "ourselves", "you",
+	"your", "yours", "yourself", "yourselves", "he", "him", "his",
+	"himself", "she", "her", "hers", "herself", "it", "its", "itself",
+	"they", "them", "their", "theirs", "themselves", "what", "which",
+	"who", "whom", "this", "that", "these", "those", "am", "is", "are",
+	"was", "were", "be", "been", "being", "have", "has", "had", "having",
+	"do", "does", "did", "doing", "would", "should", "could", "ought",
+	"a", "an", "the", "and", "but", "if", "or", "because", "as", "until",
+	"while", "of", "at", "by", "for", "with", "about", "against",
+	"between", "into", "through", "during", "before", "after", "above",
+	"below", "to", "from", "up", "down", "in", "out", "on", "off",
+	"over", "under", "again", "further", "then", "once", "here", "there",
+	"when", "where", "why", "how", "all", "any", "both", "each", "few",
+	"more", "most", "other", "some", "such", "no", "nor", "not", "only",
+	"own", "same", "so", "than", "too", "very", "can", "will", "just",
+	"don", "now",
+}
+
+func defaultStopSet() map[string]struct{} {
+	set := make(map[string]struct{}, len(snowballStopWords))
+	for _, w := range snowballStopWords {
+		set[w] = struct{}{}
+	}
+	return set
+}
+
+// DefaultStopWords returns a copy of the built-in snowball stop-word list.
+func DefaultStopWords() []string {
+	out := make([]string, len(snowballStopWords))
+	copy(out, snowballStopWords)
+	return out
+}

@@ -1,0 +1,130 @@
+// Package textproc implements the tag preprocessing pipeline the paper
+// applies to Flickr textual features (Section 5.1.3): tokenization,
+// stop-word removal and stemming. Tags in social media are free-style
+// strings; the pipeline normalises them into stable textual feature
+// identifiers before correlation analysis.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits free-form text into lower-case word tokens. Tokens are
+// maximal runs of letters and digits; everything else is a separator.
+// Pure punctuation and empty runs produce no token.
+func Tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r):
+			b.WriteRune(unicode.ToLower(r))
+		case unicode.IsDigit(r):
+			b.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Pipeline bundles the full normalisation chain. The zero value is not
+// usable; construct with NewPipeline.
+type Pipeline struct {
+	stop     map[string]struct{}
+	stem     bool
+	minLen   int
+	keepStop bool
+}
+
+// Option configures a Pipeline.
+type Option func(*Pipeline)
+
+// WithoutStemming disables the Porter stemmer stage.
+func WithoutStemming() Option { return func(p *Pipeline) { p.stem = false } }
+
+// WithStopWords replaces the default snowball stop list.
+func WithStopWords(words []string) Option {
+	return func(p *Pipeline) {
+		p.stop = make(map[string]struct{}, len(words))
+		for _, w := range words {
+			p.stop[strings.ToLower(w)] = struct{}{}
+		}
+	}
+}
+
+// KeepStopWords disables stop-word elimination.
+func KeepStopWords() Option { return func(p *Pipeline) { p.keepStop = true } }
+
+// WithMinLength drops tokens shorter than n runes after stemming.
+func WithMinLength(n int) Option { return func(p *Pipeline) { p.minLen = n } }
+
+// NewPipeline returns a pipeline with the defaults used in the paper's
+// preprocessing: snowball stop list, Porter stemming, minimum length 2.
+func NewPipeline(opts ...Option) *Pipeline {
+	p := &Pipeline{stop: defaultStopSet(), stem: true, minLen: 2}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Normalize runs one raw tag or phrase through the pipeline and returns the
+// resulting feature terms (possibly several, possibly none).
+func (p *Pipeline) Normalize(raw string) []string {
+	toks := Tokenize(raw)
+	out := toks[:0]
+	for _, t := range toks {
+		if !p.keepStop {
+			if _, isStop := p.stop[t]; isStop {
+				continue
+			}
+		}
+		if p.stem {
+			t = Stem(t)
+			// A word can stem INTO a stop word ("ans" → "an"); check
+			// again after stemming.
+			if !p.keepStop {
+				if _, isStop := p.stop[t]; isStop {
+					continue
+				}
+			}
+		}
+		if len([]rune(t)) < p.minLen {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// NormalizeAll applies Normalize to every raw string and concatenates the
+// results, deduplicating while preserving first-occurrence order.
+func (p *Pipeline) NormalizeAll(raws []string) []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for _, raw := range raws {
+		for _, t := range p.Normalize(raw) {
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// IsStopWord reports whether w is in the pipeline's stop list.
+func (p *Pipeline) IsStopWord(w string) bool {
+	_, ok := p.stop[strings.ToLower(w)]
+	return ok
+}

@@ -1,0 +1,129 @@
+package textproc
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want []string
+	}{
+		{"simple", "Hamster eating broccoli", []string{"hamster", "eating", "broccoli"}},
+		{"punctuation", "sunset, tree; car!", []string{"sunset", "tree", "car"}},
+		{"empty", "", nil},
+		{"only punctuation", "?!,.;", nil},
+		{"digits kept", "photo2008 canon5d", []string{"photo2008", "canon5d"}},
+		{"mixed case", "MoBo Hamster SYRIAN", []string{"mobo", "hamster", "syrian"}},
+		{"unicode separators", "a b\tc", []string{"a", "b", "c"}},
+		{"hyphenated splits", "new-york", []string{"new", "york"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Tokenize(tt.in)
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTokenizeProperties(t *testing.T) {
+	// Every produced token is non-empty, lower-case, and alphanumeric.
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				return false
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					return false
+				}
+				// Lower-cased: ToLower must be a fixed point (some
+				// letters have no lower-case form at all).
+				if r != unicode.ToLower(r) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPipelineNormalize(t *testing.T) {
+	p := NewPipeline()
+	got := p.Normalize("the Running hamsters")
+	want := []string{"run", "hamster"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Normalize = %v, want %v", got, want)
+	}
+}
+
+func TestPipelineStopWordRemoval(t *testing.T) {
+	p := NewPipeline()
+	if got := p.Normalize("the of and"); len(got) != 0 {
+		t.Errorf("stop words should be removed, got %v", got)
+	}
+	if !p.IsStopWord("the") {
+		t.Error("IsStopWord(the) = false")
+	}
+	if p.IsStopWord("hamster") {
+		t.Error("IsStopWord(hamster) = true")
+	}
+}
+
+func TestPipelineOptions(t *testing.T) {
+	t.Run("without stemming", func(t *testing.T) {
+		p := NewPipeline(WithoutStemming())
+		got := p.Normalize("running")
+		if !reflect.DeepEqual(got, []string{"running"}) {
+			t.Errorf("got %v", got)
+		}
+	})
+	t.Run("keep stop words", func(t *testing.T) {
+		p := NewPipeline(KeepStopWords(), WithoutStemming())
+		got := p.Normalize("the cat")
+		if !reflect.DeepEqual(got, []string{"the", "cat"}) {
+			t.Errorf("got %v", got)
+		}
+	})
+	t.Run("custom stop words", func(t *testing.T) {
+		p := NewPipeline(WithStopWords([]string{"hamster"}), WithoutStemming())
+		got := p.Normalize("hamster wheel")
+		if !reflect.DeepEqual(got, []string{"wheel"}) {
+			t.Errorf("got %v", got)
+		}
+	})
+	t.Run("min length", func(t *testing.T) {
+		p := NewPipeline(WithMinLength(5), WithoutStemming())
+		got := p.Normalize("cat elephant")
+		if !reflect.DeepEqual(got, []string{"elephant"}) {
+			t.Errorf("got %v", got)
+		}
+	})
+}
+
+func TestNormalizeAllDeduplicates(t *testing.T) {
+	p := NewPipeline(WithoutStemming())
+	got := p.NormalizeAll([]string{"cat dog", "dog bird", "cat"})
+	want := []string{"cat", "dog", "bird"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("NormalizeAll = %v, want %v", got, want)
+	}
+}
+
+func TestDefaultStopWordsCopy(t *testing.T) {
+	a := DefaultStopWords()
+	a[0] = "mutated"
+	b := DefaultStopWords()
+	if b[0] == "mutated" {
+		t.Error("DefaultStopWords must return a copy")
+	}
+}

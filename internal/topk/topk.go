@@ -1,0 +1,170 @@
+// Package topk provides the top-k machinery of the retrieval pipeline: a
+// bounded score heap and Fagin's Threshold Algorithm (TA) [7], which
+// Algorithm 1 of the paper uses to merge the per-clique candidate lists
+// without examining every posting ("based on an early-termination condition
+// and can evaluate top-k queries without examining all the tuples").
+package topk
+
+import (
+	"container/heap"
+	"sort"
+
+	"figfusion/internal/media"
+)
+
+// Item is a scored object.
+type Item struct {
+	ID    media.ObjectID
+	Score float64
+}
+
+// Less orders items by descending score, breaking ties by ascending ID so
+// result lists are deterministic.
+func Less(a, b Item) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.ID < b.ID
+}
+
+// Heap keeps the k best items seen. The zero value is unusable; construct
+// with NewHeap. Not safe for concurrent use.
+type Heap struct {
+	k     int
+	items minHeap
+}
+
+// NewHeap returns a heap retaining the k highest-scoring items.
+func NewHeap(k int) *Heap {
+	if k < 1 {
+		k = 1
+	}
+	return &Heap{k: k}
+}
+
+// Push offers an item; it is retained only if it beats the current k-th.
+func (h *Heap) Push(it Item) {
+	if h.items.Len() < h.k {
+		heap.Push(&h.items, it)
+		return
+	}
+	if Less(it, h.items[0]) {
+		h.items[0] = it
+		heap.Fix(&h.items, 0)
+	}
+}
+
+// Len returns the number of retained items.
+func (h *Heap) Len() int { return h.items.Len() }
+
+// Min returns the current k-th best item; ok is false while the heap holds
+// fewer than k items.
+func (h *Heap) Min() (Item, bool) {
+	if h.items.Len() < h.k {
+		return Item{}, false
+	}
+	return h.items[0], true
+}
+
+// Results drains the heap and returns the retained items best-first.
+func (h *Heap) Results() []Item {
+	out := make([]Item, h.items.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h.items).(Item)
+	}
+	return out
+}
+
+// minHeap is a min-heap under Less (its root is the worst retained item).
+type minHeap []Item
+
+func (m minHeap) Len() int            { return len(m) }
+func (m minHeap) Less(i, j int) bool  { return Less(m[j], m[i]) }
+func (m minHeap) Swap(i, j int)       { m[i], m[j] = m[j], m[i] }
+func (m *minHeap) Push(x interface{}) { *m = append(*m, x.(Item)) }
+func (m *minHeap) Pop() interface{} {
+	old := *m
+	n := len(old)
+	it := old[n-1]
+	*m = old[:n-1]
+	return it
+}
+
+// ThresholdMerge runs the Threshold Algorithm over several ranked lists,
+// aggregating by sum with score 0 for objects absent from a list. Each list
+// must be sorted best-first with non-negative scores (the aggregation must
+// be monotone for TA's early-termination bound to hold); object IDs must be
+// unique within a list. Returns the exact top-k of the aggregate scores.
+func ThresholdMerge(lists [][]Item, k int) []Item {
+	// Random-access structures.
+	maps := make([]map[media.ObjectID]float64, len(lists))
+	for i, l := range lists {
+		maps[i] = make(map[media.ObjectID]float64, len(l))
+		for _, it := range l {
+			maps[i][it.ID] = it.Score
+		}
+	}
+	h := NewHeap(k)
+	seen := make(map[media.ObjectID]bool)
+	maxDepth := 0
+	for _, l := range lists {
+		if len(l) > maxDepth {
+			maxDepth = len(l)
+		}
+	}
+	for depth := 0; depth < maxDepth; depth++ {
+		// Sorted access: one row across all lists.
+		var threshold float64
+		live := false
+		for i, l := range lists {
+			if depth >= len(l) {
+				continue
+			}
+			live = true
+			threshold += l[depth].Score
+			id := l[depth].ID
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			// Random access to every other list.
+			var total float64
+			for _, m := range maps {
+				total += m[id]
+			}
+			h.Push(Item{ID: id, Score: total})
+			_ = i
+		}
+		if !live {
+			break
+		}
+		// Early termination: the k-th best already dominates any unseen
+		// object's maximum possible aggregate. (At exact score ties the
+		// choice among tied objects follows encounter order, as in the
+		// original algorithm.)
+		if min, ok := h.Min(); ok && min.Score >= threshold {
+			break
+		}
+	}
+	return h.Results()
+}
+
+// FullMerge aggregates the lists exhaustively (reference implementation and
+// the non-indexed merge path): sum scores per object, return the top k.
+func FullMerge(lists [][]Item, k int) []Item {
+	totals := make(map[media.ObjectID]float64)
+	for _, l := range lists {
+		for _, it := range l {
+			totals[it.ID] += it.Score
+		}
+	}
+	all := make([]Item, 0, len(totals))
+	for id, s := range totals {
+		all = append(all, Item{ID: id, Score: s})
+	}
+	sort.Slice(all, func(i, j int) bool { return Less(all[i], all[j]) })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}

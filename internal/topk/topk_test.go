@@ -1,0 +1,177 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"figfusion/internal/media"
+)
+
+func TestHeapKeepsBestK(t *testing.T) {
+	h := NewHeap(3)
+	for i, s := range []float64{5, 1, 9, 3, 7, 2} {
+		h.Push(Item{ID: media.ObjectID(i), Score: s})
+	}
+	got := h.Results()
+	wantScores := []float64{9, 7, 5}
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, it := range got {
+		if it.Score != wantScores[i] {
+			t.Errorf("Results[%d] = %v, want score %v", i, it, wantScores[i])
+		}
+	}
+}
+
+func TestHeapFewerThanK(t *testing.T) {
+	h := NewHeap(5)
+	h.Push(Item{ID: 1, Score: 2})
+	h.Push(Item{ID: 2, Score: 1})
+	if _, ok := h.Min(); ok {
+		t.Error("Min should report !ok while underfull")
+	}
+	got := h.Results()
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Errorf("Results = %v", got)
+	}
+}
+
+func TestHeapTieBreaksByID(t *testing.T) {
+	h := NewHeap(2)
+	h.Push(Item{ID: 9, Score: 1})
+	h.Push(Item{ID: 3, Score: 1})
+	h.Push(Item{ID: 6, Score: 1})
+	got := h.Results()
+	if got[0].ID != 3 || got[1].ID != 6 {
+		t.Errorf("tie-break wrong: %v", got)
+	}
+}
+
+func TestHeapMinK(t *testing.T) {
+	h := NewHeap(0) // clamps to 1
+	h.Push(Item{ID: 1, Score: 5})
+	h.Push(Item{ID: 2, Score: 9})
+	got := h.Results()
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Errorf("Results = %v", got)
+	}
+}
+
+func makeList(pairs ...Item) []Item {
+	sort.Slice(pairs, func(i, j int) bool { return Less(pairs[i], pairs[j]) })
+	return pairs
+}
+
+func TestThresholdMergeSimple(t *testing.T) {
+	lists := [][]Item{
+		makeList(Item{1, 0.9}, Item{2, 0.5}, Item{3, 0.1}),
+		makeList(Item{2, 0.8}, Item{4, 0.4}),
+	}
+	got := ThresholdMerge(lists, 2)
+	// Totals: 1→0.9, 2→1.3, 3→0.1, 4→0.4.
+	if len(got) != 2 || got[0].ID != 2 || got[1].ID != 1 {
+		t.Fatalf("got %v", got)
+	}
+	if got[0].Score != 1.3 {
+		t.Errorf("score = %v, want 1.3", got[0].Score)
+	}
+}
+
+func TestThresholdMergeEmptyAndSingle(t *testing.T) {
+	if got := ThresholdMerge(nil, 3); len(got) != 0 {
+		t.Errorf("empty merge = %v", got)
+	}
+	if got := ThresholdMerge([][]Item{{}}, 3); len(got) != 0 {
+		t.Errorf("merge of empty list = %v", got)
+	}
+	one := [][]Item{makeList(Item{7, 0.5}, Item{8, 0.3})}
+	got := ThresholdMerge(one, 5)
+	if len(got) != 2 || got[0].ID != 7 {
+		t.Errorf("single-list merge = %v", got)
+	}
+}
+
+func TestThresholdMergeMatchesFullMerge(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nLists := 1 + rng.Intn(5)
+		lists := make([][]Item, nLists)
+		for i := range lists {
+			n := rng.Intn(30)
+			seen := make(map[media.ObjectID]bool)
+			for j := 0; j < n; j++ {
+				id := media.ObjectID(rng.Intn(50))
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				lists[i] = append(lists[i], Item{ID: id, Score: rng.Float64()})
+			}
+			sort.Slice(lists[i], func(a, b int) bool { return Less(lists[i][a], lists[i][b]) })
+		}
+		k := 1 + rng.Intn(10)
+		ta := ThresholdMerge(lists, k)
+		full := FullMerge(lists, k)
+		if len(ta) != len(full) {
+			return false
+		}
+		for i := range ta {
+			if ta[i].ID != full[i].ID || ta[i].Score != full[i].Score {
+				return false
+			}
+		}
+		// Results are sorted best-first.
+		for i := 1; i < len(ta); i++ {
+			if Less(ta[i], ta[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullMergeTruncates(t *testing.T) {
+	lists := [][]Item{makeList(Item{1, 1}, Item{2, 2}, Item{3, 3})}
+	got := FullMerge(lists, 2)
+	if len(got) != 2 || got[0].ID != 3 {
+		t.Errorf("FullMerge = %v", got)
+	}
+}
+
+func BenchmarkThresholdMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	lists := make([][]Item, 8)
+	for i := range lists {
+		for j := 0; j < 500; j++ {
+			lists[i] = append(lists[i], Item{ID: media.ObjectID(rng.Intn(5000)), Score: rng.Float64()})
+		}
+		sort.Slice(lists[i], func(a, b int) bool { return Less(lists[i][a], lists[i][b]) })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ThresholdMerge(lists, 10)
+	}
+}
+
+func BenchmarkFullMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	lists := make([][]Item, 8)
+	for i := range lists {
+		for j := 0; j < 500; j++ {
+			lists[i] = append(lists[i], Item{ID: media.ObjectID(rng.Intn(5000)), Score: rng.Float64()})
+		}
+		sort.Slice(lists[i], func(a, b int) bool { return Less(lists[i][a], lists[i][b]) })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FullMerge(lists, 10)
+	}
+}

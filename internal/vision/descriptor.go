@@ -1,0 +1,98 @@
+// Package vision implements the visual-content substrate of the paper
+// (Section 5.1.3): raw block features extracted from images are clustered by
+// k-means into a vocabulary of "visual words", and each image is represented
+// by the set of visual words it contains. Each visual word is a 16-D feature
+// vector; Euclidean distance between words drives intra-type edges in the
+// Feature Interaction Graph (Section 3.2). The descriptor and codebook
+// machinery is the shared vector-quantization layer of internal/vq; this
+// package adds the image model and the block-feature extraction.
+//
+// The paper uses SIFT-like raw features from Flickr photographs. Operating
+// offline without an image corpus, this package processes synthetic
+// grayscale images whose block statistics follow per-topic mixtures (see
+// internal/dataset), which preserves the property the FIG model consumes:
+// images about the same topic share visual words, and visual words of the
+// same topic are close in descriptor space.
+package vision
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"figfusion/internal/vq"
+)
+
+// DescriptorDim is the dimensionality of a block descriptor.
+const DescriptorDim = vq.Dim
+
+// Descriptor is one raw block feature vector.
+type Descriptor = vq.Descriptor
+
+// Vocabulary is a trained visual-word codebook: each centroid is one visual
+// word. The paper clusters raw block features into 1022 visual words with
+// k-means (Section 5.1.3).
+type Vocabulary = vq.Vocabulary
+
+// ErrTooFewSamples is returned when training has fewer samples than words.
+var ErrTooFewSamples = vq.ErrTooFewSamples
+
+// TrainVocabulary clusters block descriptors into k visual words (k-means++
+// seeding, Lloyd iterations).
+func TrainVocabulary(samples []Descriptor, k, maxIter int, rng *rand.Rand) (*Vocabulary, error) {
+	return vq.TrainVocabulary(samples, k, maxIter, rng)
+}
+
+// Image is a synthetic grayscale image with intensities in [0, 1].
+type Image struct {
+	W, H int
+	Pix  []float64 // row-major, len == W*H
+}
+
+// NewImage allocates a black image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]float64, w*h)}
+}
+
+// At returns the intensity at (x, y).
+func (im *Image) At(x, y int) float64 { return im.Pix[y*im.W+x] }
+
+// Set writes the intensity at (x, y), clamping to [0, 1].
+func (im *Image) Set(x, y int, v float64) {
+	im.Pix[y*im.W+x] = math.Max(0, math.Min(1, v))
+}
+
+// BlockSize is the side length of the uniformly distributed equal-size
+// blocks the paper divides images into (16×16 pixels, Section 5.1.3).
+const BlockSize = 16
+
+// ExtractBlockDescriptors divides the image into BlockSize×BlockSize blocks
+// and computes one 16-D descriptor per block: the mean intensities of the
+// block's 4×4 sub-cells. Blocks that would overrun the image are skipped, so
+// images must be at least one block in each dimension to yield features.
+func ExtractBlockDescriptors(im *Image) ([]Descriptor, error) {
+	if im.W < BlockSize || im.H < BlockSize {
+		return nil, fmt.Errorf("vision: image %dx%d smaller than block size %d", im.W, im.H, BlockSize)
+	}
+	const cells = 4                // 4×4 grid of sub-cells per block
+	const cell = BlockSize / cells // 4 pixels per sub-cell side
+	var descs []Descriptor
+	for by := 0; by+BlockSize <= im.H; by += BlockSize {
+		for bx := 0; bx+BlockSize <= im.W; bx += BlockSize {
+			var d Descriptor
+			for cy := 0; cy < cells; cy++ {
+				for cx := 0; cx < cells; cx++ {
+					var sum float64
+					for y := 0; y < cell; y++ {
+						for x := 0; x < cell; x++ {
+							sum += im.At(bx+cx*cell+x, by+cy*cell+y)
+						}
+					}
+					d[cy*cells+cx] = sum / (cell * cell)
+				}
+			}
+			descs = append(descs, d)
+		}
+	}
+	return descs, nil
+}

@@ -1,0 +1,251 @@
+package vision
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDescriptorDistance(t *testing.T) {
+	var a, b Descriptor
+	a[0] = 3
+	b[1] = 4
+	if got := a.Distance(b); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Distance = %v, want 5", got)
+	}
+	if got := a.Distance(a); got != 0 {
+		t.Errorf("self distance = %v, want 0", got)
+	}
+}
+
+func TestDescriptorDistanceMetricProperties(t *testing.T) {
+	// Map arbitrary float64s into a bounded range so squaring cannot
+	// overflow; the metric laws are about finite geometry.
+	gen := func(vals [DescriptorDim]float64) Descriptor {
+		var d Descriptor
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			d[i] = math.Mod(v, 1000)
+		}
+		return d
+	}
+	symmetric := func(x, y [DescriptorDim]float64) bool {
+		a, b := gen(x), gen(y)
+		return math.Abs(a.Distance(b)-b.Distance(a)) < 1e-9
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Errorf("symmetry: %v", err)
+	}
+	triangle := func(x, y, z [DescriptorDim]float64) bool {
+		a, b, c := gen(x), gen(y), gen(z)
+		ab, bc, ac := a.Distance(b), b.Distance(c), a.Distance(c)
+		return ac <= ab+bc+1e-6*(1+ac)
+	}
+	if err := quick.Check(triangle, nil); err != nil {
+		t.Errorf("triangle inequality: %v", err)
+	}
+}
+
+func TestImageSetClamps(t *testing.T) {
+	im := NewImage(4, 4)
+	im.Set(0, 0, 2)
+	if im.At(0, 0) != 1 {
+		t.Errorf("Set should clamp to 1, got %v", im.At(0, 0))
+	}
+	im.Set(1, 1, -3)
+	if im.At(1, 1) != 0 {
+		t.Errorf("Set should clamp to 0, got %v", im.At(1, 1))
+	}
+}
+
+func TestExtractBlockDescriptors(t *testing.T) {
+	im := NewImage(BlockSize*2, BlockSize)
+	// Left block all 0.5, right block all 1.0.
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			if x < BlockSize {
+				im.Set(x, y, 0.5)
+			} else {
+				im.Set(x, y, 1.0)
+			}
+		}
+	}
+	descs, err := ExtractBlockDescriptors(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(descs) != 2 {
+		t.Fatalf("got %d descriptors, want 2", len(descs))
+	}
+	for i := range descs[0] {
+		if math.Abs(descs[0][i]-0.5) > 1e-12 {
+			t.Errorf("left block cell %d = %v, want 0.5", i, descs[0][i])
+		}
+		if math.Abs(descs[1][i]-1.0) > 1e-12 {
+			t.Errorf("right block cell %d = %v, want 1.0", i, descs[1][i])
+		}
+	}
+}
+
+func TestExtractBlockDescriptorsTooSmall(t *testing.T) {
+	if _, err := ExtractBlockDescriptors(NewImage(8, 8)); err == nil {
+		t.Error("want error for image smaller than one block")
+	}
+}
+
+func TestExtractBlockDescriptorsIgnoresPartialBlocks(t *testing.T) {
+	im := NewImage(BlockSize+7, BlockSize+3)
+	descs, err := ExtractBlockDescriptors(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(descs) != 1 {
+		t.Errorf("got %d descriptors, want 1 (partial blocks skipped)", len(descs))
+	}
+}
+
+// clusteredSamples returns n samples around each of the given centers with
+// small noise.
+func clusteredSamples(centers []Descriptor, n int, noise float64, rng *rand.Rand) []Descriptor {
+	var out []Descriptor
+	for _, c := range centers {
+		for i := 0; i < n; i++ {
+			d := c
+			for j := range d {
+				d[j] += rng.NormFloat64() * noise
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func wellSeparatedCenters(k int) []Descriptor {
+	centers := make([]Descriptor, k)
+	for i := range centers {
+		centers[i][i%DescriptorDim] = 10 * float64(1+i/DescriptorDim)
+	}
+	return centers
+}
+
+func TestTrainVocabularyRecoverscenters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	centers := wellSeparatedCenters(4)
+	samples := clusteredSamples(centers, 50, 0.05, rng)
+	voc, err := TrainVocabulary(samples, 4, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if voc.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", voc.Size())
+	}
+	// Every true center must have a vocabulary word within noise distance.
+	for i, c := range centers {
+		w := voc.Quantize(c)
+		if d := voc.Centroids[w].Distance(c); d > 0.5 {
+			t.Errorf("center %d: nearest word at distance %v, want < 0.5", i, d)
+		}
+	}
+	// Samples from the same cluster quantize to the same word.
+	for ci := range centers {
+		first := voc.Quantize(samples[ci*50])
+		for s := 1; s < 50; s++ {
+			if got := voc.Quantize(samples[ci*50+s]); got != first {
+				t.Fatalf("cluster %d sample %d quantized to %d, want %d", ci, s, got, first)
+			}
+		}
+	}
+}
+
+func TestTrainVocabularyErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]Descriptor, 3)
+	if _, err := TrainVocabulary(samples, 0, 10, rng); err == nil {
+		t.Error("want error for k=0")
+	}
+	if _, err := TrainVocabulary(samples, 5, 10, rng); err == nil {
+		t.Error("want error for too few samples")
+	}
+}
+
+func TestTrainVocabularyDegenerateSamples(t *testing.T) {
+	// All samples identical: training must still return k centroids.
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]Descriptor, 10)
+	voc, err := TrainVocabulary(samples, 3, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if voc.Size() != 3 {
+		t.Errorf("Size = %d, want 3", voc.Size())
+	}
+}
+
+func TestQuantizeAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	centers := wellSeparatedCenters(3)
+	samples := clusteredSamples(centers, 30, 0.05, rng)
+	voc, err := TrainVocabulary(samples, 3, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := voc.QuantizeAll(samples[:5])
+	if len(words) != 5 {
+		t.Fatalf("len = %d, want 5", len(words))
+	}
+	for i, w := range words {
+		if w != voc.Quantize(samples[i]) {
+			t.Errorf("QuantizeAll[%d] = %d disagrees with Quantize", i, w)
+		}
+	}
+}
+
+func TestWordSimilarityRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	centers := wellSeparatedCenters(3)
+	samples := clusteredSamples(centers, 20, 0.05, rng)
+	voc, err := TrainVocabulary(samples, 3, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < voc.Size(); i++ {
+		for j := 0; j < voc.Size(); j++ {
+			s := voc.WordSimilarity(i, j)
+			if s <= 0 || s > 1 {
+				t.Errorf("WordSimilarity(%d,%d) = %v, out of (0,1]", i, j, s)
+			}
+			if i == j && s != 1 {
+				t.Errorf("self similarity = %v, want 1", s)
+			}
+		}
+	}
+}
+
+func BenchmarkQuantize(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	centers := wellSeparatedCenters(16)
+	samples := clusteredSamples(centers, 20, 0.1, rng)
+	voc, err := TrainVocabulary(samples, 16, 30, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		voc.Quantize(samples[i%len(samples)])
+	}
+}
+
+func BenchmarkTrainVocabulary(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	centers := wellSeparatedCenters(8)
+	samples := clusteredSamples(centers, 100, 0.1, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainVocabulary(samples, 8, 20, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

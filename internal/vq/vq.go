@@ -1,0 +1,178 @@
+// Package vq provides the vector-quantization machinery shared by the
+// content-feature substrates: fixed-dimension descriptors, k-means++/Lloyd
+// codebook training, and quantization of raw descriptors into "words".
+// The paper builds its visual words this way (Section 5.1.3, following
+// [25]); the audio extension reuses the identical pipeline over spectral
+// frame descriptors, which is why the machinery lives modality-neutral.
+package vq
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dim is the dimensionality of a descriptor. The paper uses 16-D visual
+// word vectors (Section 3.2).
+const Dim = 16
+
+// Descriptor is one raw feature vector.
+type Descriptor [Dim]float64
+
+// Distance returns the Euclidean distance between two descriptors, the
+// metric the paper uses between visual words.
+func (d Descriptor) Distance(o Descriptor) float64 {
+	var sum float64
+	for i := range d {
+		diff := d[i] - o[i]
+		sum += diff * diff
+	}
+	return math.Sqrt(sum)
+}
+
+// Add accumulates o into d (used by k-means centroid updates).
+func (d *Descriptor) Add(o Descriptor) {
+	for i := range d {
+		d[i] += o[i]
+	}
+}
+
+// Scale multiplies every component by f.
+func (d *Descriptor) Scale(f float64) {
+	for i := range d {
+		d[i] *= f
+	}
+}
+
+// Vocabulary is a trained codebook: each centroid is one word. It is
+// immutable after training and safe for concurrent reads.
+type Vocabulary struct {
+	Centroids []Descriptor
+}
+
+// ErrTooFewSamples is returned when training has fewer samples than words.
+var ErrTooFewSamples = errors.New("vq: fewer samples than requested words")
+
+// TrainVocabulary clusters samples into k words using k-means++ seeding
+// followed by Lloyd iterations. Training stops when assignments stabilise
+// or maxIter is reached. The rng makes training reproducible.
+func TrainVocabulary(samples []Descriptor, k, maxIter int, rng *rand.Rand) (*Vocabulary, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("vq: k must be positive, got %d", k)
+	}
+	if len(samples) < k {
+		return nil, fmt.Errorf("%w: %d < %d", ErrTooFewSamples, len(samples), k)
+	}
+	centroids := seedPlusPlus(samples, k, rng)
+	assign := make([]int, len(samples))
+	for i := range assign {
+		assign[i] = -1
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, s := range samples {
+			best := nearest(centroids, s)
+			if best != assign[i] {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		counts := make([]int, k)
+		sums := make([]Descriptor, k)
+		for i, s := range samples {
+			c := assign[i]
+			counts[c]++
+			sums[c].Add(s)
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster with a random sample; this keeps
+				// the vocabulary at full size, as the paper's fixed-size
+				// codebook requires.
+				centroids[c] = samples[rng.Intn(len(samples))]
+				continue
+			}
+			sums[c].Scale(1 / float64(counts[c]))
+			centroids[c] = sums[c]
+		}
+	}
+	return &Vocabulary{Centroids: centroids}, nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ D² weighting.
+func seedPlusPlus(samples []Descriptor, k int, rng *rand.Rand) []Descriptor {
+	centroids := make([]Descriptor, 0, k)
+	centroids = append(centroids, samples[rng.Intn(len(samples))])
+	dist2 := make([]float64, len(samples))
+	for len(centroids) < k {
+		var total float64
+		last := centroids[len(centroids)-1]
+		for i, s := range samples {
+			d := s.Distance(last)
+			d2 := d * d
+			if len(centroids) == 1 || d2 < dist2[i] {
+				dist2[i] = d2
+			}
+			total += dist2[i]
+		}
+		if total == 0 {
+			// All remaining samples coincide with chosen centroids; fall
+			// back to uniform sampling so we still return k centroids.
+			centroids = append(centroids, samples[rng.Intn(len(samples))])
+			continue
+		}
+		r := rng.Float64() * total
+		idx := len(samples) - 1
+		var acc float64
+		for i, d2 := range dist2 {
+			acc += d2
+			if acc >= r {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, samples[idx])
+	}
+	return centroids
+}
+
+func nearest(centroids []Descriptor, s Descriptor) int {
+	best, bestDist := 0, math.Inf(1)
+	for c, cent := range centroids {
+		if d := cent.Distance(s); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// Size returns the number of words.
+func (v *Vocabulary) Size() int { return len(v.Centroids) }
+
+// Quantize maps a raw descriptor to the index of its nearest word.
+func (v *Vocabulary) Quantize(d Descriptor) int { return nearest(v.Centroids, d) }
+
+// QuantizeAll maps a set of descriptors to word indices.
+func (v *Vocabulary) QuantizeAll(descs []Descriptor) []int {
+	words := make([]int, len(descs))
+	for i, d := range descs {
+		words[i] = v.Quantize(d)
+	}
+	return words
+}
+
+// WordDistance returns the Euclidean distance between two words.
+func (v *Vocabulary) WordDistance(i, j int) float64 {
+	return v.Centroids[i].Distance(v.Centroids[j])
+}
+
+// WordSimilarity converts word distance into a similarity in (0, 1]:
+// 1/(1+dist). The FIG edge construction compares this against a trained
+// threshold for intra-type content edges (Section 3.2).
+func (v *Vocabulary) WordSimilarity(i, j int) float64 {
+	return 1 / (1 + v.WordDistance(i, j))
+}

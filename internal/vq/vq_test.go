@@ -1,0 +1,112 @@
+package vq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func clustered(centers []Descriptor, n int, noise float64, rng *rand.Rand) []Descriptor {
+	var out []Descriptor
+	for _, c := range centers {
+		for i := 0; i < n; i++ {
+			d := c
+			for j := range d {
+				d[j] += rng.NormFloat64() * noise
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func separated(k int) []Descriptor {
+	centers := make([]Descriptor, k)
+	for i := range centers {
+		centers[i][i%Dim] = 10 * float64(1+i/Dim)
+	}
+	return centers
+}
+
+func TestTrainRecoversCenters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	centers := separated(5)
+	samples := clustered(centers, 40, 0.05, rng)
+	voc, err := TrainVocabulary(samples, 5, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range centers {
+		w := voc.Quantize(c)
+		if d := voc.Centroids[w].Distance(c); d > 0.5 {
+			t.Errorf("center %d: nearest word at distance %v", i, d)
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := TrainVocabulary(make([]Descriptor, 3), 0, 5, rng); err == nil {
+		t.Error("want error for k=0")
+	}
+	if _, err := TrainVocabulary(make([]Descriptor, 2), 5, 5, rng); err == nil {
+		t.Error("want error for too few samples")
+	}
+}
+
+func TestDescriptorOps(t *testing.T) {
+	var a, b Descriptor
+	a[0], b[0] = 1, 4
+	if got := a.Distance(b); got != 3 {
+		t.Errorf("Distance = %v", got)
+	}
+	a.Add(b)
+	if a[0] != 5 {
+		t.Errorf("Add: %v", a[0])
+	}
+	a.Scale(0.2)
+	if a[0] != 1 {
+		t.Errorf("Scale: %v", a[0])
+	}
+}
+
+func TestQuantizeIsNearestProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	centers := separated(6)
+	samples := clustered(centers, 25, 0.2, rng)
+	voc, err := TrainVocabulary(samples, 6, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quantize must return the argmin of WordDistance for any sample.
+	f := func(idx uint) bool {
+		s := samples[idx%uint(len(samples))]
+		w := voc.Quantize(s)
+		best := voc.Centroids[w].Distance(s)
+		for _, c := range voc.Centroids {
+			if c.Distance(s) < best-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordSimilaritySelf(t *testing.T) {
+	voc := &Vocabulary{Centroids: separated(3)}
+	for i := 0; i < 3; i++ {
+		if got := voc.WordSimilarity(i, i); got != 1 {
+			t.Errorf("self similarity = %v", got)
+		}
+	}
+	if s := voc.WordSimilarity(0, 1); s <= 0 || s >= 1 {
+		t.Errorf("cross similarity = %v out of (0,1)", s)
+	}
+	if math.Abs(voc.WordSimilarity(0, 1)-voc.WordSimilarity(1, 0)) > 1e-15 {
+		t.Error("similarity not symmetric")
+	}
+}
