@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt figures examples clean
+.PHONY: all build test race bench vet fmt lint figlint figures examples clean
 
-all: build test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,13 @@ bench:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis: numeric, determinism and concurrency
+# invariants enforced by cmd/figlint (see DESIGN.md).
+figlint:
+	$(GO) run ./cmd/figlint ./...
+
+lint: vet figlint
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,116 @@
+// Command figlint runs the repo's custom static-analysis suite (see
+// internal/analysis): stdlib-only type-checking plus analyzers for the
+// numeric, determinism and concurrency invariants the FIG reproduction
+// depends on.
+//
+// Usage:
+//
+//	figlint [-run names] [-tests] [-list] [package-dir | ./...]...
+//
+// With no arguments (or "./...") every package in the enclosing module
+// is analyzed. Exits 1 when any diagnostic survives the
+// //figlint:allow pragmas, 2 on driver errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"figfusion/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		runNames = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		tests    = flag.Bool("tests", false, "also analyze in-package _test.go files")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	analyzers, err := analysis.Lookup(*runNames)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	loader.IncludeTests = *tests
+
+	pkgs, err := loadTargets(loader, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "figlint: warning: %s: %v\n", pkg.PkgPath, terr)
+		}
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(shorten(d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "figlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// loadTargets maps command-line patterns to loaded packages. "./..." (and
+// an empty argument list) loads the whole module; anything else is taken
+// as a package directory relative to the current directory.
+func loadTargets(loader *analysis.Loader, args []string) ([]*analysis.Package, error) {
+	all := len(args) == 0
+	var dirs []string
+	for _, a := range args {
+		if a == "./..." || a == "..." {
+			all = true
+			continue
+		}
+		dirs = append(dirs, filepath.Clean(a))
+	}
+	if all {
+		return loader.LoadModule()
+	}
+	paths := make([]string, 0, len(dirs))
+	for _, d := range dirs {
+		ip, err := loader.ImportPathFor(d)
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+	return loader.LoadPackages(paths)
+}
+
+// shorten prints paths relative to the working directory when possible.
+func shorten(d analysis.Diagnostic) string {
+	s := d.String()
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			s = fmt.Sprintf("%s:%d:%d: %s: %s", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	return s
+}

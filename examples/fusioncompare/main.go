@@ -83,6 +83,7 @@ func lateFusionSearch(data *figfusion.Dataset, q *figfusion.Object, k int) []fig
 		}
 	}
 	sort.Slice(all, func(i, j int) bool {
+		//figlint:allow floatcmp -- sort comparators need the exact tie-break; an epsilon band is not transitive
 		if all[i].score != all[j].score {
 			return all[i].score > all[j].score
 		}
@@ -99,26 +100,27 @@ func lateFusionSearch(data *figfusion.Dataset, q *figfusion.Object, k int) []fig
 }
 
 func kindCosine(c *figfusion.Corpus, a, b *figfusion.Object, kind figfusion.Kind) float64 {
-	var dot, na, nb float64
+	var dot float64
+	// The norms are sums of squared integer counts; accumulating them as
+	// ints keeps the emptiness check exact (and floatcmp-clean).
+	var na, nb int
 	for i, f := range a.Feats {
 		if c.KindOf(f) != kind {
 			continue
 		}
-		ca := float64(a.Counts[i])
-		na += ca * ca
+		na += int(a.Counts[i]) * int(a.Counts[i])
 		if cb := b.Count(f); cb > 0 {
-			dot += ca * float64(cb)
+			dot += float64(a.Counts[i]) * float64(cb)
 		}
 	}
 	for i, f := range b.Feats {
 		if c.KindOf(f) != kind {
 			continue
 		}
-		cb := float64(b.Counts[i])
-		nb += cb * cb
+		nb += int(b.Counts[i]) * int(b.Counts[i])
 	}
 	if na == 0 || nb == 0 {
 		return 0
 	}
-	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+	return dot / (math.Sqrt(float64(na)) * math.Sqrt(float64(nb)))
 }

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != on floating-point operands, including switch
+// statements whose tag is a float. MRF log-potentials, clique CorS
+// weights, and similarity scores are all accumulated floats; exact
+// equality on them is almost always a latent bug (two mathematically
+// equal scores rarely compare equal after different summation orders).
+// Use an epsilon comparison (internal/numeric) or, where exact equality
+// is the point — total-order tie-breaking, zero-value sentinels —
+// annotate with //figlint:allow floatcmp -- reason.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= on floating-point operands; scores need epsilon comparison",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !isFloat(p, n.X) && !isFloat(p, n.Y) {
+					return true
+				}
+				if isConst(p, n.X) && isConst(p, n.Y) {
+					return true // folded at compile time; no runtime rounding involved
+				}
+				p.Reportf(n.OpPos, "%s on floating-point operands; use an epsilon comparison (internal/numeric) or //figlint:allow floatcmp -- reason", n.Op)
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isFloat(p, n.Tag) {
+					p.Reportf(n.Tag.Pos(), "switch on a floating-point value compares cases with ==; use epsilon comparisons")
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isFloat(p *Pass, e ast.Expr) bool {
+	t := p.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(p *Pass, e ast.Expr) bool {
+	tv, ok := p.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand flags use of math/rand's process-global convenience
+// functions (rand.Intn, rand.Float64, rand.Seed, ...) and time-based
+// seeding. Every experiment figure in EXPERIMENTS.md must be exactly
+// reproducible from a dataset seed, so randomness flows through an
+// injected seeded *rand.Rand; constructors (rand.New, rand.NewSource,
+// rand.NewZipf) are the sanctioned way to build one.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "flags package-global math/rand calls and time-based seeding; inject a seeded *rand.Rand",
+	Run:  runGlobalRand,
+}
+
+// globalRandOK are the math/rand functions that construct injectable
+// generators rather than touching the global source.
+var globalRandOK = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func runGlobalRand(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // method on an injected *rand.Rand — exactly what we want
+			}
+			name := fn.Name()
+			switch {
+			case name == "Seed":
+				p.Reportf(call.Pos(), "rand.Seed reseeds the process-global source; construct rand.New(rand.NewSource(seed)) and inject it")
+			case !globalRandOK[name]:
+				p.Reportf(call.Pos(), "rand.%s draws from the process-global source; figures must be reproducible — inject a seeded *rand.Rand", name)
+			default:
+				if arg := timeBasedArg(p, call); arg != nil {
+					p.Reportf(arg.Pos(), "seeding rand.%s from the clock defeats reproducibility; derive the seed from the experiment configuration", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// timeBasedArg returns the first argument subtree that calls time.Now
+// (the canonical nondeterministic seed), or nil.
+func timeBasedArg(p *Pass, call *ast.CallExpr) ast.Expr {
+	for _, arg := range call.Args {
+		var hit bool
+		ast.Inspect(arg, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+				hit = true
+				return false
+			}
+			return true
+		})
+		if hit {
+			return arg
+		}
+	}
+	return nil
+}

@@ -1,0 +1,297 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package: the unit analyzers run over.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	// TypeErrors holds type-checker complaints about the target package
+	// itself (imported packages' errors are swallowed). A non-empty list
+	// usually means the tree does not build; diagnostics may be incomplete.
+	TypeErrors []error
+}
+
+// Loader type-checks packages from source using only the standard library:
+// module-internal import paths resolve against the module root, everything
+// else against GOROOT (including GOROOT's vendored dependencies). Checked
+// imports are cached, so loading a whole module checks each dependency
+// once.
+type Loader struct {
+	Fset *token.FileSet
+	// IncludeTests adds in-package _test.go files to target packages.
+	IncludeTests bool
+
+	ctx        build.Context
+	moduleRoot string
+	modulePath string
+	targets    map[string]bool
+	cache      map[string]*Package
+	inFlight   map[string]bool
+}
+
+// NewLoader returns a loader rooted at the module containing dir. It reads
+// the module path from go.mod; dir may be the module root or any directory
+// inside it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	return newLoader(root, modPath), nil
+}
+
+func newLoader(root, modPath string) *Loader {
+	ctx := build.Default
+	// Pure-Go file selection: cgo-gated files drag in import "C" plumbing
+	// that a source-based type-checker has no business resolving.
+	ctx.CgoEnabled = false
+	return &Loader{
+		Fset:       token.NewFileSet(),
+		ctx:        ctx,
+		moduleRoot: root,
+		modulePath: modPath,
+		targets:    make(map[string]bool),
+		cache:      make(map[string]*Package),
+		inFlight:   make(map[string]bool),
+	}
+}
+
+func findModule(dir string) (root, modPath string, err error) {
+	for d := dir; ; d = filepath.Dir(d) {
+		gm := filepath.Join(d, "go.mod")
+		if data, err := os.ReadFile(gm); err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s has no module line", gm)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+	}
+}
+
+// LoadModule loads every package under the module root (testdata and
+// hidden directories excluded) and returns them sorted by import path.
+func (l *Loader) LoadModule() ([]*Package, error) {
+	var paths []string
+	err := filepath.WalkDir(l.moduleRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.moduleRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if l.hasGoFiles(p) {
+			rel, err := filepath.Rel(l.moduleRoot, p)
+			if err != nil {
+				return err
+			}
+			ip := l.modulePath
+			if rel != "." {
+				ip = l.modulePath + "/" + filepath.ToSlash(rel)
+			}
+			paths = append(paths, ip)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return l.LoadPackages(paths)
+}
+
+// LoadPackages loads the given module-internal import paths as analysis
+// targets (full syntax, comments, and type information retained).
+func (l *Loader) LoadPackages(paths []string) ([]*Package, error) {
+	for _, p := range paths {
+		l.targets[p] = true
+	}
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads a single directory outside any module (e.g. a testdata
+// fixture) as a target package importing only the standard library.
+func LoadDir(dir string, includeTests bool) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	ip := "fixture/" + filepath.Base(abs)
+	l := newLoader(abs, ip)
+	l.IncludeTests = includeTests
+	pkgs, err := l.LoadPackages([]string{ip})
+	if err != nil {
+		return nil, err
+	}
+	return pkgs[0], nil
+}
+
+// ImportPathFor maps a directory (absolute or relative to the working
+// directory) to its module-internal import path.
+func (l *Loader) ImportPathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.moduleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module %s", dir, l.modulePath)
+	}
+	if rel == "." {
+		return l.modulePath, nil
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+func (l *Loader) hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Import implements types.Importer over the loader's cache.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	pkg, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+func (l *Loader) resolveDir(path string) (string, error) {
+	if path == l.modulePath {
+		return l.moduleRoot, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+		return filepath.Join(l.moduleRoot, filepath.FromSlash(rest)), nil
+	}
+	goroot := runtime.GOROOT()
+	for _, d := range []string{
+		filepath.Join(goroot, "src", filepath.FromSlash(path)),
+		filepath.Join(goroot, "src", "vendor", filepath.FromSlash(path)),
+	} {
+		if fi, err := os.Stat(d); err == nil && fi.IsDir() {
+			return d, nil
+		}
+	}
+	return "", fmt.Errorf("analysis: cannot resolve import %q (module %s; only stdlib and module-internal imports are supported)", path, l.modulePath)
+}
+
+func (l *Loader) load(path string) (*Package, error) {
+	if path == "unsafe" {
+		return &Package{PkgPath: path, Fset: l.Fset, Types: types.Unsafe}, nil
+	}
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.inFlight[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.inFlight[path] = true
+	defer delete(l.inFlight, path)
+
+	dir, err := l.resolveDir(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	target := l.targets[path]
+	names := append([]string(nil), bp.GoFiles...)
+	if target && l.IncludeTests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	sort.Strings(names)
+
+	mode := parser.SkipObjectResolution
+	if target {
+		mode |= parser.ParseComments
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+
+	pkg := &Package{PkgPath: path, Dir: dir, Fset: l.Fset}
+	var info *types.Info
+	if target {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+			Instances:  make(map[*ast.Ident]types.Instance),
+		}
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if target {
+				pkg.TypeErrors = append(pkg.TypeErrors, err)
+			}
+		},
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	pkg.Types = tpkg
+	if target {
+		pkg.Files = files
+		pkg.Info = info
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockSafety enforces two invariants on the serving path's mutexes:
+// every Lock/RLock in a function is paired with a deferred
+// Unlock/RUnlock on the same mutex in the same function (a panic between
+// a manual Lock/Unlock pair wedges every later request), and sync
+// primitives are never declared as by-value parameters, results or
+// receivers (a copied mutex guards nothing). Short manual critical
+// sections that deliberately avoid defer must either move into a small
+// helper with defer or carry //figlint:allow locksafety -- reason.
+var LockSafety = &Analyzer{
+	Name: "locksafety",
+	Doc:  "flags Lock without defer Unlock in the same function, and sync types passed by value",
+	Run:  runLockSafety,
+}
+
+func runLockSafety(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkSyncByValue(p, n.Recv, n.Type)
+				if n.Body != nil {
+					checkLockDefer(p, n.Body)
+				}
+			case *ast.FuncLit:
+				checkSyncByValue(p, nil, n.Type)
+				checkLockDefer(p, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+type lockSite struct {
+	call *ast.CallExpr
+	recv string
+	read bool // RLock rather than Lock
+}
+
+// checkLockDefer scans one function scope (excluding nested function
+// literals, which have their own defer stack) for Lock calls lacking a
+// matching deferred Unlock.
+func checkLockDefer(p *Pass, body *ast.BlockStmt) {
+	var locks []lockSite
+	deferred := make(map[string]bool) // recv text + flavor of deferred unlocks
+	walkScope(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, recv, name := syncMethodCall(p, n.X); call != nil {
+				switch name {
+				case "Lock":
+					locks = append(locks, lockSite{call, recv, false})
+				case "RLock":
+					locks = append(locks, lockSite{call, recv, true})
+				}
+			}
+		case *ast.DeferStmt:
+			if _, recv, name := syncMethodCall(p, n.Call); name == "Unlock" || name == "RUnlock" {
+				deferred[recv+"/"+name] = true
+			}
+		}
+	})
+	for _, l := range locks {
+		want := l.recv + "/Unlock"
+		verb := "Lock"
+		if l.read {
+			want = l.recv + "/RUnlock"
+			verb = "RLock"
+		}
+		if !deferred[want] {
+			p.Reportf(l.call.Pos(), "%s.%s() without a matching defer in this function; a panic in the critical section leaves the mutex held — use defer %s.%s() or //figlint:allow locksafety -- reason",
+				l.recv, verb, l.recv, want[len(l.recv)+1:])
+		}
+	}
+}
+
+// syncMethodCall unwraps e as a call to a method of package sync,
+// returning the call, the receiver's source text, and the method name.
+func syncMethodCall(p *Pass, e ast.Expr) (*ast.CallExpr, string, string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, "", ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", ""
+	}
+	fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", ""
+	}
+	return call, types.ExprString(sel.X), fn.Name()
+}
+
+// walkScope visits the statements of one function body without
+// descending into nested function literals.
+func walkScope(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// syncValueTypes are the sync primitives that must not be copied.
+var syncValueTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Map": true, "Pool": true, "Cond": true,
+}
+
+func checkSyncByValue(p *Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := p.TypesInfo.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				continue
+			}
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncValueTypes[obj.Name()] {
+				p.Reportf(field.Type.Pos(), "sync.%s %s by value copies the lock state; use *sync.%s", obj.Name(), what, obj.Name())
+			}
+		}
+	}
+	check(recv, "receiver")
+	check(ft.Params, "parameter")
+	check(ft.Results, "result")
+}

@@ -1,0 +1,214 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags slices built by ranging over a map that then escape the
+// function (returned, stored, serialized) without a deterministic sort,
+// and direct serialization from inside a map-range body. Go randomizes
+// map iteration order, so ranked top-k lists, persisted index rows and
+// figure tables assembled this way differ between runs even with a fixed
+// dataset seed — the cross-run determinism EXPERIMENTS.md promises
+// requires every map-derived ordering to be re-sorted with a total
+// order (score, then object ID).
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags map-iteration results that escape without a deterministic sort",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkMapOrder(p, fd.Body)
+			}
+		}
+	}
+}
+
+func checkMapOrder(p *Pass, body *ast.BlockStmt) {
+	var loops []*ast.RangeStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok && isMapType(p, r.X) {
+			loops = append(loops, r)
+		}
+		return true
+	})
+	for _, loop := range loops {
+		checkSerializeInLoop(p, loop)
+		for _, obj := range appendTargets(p, loop) {
+			checkEscapeWithoutSort(p, body, loop, obj)
+		}
+	}
+}
+
+func isMapType(p *Pass, e ast.Expr) bool {
+	t := p.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// appendTargets returns the objects of local slice variables appended to
+// inside the loop body (s = append(s, ...)).
+func appendTargets(p *Pass, loop *ast.RangeStmt) []types.Object {
+	var out []types.Object
+	seen := make(map[types.Object]bool)
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltin(p, call, "append") {
+			return true
+		}
+		obj := p.TypesInfo.ObjectOf(id)
+		if obj != nil && !seen[obj] {
+			seen[obj] = true
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
+}
+
+// checkSerializeInLoop flags writes to an output stream from inside the
+// map-range body: fmt.Print/Fprint families and Encoder.Encode calls.
+func checkSerializeInLoop(p *Pass, loop *ast.RangeStmt) {
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		name := fn.Name()
+		switch {
+		case fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+			(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")):
+			p.Reportf(call.Pos(), "fmt.%s inside a map-range body emits in nondeterministic order; collect, sort, then print", name)
+		case name == "Encode" && fn.Type().(*types.Signature).Recv() != nil:
+			p.Reportf(call.Pos(), "Encode inside a map-range body serializes in nondeterministic order; collect, sort, then encode")
+		}
+		return true
+	})
+}
+
+// checkEscapeWithoutSort reports the loop if obj escapes the function
+// after the loop with no intervening deterministic sort.
+func checkEscapeWithoutSort(p *Pass, body *ast.BlockStmt, loop *ast.RangeStmt, obj types.Object) {
+	sorted := false
+	var escape ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil || n.Pos() <= loop.End() {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !exprContainsObj(p, n, obj) {
+				return true
+			}
+			switch {
+			case isSortLike(p, n):
+				sorted = true
+			case isBuiltin(p, n, "append", "len", "cap", "copy", "delete"):
+				// growth or size queries, order-insensitive
+			default:
+				if escape == nil {
+					escape = n
+				}
+			}
+			return false // args already scanned; don't double-report nested calls
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if id, ok := r.(*ast.Ident); ok && p.TypesInfo.ObjectOf(id) == obj {
+					if escape == nil {
+						escape = n
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if exprContainsObj(p, n.Value, obj) && escape == nil {
+				escape = n
+			}
+		case *ast.AssignStmt:
+			for _, r := range n.Rhs {
+				if _, isCall := r.(*ast.CallExpr); isCall {
+					continue // handled by the CallExpr case
+				}
+				if exprContainsObj(p, r, obj) && escape == nil {
+					escape = n
+				}
+			}
+		}
+		return true
+	})
+	if escape != nil && !sorted {
+		p.Reportf(loop.Pos(), "slice %q is built by ranging over a map and escapes without a deterministic sort; sort with a total order (e.g. score then ID) before it leaves the function", obj.Name())
+	}
+}
+
+// isSortLike recognizes calls that impose a deterministic order: anything
+// from package sort or slices, and helpers whose name mentions sorting.
+func isSortLike(p *Pass, call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := p.TypesInfo.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			if path := fn.Pkg().Path(); path == "sort" || path == "slices" {
+				return true
+			}
+		}
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return false
+	}
+	return strings.Contains(strings.ToLower(name), "sort")
+}
+
+func isBuiltin(p *Pass, call *ast.CallExpr, names ...string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, ok := p.TypesInfo.Uses[id].(*types.Builtin); !ok {
+		return false
+	}
+	for _, n := range names {
+		if id.Name == n {
+			return true
+		}
+	}
+	return false
+}
+
+func exprContainsObj(p *Pass, e ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.TypesInfo.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

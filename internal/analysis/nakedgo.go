@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NakedGo polices goroutine hygiene in the serving-path packages
+// (internal/server, internal/retrieval): a `go func` literal must either
+// recover panics (a panic in a request-scoped goroutine kills the whole
+// server) or signal completion through a WaitGroup or channel (a fire-
+// and-forget worker writing shared partial results races the reader).
+// Worker-pool goroutines with `defer wg.Done()` and channel-producing
+// goroutines both satisfy the check.
+var NakedGo = &Analyzer{
+	Name: "nakedgo",
+	Doc:  "flags go func literals in server/retrieval that neither recover panics nor signal completion",
+	Run:  runNakedGo,
+}
+
+// nakedGoPackages names the packages under the serving path. Scoping is
+// by package name so fixture packages exercise the analyzer too.
+var nakedGoPackages = map[string]bool{
+	"server":    true,
+	"retrieval": true,
+}
+
+func runNakedGo(p *Pass) {
+	if p.Pkg == nil || !nakedGoPackages[p.Pkg.Name()] {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !recoversPanics(p, lit.Body) && !signalsCompletion(p, lit.Body) {
+				p.Reportf(g.Pos(), "goroutine neither recovers panics nor signals completion; a panic here crashes the server and nothing can wait for the work — add defer/recover or a WaitGroup/channel")
+			}
+			return true
+		})
+	}
+}
+
+// recoversPanics reports whether the body calls the recover builtin
+// (typically inside a deferred function literal).
+func recoversPanics(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "recover" {
+			if _, ok := p.TypesInfo.Uses[id].(*types.Builtin); ok {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// signalsCompletion reports whether the body sends on or closes a
+// channel, or calls sync.WaitGroup.Done.
+func signalsCompletion(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if isBuiltin(p, n, "close") {
+				found = true
+				break
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Done" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"strings"
+)
+
+const pragmaPrefix = "//figlint:allow"
+
+// allowKey identifies one (file, line, analyzer) allowance.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type allowSet map[allowKey]bool
+
+func (s allowSet) allowed(d Diagnostic) bool {
+	return s[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]
+}
+
+// collectAllows scans a package's comments for //figlint:allow pragmas.
+// A pragma suppresses the named analyzers on its own line (trailing
+// comment) and on the line immediately after the comment group
+// (standalone comment). Syntax:
+//
+//	//figlint:allow name[,name...] -- reason
+//
+// Pragmas with no analyzer names, an unknown analyzer name, or no reason
+// are reported as diagnostics themselves so vetted exceptions stay
+// auditable.
+func collectAllows(pkg *Package, analyzers []*Analyzer) (allowSet, []Diagnostic) {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	allows := make(allowSet)
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, pragmaPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				report := func(msg string) {
+					diags = append(diags, Diagnostic{Pos: pos, Analyzer: "pragma", Message: msg})
+				}
+				rest := strings.TrimPrefix(c.Text, pragmaPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// e.g. //figlint:allowed — not ours.
+					continue
+				}
+				names, reason, found := strings.Cut(rest, "--")
+				if !found || strings.TrimSpace(reason) == "" {
+					report(`allow pragma needs a justification: //figlint:allow name[,name] -- reason`)
+					continue
+				}
+				fields := strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+				if len(fields) == 0 {
+					report(`allow pragma names no analyzer: //figlint:allow name[,name] -- reason`)
+					continue
+				}
+				ok := true
+				for _, n := range fields {
+					if !known[n] {
+						report("allow pragma names unknown analyzer " + quote(n))
+						ok = false
+					}
+				}
+				if !ok {
+					continue
+				}
+				// The pragma covers its own line (trailing form) and the
+				// line after the comment's end (standalone form).
+				endLine := pkg.Fset.Position(c.End()).Line
+				for _, n := range fields {
+					allows[allowKey{pos.Filename, pos.Line, n}] = true
+					allows[allowKey{pos.Filename, endLine + 1, n}] = true
+				}
+			}
+		}
+	}
+	return allows, diags
+}
+
+func quote(s string) string { return `"` + s + `"` }

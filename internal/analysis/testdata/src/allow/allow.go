@@ -1,0 +1,31 @@
+// Fixture for the //figlint:allow pragma machinery.
+package fixture
+
+func standalone(a, b float64) bool {
+	//figlint:allow floatcmp -- fixture: standalone pragma suppresses the next line
+	return a == b // silent: allowed above
+}
+
+func trailing(a, b float64) bool {
+	return a == b //figlint:allow floatcmp -- fixture: trailing pragma suppresses its own line
+}
+
+func missingReason(a, b float64) bool {
+	//figlint:allow floatcmp // want "needs a justification"
+	return a == b // want "floating-point"
+}
+
+func unknownName(a, b float64) bool {
+	//figlint:allow nosuchcheck -- some reason // want "unknown analyzer"
+	return a == b // want "floating-point"
+}
+
+func wrongAnalyzer(a, b float64) bool {
+	//figlint:allow maporder -- fixture: names the wrong analyzer, so floatcmp still fires
+	return a == b // want "floating-point"
+}
+
+func multiName(a, b float64) bool {
+	//figlint:allow floatcmp,maporder -- fixture: lists several analyzers
+	return a == b // silent: floatcmp among the allowed names
+}

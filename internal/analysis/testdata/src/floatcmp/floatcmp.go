@@ -1,0 +1,38 @@
+// Fixture for the floatcmp analyzer: positive cases carry want comments,
+// everything else must stay silent.
+package fixture
+
+func epsEq(a, b float64) bool { return a-b < 1e-9 && b-a < 1e-9 }
+
+type myFloat float64
+
+func compare(a, b float64, f32 float32, m myFloat, i, j int) bool {
+	if a == b { // want "floating-point"
+		return true
+	}
+	if a != b { // want "floating-point"
+		return false
+	}
+	_ = a == 0            // want "floating-point"
+	_ = f32 == float32(b) // want "floating-point"
+	_ = m == myFloat(a)   // want "floating-point"
+
+	switch a { // want "switch on a floating-point"
+	case 1.0:
+	}
+
+	if i == j { // silent: integer comparison
+		return true
+	}
+	if epsEq(a, b) { // silent: epsilon helper
+		return true
+	}
+	const c1, c2 = 1.5, 2.5
+	_ = c1 == c2 // silent: both operands constant, folded at compile time
+	s := "x"
+	_ = s == "y" // silent: strings
+	switch i {   // silent: integer switch
+	case 1:
+	}
+	return false
+}

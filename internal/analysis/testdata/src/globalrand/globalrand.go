@@ -1,0 +1,24 @@
+// Fixture for the globalrand analyzer.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func draws() int {
+	rand.Seed(42)                      // want "rand.Seed reseeds the process-global source"
+	n := rand.Intn(10)                 // want "process-global"
+	f := rand.Float64()                // want "process-global"
+	rand.Shuffle(3, func(i, j int) {}) // want "process-global"
+	_ = rand.Perm(4)                   // want "process-global"
+
+	rng := rand.New(rand.NewSource(7)) // silent: injected constructor chain
+	n += rng.Intn(10)                  // silent: method on the injected generator
+	f += rng.Float64()                 // silent
+	_ = f
+
+	bad := rand.New(rand.NewSource(time.Now().UnixNano())) // want "clock"
+	_ = bad.Intn(2)                                        // silent: the construction was the offence
+	return n
+}

@@ -1,0 +1,66 @@
+// Fixture for the locksafety analyzer.
+package fixture
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data map[string]int
+}
+
+func (s *store) manualUnlock(k string) int {
+	s.mu.Lock() // want "without a matching defer"
+	v := s.data[k]
+	s.mu.Unlock()
+	return v
+}
+
+func (s *store) deferred(k string) int {
+	s.mu.Lock() // silent: deferred unlock below
+	defer s.mu.Unlock()
+	return s.data[k]
+}
+
+func (s *store) flavorMismatch(k string) int {
+	s.rw.RLock() // want "without a matching defer"
+	defer s.rw.Unlock()
+	return s.data[k]
+}
+
+func (s *store) deferredRead(k string) int {
+	s.rw.RLock() // silent: matching RUnlock deferred
+	defer s.rw.RUnlock()
+	return s.data[k]
+}
+
+func (s *store) wrongMutex(other *sync.Mutex) {
+	s.mu.Lock() // want "without a matching defer"
+	defer other.Unlock()
+}
+
+func (s *store) literalScope() func() {
+	return func() {
+		s.mu.Lock() // want "without a matching defer"
+		s.data["x"]++
+		s.mu.Unlock()
+	}
+}
+
+func (s *store) literalDeferred() func() {
+	return func() {
+		s.mu.Lock() // silent: defer inside the same literal
+		defer s.mu.Unlock()
+		s.data["x"]++
+	}
+}
+
+func byValue(mu sync.Mutex) {} // want "by value"
+
+func byPointer(mu *sync.Mutex) {} // silent: pointer
+
+func wgValue(wg sync.WaitGroup) {} // want "by value"
+
+func returnsOnce() sync.Once { // want "by value"
+	return sync.Once{}
+}

@@ -1,0 +1,64 @@
+// Fixture for the maporder analyzer.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "escapes without a deterministic sort"
+		out = append(out, k)
+	}
+	return out
+}
+
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // silent: sorted before returning
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func keysSortSlice(m map[string]int) []string {
+	var out []string
+	for k := range m { // silent: sort.Slice imposes a total order
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func localOnly(m map[string]int) int {
+	var vals []int
+	for _, v := range m { // silent: the slice never escapes
+		vals = append(vals, v)
+	}
+	return len(vals)
+}
+
+func passUnsorted(m map[string]int, sink func([]string)) {
+	var out []string
+	for k := range m { // want "escapes without a deterministic sort"
+		out = append(out, k)
+	}
+	sink(out)
+}
+
+func printLoop(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "map-range body emits"
+	}
+}
+
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, v := range xs { // silent: ranging a slice is ordered
+		out = append(out, v)
+	}
+	return out
+}

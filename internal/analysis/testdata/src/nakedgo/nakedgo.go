@@ -1,0 +1,52 @@
+// Fixture for the nakedgo analyzer. The package is named "server" so the
+// serving-path scoping applies (see nakedGoPackages).
+package server
+
+import "sync"
+
+func spawnNaked() {
+	go func() { // want "neither recovers panics nor signals"
+		work()
+	}()
+}
+
+func spawnWG(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // silent: WaitGroup signals completion
+		defer wg.Done()
+		work()
+	}()
+}
+
+func spawnChan() <-chan int {
+	ch := make(chan int, 1)
+	go func() { // silent: channel send signals completion
+		ch <- workValue()
+	}()
+	return ch
+}
+
+func spawnRecover() {
+	go func() { // silent: recovers panics
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		work()
+	}()
+}
+
+func spawnClose(done chan struct{}) {
+	go func() { // silent: close signals completion
+		defer close(done)
+		work()
+	}()
+}
+
+func spawnNamed() {
+	go work() // silent: only func literals are checked
+}
+
+func work()          {}
+func workValue() int { return 1 }

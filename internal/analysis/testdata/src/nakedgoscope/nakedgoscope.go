@@ -1,0 +1,12 @@
+// Fixture proving nakedgo only applies to the serving-path packages:
+// this package is not named server or retrieval, so the naked goroutine
+// below must stay silent.
+package fixture
+
+func spawnNaked() {
+	go func() { // silent: package out of nakedgo's scope
+		work()
+	}()
+}
+
+func work() {}

@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"figfusion/internal/media"
+	"figfusion/internal/numeric"
 	"figfusion/internal/topk"
 )
 
@@ -83,7 +84,7 @@ func kindCosine(corpus *media.Corpus, a, b *media.Object, kind media.Kind) float
 		cb := float64(b.Counts[i])
 		nb += cb * cb
 	}
-	if na == 0 || nb == 0 {
+	if numeric.IsZero(na) || numeric.IsZero(nb) {
 		return 0
 	}
 	return dot / (math.Sqrt(na) * math.Sqrt(nb))

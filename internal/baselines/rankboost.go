@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"figfusion/internal/media"
+	"figfusion/internal/numeric"
 )
 
 // RB is the late-fusion baseline: per-feature-type result lists are
@@ -93,7 +94,7 @@ func TrainRB(corpus *media.Corpus, queries []media.ObjectID,
 		if math.Abs(bestR) >= 1-1e-9 {
 			bestR = math.Copysign(1-1e-9, bestR)
 		}
-		if bestR == 0 {
+		if numeric.IsZero(bestR) {
 			break // no weak ranker separates the remaining distribution
 		}
 		best.alpha = 0.5 * math.Log((1+bestR)/(1-bestR))
@@ -183,6 +184,7 @@ func candidateThresholds(pairs []trainingPair, count int) [media.NumKinds][]floa
 				idx = len(vals) - 1
 			}
 			v := vals[idx]
+			//figlint:allow floatcmp -- deduplicating bit-identical quantile cut points drawn from one sorted slice; epsilon merging would change the trained ranker
 			if out[kind][len(out[kind])-1] != v {
 				out[kind] = append(out[kind], v)
 			}

@@ -64,6 +64,7 @@ func (c *Classifier) Classify(o *media.Object) (label int, ok bool) {
 	}
 	best, bestVote := 0, -1.0
 	for lbl, v := range votes {
+		//figlint:allow floatcmp -- exact tie-break by smallest label keeps the argmax independent of map iteration order; an epsilon band here would be order-sensitive
 		if v > bestVote || (v == bestVote && lbl < best) {
 			best, bestVote = lbl, v
 		}

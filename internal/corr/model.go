@@ -142,17 +142,25 @@ func (m *Model) cosine(a, b media.FID) float64 {
 		a, b = b, a
 	}
 	key := pairKey{a, b}
-	m.mu.Lock()
-	if v, ok := m.cache[key]; ok {
-		m.mu.Unlock()
+	if v, ok := m.cachedCosine(key); ok {
 		return v
 	}
-	m.mu.Unlock()
 	v := m.Stats.Cosine(a, b)
-	m.mu.Lock()
-	m.cache[key] = v
-	m.mu.Unlock()
+	m.storeCosine(key, v)
 	return v
+}
+
+func (m *Model) cachedCosine(key pairKey) (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.cache[key]
+	return v, ok
+}
+
+func (m *Model) storeCosine(key pairKey, v float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cache[key] = v
 }
 
 // Correlated reports whether the trained threshold admits an edge between
@@ -224,6 +232,6 @@ func (m *Model) TrainThresholds(sampleObjects int, quantile float64, rng *rand.R
 // global and shift with every insertion.
 func (m *Model) InvalidateCache() {
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.cache = make(map[pairKey]float64)
-	m.mu.Unlock()
 }

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"figfusion/internal/media"
+	"figfusion/internal/numeric"
 )
 
 // Stats holds per-feature corpus statistics: posting lists and frequency
@@ -79,10 +80,10 @@ func (s *Stats) Mean(fid media.FID) float64 {
 
 // Variance returns the population variance var(n_j) of Eq. 8.
 func (s *Stats) Variance(fid media.FID) float64 {
-	n := float64(s.corpus.Len())
-	if int(fid) >= len(s.sumSq) || n == 0 {
+	if int(fid) >= len(s.sumSq) || s.corpus.Len() == 0 {
 		return 0
 	}
+	n := float64(s.corpus.Len())
 	mean := s.sumCount[fid] / n
 	v := s.sumSq[fid]/n - mean*mean
 	if v < 0 {
@@ -119,7 +120,7 @@ func (s *Stats) Dot(a, b media.FID) float64 {
 // Features that never occur give 0.
 func (s *Stats) Cosine(a, b media.FID) float64 {
 	na, nb := s.Norm(a), s.Norm(b)
-	if na == 0 || nb == 0 {
+	if numeric.IsZero(na) || numeric.IsZero(nb) {
 		return 0
 	}
 	return s.Dot(a, b) / (na * nb)
@@ -152,7 +153,7 @@ func (s *Stats) CorS(fids []media.FID) float64 {
 	for j, fid := range fids {
 		means[j] = s.Mean(fid)
 		v := s.Variance(fid)
-		if v == 0 {
+		if numeric.IsZero(v) {
 			return 0 // a constant feature correlates with nothing
 		}
 		sds[j] = math.Sqrt(v)

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"figfusion/internal/media"
+	"figfusion/internal/numeric"
 	"figfusion/internal/topk"
 )
 
@@ -70,7 +71,7 @@ func NDCG(q *media.Object, results []topk.Item, corpus *media.Corpus,
 	for i := 0; i < ideal; i++ {
 		idcg += 1 / math.Log2(float64(i)+2)
 	}
-	if idcg == 0 {
+	if numeric.IsZero(idcg) {
 		return 0
 	}
 	return dcg / idcg

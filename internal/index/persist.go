@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"figfusion/internal/media"
 )
@@ -17,10 +18,18 @@ type wireEntry struct {
 
 // Save writes the index to w in gob format. Combined with the dataset's
 // own Save, a deployment can persist everything a serving engine needs and
-// skip the O(|D|) clique enumeration at startup.
+// skip the O(|D|) clique enumeration at startup. Rows are emitted in
+// clique-key order so the same index always serializes to the same bytes
+// (map iteration order would otherwise leak into the file).
 func (inv *Inverted) Save(w io.Writer) error {
-	rows := make([]wireEntry, 0, len(inv.entries))
-	for _, e := range inv.entries {
+	keys := make([]string, 0, len(inv.entries))
+	for k := range inv.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([]wireEntry, 0, len(keys))
+	for _, k := range keys {
+		e := inv.entries[k]
 		rows = append(rows, wireEntry{Feats: e.Feats, CorS: e.CorS, Objects: e.Objects})
 	}
 	return gob.NewEncoder(w).Encode(rows)

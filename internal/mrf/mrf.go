@@ -36,6 +36,7 @@ import (
 	"figfusion/internal/corr"
 	"figfusion/internal/fig"
 	"figfusion/internal/media"
+	"figfusion/internal/numeric"
 )
 
 // MaxCliqueFeatures is the largest clique feature count the default λ vector
@@ -147,9 +148,7 @@ func NewScorer(m *corr.Model, p Params) (*Scorer, error) {
 // the trained λ parameters.
 func (s *Scorer) CorS(c fig.Clique) float64 {
 	key := c.Key()
-	s.mu.Lock()
-	v, ok := s.cors[key]
-	s.mu.Unlock()
+	v, ok := s.cachedCorS(key)
 	if ok {
 		return v
 	}
@@ -165,10 +164,21 @@ func (s *Scorer) CorS(c fig.Clique) float64 {
 	if v < 0 {
 		v = 0
 	}
-	s.mu.Lock()
-	s.cors[key] = v
-	s.mu.Unlock()
+	s.storeCorS(key, v)
 	return v
+}
+
+func (s *Scorer) cachedCorS(key string) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.cors[key]
+	return v, ok
+}
+
+func (s *Scorer) storeCorS(key string, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cors[key] = v
 }
 
 // setFreq returns freq(n_1..n_k | O): the number of complete co-occurrences
@@ -235,26 +245,35 @@ func (s *Scorer) smoothing(feats []media.FID, o *media.Object) float64 {
 // featureObjectCor returns Σ_{f_j ∈ O} Cor(f, f_j), cached per (f, O).
 func (s *Scorer) featureObjectCor(f media.FID, o *media.Object) float64 {
 	key := uint64(uint32(f))<<32 | uint64(uint32(o.ID))
-	s.smoothMu.RLock()
-	v, ok := s.smoothCache[key]
-	s.smoothMu.RUnlock()
+	v, ok := s.cachedSmooth(key)
 	if ok {
 		return v
 	}
 	for _, fj := range o.Feats {
 		v += s.Model.Cor(f, fj)
 	}
-	s.smoothMu.Lock()
-	s.smoothCache[key] = v
-	s.smoothMu.Unlock()
+	s.storeSmooth(key, v)
 	return v
+}
+
+func (s *Scorer) cachedSmooth(key uint64) (float64, bool) {
+	s.smoothMu.RLock()
+	defer s.smoothMu.RUnlock()
+	v, ok := s.smoothCache[key]
+	return v, ok
+}
+
+func (s *Scorer) storeSmooth(key uint64, v float64) {
+	s.smoothMu.Lock()
+	defer s.smoothMu.Unlock()
+	s.smoothCache[key] = v
 }
 
 // Potential computes ϕ′(c) for a candidate object: Eq. 7 scaled by λ_c and,
 // when enabled, by the Eq. 9 CorS weight.
 func (s *Scorer) Potential(c fig.Clique, o *media.Object) float64 {
 	lambda := s.Params.LambdaFor(len(c.Feats))
-	if lambda == 0 {
+	if numeric.IsZero(lambda) {
 		return 0
 	}
 	phi := lambda * s.conditional(c.Feats, o)
@@ -280,7 +299,7 @@ func (s *Scorer) Score(cliques []fig.Clique, o *media.Object) float64 {
 // decay as age 0.
 func (s *Scorer) PotentialTemporal(c fig.Clique, o *media.Object, nowMonth int) float64 {
 	phi := s.Potential(c, o)
-	if phi == 0 || s.Params.Delta == 1 {
+	if numeric.IsZero(phi) || numeric.Eq(s.Params.Delta, 1) {
 		return phi
 	}
 	age := 0
@@ -304,10 +323,18 @@ func (s *Scorer) ScoreTemporal(cliques []fig.Clique, o *media.Object, nowMonth i
 // the underlying corpus statistics change (incremental ingestion): both
 // caches are derived from corpus-global moments.
 func (s *Scorer) Reset() {
+	s.resetCorS()
+	s.resetSmooth()
+}
+
+func (s *Scorer) resetCorS() {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.cors = make(map[string]float64)
-	s.mu.Unlock()
+}
+
+func (s *Scorer) resetSmooth() {
 	s.smoothMu.Lock()
+	defer s.smoothMu.Unlock()
 	s.smoothCache = make(map[uint64]float64)
-	s.smoothMu.Unlock()
 }

@@ -1,6 +1,10 @@
 package mrf
 
-import "math"
+import (
+	"math"
+
+	"figfusion/internal/numeric"
+)
 
 // Objective evaluates a parameter setting and returns a quality score to
 // maximise — in this repo, mean Precision@10 over training queries, which is
@@ -83,7 +87,7 @@ func normalize(lambda []float64) {
 	for _, l := range lambda {
 		sum += l
 	}
-	if sum == 0 {
+	if numeric.IsZero(sum) {
 		for i := range lambda {
 			lambda[i] = 1 / float64(len(lambda))
 		}

@@ -1,0 +1,37 @@
+// Package numeric centralizes the floating-point comparison discipline
+// figlint's floatcmp analyzer enforces. MRF potentials, CorS weights and
+// similarity scores are sums of products of floats whose exact bit
+// patterns depend on evaluation order; any semantic comparison of them
+// must therefore tolerate rounding noise. The only sanctioned exact
+// comparisons are total-order tie-breaks (see topk.Less), which carry
+// //figlint:allow pragmas at their use sites.
+package numeric
+
+import "math"
+
+// Eps is the default absolute tolerance. Scores in this codebase are
+// O(1) quantities (probabilities, cosines, normalized potentials), so an
+// absolute tolerance near the double-precision noise floor separates
+// "mathematically zero" from "small but meaningful".
+const Eps = 1e-12
+
+// IsZero reports whether x is zero up to Eps. Use it for the
+// guard-before-divide and feature-disabled sentinels that would
+// otherwise compare == 0.
+func IsZero(x float64) bool { return math.Abs(x) <= Eps }
+
+// Eq reports whether a and b are equal up to Eps.
+func Eq(a, b float64) bool { return math.Abs(a-b) <= Eps }
+
+// EqTol reports whether a and b are equal up to a caller-chosen
+// absolute tolerance.
+func EqTol(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// EqRel reports whether a and b are equal up to a relative tolerance of
+// Eps scaled by the larger magnitude, with an absolute floor of Eps for
+// values near zero. Use it when comparing quantities that may be far
+// from O(1).
+func EqRel(a, b float64) bool {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= Eps*math.Max(1, scale)
+}

@@ -1,0 +1,62 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIsZero(t *testing.T) {
+	cases := []struct {
+		x    float64
+		want bool
+	}{
+		{0, true},
+		{Eps, true},
+		{-Eps, true},
+		{1e-15, true},
+		{1e-9, false},
+		{1, false},
+		{-1, false},
+		{math.NaN(), false},
+		{math.Inf(1), false},
+	}
+	for _, c := range cases {
+		if got := IsZero(c.x); got != c.want {
+			t.Errorf("IsZero(%g) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestEq(t *testing.T) {
+	if !Eq(0.1+0.2, 0.3) {
+		t.Error("Eq must absorb the canonical 0.1+0.2 rounding error")
+	}
+	if Eq(1, 1+1e-9) {
+		t.Error("Eq must distinguish values separated by far more than Eps")
+	}
+	if Eq(math.NaN(), math.NaN()) {
+		t.Error("NaN equals nothing")
+	}
+}
+
+func TestEqTol(t *testing.T) {
+	if !EqTol(1.0, 1.05, 0.1) {
+		t.Error("EqTol(1, 1.05, 0.1) should hold")
+	}
+	if EqTol(1.0, 1.2, 0.1) {
+		t.Error("EqTol(1, 1.2, 0.1) should not hold")
+	}
+}
+
+func TestEqRel(t *testing.T) {
+	big := 1e15
+	if !EqRel(big, big+1) {
+		t.Error("EqRel must scale the tolerance for large magnitudes")
+	}
+	if Eq(big, big+1) {
+		t.Error("absolute Eq should reject the same pair, proving EqRel differs")
+	}
+	if !EqRel(0, 1e-13) {
+		t.Error("EqRel keeps the absolute floor near zero")
+	}
+}

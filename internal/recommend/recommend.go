@@ -18,6 +18,7 @@ import (
 	"figfusion/internal/fig"
 	"figfusion/internal/media"
 	"figfusion/internal/mrf"
+	"figfusion/internal/numeric"
 	"figfusion/internal/topk"
 )
 
@@ -115,7 +116,7 @@ func (r *Recommender) BuildProfile(history []*media.Object, now int) *Profile {
 func (r *Recommender) Score(p *Profile, o *media.Object) float64 {
 	var sum float64
 	for _, wc := range p.cliques {
-		if wc.weight == 0 {
+		if numeric.IsZero(wc.weight) {
 			continue
 		}
 		sum += wc.weight * r.Scorer.Potential(wc.clique, o)

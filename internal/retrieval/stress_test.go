@@ -1,0 +1,80 @@
+package retrieval
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"figfusion/internal/media"
+)
+
+// TestStressConcurrentSearchPaths hammers every read path of a shared
+// engine from many goroutines at once. Run under the race detector
+// (`make race`, CI) it proves the documented contract that an Engine is
+// safe for concurrent searches — including the lazily filled CorS and
+// smoothing caches behind the scorer's mutexes and the parallel
+// SearchScan fan-out.
+func TestStressConcurrentSearchPaths(t *testing.T) {
+	d := testData(t)
+	e := newEngine(t, d, Config{})
+	const (
+		workers = 8
+		rounds  = 6
+	)
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				q := d.Corpus.Object(media.ObjectID((w*rounds + r) % d.Corpus.Len()))
+				switch r % 4 {
+				case 0:
+					if len(e.Search(q, 5, q.ID)) == 0 {
+						t.Error("Search returned nothing")
+						return
+					}
+				case 1:
+					e.SearchTA(q, 5, q.ID)
+				case 2:
+					e.SearchScan(q, 5, q.ID)
+				case 3:
+					e.SearchMergeFull(q, 5, q.ID)
+				}
+				done.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := done.Load(); got != workers*rounds {
+		t.Fatalf("completed %d searches, want %d", got, workers*rounds)
+	}
+}
+
+// TestStressSharedScorerCaches aims the contention specifically at the
+// scorer's memoisation maps: every goroutine scores the same block of
+// queries, so almost every cache access after the first is a read hit
+// racing concurrent fills.
+func TestStressSharedScorerCaches(t *testing.T) {
+	d := testData(t)
+	e := newEngine(t, d, Config{})
+	queries := make([]*media.Object, 6)
+	for i := range queries {
+		queries[i] = d.Corpus.Object(media.ObjectID(i))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 10; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, q := range queries {
+				cliques := e.QueryCliques(q)
+				for i := 0; i < 10; i++ {
+					e.Scorer.Score(cliques, d.Corpus.Object(media.ObjectID(i)))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

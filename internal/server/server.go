@@ -107,7 +107,12 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.healthSnapshot())
+}
+
+func (s *Server) healthSnapshot() map[string]interface{} {
 	s.mu.RLock()
+	defer s.mu.RUnlock()
 	corpus := s.engine.Model.Stats.Corpus()
 	resp := map[string]interface{}{
 		"status":   "ok",
@@ -117,8 +122,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.engine.Index != nil {
 		resp["cliques"] = s.engine.Index.NumCliques()
 	}
-	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -220,14 +224,20 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "object must carry at least one feature")
 		return
 	}
-	s.mu.Lock()
-	o, err := s.engine.Insert(feats, counts, req.Month)
-	s.mu.Unlock()
+	o, err := s.insert(feats, counts, req.Month)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "insert: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, InsertResponse{ID: int64(o.ID)})
+}
+
+// insert takes the write lock for the engine mutation; a deferred unlock
+// keeps the server serviceable even if Insert panics on corrupt input.
+func (s *Server) insert(feats []media.Feature, counts []int, month int) (*media.Object, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.Insert(feats, counts, month)
 }
 
 // RecommendRequest is the /recommend payload: the caller's favourite

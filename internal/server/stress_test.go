@@ -1,0 +1,95 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestStressMixedWorkload drives the full HTTP surface from many
+// goroutines at once — searches, object reads, health checks and
+// recommendations under the read lock, interleaved with ingestion under
+// the write lock. Run under the race detector (`make race`, CI) this is
+// the server's concurrency gate: the RWMutex discipline around
+// Engine.Insert's global-statistics mutation must hold for every route.
+func TestStressMixedWorkload(t *testing.T) {
+	s, d := testServer(t)
+	h := s.Handler()
+	const (
+		readers = 8
+		rounds  = 12
+	)
+	recBody, err := json.Marshal(RecommendRequest{History: []int64{0, 1, 2}, K: 5, Now: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := func(method, target string, body []byte) int {
+		var req *http.Request
+		if body != nil {
+			req = httptest.NewRequest(method, target, bytes.NewReader(body))
+		} else {
+			req = httptest.NewRequest(method, target, nil)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	// Snapshot the corpus size before traffic starts: reading it through
+	// d.Corpus mid-run would bypass the server's lock. Inserts only grow
+	// the corpus, so ids below the snapshot stay valid throughout.
+	initialLen := d.Corpus.Len()
+	var wg sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				id := (w*rounds + r) % initialLen
+				var code int
+				switch r % 5 {
+				case 0:
+					code = hit("GET", fmt.Sprintf("/search?id=%d&k=5", id), nil)
+				case 1:
+					code = hit("GET", "/healthz", nil)
+				case 2:
+					code = hit("GET", fmt.Sprintf("/object?id=%d", id), nil)
+				case 3:
+					code = hit("GET", "/search?text=topic01tag01&k=3", nil)
+				case 4:
+					code = hit("POST", "/recommend", recBody)
+				}
+				// Concurrent inserts grow the corpus, never shrink it, so
+				// ids probed here stay valid and every route must succeed.
+				if code != http.StatusOK {
+					t.Errorf("worker %d round %d: status %d", w, r, code)
+					return
+				}
+			}
+		}(w)
+	}
+	// One writer ingests new objects while the readers run, forcing
+	// write-lock handoffs and cache invalidations mid-traffic.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			body, err := json.Marshal(InsertRequest{
+				Tags:  []string{"topic01tag01", fmt.Sprintf("stress%02d", i)},
+				Month: i % 4,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if code := hit("POST", "/objects", body); code != http.StatusCreated {
+				t.Errorf("insert %d: status %d", i, code)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -21,6 +21,7 @@ type Item struct {
 // Less orders items by descending score, breaking ties by ascending ID so
 // result lists are deterministic.
 func Less(a, b Item) bool {
+	//figlint:allow floatcmp -- a total order needs the exact tie-break: an epsilon band here breaks transitivity, and with it sort/heap invariants
 	if a.Score != b.Score {
 		return a.Score > b.Score
 	}

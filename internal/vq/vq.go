@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"figfusion/internal/numeric"
 )
 
 // Dim is the dimensionality of a descriptor. The paper uses 16-D visual
@@ -119,7 +121,7 @@ func seedPlusPlus(samples []Descriptor, k int, rng *rand.Rand) []Descriptor {
 			}
 			total += dist2[i]
 		}
-		if total == 0 {
+		if numeric.IsZero(total) {
 			// All remaining samples coincide with chosen centroids; fall
 			// back to uniform sampling so we still return k centroids.
 			centroids = append(centroids, samples[rng.Intn(len(samples))])
