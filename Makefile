@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt lint figlint figures examples clean
+.PHONY: all build test race bench benchall vet fmt lint figlint figures examples clean
 
 all: build lint test
 
@@ -15,7 +15,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Query-path benchmarks: the retrieval microbenches plus the serving-path
+# measurement appended to the tracked baseline file (see "Query-path
+# performance baseline" in EXPERIMENTS.md).
 bench:
+	$(GO) test -bench='Search|CandidateSet' -benchmem ./internal/retrieval/...
+	$(GO) run ./cmd/figbench -perf BENCH_retrieval.json -scale 800 -queries 12 -seed 1
+
+# Every microbenchmark in the repo (slow; includes the ablation sweeps).
+benchall:
 	$(GO) test -bench=. -benchmem ./...
 
 vet:

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
 	"time"
 
@@ -32,6 +33,10 @@ func main() {
 		queries  = flag.Int("queries", 20, "evaluation queries (paper: 20)")
 		users    = flag.Int("users", 30, "evaluation users (paper: 279)")
 		seed     = flag.Int64("seed", 1, "seed")
+
+		perf      = flag.String("perf", "", "measure the retrieval query path and append the run to this JSON file (e.g. BENCH_retrieval.json); skips the figures")
+		perfLabel = flag.String("perflabel", "", "label recorded with the -perf run (default: go version + GOMAXPROCS)")
+		perfCap   = flag.Int("perfcap", 0, "CandidateCap for the -perf engine (0 = uncapped)")
 	)
 	flag.Parse()
 
@@ -41,6 +46,17 @@ func main() {
 	opts.Queries = *queries
 	opts.RecUsers = *users
 	opts.Seed = *seed
+
+	if *perf != "" {
+		label := *perfLabel
+		if label == "" {
+			label = fmt.Sprintf("%s GOMAXPROCS=%d", runtime.Version(), runtime.GOMAXPROCS(0))
+		}
+		if err := runPerf(*perf, label, opts, *perfCap); err != nil {
+			log.Fatalf("perf: %v", err)
+		}
+		return
+	}
 
 	type driver struct {
 		id  string

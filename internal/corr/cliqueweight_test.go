@@ -1,0 +1,54 @@
+package corr
+
+import (
+	"math"
+	"testing"
+
+	"figfusion/internal/media"
+)
+
+// TestCliqueWeight pins the Eq. 9 importance weight served by both the
+// scorer and the inverted index: 0 for the empty set, standardized
+// dispersion sd/mean for singletons, and CorS normalized by |D| (clamped
+// non-negative) for larger cliques.
+func TestCliqueWeight(t *testing.T) {
+	c, ids := buildTinyCorpus(t)
+	s := NewStats(c)
+	if got := s.CliqueWeight(nil); got != 0 {
+		t.Errorf("empty CliqueWeight = %v, want 0", got)
+	}
+	// cat counts are [2,1,0,0]: mean 0.75, variance 0.6875.
+	want := math.Sqrt(0.6875) / 0.75
+	if got := s.CliqueWeight([]media.FID{ids["cat"]}); math.Abs(got-want) > 1e-12 {
+		t.Errorf("singleton CliqueWeight = %v, want %v", got, want)
+	}
+	pair := []media.FID{ids["cat"], ids["dog"]}
+	raw := s.CorS(pair) / float64(c.Len())
+	if raw < 0 {
+		raw = 0
+	}
+	if got := s.CliqueWeight(pair); got != raw {
+		t.Errorf("pair CliqueWeight = %v, want CorS/|D| = %v", got, raw)
+	}
+	// cat and car never co-occur and are anti-correlated; the clamp must
+	// map the negative CorS to 0 rather than a score-negating weight.
+	anti := []media.FID{ids["cat"], ids["car"]}
+	if s.CorS(anti) >= 0 {
+		t.Fatalf("fixture drift: CorS(cat,car) = %v, want negative", s.CorS(anti))
+	}
+	if got := s.CliqueWeight(anti); got != 0 {
+		t.Errorf("anti-correlated CliqueWeight = %v, want 0", got)
+	}
+}
+
+// TestCliqueWeightZeroMeanSingleton covers the mean = 0 guard: a feature
+// can enter the dictionary without corpus mass (e.g. vocabulary padding);
+// its weight must be 0, not NaN.
+func TestCliqueWeightZeroMeanSingleton(t *testing.T) {
+	c, _ := buildTinyCorpus(t)
+	s := NewStats(c)
+	ghost := media.FID(c.Dict.Len() + 5)
+	if got := s.CliqueWeight([]media.FID{ghost}); got != 0 {
+		t.Errorf("zero-mean singleton CliqueWeight = %v, want 0", got)
+	}
+}

@@ -316,8 +316,8 @@ func TestModelCosineCache(t *testing.T) {
 	if a != b {
 		t.Errorf("cached cosine asymmetric: %v vs %v", a, b)
 	}
-	if len(m.cache) != 1 {
-		t.Errorf("cache size = %d, want 1", len(m.cache))
+	if n := m.cache.Len(); n != 1 {
+		t.Errorf("cache size = %d, want 1", n)
 	}
 }
 

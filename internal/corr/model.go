@@ -4,8 +4,9 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"sync"
+	"sync/atomic"
 
+	"figfusion/internal/floatcache"
 	"figfusion/internal/lexicon"
 	"figfusion/internal/media"
 	"figfusion/internal/social"
@@ -62,11 +63,15 @@ type Model struct {
 	AudioVocab *vision.Vocabulary
 	AudioWord  map[media.FID]int
 
-	mu    sync.Mutex
-	cache map[pairKey]float64
+	// gen counts invalidations of the corpus-global statistics. Every
+	// cache derived from them — the cosine cache here, the scorer-side
+	// CorS and smoothing caches — stamps its entries with the generation
+	// they were computed from, so caches owned by engines that never hear
+	// about an insert (WithParams clones share the Model but own their
+	// Scorer) still self-invalidate.
+	gen   atomic.Uint64
+	cache *floatcache.Cache[uint64]
 }
-
-type pairKey struct{ a, b media.FID }
 
 // NewModel wires a correlation model over the given substrates. Any of
 // taxonomy, vocab or network may be nil, in which case the corresponding
@@ -81,9 +86,14 @@ func NewModel(stats *Stats, tax *lexicon.Taxonomy, vocab *vision.Vocabulary, net
 		VisualWord: visualWord,
 		UserOf:     userOf,
 		Thresholds: DefaultThresholds(),
-		cache:      make(map[pairKey]float64),
+		cache:      floatcache.New[uint64](floatcache.HashUint64),
 	}
 }
+
+// Generation returns the current statistics generation. It increases on
+// every InvalidateCache; derived caches compare it against the stamp of
+// their entries.
+func (m *Model) Generation() uint64 { return m.gen.Load() }
 
 // Cor returns the correlation between two interned features in [0, 1].
 func (m *Model) Cor(a, b media.FID) float64 {
@@ -141,26 +151,14 @@ func (m *Model) cosine(a, b media.FID) float64 {
 	if a > b {
 		a, b = b, a
 	}
-	key := pairKey{a, b}
-	if v, ok := m.cachedCosine(key); ok {
+	key := uint64(uint32(a))<<32 | uint64(uint32(b))
+	gen := m.gen.Load()
+	if v, ok := m.cache.Get(gen, key); ok {
 		return v
 	}
 	v := m.Stats.Cosine(a, b)
-	m.storeCosine(key, v)
+	m.cache.Put(gen, key, v)
 	return v
-}
-
-func (m *Model) cachedCosine(key pairKey) (float64, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	v, ok := m.cache[key]
-	return v, ok
-}
-
-func (m *Model) storeCosine(key pairKey, v float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.cache[key] = v
 }
 
 // Correlated reports whether the trained threshold admits an edge between
@@ -227,11 +225,13 @@ func (m *Model) TrainThresholds(sampleObjects int, quantile float64, rng *rand.R
 	}
 }
 
-// InvalidateCache drops memoised cosine correlations. Call after appending
-// objects to the underlying statistics: co-occurrence cosines are corpus-
-// global and shift with every insertion.
+// InvalidateCache advances the statistics generation and drops memoised
+// cosine correlations. Call after appending objects to the underlying
+// statistics: co-occurrence cosines are corpus-global and shift with
+// every insertion. Downstream caches stamped with the old generation
+// (scorer CorS and smoothing sums, including those held by WithParams
+// clones that share this model) go stale automatically.
 func (m *Model) InvalidateCache() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.cache = make(map[pairKey]float64)
+	m.gen.Add(1)
+	m.cache.Reset()
 }

@@ -177,6 +177,41 @@ func (s *Stats) CorS(fids []media.FID) float64 {
 	return sum
 }
 
+// CliqueWeight returns the Eq. 9 importance weight of a clique's feature
+// set, the single definition served both by the scorer's query-time cache
+// and by the CorS column the inverted index stores per entry (so indexed
+// search paths can skip recomputing it).
+//
+// For two or more features this is Eq. 8 normalized by |D| (for k = 2
+// exactly the Pearson correlation), clamped non-negative: anti-correlated
+// feature sets contribute nothing rather than negating the score. For
+// singleton cliques Eq. 8 is identically zero by construction, so the
+// weight is the feature's standardized dispersion sd(n)/mean(n) — the
+// k = 1 analogue of the same standardized co-moment, which for binary
+// features equals √((|D|−df)/df), an idf-like measure that damps
+// uninformative high-document-frequency features (most visibly the shared
+// visual words). The relative scale between clique sizes is absorbed by
+// the trained λ parameters.
+func (s *Stats) CliqueWeight(fids []media.FID) float64 {
+	var v float64
+	switch {
+	case len(fids) == 0:
+		return 0
+	case len(fids) == 1:
+		if mean := s.Mean(fids[0]); mean > 0 {
+			v = math.Sqrt(s.Variance(fids[0])) / mean
+		}
+	default:
+		if n := s.corpus.Len(); n > 0 {
+			v = s.CorS(fids) / float64(n)
+		}
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
 // unionPostings returns the sorted union of the features' posting lists.
 func (s *Stats) unionPostings(fids []media.FID) []media.ObjectID {
 	var union []media.ObjectID

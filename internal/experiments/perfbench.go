@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"figfusion/internal/dataset"
+	"figfusion/internal/media"
+	"figfusion/internal/retrieval"
+)
+
+// PerfResult is one measured micro-benchmark: ns/op and allocations per
+// operation come from testing.Benchmark, queries/sec is derived for the
+// search benches (one op = one completed query, regardless of how many
+// goroutines issued it).
+type PerfResult struct {
+	Name          string  `json:"name"`
+	Goroutines    int     `json:"goroutines,omitempty"`
+	Iterations    int     `json:"iterations"`
+	NsPerOp       float64 `json:"nsPerOp"`
+	AllocsPerOp   int64   `json:"allocsPerOp"`
+	BytesPerOp    int64   `json:"bytesPerOp"`
+	QueriesPerSec float64 `json:"queriesPerSec,omitempty"`
+}
+
+// PerfRun is one complete measurement of the retrieval query path on one
+// code revision. Runs accumulate in BENCH_retrieval.json so the perf
+// trajectory of the query path is tracked across PRs.
+type PerfRun struct {
+	Label        string       `json:"label"`
+	GoVersion    string       `json:"goVersion"`
+	GOMAXPROCS   int          `json:"gomaxprocs"`
+	Scale        int          `json:"scale"`
+	Queries      int          `json:"queries"`
+	K            int          `json:"k"`
+	CandidateCap int          `json:"candidateCap"`
+	Results      []PerfResult `json:"results"`
+}
+
+// RetrievalPerf measures the indexed query path: serial Search, Search
+// under 1/4/NumCPU concurrent client goroutines, and the literal
+// Algorithm 1 SearchTA path. The corpus, thresholds and query sample are
+// all derived from o.Seed, so two runs on the same revision measure the
+// same workload.
+func RetrievalPerf(o Options, label string, candidateCap int) (*PerfRun, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	d, err := dataset.Generate(o.retrievalConfig())
+	if err != nil {
+		return nil, err
+	}
+	m := d.Model()
+	m.TrainThresholds(200, 0.35, rand.New(rand.NewSource(o.Seed+13)))
+	engine, err := retrieval.NewEngine(m, retrieval.Config{CandidateCap: candidateCap})
+	if err != nil {
+		return nil, err
+	}
+	queries := make([]*media.Object, 0, o.Queries)
+	for _, id := range d.SampleQueries(o.Queries, rand.New(rand.NewSource(o.Seed+7))) {
+		queries = append(queries, d.Corpus.Object(id))
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("experiments: no queries sampled")
+	}
+	const k = 10
+	run := &PerfRun{
+		Label:        label,
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Scale:        o.Scale,
+		Queries:      len(queries),
+		K:            k,
+		CandidateCap: candidateCap,
+	}
+
+	measure := func(name string, goroutines int, body func(b *testing.B)) {
+		r := testing.Benchmark(body)
+		pr := PerfResult{
+			Name:        name,
+			Goroutines:  goroutines,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if pr.NsPerOp > 0 {
+			pr.QueriesPerSec = 1e9 / pr.NsPerOp
+		}
+		run.Results = append(run.Results, pr)
+	}
+
+	// Serial latency of one indexed query.
+	measure("search/serial", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			engine.Search(q, k, q.ID)
+		}
+	})
+	// Concurrent client throughput: b.N queries split across g goroutines;
+	// ns/op is wall-clock per completed query.
+	gs := []int{1, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	for _, g := range gs {
+		if g < 1 || seen[g] {
+			continue
+		}
+		seen[g] = true
+		g := g
+		measure(fmt.Sprintf("search/concurrent/goroutines=%d", g), g, func(b *testing.B) {
+			b.ReportAllocs()
+			var wg sync.WaitGroup
+			for w := 0; w < g; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < b.N; i += g {
+						q := queries[i%len(queries)]
+						engine.Search(q, k, q.ID)
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+	// The literal Algorithm 1 path for reference.
+	measure("searchTA/serial", 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			engine.SearchTA(q, k, q.ID)
+		}
+	})
+	return run, nil
+}

@@ -1,0 +1,137 @@
+// Package floatcache provides the sharded, generation-stamped float64
+// memoisation cache behind the query hot path. The memoised quantities
+// (correlation cosines, clique CorS weights, per-(feature, object)
+// smoothing sums) are all derived from corpus-global statistics, which
+// gives them two properties this cache encodes:
+//
+//   - They are read by every concurrent query, so a single global mutex
+//     serialises the whole serving path. Entries are striped over
+//     fixed-size shards by key hash, each behind its own RWMutex, so
+//     concurrent readers of different shards never contend.
+//   - They all become stale at once when the corpus grows. Instead of
+//     relying on every cache owner being explicitly Reset (the stale-cache
+//     hazard: engines cloned via WithParams share the model but own their
+//     scorer), each shard is stamped with the generation of the statistics
+//     its entries were computed from. A lookup under a newer generation is
+//     a miss, and the next store under the newer generation drops the
+//     shard wholesale — caches self-invalidate.
+package floatcache
+
+import "sync"
+
+// numShards is the stripe width. Power of two so the hash folds with a
+// mask; 32 shards keep worst-case contention low well past the core
+// counts this engine targets while costing only a few hundred bytes per
+// cache when idle.
+const numShards = 32
+
+// Cache is a sharded map[K]float64 with generation-stamped shards.
+// The zero value is unusable; construct with New. Safe for concurrent use.
+type Cache[K comparable] struct {
+	hash   func(K) uint64
+	shards [numShards]shard[K]
+}
+
+type shard[K comparable] struct {
+	mu  sync.RWMutex
+	gen uint64
+	m   map[K]float64
+}
+
+// New returns a cache distributing keys with the given hash function.
+func New[K comparable](hash func(K) uint64) *Cache[K] {
+	return &Cache[K]{hash: hash}
+}
+
+func (c *Cache[K]) shardFor(key K) *shard[K] {
+	return &c.shards[c.hash(key)&(numShards-1)]
+}
+
+// Get returns the value stored for key at generation gen. Values stored
+// under an older generation are invisible (the shard self-invalidates on
+// the next Put instead of being cleared eagerly).
+func (c *Cache[K]) Get(gen uint64, key K) (float64, bool) {
+	sh := c.shardFor(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.gen != gen || sh.m == nil {
+		return 0, false
+	}
+	v, ok := sh.m[key]
+	return v, ok
+}
+
+// Put stores a value computed from generation-gen statistics. A shard
+// still holding an older generation is dropped and restamped; a value
+// computed against statistics older than the shard's is discarded (it
+// lost the race with an invalidation and must not poison the new
+// generation).
+func (c *Cache[K]) Put(gen uint64, key K, v float64) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.gen > gen {
+		return
+	}
+	if sh.gen < gen || sh.m == nil {
+		sh.m = make(map[K]float64)
+		sh.gen = gen
+	}
+	sh.m[key] = v
+}
+
+// Reset drops every shard's entries immediately, keeping generation
+// stamps. Generation bumps make explicit resets unnecessary for
+// correctness; Reset exists to release memory eagerly.
+func (c *Cache[K]) Reset() {
+	for i := range c.shards {
+		c.shards[i].reset()
+	}
+}
+
+func (sh *shard[K]) reset() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.m = nil
+}
+
+// Len returns the total number of live entries (diagnostics only).
+func (c *Cache[K]) Len() int {
+	total := 0
+	for i := range c.shards {
+		total += c.shards[i].length()
+	}
+	return total
+}
+
+func (sh *shard[K]) length() int {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.m)
+}
+
+// HashString is the FNV-1a hash of a string key, inlined to avoid the
+// per-call allocations of hash/fnv's streaming interface.
+func HashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// HashUint64 finalizes an integer key with the splitmix64 mixer, so keys
+// differing only in high bits still spread across shards.
+func HashUint64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

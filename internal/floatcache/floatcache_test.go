@@ -1,0 +1,106 @@
+package floatcache
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New[uint64](HashUint64)
+	if _, ok := c.Get(0, 7); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put(0, 7, 3.5)
+	v, ok := c.Get(0, 7)
+	if !ok || v != 3.5 {
+		t.Fatalf("Get = %v, %v after Put", v, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestGenerationInvalidates(t *testing.T) {
+	c := New[string](HashString)
+	c.Put(1, "k", 2.0)
+	if _, ok := c.Get(2, "k"); ok {
+		t.Fatal("old-generation value visible under new generation")
+	}
+	// A store under the new generation drops the stale shard.
+	c.Put(2, "k", 9.0)
+	if v, ok := c.Get(2, "k"); !ok || v != 9.0 {
+		t.Fatalf("Get = %v, %v under generation 2", v, ok)
+	}
+	if _, ok := c.Get(1, "k"); ok {
+		t.Fatal("restamped shard still serves the old generation")
+	}
+}
+
+func TestStaleComputeDiscarded(t *testing.T) {
+	c := New[uint64](HashUint64)
+	c.Put(5, 1, 1.0) // shard now at generation 5
+	c.Put(3, 1, 9.9) // a compute that started before the invalidation
+	if v, ok := c.Get(5, 1); !ok || v != 1.0 {
+		t.Fatalf("stale Put poisoned the shard: %v, %v", v, ok)
+	}
+}
+
+func TestResetDropsEntries(t *testing.T) {
+	c := New[uint64](HashUint64)
+	for i := uint64(0); i < 100; i++ {
+		c.Put(1, i, float64(i))
+	}
+	if c.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", c.Len())
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after Reset", c.Len())
+	}
+	if _, ok := c.Get(1, 3); ok {
+		t.Fatal("Reset cache reported a hit")
+	}
+	// Still usable at the same generation.
+	c.Put(1, 3, 4.0)
+	if v, ok := c.Get(1, 3); !ok || v != 4.0 {
+		t.Fatalf("Get = %v, %v after Reset+Put", v, ok)
+	}
+}
+
+func TestConcurrentMixedGenerations(t *testing.T) {
+	c := New[uint64](HashUint64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				gen := uint64(i % 3)
+				key := uint64(i % 64)
+				if v, ok := c.Get(gen, key); ok && v != float64(key) {
+					t.Errorf("wrong value %v for key %d", v, key)
+					return
+				}
+				c.Put(gen, key, float64(key))
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestHashSpread(t *testing.T) {
+	hit := make(map[uint64]bool)
+	for i := uint64(0); i < 4096; i++ {
+		hit[HashUint64(i)&(numShards-1)] = true
+	}
+	if len(hit) != numShards {
+		t.Errorf("sequential integer keys reach %d/%d shards", len(hit), numShards)
+	}
+	hit = make(map[uint64]bool)
+	for _, s := range []string{"a", "b", "ab", "ba", "abc", "", "xyzzy", "clique"} {
+		hit[HashString(s)&(numShards-1)] = true
+	}
+	if len(hit) < 4 {
+		t.Errorf("string keys bunch into %d shards", len(hit))
+	}
+}

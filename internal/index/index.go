@@ -18,8 +18,11 @@ import (
 	"figfusion/internal/media"
 )
 
-// Entry is one inverted-list row: the clique's trained correlation strength
-// and the sorted postings of objects whose FIG contains the clique.
+// Entry is one inverted-list row: the clique's correlation-strength weight
+// and the sorted postings of objects whose FIG contains the clique. CorS
+// is the Eq. 9 importance weight as defined by corr.Stats.CliqueWeight —
+// exactly the value the MRF scorer would compute at query time, so the
+// indexed search paths serve it from here instead of recomputing it.
 type Entry struct {
 	Feats   []media.FID
 	CorS    float64
@@ -84,12 +87,10 @@ func Build(m *corr.Model, bopts fig.Options, eopts fig.EnumerateOptions) *Invert
 			}
 		}
 	}
-	// Attach the stored correlation strengths (clamped non-negative, as in
-	// the Eq. 9 weighting).
+	// Attach the stored correlation-strength weights (the Eq. 9 quantity
+	// the scorer applies, already clamped non-negative).
 	for _, e := range inv.entries {
-		if v := m.Stats.CorS(e.Feats); v > 0 {
-			e.CorS = v
-		}
+		e.CorS = m.Stats.CliqueWeight(e.Feats)
 	}
 	return inv
 }
@@ -161,10 +162,7 @@ func (inv *Inverted) Insert(id media.ObjectID, cliques []fig.Clique, stats *corr
 		touched = append(touched, e)
 	}
 	for _, e := range touched {
-		e.CorS = 0
-		if v := stats.CorS(e.Feats); v > 0 {
-			e.CorS = v
-		}
+		e.CorS = stats.CliqueWeight(e.Feats)
 	}
 	return nil
 }

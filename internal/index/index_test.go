@@ -106,10 +106,7 @@ func TestCorSStored(t *testing.T) {
 	if !ok {
 		t.Fatal("clique missing")
 	}
-	want := m.Stats.CorS(e.Feats)
-	if want < 0 {
-		want = 0
-	}
+	want := m.Stats.CliqueWeight(e.Feats)
 	if e.CorS != want {
 		t.Errorf("CorS = %v, want %v", e.CorS, want)
 	}

@@ -1,0 +1,299 @@
+package mrf
+
+import (
+	"math"
+	"sort"
+
+	"figfusion/internal/fig"
+	"figfusion/internal/media"
+	"figfusion/internal/numeric"
+)
+
+// CliqueSet is a query's clique list compiled against one scorer: every
+// candidate-independent quantity of the Eq. 7/9 potential — λ_c, the
+// Eq. 9 CorS weight, and the clique-internal correlation matrix the
+// smoothing correction subtracts — is evaluated once per query instead of
+// once per (clique, candidate) pair. On the indexed search path those
+// lookups were the hot spot: each one crossed a cache mutex per
+// candidate. A CliqueSet is immutable after Compile and safe to share
+// across the scoring workers of one query; it computes bit-identical
+// scores to Scorer.Score over the same cliques.
+type CliqueSet struct {
+	s       *Scorer
+	cliques []fig.Clique
+	lambda  []float64   // λ_c per clique (0 ⇒ the clique is skipped)
+	weight  []float64   // Eq. 9 weight per clique
+	pairCor [][]float64 // k×k row-major Cor(f_i, f_j) per clique; nil when α = 0
+	feats   []media.FID // sorted distinct features of the active cliques
+	featIdx [][]int32   // per active clique: positions of its Feats in feats
+}
+
+// Compile precomputes the per-clique state for one query. weights, when
+// non-nil, supplies the Eq. 9 weight per clique (the indexed paths pass
+// the CorS values stored in the inverted index); a nil weights computes
+// them through the scorer's cache. The weights slice must be aligned with
+// cliques.
+func (s *Scorer) Compile(cliques []fig.Clique, weights []float64) *CliqueSet {
+	cs := &CliqueSet{
+		s:       s,
+		cliques: cliques,
+		lambda:  make([]float64, len(cliques)),
+	}
+	if s.Params.UseCorS {
+		if weights != nil {
+			cs.weight = weights
+		} else {
+			cs.weight = make([]float64, len(cliques))
+			for i, c := range cliques {
+				cs.weight[i] = s.CorS(c)
+			}
+		}
+	}
+	smoothed := s.Params.Alpha > 0
+	if smoothed {
+		cs.pairCor = make([][]float64, len(cliques))
+	}
+	seen := make(map[media.FID]struct{})
+	for i, c := range cliques {
+		cs.lambda[i] = s.Params.LambdaFor(len(c.Feats))
+		if numeric.IsZero(cs.lambda[i]) {
+			continue
+		}
+		for _, f := range c.Feats {
+			if _, ok := seen[f]; !ok {
+				seen[f] = struct{}{}
+				cs.feats = append(cs.feats, f)
+			}
+		}
+		if !smoothed {
+			continue
+		}
+		k := len(c.Feats)
+		m := make([]float64, k*k)
+		for a, fi := range c.Feats {
+			for b, fj := range c.Feats {
+				m[a*k+b] = s.Model.Cor(fi, fj)
+			}
+		}
+		cs.pairCor[i] = m
+	}
+	// The scratch fill walks feats and a candidate's (sorted) feature list
+	// in lockstep, so the distinct features must be sorted too.
+	sort.Slice(cs.feats, func(a, b int) bool { return cs.feats[a] < cs.feats[b] })
+	pos := make(map[media.FID]int32, len(cs.feats))
+	for i, f := range cs.feats {
+		pos[f] = int32(i)
+	}
+	cs.featIdx = make([][]int32, len(cliques))
+	for i, c := range cliques {
+		if numeric.IsZero(cs.lambda[i]) {
+			continue
+		}
+		idx := make([]int32, len(c.Feats))
+		for a, f := range c.Feats {
+			idx[a] = pos[f]
+		}
+		cs.featIdx[i] = idx
+	}
+	return cs
+}
+
+// Len returns the number of compiled cliques.
+func (cs *CliqueSet) Len() int { return len(cs.cliques) }
+
+// Score computes the Eq. 6 similarity of a candidate object to the
+// compiled query: the sum of clique potentials, identical to
+// Scorer.Score over the same cliques.
+func (cs *CliqueSet) Score(o *media.Object) float64 {
+	var sum float64
+	for i := range cs.cliques {
+		sum += cs.Potential(i, o)
+	}
+	return sum
+}
+
+// Potential computes ϕ′ of the i-th compiled clique for a candidate:
+// Eq. 7 scaled by λ_c and, when enabled, by the precompiled Eq. 9 weight.
+func (cs *CliqueSet) Potential(i int, o *media.Object) float64 {
+	lambda := cs.lambda[i]
+	if numeric.IsZero(lambda) {
+		return 0
+	}
+	phi := lambda * cs.conditional(i, o)
+	if cs.s.Params.UseCorS {
+		phi *= cs.weight[i]
+	}
+	return phi
+}
+
+// conditional mirrors Scorer.conditional with the compiled state.
+func (cs *CliqueSet) conditional(i int, o *media.Object) float64 {
+	feats := cs.cliques[i].Feats
+	total := o.TotalCount()
+	if total == 0 || len(feats) == 0 {
+		return 0
+	}
+	p := (1 - cs.s.Params.Alpha) * setFreq(feats, o) / float64(total)
+	if cs.s.Params.Alpha > 0 {
+		p += cs.s.Params.Alpha * cs.smoothing(i, o)
+	}
+	return p
+}
+
+// smoothing mirrors Scorer.smoothing, serving the clique-internal
+// correlations from the compiled matrix instead of per-candidate
+// Model.Cor calls. The iteration and subtraction order match exactly, so
+// the floating-point result is bit-identical.
+func (cs *CliqueSet) smoothing(i int, o *media.Object) float64 {
+	feats := cs.cliques[i].Feats
+	present := 0
+	for _, f := range feats {
+		if o.Has(f) {
+			present++
+		}
+	}
+	rest := o.Len() - present
+	if rest == 0 {
+		return 0
+	}
+	k := len(feats)
+	cors := cs.pairCor[i]
+	var sum float64
+	for a, fi := range feats {
+		total := cs.s.featureObjectCor(fi, o)
+		// Remove contributions of clique members that are in O.
+		for b, fj := range feats {
+			if o.Has(fj) {
+				total -= cors[a*k+b]
+			}
+		}
+		sum += total
+	}
+	return sum / (float64(k) * float64(rest))
+}
+
+// Scratch is per-candidate scoring state for one CliqueSet, indexed by the
+// set's distinct features: the candidate's feature counts, presence flags,
+// and feature–object correlation sums. Filling it once per candidate
+// replaces the per-clique binary searches (Count, Has) and smoothing-cache
+// lookups that dominated the scoring profile — cliques share features, so
+// the same (feature, candidate) state was being fetched once per clique.
+// A Scratch belongs to one goroutine; each scoring worker makes its own.
+type Scratch struct {
+	counts  []int
+	present []bool
+	cors    []float64
+}
+
+// NewScratch returns a scratch sized for this clique set.
+func (cs *CliqueSet) NewScratch() *Scratch {
+	n := len(cs.feats)
+	return &Scratch{
+		counts:  make([]int, n),
+		present: make([]bool, n),
+		cors:    make([]float64, n),
+	}
+}
+
+// fill loads the candidate's state for every distinct query feature: one
+// linear merge over the two sorted feature lists for counts and presence,
+// and (when smoothing is on) one cache access per feature for the
+// feature–object correlation sum.
+func (cs *CliqueSet) fill(sc *Scratch, o *media.Object) {
+	j := 0
+	for i, f := range cs.feats {
+		for j < len(o.Feats) && o.Feats[j] < f {
+			j++
+		}
+		if j < len(o.Feats) && o.Feats[j] == f {
+			sc.counts[i] = int(o.Counts[j])
+			sc.present[i] = true
+		} else {
+			sc.counts[i] = 0
+			sc.present[i] = false
+		}
+	}
+	if cs.s.Params.Alpha > 0 {
+		for i, f := range cs.feats {
+			sc.cors[i] = cs.s.featureObjectCor(f, o)
+		}
+	}
+}
+
+// ScoreScratch is Score with caller-provided scratch state — the form the
+// retrieval workers use. The result is bit-identical to Score (and hence
+// to Scorer.Score): the scratch only changes where each operand is read
+// from, never the value or the order of the floating-point operations.
+func (cs *CliqueSet) ScoreScratch(sc *Scratch, o *media.Object) float64 {
+	cs.fill(sc, o)
+	var sum float64
+	for i := range cs.cliques {
+		sum += cs.potentialAt(sc, i, o)
+	}
+	return sum
+}
+
+func (cs *CliqueSet) potentialAt(sc *Scratch, i int, o *media.Object) float64 {
+	lambda := cs.lambda[i]
+	if numeric.IsZero(lambda) {
+		return 0
+	}
+	phi := lambda * cs.conditionalAt(sc, i, o)
+	if cs.s.Params.UseCorS {
+		phi *= cs.weight[i]
+	}
+	return phi
+}
+
+// conditionalAt mirrors conditional, reading counts from the scratch.
+func (cs *CliqueSet) conditionalAt(sc *Scratch, i int, o *media.Object) float64 {
+	feats := cs.featIdx[i]
+	total := o.TotalCount()
+	if total == 0 || len(feats) == 0 {
+		return 0
+	}
+	minCount := math.MaxInt32
+	for _, idx := range feats {
+		if c := sc.counts[idx]; c < minCount {
+			minCount = c
+		}
+		if minCount == 0 {
+			break
+		}
+	}
+	p := (1 - cs.s.Params.Alpha) * float64(minCount) / float64(total)
+	if cs.s.Params.Alpha > 0 {
+		p += cs.s.Params.Alpha * cs.smoothingAt(sc, i, o)
+	}
+	return p
+}
+
+// smoothingAt mirrors smoothing, reading presence and feature–object
+// correlation sums from the scratch; iteration and subtraction order match
+// exactly, so the floating-point result is bit-identical.
+func (cs *CliqueSet) smoothingAt(sc *Scratch, i int, o *media.Object) float64 {
+	feats := cs.featIdx[i]
+	present := 0
+	for _, idx := range feats {
+		if sc.present[idx] {
+			present++
+		}
+	}
+	rest := o.Len() - present
+	if rest == 0 {
+		return 0
+	}
+	k := len(feats)
+	cors := cs.pairCor[i]
+	var sum float64
+	for a, idxA := range feats {
+		total := sc.cors[idxA]
+		for b, idxB := range feats {
+			if sc.present[idxB] {
+				total -= cors[a*k+b]
+			}
+		}
+		sum += total
+	}
+	return sum / (float64(k) * float64(rest))
+}

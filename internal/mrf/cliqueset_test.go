@@ -1,0 +1,92 @@
+package mrf
+
+import (
+	"testing"
+
+	"figfusion/internal/fig"
+	"figfusion/internal/media"
+)
+
+func worldCliques(ids map[string]media.FID) []fig.Clique {
+	return []fig.Clique{
+		{Feats: []media.FID{ids["hamster"]}},
+		{Feats: []media.FID{ids["animal"]}},
+		{Feats: []media.FID{ids["hamster"], ids["animal"]}},
+		{Feats: []media.FID{ids["hamster"], ids["car"]}},
+		{Feats: []media.FID{ids["vegetable"]}},
+	}
+}
+
+// TestCliqueSetMatchesScorer is the contract the parallel search paths
+// rely on: a compiled clique set must reproduce Scorer.Score and
+// Scorer.Potential bit-for-bit (same floating-point operation order), for
+// every parameterisation — smoothing on/off, CorS weighting on/off, and a
+// zero λ that disables a clique size entirely.
+func TestCliqueSetMatchesScorer(t *testing.T) {
+	c, m, ids := world(t)
+	cases := []Params{
+		{Lambda: []float64{1, 0.6}, Alpha: 0, UseCorS: false, Delta: 1},
+		{Lambda: []float64{1, 0.6}, Alpha: 0.35, UseCorS: false, Delta: 1},
+		{Lambda: []float64{1, 0.6}, Alpha: 0.35, UseCorS: true, Delta: 1},
+		{Lambda: []float64{1, 0}, Alpha: 0.35, UseCorS: true, Delta: 1},
+		DefaultParams(),
+	}
+	cliques := worldCliques(ids)
+	for ci, p := range cases {
+		s, err := NewScorer(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := s.Compile(cliques, nil)
+		if cs.Len() != len(cliques) {
+			t.Fatalf("case %d: Len = %d, want %d", ci, cs.Len(), len(cliques))
+		}
+		sc := cs.NewScratch()
+		for i := 0; i < c.Len(); i++ {
+			o := c.Object(media.ObjectID(i))
+			if got, want := cs.Score(o), s.Score(cliques, o); got != want {
+				t.Errorf("case %d object %d: CliqueSet.Score = %v, Scorer.Score = %v", ci, i, got, want)
+			}
+			if got, want := cs.ScoreScratch(sc, o), s.Score(cliques, o); got != want {
+				t.Errorf("case %d object %d: ScoreScratch = %v, Scorer.Score = %v", ci, i, got, want)
+			}
+			for j := range cliques {
+				if got, want := cs.Potential(j, o), s.Potential(cliques[j], o); got != want {
+					t.Errorf("case %d object %d clique %d: Potential = %v, want %v", ci, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCliqueSetExternalWeights checks that Compile applies caller-supplied
+// Eq. 9 weights verbatim — the indexed search paths pass the CorS values
+// stored in the inverted index through this seam.
+func TestCliqueSetExternalWeights(t *testing.T) {
+	c, m, ids := world(t)
+	p := Params{Lambda: []float64{1, 0.6}, Alpha: 0.35, UseCorS: true, Delta: 1}
+	s, err := NewScorer(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliques := worldCliques(ids)
+	weights := make([]float64, len(cliques))
+	for i, cl := range cliques {
+		weights[i] = s.CorS(cl)
+	}
+	base := s.Compile(cliques, weights)
+	doubled := make([]float64, len(weights))
+	for i, w := range weights {
+		doubled[i] = 2 * w
+	}
+	twice := s.Compile(cliques, doubled)
+	o := c.Object(0)
+	for i := range cliques {
+		if got, want := base.Potential(i, o), s.Potential(cliques[i], o); got != want {
+			t.Errorf("clique %d: scorer-derived weights diverge: %v vs %v", i, got, want)
+		}
+		if got, want := twice.Potential(i, o), 2*base.Potential(i, o); got != want {
+			t.Errorf("clique %d: doubled weight not applied verbatim: %v vs %v", i, got, want)
+		}
+	}
+}

@@ -31,10 +31,10 @@ package mrf
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"figfusion/internal/corr"
 	"figfusion/internal/fig"
+	"figfusion/internal/floatcache"
 	"figfusion/internal/media"
 	"figfusion/internal/numeric"
 )
@@ -103,20 +103,24 @@ func (p Params) LambdaFor(nFeats int) float64 {
 // candidate object) and per-(feature, object) smoothing sums. Candidate
 // objects passed to Potential/Score must come from the model's corpus (the
 // smoothing cache is keyed by their stable ObjectIDs); query objects may be
-// external. Safe for concurrent use.
+// external. Safe for concurrent use: both caches are sharded (per-shard
+// RWMutex, keys striped by hash) so concurrent queries do not serialise on
+// a global lock, and every entry is stamped with the model's statistics
+// generation, so the caches self-invalidate when the corpus grows — even
+// in scorers that never hear about the insert (WithParams clones).
 type Scorer struct {
 	Model  *corr.Model
 	Params Params
 
-	mu   sync.Mutex
-	cors map[string]float64
+	// cors caches the Eq. 9 clique weight by canonical clique key.
+	cors *floatcache.Cache[string]
 
-	// smoothMu guards smoothCache: (FID, ObjectID) → Σ_{f_j∈O} Cor(f, f_j).
-	// Cliques share features heavily (every clique of a FIG reuses the
-	// same nodes), so caching this sum turns the Eq. 7 smoothing term from
-	// O(|c|·|O|) correlation evaluations per potential into O(|c|) lookups.
-	smoothMu    sync.RWMutex
-	smoothCache map[uint64]float64
+	// smooth caches (FID, ObjectID) → Σ_{f_j∈O} Cor(f, f_j). Cliques
+	// share features heavily (every clique of a FIG reuses the same
+	// nodes), so caching this sum turns the Eq. 7 smoothing term from
+	// O(|c|·|O|) correlation evaluations per potential into O(|c|)
+	// lookups.
+	smooth *floatcache.Cache[uint64]
 }
 
 // NewScorer builds a scorer over the correlation model.
@@ -125,60 +129,29 @@ func NewScorer(m *corr.Model, p Params) (*Scorer, error) {
 		return nil, err
 	}
 	return &Scorer{
-		Model:       m,
-		Params:      p,
-		cors:        make(map[string]float64),
-		smoothCache: make(map[uint64]float64),
+		Model:  m,
+		Params: p,
+		cors:   floatcache.New[string](floatcache.HashString),
+		smooth: floatcache.New[uint64](floatcache.HashUint64),
 	}, nil
 }
 
 // CorS returns the cached correlation-strength weight of a clique for the
 // Eq. 9 importance weighting ("the larger the CorS, the more important the
-// clique").
-//
-// For cliques with two or more features this is Eq. 8 normalized by |D|
-// (for k = 2 exactly the Pearson correlation), clamped non-negative:
-// anti-correlated feature sets contribute nothing rather than negating the
-// score. For singleton cliques Eq. 8 is identically zero by construction,
-// so the weight is the feature's standardized dispersion sd(n)/mean(n) —
-// the k = 1 analogue of the same standardized co-moment, which for binary
-// features equals √((|D|−df)/df), an idf-like measure that damps
-// uninformative high-document-frequency features (most visibly the shared
-// visual words). The relative scale between clique sizes is absorbed by
-// the trained λ parameters.
+// clique"). The weight itself — Eq. 8 normalized by |D| for multi-feature
+// cliques, the standardized dispersion sd(n)/mean(n) for singletons,
+// clamped non-negative — is defined once in corr.Stats.CliqueWeight; the
+// inverted index stores the same quantity per entry, so indexed search
+// paths serve it without consulting this cache.
 func (s *Scorer) CorS(c fig.Clique) float64 {
 	key := c.Key()
-	v, ok := s.cachedCorS(key)
-	if ok {
+	gen := s.Model.Generation()
+	if v, ok := s.cors.Get(gen, key); ok {
 		return v
 	}
-	stats := s.Model.Stats
-	if len(c.Feats) == 1 {
-		fid := c.Feats[0]
-		if mean := stats.Mean(fid); mean > 0 {
-			v = math.Sqrt(stats.Variance(fid)) / mean
-		}
-	} else if n := stats.Corpus().Len(); n > 0 {
-		v = stats.CorS(c.Feats) / float64(n)
-	}
-	if v < 0 {
-		v = 0
-	}
-	s.storeCorS(key, v)
+	v := s.Model.Stats.CliqueWeight(c.Feats)
+	s.cors.Put(gen, key, v)
 	return v
-}
-
-func (s *Scorer) cachedCorS(key string) (float64, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, ok := s.cors[key]
-	return v, ok
-}
-
-func (s *Scorer) storeCorS(key string, v float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.cors[key] = v
 }
 
 // setFreq returns freq(n_1..n_k | O): the number of complete co-occurrences
@@ -245,28 +218,16 @@ func (s *Scorer) smoothing(feats []media.FID, o *media.Object) float64 {
 // featureObjectCor returns Σ_{f_j ∈ O} Cor(f, f_j), cached per (f, O).
 func (s *Scorer) featureObjectCor(f media.FID, o *media.Object) float64 {
 	key := uint64(uint32(f))<<32 | uint64(uint32(o.ID))
-	v, ok := s.cachedSmooth(key)
-	if ok {
+	gen := s.Model.Generation()
+	if v, ok := s.smooth.Get(gen, key); ok {
 		return v
 	}
+	var v float64
 	for _, fj := range o.Feats {
 		v += s.Model.Cor(f, fj)
 	}
-	s.storeSmooth(key, v)
+	s.smooth.Put(gen, key, v)
 	return v
-}
-
-func (s *Scorer) cachedSmooth(key uint64) (float64, bool) {
-	s.smoothMu.RLock()
-	defer s.smoothMu.RUnlock()
-	v, ok := s.smoothCache[key]
-	return v, ok
-}
-
-func (s *Scorer) storeSmooth(key uint64, v float64) {
-	s.smoothMu.Lock()
-	defer s.smoothMu.Unlock()
-	s.smoothCache[key] = v
 }
 
 // Potential computes ϕ′(c) for a candidate object: Eq. 7 scaled by λ_c and,
@@ -319,22 +280,11 @@ func (s *Scorer) ScoreTemporal(cliques []fig.Clique, o *media.Object, nowMonth i
 	return sum
 }
 
-// Reset drops the scorer's memoised CorS and smoothing values. Call after
-// the underlying corpus statistics change (incremental ingestion): both
-// caches are derived from corpus-global moments.
+// Reset drops the scorer's memoised CorS and smoothing values eagerly,
+// releasing their memory. Correctness no longer depends on calling it:
+// both caches are stamped with the model's statistics generation and
+// self-invalidate when corr.Model.InvalidateCache advances it.
 func (s *Scorer) Reset() {
-	s.resetCorS()
-	s.resetSmooth()
-}
-
-func (s *Scorer) resetCorS() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.cors = make(map[string]float64)
-}
-
-func (s *Scorer) resetSmooth() {
-	s.smoothMu.Lock()
-	defer s.smoothMu.Unlock()
-	s.smoothCache = make(map[uint64]float64)
+	s.cors.Reset()
+	s.smooth.Reset()
 }

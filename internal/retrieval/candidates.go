@@ -1,0 +1,134 @@
+package retrieval
+
+import (
+	"sort"
+	"sync"
+
+	"figfusion/internal/fig"
+	"figfusion/internal/index"
+	"figfusion/internal/media"
+)
+
+// candAccum is the per-query scratch state of candidate generation: the
+// query cliques' index entries, their posting-list cursors, and the merged
+// candidate IDs with shared-clique counts. Accumulators are pooled —
+// candidate generation runs once per query on the serving path, and the
+// maps this replaced were the query path's largest steady-state allocation.
+type candAccum struct {
+	entries []*index.Entry
+	lists   [][]media.ObjectID
+	cursors []int
+	ids     []media.ObjectID
+	counts  []int32
+	order   []int32
+	capped  []media.ObjectID
+}
+
+var accumPool = sync.Pool{New: func() interface{} { return new(candAccum) }}
+
+func getAccum() *candAccum { return accumPool.Get().(*candAccum) }
+
+func putAccum(a *candAccum) {
+	// Drop references into the index so pooled accumulators do not pin
+	// posting lists of a retired index; keep the scalar slices' capacity.
+	for i := range a.entries {
+		a.entries[i] = nil
+	}
+	for i := range a.lists {
+		a.lists[i] = nil
+	}
+	a.entries = a.entries[:0]
+	a.lists = a.lists[:0]
+	a.cursors = a.cursors[:0]
+	a.ids = a.ids[:0]
+	a.counts = a.counts[:0]
+	a.order = a.order[:0]
+	a.capped = a.capped[:0]
+	accumPool.Put(a)
+}
+
+// lookup resolves each query clique to its index entry (nil when the
+// clique is not indexed) and collects the non-empty posting lists.
+func (a *candAccum) lookup(inv *index.Inverted, cliques []fig.Clique) {
+	for _, c := range cliques {
+		entry, ok := inv.Lookup(c)
+		if !ok {
+			a.entries = append(a.entries, nil)
+			continue
+		}
+		a.entries = append(a.entries, entry)
+		if len(entry.Objects) > 0 {
+			a.lists = append(a.lists, entry.Objects)
+		}
+	}
+}
+
+// merge performs a multi-way count-merge over the sorted posting lists:
+// one pass emits every distinct candidate in ascending ID order together
+// with the number of query cliques containing it — the per-query count
+// map this replaces allocated and hashed on every posting. When the
+// candidate set exceeds the cap, candidates are pre-ranked by shared-clique
+// count (ties by ascending ID, as before) and truncated. The returned
+// slice is owned by the accumulator and valid until putAccum.
+func (a *candAccum) merge(exclude media.ObjectID, limit int) []media.ObjectID {
+	if len(a.lists) == 0 {
+		return nil
+	}
+	if cap(a.cursors) < len(a.lists) {
+		a.cursors = make([]int, len(a.lists))
+	}
+	a.cursors = a.cursors[:len(a.lists)]
+	for i := range a.cursors {
+		a.cursors[i] = 0
+	}
+	for {
+		var min media.ObjectID
+		found := false
+		for li, l := range a.lists {
+			cu := a.cursors[li]
+			if cu >= len(l) {
+				continue
+			}
+			if id := l[cu]; !found || id < min {
+				min, found = id, true
+			}
+		}
+		if !found {
+			break
+		}
+		var count int32
+		for li, l := range a.lists {
+			if cu := a.cursors[li]; cu < len(l) && l[cu] == min {
+				a.cursors[li]++
+				count++
+			}
+		}
+		if min == exclude {
+			continue
+		}
+		a.ids = append(a.ids, min)
+		a.counts = append(a.counts, count)
+	}
+	if limit <= 0 || len(a.ids) <= limit {
+		return a.ids
+	}
+	// Two-stage refinement: keep the cap candidates sharing the most
+	// query cliques. a.ids is ascending, so index order is ID order and
+	// the tie-break stays by ascending ID.
+	a.order = a.order[:0]
+	for i := range a.ids {
+		a.order = append(a.order, int32(i))
+	}
+	sort.Slice(a.order, func(x, y int) bool {
+		cx, cy := a.counts[a.order[x]], a.counts[a.order[y]]
+		if cx != cy {
+			return cx > cy
+		}
+		return a.order[x] < a.order[y]
+	})
+	a.capped = a.capped[:0]
+	for _, idx := range a.order[:limit] {
+		a.capped = append(a.capped, a.ids[idx])
+	}
+	return a.capped
+}

@@ -1,0 +1,223 @@
+package retrieval
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"figfusion/internal/dataset"
+	"figfusion/internal/media"
+)
+
+func cloneFeatures(d *dataset.Dataset, src *media.Object) ([]media.Feature, []int) {
+	feats := make([]media.Feature, len(src.Feats))
+	counts := make([]int, len(src.Feats))
+	for i, fid := range src.Feats {
+		feats[i] = d.Corpus.Dict.Feature(fid)
+		counts[i] = int(src.Counts[i])
+	}
+	return feats, counts
+}
+
+// TestWithParamsCloneSeesInserts is the stale-cache regression test for
+// engines cloned with WithParams: clones share the correlation model but
+// carry their own scorer, so an Insert through the original — which resets
+// only the original's scorer — must still invalidate the clone's warm
+// caches (via the model's generation counter). Before the generation
+// stamp, the clone kept serving pre-insert cosines, CorS weights and
+// smoothing sums.
+func TestWithParamsCloneSeesInserts(t *testing.T) {
+	d := testData(t)
+	a := newEngine(t, d, Config{})
+	params := a.Scorer.Params
+	params.Alpha = 0.25 // the kind of variant a training sweep runs
+	clone, err := a.WithParams(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm every cache in the clone's scorer (and the shared model).
+	for i := 0; i < 5; i++ {
+		q := d.Corpus.Object(media.ObjectID(i))
+		clone.Search(q, 10, q.ID)
+		clone.SearchScan(q, 10, q.ID)
+	}
+	src := d.Corpus.Object(7)
+	feats, counts := cloneFeatures(d, src)
+	if _, err := a.Insert(feats, counts, src.Month); err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth: a fresh scorer over the grown corpus with the clone's
+	// parameters. The warm clone must match it exactly.
+	fresh, err := a.WithParams(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		q := d.Corpus.Object(media.ObjectID(i))
+		want := fresh.Search(q, 10, q.ID)
+		got := clone.Search(q, 10, q.ID)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results from warm clone, %d from fresh scorer", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("query %d rank %d: warm clone served stale cache: got %+v, want %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestEntryCorSMatchesScorer pins the satellite contract of the indexed
+// search paths: the CorS stored on every index entry equals — exactly,
+// not approximately — the Eq. 9 weight the scorer would compute for that
+// clique, so serving it from the index cannot change a single score bit.
+func TestEntryCorSMatchesScorer(t *testing.T) {
+	d := testData(t)
+	e := newEngine(t, d, Config{})
+	checked := 0
+	for i := 0; i < 20; i++ {
+		q := d.Corpus.Object(media.ObjectID(i))
+		for _, c := range e.QueryCliques(q) {
+			entry, ok := e.Index.Lookup(c)
+			if !ok {
+				continue
+			}
+			if got, want := entry.CorS, e.Scorer.CorS(c); got != want {
+				t.Fatalf("clique %v: stored CorS %v != scorer CorS %v", c.Feats, got, want)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no indexed query cliques checked")
+	}
+}
+
+// workerRunBytes serializes every search path's ranked IDs and scores for
+// one engine configuration.
+func workerRunBytes(t *testing.T, d *dataset.Dataset, workers, candidateCap int) []byte {
+	t.Helper()
+	e := newEngine(t, d, Config{Workers: workers, CandidateCap: candidateCap})
+	var buf bytes.Buffer
+	for i := 0; i < 20; i++ {
+		q := d.Corpus.Object(media.ObjectID(i))
+		for _, it := range e.Search(q, 10, q.ID) {
+			fmt.Fprintf(&buf, "%d>%d@%.17g ", q.ID, it.ID, it.Score)
+		}
+		for _, it := range e.SearchTA(q, 10, q.ID) {
+			fmt.Fprintf(&buf, "%d#%d@%.17g ", q.ID, it.ID, it.Score)
+		}
+		for _, it := range e.SearchScan(q, 10, q.ID) {
+			fmt.Fprintf(&buf, "%d|%d@%.17g ", q.ID, it.ID, it.Score)
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// TestSearchDeterministicAcrossWorkers: every search path must return
+// byte-identical rankings and scores at any scoring fan-out, with and
+// without the candidate cap — the partial top-k merge under topk.Less's
+// total order makes worker partitioning unobservable.
+func TestSearchDeterministicAcrossWorkers(t *testing.T) {
+	d := testData(t)
+	for _, candidateCap := range []int{0, 20} {
+		base := workerRunBytes(t, d, 1, candidateCap)
+		for _, w := range []int{2, 4, runtime.NumCPU()} {
+			if got := workerRunBytes(t, d, w, candidateCap); !bytes.Equal(base, got) {
+				t.Fatalf("cap=%d: workers=%d diverges from workers=1", candidateCap, w)
+			}
+		}
+	}
+}
+
+// TestCandidateMergeMatchesMap cross-checks the multi-way count-merge
+// against a straightforward map-based union over the same posting lists.
+func TestCandidateMergeMatchesMap(t *testing.T) {
+	d := testData(t)
+	e := newEngine(t, d, Config{})
+	for i := 0; i < 10; i++ {
+		q := d.Corpus.Object(media.ObjectID(i))
+		cliques := e.QueryCliques(q)
+		acc := getAccum()
+		acc.lookup(e.Index, cliques)
+		got := acc.merge(q.ID, 0)
+
+		counts := make(map[media.ObjectID]int)
+		for _, c := range cliques {
+			entry, ok := e.Index.Lookup(c)
+			if !ok {
+				continue
+			}
+			for _, oid := range entry.Objects {
+				if oid != q.ID {
+					counts[oid]++
+				}
+			}
+		}
+		if len(got) != len(counts) {
+			t.Fatalf("query %d: merge found %d candidates, map %d", i, len(got), len(counts))
+		}
+		for j, oid := range got {
+			if j > 0 && got[j-1] >= oid {
+				t.Fatalf("query %d: candidates not strictly ascending at %d", i, j)
+			}
+			if int(acc.counts[j]) != counts[oid] {
+				t.Fatalf("query %d object %d: merge count %d, map count %d", i, oid, acc.counts[j], counts[oid])
+			}
+			if _, ok := counts[oid]; !ok {
+				t.Fatalf("query %d: spurious candidate %d", i, oid)
+			}
+		}
+		putAccum(acc)
+	}
+}
+
+var benchSink int
+
+func BenchmarkCandidateSet(b *testing.B) {
+	d := testData(b)
+	e := newEngine(b, d, Config{})
+	cliques := e.QueryCliques(d.Corpus.Object(0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := getAccum()
+		acc.lookup(e.Index, cliques)
+		benchSink = len(acc.merge(NoExclude, 0))
+		putAccum(acc)
+	}
+}
+
+func BenchmarkConcurrentSearch(b *testing.B) {
+	d := testData(b)
+	e := newEngine(b, d, Config{})
+	queries := make([]*media.Object, 8)
+	for i := range queries {
+		queries[i] = d.Corpus.Object(media.ObjectID(i))
+	}
+	gs := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		gs = append(gs, n)
+	}
+	for _, g := range gs {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < g; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < b.N; i += g {
+						q := queries[i%len(queries)]
+						benchSink = len(e.Search(q, 10, q.ID))
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -16,7 +16,6 @@ package retrieval
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
 	"figfusion/internal/corr"
@@ -54,6 +53,12 @@ type Config struct {
 	// query latency at large |D| at a small recall cost (see the
 	// BenchmarkAblationCandidateCap ablation).
 	CandidateCap int
+	// Workers bounds the scoring fan-out of one query (Search, SearchTA,
+	// SearchMergeFull and SearchScan stripe their candidate scoring over
+	// this many goroutines); 0 means runtime.NumCPU(). Results are
+	// deterministic at any worker count — partial top-k lists merge under
+	// the total order of topk.Less.
+	Workers int
 }
 
 // Engine is a retrieval engine over one corpus. Safe for concurrent
@@ -66,6 +71,7 @@ type Engine struct {
 	buildOpts    fig.Options
 	enumOpts     fig.EnumerateOptions
 	candidateCap int
+	workers      int
 }
 
 // NewEngine trains nothing by itself: it wires the correlation model,
@@ -85,6 +91,7 @@ func NewEngine(m *corr.Model, cfg Config) (*Engine, error) {
 		buildOpts:    cfg.BuildOpts,
 		enumOpts:     cfg.EnumOpts,
 		candidateCap: cfg.CandidateCap,
+		workers:      cfg.Workers,
 	}
 	switch {
 	case cfg.Index != nil:
@@ -130,48 +137,87 @@ func (e *Engine) Search(q *media.Object, k int, exclude media.ObjectID) []topk.I
 		return e.SearchScan(q, k, exclude)
 	}
 	cliques := e.QueryCliques(q)
-	candidates := e.candidateSet(cliques, exclude)
-	corpus := e.Model.Stats.Corpus()
-	h := topk.NewHeap(k)
-	for _, oid := range candidates {
-		if s := e.Scorer.Score(cliques, corpus.Object(oid)); s > 0 {
-			h.Push(topk.Item{ID: oid, Score: s})
-		}
-	}
-	return h.Results()
+	acc := getAccum()
+	defer putAccum(acc)
+	acc.lookup(e.Index, cliques)
+	candidates := acc.merge(exclude, e.candidateCap)
+	cs := e.compile(cliques, acc.entries)
+	return e.scoreCandidates(cs, candidates, k)
 }
 
-// candidateSet unions the posting lists of the query cliques. When the
-// union exceeds the configured CandidateCap, candidates are pre-ranked by
-// shared-clique count (ties by ID) and truncated.
-func (e *Engine) candidateSet(cliques []fig.Clique, exclude media.ObjectID) []media.ObjectID {
-	counts := make(map[media.ObjectID]int)
-	var out []media.ObjectID
-	for _, c := range cliques {
-		entry, ok := e.Index.Lookup(c)
-		if !ok {
-			continue
-		}
-		for _, oid := range entry.Objects {
-			if oid == exclude {
-				continue
+// compile builds the query's compiled clique set, serving the Eq. 9 CorS
+// weights from the inverted index where the clique is indexed (the stored
+// value is exactly corr.Stats.CliqueWeight, the quantity the scorer would
+// recompute) and falling back to the scorer's cache for unindexed cliques.
+// entries must be aligned with cliques, nil marking an unindexed clique.
+func (e *Engine) compile(cliques []fig.Clique, entries []*index.Entry) *mrf.CliqueSet {
+	var weights []float64
+	if e.Scorer.Params.UseCorS {
+		weights = make([]float64, len(cliques))
+		for i, c := range cliques {
+			if entries[i] != nil {
+				weights[i] = entries[i].CorS
+			} else {
+				weights[i] = e.Scorer.CorS(c)
 			}
-			if counts[oid] == 0 {
-				out = append(out, oid)
-			}
-			counts[oid]++
 		}
 	}
-	if e.candidateCap <= 0 || len(out) <= e.candidateCap {
-		return out
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if counts[out[i]] != counts[out[j]] {
-			return counts[out[i]] > counts[out[j]]
+	return e.Scorer.Compile(cliques, weights)
+}
+
+// scoreCandidates applies the full compiled MRF score to every candidate
+// and keeps the top k. With more than one configured worker and enough
+// candidates to matter, scoring stripes across goroutines; the partial
+// top-k lists merge under topk.Less's total order, so the result is
+// byte-identical at any worker count.
+func (e *Engine) scoreCandidates(cs *mrf.CliqueSet, candidates []media.ObjectID, k int) []topk.Item {
+	corpus := e.Model.Stats.Corpus()
+	workers := e.workerCount(len(candidates))
+	if workers <= 1 || len(candidates) < 2*workers {
+		sc := cs.NewScratch()
+		h := topk.NewHeap(k)
+		for _, oid := range candidates {
+			if s := cs.ScoreScratch(sc, corpus.Object(oid)); s > 0 {
+				h.Push(topk.Item{ID: oid, Score: s})
+			}
 		}
-		return out[i] < out[j]
-	})
-	return out[:e.candidateCap]
+		return h.Results()
+	}
+	partial := make([][]topk.Item, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := cs.NewScratch()
+			h := topk.NewHeap(k)
+			for i := w; i < len(candidates); i += workers {
+				oid := candidates[i]
+				if s := cs.ScoreScratch(sc, corpus.Object(oid)); s > 0 {
+					h.Push(topk.Item{ID: oid, Score: s})
+				}
+			}
+			partial[w] = h.Results()
+		}(w)
+	}
+	wg.Wait()
+	return topk.MergeRanked(partial, k)
+}
+
+// workerCount resolves the configured scoring fan-out against the size of
+// the work at hand.
+func (e *Engine) workerCount(n int) int {
+	w := e.workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // SearchTA is the literal Algorithm 1 variant: every query clique's posting
@@ -184,28 +230,71 @@ func (e *Engine) SearchTA(q *media.Object, k int, exclude media.ObjectID) []topk
 		return e.SearchScan(q, k, exclude)
 	}
 	cliques := e.QueryCliques(q)
+	acc := getAccum()
+	defer putAccum(acc)
+	acc.lookup(e.Index, cliques)
+	cs := e.compile(cliques, acc.entries)
+	lists := e.cliqueLists(cs, acc.entries, exclude, true)
+	return topk.ThresholdMerge(lists, k)
+}
+
+// cliqueLists scores each indexed query clique's posting list with that
+// clique's potential alone — Algorithm 1's per-list scores. Lists come back
+// in clique order (the order ThresholdMerge visits them, which matters at
+// exact score ties); cliques without an index entry are skipped, matching
+// the previous sequential construction. When sorted is set each list is
+// ranked best-first, as TA requires. List construction stripes across the
+// configured workers since the lists are independent.
+func (e *Engine) cliqueLists(cs *mrf.CliqueSet, entries []*index.Entry, exclude media.ObjectID, sorted bool) [][]topk.Item {
 	corpus := e.Model.Stats.Corpus()
-	lists := make([][]topk.Item, 0, len(cliques))
-	for _, c := range cliques {
-		entry, ok := e.Index.Lookup(c)
-		if !ok {
-			continue
-		}
+	slots := make([][]topk.Item, len(entries))
+	fill := func(i int) {
+		entry := entries[i]
 		list := make([]topk.Item, 0, len(entry.Objects))
 		for _, oid := range entry.Objects {
 			if oid == exclude {
 				continue
 			}
-			score := e.Scorer.Potential(c, corpus.Object(oid))
+			score := cs.Potential(i, corpus.Object(oid))
 			if score <= 0 {
 				continue
 			}
 			list = append(list, topk.Item{ID: oid, Score: score})
 		}
-		sortItems(list)
-		lists = append(lists, list)
+		if sorted {
+			sortItems(list)
+		}
+		slots[i] = list
 	}
-	return topk.ThresholdMerge(lists, k)
+	workers := e.workerCount(len(entries))
+	if workers <= 1 {
+		for i := range entries {
+			if entries[i] != nil {
+				fill(i)
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(entries); i += workers {
+					if entries[i] != nil {
+						fill(i)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	lists := make([][]topk.Item, 0, len(entries))
+	for i := range entries {
+		if entries[i] != nil {
+			lists = append(lists, slots[i])
+		}
+	}
+	return lists
 }
 
 // SearchScan ranks every database object by the full MRF score — the
@@ -213,19 +302,20 @@ func (e *Engine) SearchTA(q *media.Object, k int, exclude media.ObjectID) []topk
 // deterministic (ties break by object ID).
 func (e *Engine) SearchScan(q *media.Object, k int, exclude media.ObjectID) []topk.Item {
 	cliques := e.QueryCliques(q)
+	// The scan path is the exactness reference: weights come from the
+	// scorer (nil ⇒ computed through its cache), never the index.
+	cs := e.Scorer.Compile(cliques, nil)
 	corpus := e.Model.Stats.Corpus()
 	n := corpus.Len()
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
+	workers := e.workerCount(n)
 	if workers <= 1 {
+		sc := cs.NewScratch()
 		h := topk.NewHeap(k)
 		for _, o := range corpus.Objects {
 			if o.ID == exclude {
 				continue
 			}
-			if s := e.Scorer.Score(cliques, o); s > 0 {
+			if s := cs.ScoreScratch(sc, o); s > 0 {
 				h.Push(topk.Item{ID: o.ID, Score: s})
 			}
 		}
@@ -237,13 +327,14 @@ func (e *Engine) SearchScan(q *media.Object, k int, exclude media.ObjectID) []to
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			sc := cs.NewScratch()
 			h := topk.NewHeap(k)
 			for i := w; i < n; i += workers {
 				o := corpus.Object(media.ObjectID(i))
 				if o.ID == exclude {
 					continue
 				}
-				if s := e.Scorer.Score(cliques, o); s > 0 {
+				if s := cs.ScoreScratch(sc, o); s > 0 {
 					h.Push(topk.Item{ID: o.ID, Score: s})
 				}
 			}
@@ -251,13 +342,7 @@ func (e *Engine) SearchScan(q *media.Object, k int, exclude media.ObjectID) []to
 		}(w)
 	}
 	wg.Wait()
-	h := topk.NewHeap(k)
-	for _, items := range partial {
-		for _, it := range items {
-			h.Push(it)
-		}
-	}
-	return h.Results()
+	return topk.MergeRanked(partial, k)
 }
 
 // SearchMergeFull is the no-TA ablation of SearchTA: identical per-clique
@@ -267,26 +352,11 @@ func (e *Engine) SearchMergeFull(q *media.Object, k int, exclude media.ObjectID)
 		return e.SearchScan(q, k, exclude)
 	}
 	cliques := e.QueryCliques(q)
-	corpus := e.Model.Stats.Corpus()
-	lists := make([][]topk.Item, 0, len(cliques))
-	for _, c := range cliques {
-		entry, ok := e.Index.Lookup(c)
-		if !ok {
-			continue
-		}
-		list := make([]topk.Item, 0, len(entry.Objects))
-		for _, oid := range entry.Objects {
-			if oid == exclude {
-				continue
-			}
-			score := e.Scorer.Potential(c, corpus.Object(oid))
-			if score <= 0 {
-				continue
-			}
-			list = append(list, topk.Item{ID: oid, Score: score})
-		}
-		lists = append(lists, list)
-	}
+	acc := getAccum()
+	defer putAccum(acc)
+	acc.lookup(e.Index, cliques)
+	cs := e.compile(cliques, acc.entries)
+	lists := e.cliqueLists(cs, acc.entries, exclude, false)
 	return topk.FullMerge(lists, k)
 }
 

@@ -76,6 +76,21 @@ func (h *Heap) Results() []Item {
 	return out
 }
 
+// MergeRanked folds several partial top-k lists (one per scoring worker)
+// into one exact top-k. Because Less is a total order (score descending,
+// ties by ascending ID), the merged result is independent of how the
+// items were partitioned across workers — the property the parallel
+// search paths rely on for determinism at any worker count.
+func MergeRanked(lists [][]Item, k int) []Item {
+	h := NewHeap(k)
+	for _, l := range lists {
+		for _, it := range l {
+			h.Push(it)
+		}
+	}
+	return h.Results()
+}
+
 // minHeap is a min-heap under Less (its root is the worst retained item).
 type minHeap []Item
 
