@@ -157,7 +157,15 @@ func (m *Model) cosine(a, b media.FID) float64 {
 		return v
 	}
 	v := m.Stats.Cosine(a, b)
-	m.cache.Put(gen, key, v)
+	// Store only if the generation is unchanged since the pre-compute
+	// load: a value derived from post-insert statistics must not be
+	// stamped with the pre-insert generation, where same-generation
+	// readers would trust it. (See the floatcache package comment for why
+	// this check narrows, but external serialization of stats mutation
+	// eliminates, the race.)
+	if m.gen.Load() == gen {
+		m.cache.Put(gen, key, v)
+	}
 	return v
 }
 

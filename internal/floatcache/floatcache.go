@@ -15,6 +15,17 @@
 //     its entries were computed from. A lookup under a newer generation is
 //     a miss, and the next store under the newer generation drops the
 //     shard wholesale — caches self-invalidate.
+//
+// Soundness caveat: the statistics a value is computed from and the
+// generation counter are read at different instants, so a stamp is only
+// guaranteed truthful when statistics mutation is externally serialized
+// against readers — which the engine provides (Engine.Insert is documented
+// as not safe concurrently with searches; corr.Stats.Append then
+// InvalidateCache happen before any post-insert read). Callers that fill
+// these caches additionally re-load the generation after computing and
+// discard on a mismatch, which narrows — but, absent that serialization,
+// cannot eliminate — the window in which a value derived from post-insert
+// statistics could be stored under the pre-insert stamp.
 package floatcache
 
 import "sync"

@@ -23,16 +23,46 @@ import (
 // is the Eq. 9 importance weight as defined by corr.Stats.CliqueWeight —
 // exactly the value the MRF scorer would compute at query time, so the
 // indexed search paths serve it from here instead of recomputing it.
+//
+// CliqueWeight depends on corpus-global statistics, so a stored CorS is
+// only the scorer's value for the corpus state it was computed from. Each
+// entry therefore carries the corr.Model statistics generation of that
+// computation; readers go through CorSAt, which refuses to serve a value
+// from another generation.
 type Entry struct {
 	Feats   []media.FID
 	CorS    float64
 	Objects []media.ObjectID
+
+	// corsGen is the model generation CorS was computed at. staleGen
+	// marks a value known to predate the current corpus (set by Load for
+	// entries that were already stale when saved).
+	corsGen uint64
+}
+
+// staleGen is a generation stamp no live model ever reaches, marking an
+// entry whose CorS must not be served at any generation.
+const staleGen = ^uint64(0)
+
+// CorSAt returns the stored Eq. 9 weight if it was computed at the given
+// statistics generation. After an Insert grew the corpus, entries the
+// insert did not touch fail this check and callers must recompute through
+// the scorer (whose cache is stamped with the same generations).
+func (e *Entry) CorSAt(gen uint64) (float64, bool) {
+	if e.corsGen != gen {
+		return 0, false
+	}
+	return e.CorS, true
 }
 
 // Inverted is the clique inverted index. It is immutable after Build and
 // safe for concurrent reads.
 type Inverted struct {
 	entries map[string]*Entry
+	// gen is the model generation of the most recent full or partial CorS
+	// refresh (Build, Insert or Load); an entry is up to date iff its own
+	// stamp equals it. Save uses this to persist staleness.
+	gen uint64
 }
 
 // Build constructs the index over the model's corpus: each object's FIG is
@@ -88,9 +118,13 @@ func Build(m *corr.Model, bopts fig.Options, eopts fig.EnumerateOptions) *Invert
 		}
 	}
 	// Attach the stored correlation-strength weights (the Eq. 9 quantity
-	// the scorer applies, already clamped non-negative).
+	// the scorer applies, already clamped non-negative), stamped with the
+	// statistics generation they were computed from.
+	gen := m.Generation()
+	inv.gen = gen
 	for _, e := range inv.entries {
 		e.CorS = m.Stats.CliqueWeight(e.Feats)
+		e.corsGen = gen
 	}
 	return inv
 }
@@ -140,10 +174,14 @@ func lessFIDs(a, b []media.FID) bool {
 
 // Insert adds one object's cliques to the index: new postings are appended
 // (the object ID must exceed all indexed IDs so lists stay sorted) and the
-// stored CorS of every touched clique is recomputed from the given
-// statistics. CorS values of untouched cliques become slightly stale as the
-// corpus grows; Build from scratch refreshes everything.
-func (inv *Inverted) Insert(id media.ObjectID, cliques []fig.Clique, stats *corr.Stats) error {
+// stored CorS of every touched clique is recomputed from the model's
+// current statistics and stamped with its generation. Entries the insert
+// does not touch keep their old generation stamp: CliqueWeight is
+// corpus-global, so their stored values no longer equal what the scorer
+// would compute, and CorSAt reports them stale — the indexed search paths
+// then fall back to the scorer instead of serving a diverged weight.
+// Build from scratch refreshes (and restamps) everything.
+func (inv *Inverted) Insert(id media.ObjectID, cliques []fig.Clique, m *corr.Model) error {
 	touched := make([]*Entry, 0, len(cliques))
 	for _, c := range cliques {
 		key := c.Key()
@@ -161,8 +199,11 @@ func (inv *Inverted) Insert(id media.ObjectID, cliques []fig.Clique, stats *corr
 		e.Objects = append(e.Objects, id)
 		touched = append(touched, e)
 	}
+	gen := m.Generation()
+	inv.gen = gen
 	for _, e := range touched {
-		e.CorS = stats.CliqueWeight(e.Feats)
+		e.CorS = m.Stats.CliqueWeight(e.Feats)
+		e.corsGen = gen
 	}
 	return nil
 }

@@ -246,12 +246,17 @@ func TestInsertIntoIndex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats := corr.NewStats(c)
+	// Grow the statistics and bump the generation the way Engine.Insert
+	// does before touching the index.
+	if err := m.Stats.Append(o); err != nil {
+		t.Fatal(err)
+	}
+	m.InvalidateCache()
 	cliques := []fig.Clique{
 		{Feats: []media.FID{ids["hamster"]}},
 		{Feats: []media.FID{ids["hamster"] + 100}}, // synthetic new clique key
 	}
-	if err := inv.Insert(o.ID, cliques, stats); err != nil {
+	if err := inv.Insert(o.ID, cliques, m); err != nil {
 		t.Fatal(err)
 	}
 	if inv.Postings() != before+2 {
@@ -261,8 +266,31 @@ func TestInsertIntoIndex(t *testing.T) {
 	if !ok || e.Objects[len(e.Objects)-1] != o.ID {
 		t.Error("inserted posting missing")
 	}
+	// Touched entries are restamped with the post-insert generation;
+	// untouched entries report stale there but stay valid at the build
+	// generation.
+	gen := m.Generation()
+	for _, c := range cliques {
+		te, ok := inv.Lookup(c)
+		if !ok {
+			t.Fatalf("touched clique %v missing", c.Feats)
+		}
+		if _, ok := te.CorSAt(gen); !ok {
+			t.Errorf("touched entry %v not fresh at generation %d", te.Feats, gen)
+		}
+	}
+	ve, ok := inv.Lookup(fig.Clique{Feats: sortedPair(ids["car"], ids["engine"])})
+	if !ok {
+		t.Fatal("car-engine clique missing")
+	}
+	if _, ok := ve.CorSAt(gen); ok {
+		t.Error("untouched entry served as fresh after insert")
+	}
+	if _, ok := ve.CorSAt(gen - 1); !ok {
+		t.Error("untouched entry no longer valid at its build generation")
+	}
 	// Out-of-order insert rejected.
-	if err := inv.Insert(0, cliques, stats); err == nil {
+	if err := inv.Insert(0, cliques, m); err == nil {
 		t.Error("want error for out-of-order insert")
 	}
 }

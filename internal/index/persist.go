@@ -9,11 +9,18 @@ import (
 	"figfusion/internal/media"
 )
 
-// wireEntry is the gob form of one inverted-list row.
+// wireEntry is the gob form of one inverted-list row. Fresh records
+// whether the row's CorS matched the corpus statistics when the index was
+// saved: an index that received Inserts carries entries whose stored
+// weights predate the grown corpus, and Load must not resurrect those as
+// authoritative. (Files written before the field existed decode with
+// Fresh == false, which errs on the safe side: the indexed paths fall
+// back to the scorer instead of serving a possibly diverged weight.)
 type wireEntry struct {
 	Feats   []media.FID
 	CorS    float64
 	Objects []media.ObjectID
+	Fresh   bool
 }
 
 // Save writes the index to w in gob format. Combined with the dataset's
@@ -30,14 +37,18 @@ func (inv *Inverted) Save(w io.Writer) error {
 	rows := make([]wireEntry, 0, len(keys))
 	for _, k := range keys {
 		e := inv.entries[k]
-		rows = append(rows, wireEntry{Feats: e.Feats, CorS: e.CorS, Objects: e.Objects})
+		rows = append(rows, wireEntry{Feats: e.Feats, CorS: e.CorS, Objects: e.Objects, Fresh: e.corsGen == inv.gen})
 	}
 	return gob.NewEncoder(w).Encode(rows)
 }
 
 // Load reads an index written by Save. The FID space must match the corpus
 // the index was built over; Load cannot verify that, so pair index files
-// with their dataset files.
+// with their dataset files. Entries that were fresh at save time are
+// stamped with generation 0 — valid for a freshly constructed model over
+// the paired dataset, whose generation counter starts at 0. Entries that
+// were already stale when saved keep a never-matching stamp, so the
+// indexed search paths recompute their weights through the scorer.
 func Load(r io.Reader) (*Inverted, error) {
 	var rows []wireEntry
 	if err := gob.NewDecoder(r).Decode(&rows); err != nil {
@@ -47,7 +58,11 @@ func Load(r io.Reader) (*Inverted, error) {
 	for i := range rows {
 		row := rows[i]
 		key := keyOf(row.Feats)
-		inv.entries[key] = &Entry{Feats: row.Feats, CorS: row.CorS, Objects: row.Objects}
+		gen := uint64(staleGen)
+		if row.Fresh {
+			gen = 0
+		}
+		inv.entries[key] = &Entry{Feats: row.Feats, CorS: row.CorS, Objects: row.Objects, corsGen: gen}
 	}
 	return inv, nil
 }

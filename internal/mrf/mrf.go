@@ -150,7 +150,12 @@ func (s *Scorer) CorS(c fig.Clique) float64 {
 		return v
 	}
 	v := s.Model.Stats.CliqueWeight(c.Feats)
-	s.cors.Put(gen, key, v)
+	// Discard on a generation change so a value computed from newer
+	// statistics is never stamped with the older generation (see the
+	// floatcache package comment).
+	if s.Model.Generation() == gen {
+		s.cors.Put(gen, key, v)
+	}
 	return v
 }
 
@@ -226,7 +231,9 @@ func (s *Scorer) featureObjectCor(f media.FID, o *media.Object) float64 {
 	for _, fj := range o.Feats {
 		v += s.Model.Cor(f, fj)
 	}
-	s.smooth.Put(gen, key, v)
+	if s.Model.Generation() == gen {
+		s.smooth.Put(gen, key, v)
+	}
 	return v
 }
 

@@ -18,6 +18,7 @@ type candAccum struct {
 	entries []*index.Entry
 	lists   [][]media.ObjectID
 	cursors []int
+	heap    []int32
 	ids     []media.ObjectID
 	counts  []int32
 	order   []int32
@@ -27,6 +28,13 @@ type candAccum struct {
 var accumPool = sync.Pool{New: func() interface{} { return new(candAccum) }}
 
 func getAccum() *candAccum { return accumPool.Get().(*candAccum) }
+
+// maxPooledCands bounds the candidate-scaled capacity a pooled accumulator
+// may retain. The candidate slices grow with the query's posting-list
+// union, so one adversarially broad query (no CandidateCap) would
+// otherwise pin its peak allocation in the pool forever; slices beyond the
+// bound are released to the GC instead of being recycled.
+const maxPooledCands = 1 << 16
 
 func putAccum(a *candAccum) {
 	// Drop references into the index so pooled accumulators do not pin
@@ -40,10 +48,15 @@ func putAccum(a *candAccum) {
 	a.entries = a.entries[:0]
 	a.lists = a.lists[:0]
 	a.cursors = a.cursors[:0]
-	a.ids = a.ids[:0]
-	a.counts = a.counts[:0]
-	a.order = a.order[:0]
-	a.capped = a.capped[:0]
+	a.heap = a.heap[:0]
+	if cap(a.ids) > maxPooledCands {
+		a.ids, a.counts, a.order, a.capped = nil, nil, nil, nil
+	} else {
+		a.ids = a.ids[:0]
+		a.counts = a.counts[:0]
+		a.order = a.order[:0]
+		a.capped = a.capped[:0]
+	}
 	accumPool.Put(a)
 }
 
@@ -64,12 +77,14 @@ func (a *candAccum) lookup(inv *index.Inverted, cliques []fig.Clique) {
 }
 
 // merge performs a multi-way count-merge over the sorted posting lists:
-// one pass emits every distinct candidate in ascending ID order together
-// with the number of query cliques containing it — the per-query count
-// map this replaces allocated and hashed on every posting. When the
-// candidate set exceeds the cap, candidates are pre-ranked by shared-clique
-// count (ties by ascending ID, as before) and truncated. The returned
-// slice is owned by the accumulator and valid until putAccum.
+// a min-heap over the list heads emits every distinct candidate in
+// ascending ID order together with the number of query cliques containing
+// it — the per-query count map this replaces allocated and hashed on
+// every posting, and a head-scan per candidate would be O(candidates ×
+// lists); the heap keeps it O(total postings × log lists). When the
+// candidate set exceeds the cap, candidates are pre-ranked by
+// shared-clique count (ties by ascending ID, as before) and truncated.
+// The returned slice is owned by the accumulator and valid until putAccum.
 func (a *candAccum) merge(exclude media.ObjectID, limit int) []media.ObjectID {
 	if len(a.lists) == 0 {
 		return nil
@@ -81,26 +96,31 @@ func (a *candAccum) merge(exclude media.ObjectID, limit int) []media.ObjectID {
 	for i := range a.cursors {
 		a.cursors[i] = 0
 	}
-	for {
-		var min media.ObjectID
-		found := false
-		for li, l := range a.lists {
-			cu := a.cursors[li]
-			if cu >= len(l) {
-				continue
-			}
-			if id := l[cu]; !found || id < min {
-				min, found = id, true
-			}
-		}
-		if !found {
-			break
-		}
+	a.heap = a.heap[:0]
+	for li := range a.lists {
+		a.heap = append(a.heap, int32(li))
+	}
+	for i := len(a.heap)/2 - 1; i >= 0; i-- {
+		a.siftDown(i)
+	}
+	for len(a.heap) > 0 {
+		min := a.head(a.heap[0])
 		var count int32
-		for li, l := range a.lists {
-			if cu := a.cursors[li]; cu < len(l) && l[cu] == min {
-				a.cursors[li]++
-				count++
+		// Drain every list whose head equals min: advance its cursor and
+		// restore the heap (or drop the list once exhausted).
+		for len(a.heap) > 0 && a.head(a.heap[0]) == min {
+			li := a.heap[0]
+			a.cursors[li]++
+			count++
+			if a.cursors[li] < len(a.lists[li]) {
+				a.siftDown(0)
+			} else {
+				last := len(a.heap) - 1
+				a.heap[0] = a.heap[last]
+				a.heap = a.heap[:last]
+				if len(a.heap) > 1 {
+					a.siftDown(0)
+				}
 			}
 		}
 		if min == exclude {
@@ -131,4 +151,31 @@ func (a *candAccum) merge(exclude media.ObjectID, limit int) []media.ObjectID {
 		a.capped = append(a.capped, a.ids[idx])
 	}
 	return a.capped
+}
+
+// head returns the ObjectID at list li's cursor; only called for lists
+// still on the heap, whose cursors are in bounds by construction.
+func (a *candAccum) head(li int32) media.ObjectID {
+	return a.lists[li][a.cursors[li]]
+}
+
+// siftDown restores the min-heap property (ordered by head ObjectID) from
+// position i downward.
+func (a *candAccum) siftDown(i int) {
+	n := len(a.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && a.head(a.heap[right]) < a.head(a.heap[left]) {
+			smallest = right
+		}
+		if a.head(a.heap[i]) <= a.head(a.heap[smallest]) {
+			return
+		}
+		a.heap[i], a.heap[smallest] = a.heap[smallest], a.heap[i]
+		i = smallest
+	}
 }

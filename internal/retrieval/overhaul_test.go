@@ -9,6 +9,7 @@ import (
 
 	"figfusion/internal/dataset"
 	"figfusion/internal/media"
+	"figfusion/internal/mrf"
 )
 
 func cloneFeatures(d *dataset.Dataset, src *media.Object) ([]media.Feature, []int) {
@@ -70,28 +71,83 @@ func TestWithParamsCloneSeesInserts(t *testing.T) {
 }
 
 // TestEntryCorSMatchesScorer pins the satellite contract of the indexed
-// search paths: the CorS stored on every index entry equals — exactly,
-// not approximately — the Eq. 9 weight the scorer would compute for that
-// clique, so serving it from the index cannot change a single score bit.
+// search paths: the Eq. 9 weight they serve for every query clique equals
+// — exactly, not approximately — the weight the scorer would compute at
+// query time, so serving it from the index cannot change a single score
+// bit. The contract must survive Engine.Insert: CliqueWeight is
+// corpus-global, so after an insert every stored CorS the insert did not
+// refresh is stale, and the weight resolution must detect that and fall
+// back to the scorer instead of serving the pre-insert value (the
+// regression this half of the test guards).
 func TestEntryCorSMatchesScorer(t *testing.T) {
 	d := testData(t)
 	e := newEngine(t, d, Config{})
-	checked := 0
-	for i := 0; i < 20; i++ {
-		q := d.Corpus.Object(media.ObjectID(i))
-		for _, c := range e.QueryCliques(q) {
-			entry, ok := e.Index.Lookup(c)
-			if !ok {
-				continue
-			}
-			if got, want := entry.CorS, e.Scorer.CorS(c); got != want {
-				t.Fatalf("clique %v: stored CorS %v != scorer CorS %v", c.Feats, got, want)
-			}
-			checked++
+
+	// checkServedWeights compares the weight the indexed paths would
+	// serve (compile's resolution) against a brand-new scorer over the
+	// corpus as it currently stands, and reports how many of the checked
+	// entries were served from the index versus the stale-entry fallback.
+	checkServedWeights := func(label string) (checked, stale int) {
+		t.Helper()
+		fresh, err := mrf.NewScorer(e.Model, e.Scorer.Params)
+		if err != nil {
+			t.Fatal(err)
 		}
+		gen := e.Model.Generation()
+		for i := 0; i < 20; i++ {
+			q := d.Corpus.Object(media.ObjectID(i))
+			for _, c := range e.QueryCliques(q) {
+				entry, ok := e.Index.Lookup(c)
+				if !ok {
+					continue
+				}
+				if got, want := e.cliqueWeight(c, entry, gen), fresh.CorS(c); got != want {
+					t.Fatalf("%s: clique %v: served weight %v != scorer CorS %v", label, c.Feats, got, want)
+				}
+				if _, ok := entry.CorSAt(gen); !ok {
+					stale++
+				}
+				checked++
+			}
+		}
+		if checked == 0 {
+			t.Fatalf("%s: no indexed query cliques checked", label)
+		}
+		return checked, stale
 	}
-	if checked == 0 {
-		t.Fatal("no indexed query cliques checked")
+
+	if _, stale := checkServedWeights("fresh index"); stale != 0 {
+		t.Fatalf("fresh index: %d entries unexpectedly stale", stale)
+	}
+
+	// Grow the corpus through the engine. Insert refreshes only the
+	// inserted object's cliques, so the second pass must exercise the
+	// stale-entry fallback on at least some entries to mean anything.
+	src := d.Corpus.Object(3)
+	feats, counts := cloneFeatures(d, src)
+	if _, err := e.Insert(feats, counts, src.Month); err != nil {
+		t.Fatal(err)
+	}
+	checked, stale := checkServedWeights("after insert")
+	if stale == 0 || stale == checked {
+		t.Fatalf("after insert: %d of %d entries stale; want a mix of refreshed and fallback entries", stale, checked)
+	}
+
+	// End to end: indexed Search through the live (partially stale) index
+	// must match an engine rebuilt from scratch over the grown corpus.
+	rebuilt := newEngine(t, d, Config{})
+	for i := 0; i < 10; i++ {
+		q := d.Corpus.Object(media.ObjectID(i))
+		want := rebuilt.Search(q, 10, q.ID)
+		got := e.Search(q, 10, q.ID)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results from live engine, %d from rebuilt engine", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("query %d rank %d: live engine served stale index weight: got %+v, want %+v", i, j, got[j], want[j])
+			}
+		}
 	}
 }
 

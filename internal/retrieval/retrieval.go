@@ -148,21 +148,35 @@ func (e *Engine) Search(q *media.Object, k int, exclude media.ObjectID) []topk.I
 // compile builds the query's compiled clique set, serving the Eq. 9 CorS
 // weights from the inverted index where the clique is indexed (the stored
 // value is exactly corr.Stats.CliqueWeight, the quantity the scorer would
-// recompute) and falling back to the scorer's cache for unindexed cliques.
-// entries must be aligned with cliques, nil marking an unindexed clique.
+// recompute) and falling back to the scorer's cache for unindexed cliques
+// — or for indexed cliques whose stored weight predates the current
+// statistics generation (after an Insert, entries the insert did not touch
+// hold weights of the pre-insert corpus; serving those would make the
+// indexed paths diverge from the scorer and from SearchScan). entries must
+// be aligned with cliques, nil marking an unindexed clique.
 func (e *Engine) compile(cliques []fig.Clique, entries []*index.Entry) *mrf.CliqueSet {
 	var weights []float64
 	if e.Scorer.Params.UseCorS {
+		gen := e.Model.Generation()
 		weights = make([]float64, len(cliques))
 		for i, c := range cliques {
-			if entries[i] != nil {
-				weights[i] = entries[i].CorS
-			} else {
-				weights[i] = e.Scorer.CorS(c)
-			}
+			weights[i] = e.cliqueWeight(c, entries[i], gen)
 		}
 	}
 	return e.Scorer.Compile(cliques, weights)
+}
+
+// cliqueWeight resolves one query clique's Eq. 9 weight at the given
+// statistics generation: the index-stored value when it is current, the
+// scorer's (generation-stamped) cache otherwise. Both sources compute
+// corr.Stats.CliqueWeight, so which one serves is unobservable in scores.
+func (e *Engine) cliqueWeight(c fig.Clique, entry *index.Entry, gen uint64) float64 {
+	if entry != nil {
+		if w, ok := entry.CorSAt(gen); ok {
+			return w
+		}
+	}
+	return e.Scorer.CorS(c)
 }
 
 // scoreCandidates applies the full compiled MRF score to every candidate
@@ -399,7 +413,7 @@ func (e *Engine) Insert(feats []media.Feature, counts []int, month int) (*media.
 	e.Scorer.Reset()
 	if e.Index != nil {
 		g := fig.Build(o, e.Model, e.buildOpts)
-		if err := e.Index.Insert(o.ID, g.Cliques(e.enumOpts), e.Model.Stats); err != nil {
+		if err := e.Index.Insert(o.ID, g.Cliques(e.enumOpts), e.Model); err != nil {
 			return nil, err
 		}
 	}
