@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchall vet fmt lint figlint figures examples clean
+.PHONY: all build test race bench bench-build benchall vet fmt lint figlint figures examples clean
 
 all: build lint test
 
@@ -18,9 +18,17 @@ race:
 # Query-path benchmarks: the retrieval microbenches plus the serving-path
 # measurement appended to the tracked baseline file (see "Query-path
 # performance baseline" in EXPERIMENTS.md).
-bench:
+bench: bench-build
 	$(GO) test -bench='Search|CandidateSet' -benchmem ./internal/retrieval/...
 	$(GO) run ./cmd/figbench -perf BENCH_retrieval.json -scale 800 -queries 12 -seed 1
+
+# Build-path benchmarks: the bulk-weighting microbenches plus the offline
+# build measurement (vocabulary, thresholds, index, lambda) appended to the
+# tracked baseline file (see "Build-path performance baseline" in
+# EXPERIMENTS.md).
+bench-build:
+	$(GO) test -bench='CliqueWeight|TrainVocabulary' -benchmem ./internal/corr/... ./internal/vq/...
+	$(GO) run ./cmd/figbench -buildperf BENCH_build.json -scale 800 -trainqueries 12 -seed 1
 
 # Every microbenchmark in the repo (slow; includes the ablation sweeps).
 benchall:

@@ -35,8 +35,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "seed")
 
 		perf      = flag.String("perf", "", "measure the retrieval query path and append the run to this JSON file (e.g. BENCH_retrieval.json); skips the figures")
-		perfLabel = flag.String("perflabel", "", "label recorded with the -perf run (default: go version + GOMAXPROCS)")
+		buildPerf = flag.String("buildperf", "", "measure the offline build path (vocabulary, thresholds, index, lambda training) and append the run to this JSON file (e.g. BENCH_build.json); skips the figures")
+		perfLabel = flag.String("perflabel", "", "label recorded with the -perf/-buildperf run (default: go version + GOMAXPROCS)")
 		perfCap   = flag.Int("perfcap", 0, "CandidateCap for the -perf engine (0 = uncapped)")
+		trainQ    = flag.Int("trainqueries", 20, "training queries for the lambda coordinate ascent (paper: 20)")
 	)
 	flag.Parse()
 
@@ -44,16 +46,24 @@ func main() {
 	opts.Scale = *scale
 	opts.RecScale = *recScale
 	opts.Queries = *queries
+	opts.TrainQueries = *trainQ
 	opts.RecUsers = *users
 	opts.Seed = *seed
 
-	if *perf != "" {
+	if *perf != "" || *buildPerf != "" {
 		label := *perfLabel
 		if label == "" {
 			label = fmt.Sprintf("%s GOMAXPROCS=%d", runtime.Version(), runtime.GOMAXPROCS(0))
 		}
-		if err := runPerf(*perf, label, opts, *perfCap); err != nil {
-			log.Fatalf("perf: %v", err)
+		if *perf != "" {
+			if err := runPerf(*perf, label, opts, *perfCap); err != nil {
+				log.Fatalf("perf: %v", err)
+			}
+		}
+		if *buildPerf != "" {
+			if err := runBuildPerf(*buildPerf, label, opts); err != nil {
+				log.Fatalf("buildperf: %v", err)
+			}
 		}
 		return
 	}

@@ -1,21 +1,10 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 
 	"figfusion/internal/experiments"
 )
-
-// perfFile is the on-disk shape of BENCH_retrieval.json: one benchmark
-// identity plus an append-only list of runs, one per measured revision, so
-// the file records the query path's performance trajectory across PRs.
-type perfFile struct {
-	Benchmark string                `json:"benchmark"`
-	Command   string                `json:"command"`
-	Runs      []experiments.PerfRun `json:"runs"`
-}
 
 // runPerf measures the retrieval query path and appends the run to the
 // JSON file at path (creating it if absent).
@@ -24,28 +13,41 @@ func runPerf(path, label string, opts experiments.Options, candidateCap int) err
 	if err != nil {
 		return err
 	}
-	pf := perfFile{
-		Benchmark: "retrieval query path: concurrent indexed Search + SearchTA",
-		Command:   fmt.Sprintf("go run ./cmd/figbench -perf %s -scale %d -queries %d -seed %d", path, opts.Scale, opts.Queries, opts.Seed),
-	}
-	if raw, err := os.ReadFile(path); err == nil {
-		if err := json.Unmarshal(raw, &pf); err != nil {
-			return fmt.Errorf("perf: %s exists but is not a perf file: %w", path, err)
-		}
-	}
-	pf.Runs = append(pf.Runs, *run)
-	out, err := json.MarshalIndent(pf, "", "  ")
+	total, err := experiments.AppendBenchRun(path,
+		"retrieval query path: concurrent indexed Search + SearchTA",
+		fmt.Sprintf("go run ./cmd/figbench -perf %s -scale %d -queries %d -seed %d", path, opts.Scale, opts.Queries, opts.Seed),
+		run)
 	if err != nil {
-		return err
-	}
-	out = append(out, '\n')
-	if err := os.WriteFile(path, out, 0o644); err != nil {
 		return err
 	}
 	for _, r := range run.Results {
 		fmt.Printf("%-34s %10.0f ns/op %8d allocs/op %12.1f queries/sec\n",
 			r.Name, r.NsPerOp, r.AllocsPerOp, r.QueriesPerSec)
 	}
-	fmt.Printf("appended run %q to %s (%d runs total)\n", label, path, len(pf.Runs))
+	fmt.Printf("appended run %q to %s (%d runs total)\n", label, path, total)
+	return nil
+}
+
+// runBuildPerf measures the offline build path phase by phase and appends
+// the run to the JSON file at path (creating it if absent).
+func runBuildPerf(path, label string, opts experiments.Options) error {
+	run, err := experiments.BuildPerf(opts, label)
+	if err != nil {
+		return err
+	}
+	total, err := experiments.AppendBenchRun(path,
+		"engine build path: vocabulary k-means, stats+thresholds, clique index build+weighting, lambda coordinate ascent",
+		fmt.Sprintf("go run ./cmd/figbench -buildperf %s -scale %d -trainqueries %d -seed %d", path, opts.Scale, opts.TrainQueries, opts.Seed),
+		run)
+	if err != nil {
+		return err
+	}
+	for _, p := range run.Phases {
+		fmt.Printf("%-18s serial %9.1f ms   workers=%d %9.1f ms   speedup %.2fx\n",
+			p.Name, p.SerialMs, run.Workers, p.ParallelMs, p.Speedup)
+	}
+	fmt.Printf("%-18s serial %9.1f ms   workers=%d %9.1f ms   speedup %.2fx\n",
+		"total", run.SerialTotalMs, run.Workers, run.ParallelTotalMs, run.Speedup)
+	fmt.Printf("appended run %q to %s (%d runs total)\n", label, path, total)
 	return nil
 }

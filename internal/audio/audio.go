@@ -41,6 +41,12 @@ func TrainVocabulary(samples []Descriptor, k, maxIter int, rng *rand.Rand) (*Voc
 	return vq.TrainVocabulary(samples, k, maxIter, rng)
 }
 
+// TrainVocabularyWorkers is TrainVocabulary with a bounded fan-out
+// (0 = NumCPU); output is byte-identical at any worker count.
+func TrainVocabularyWorkers(samples []Descriptor, k, maxIter int, rng *rand.Rand, workers int) (*Vocabulary, error) {
+	return vq.TrainVocabularyWorkers(samples, k, maxIter, rng, workers)
+}
+
 // bandFrequencies returns the 16 log-spaced probe frequencies between
 // 100 Hz and the Nyquist margin.
 func bandFrequencies() [NumBands]float64 {

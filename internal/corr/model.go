@@ -9,6 +9,7 @@ import (
 	"figfusion/internal/floatcache"
 	"figfusion/internal/lexicon"
 	"figfusion/internal/media"
+	"figfusion/internal/par"
 	"figfusion/internal/social"
 	"figfusion/internal/vision"
 )
@@ -186,14 +187,30 @@ func (m *Model) Correlated(a, b media.FID) bool {
 // correlations of feature pairs co-occurring within sampled objects and sets
 // the threshold at the given upper quantile (e.g. quantile 0.2 keeps the
 // top 20% strongest co-occurring pairs as edges). Kind pairs with no samples
-// keep their previous thresholds.
+// keep their previous thresholds. The correlation evaluations fan out over
+// every CPU; see TrainThresholdsWorkers to pin the fan-out.
 func (m *Model) TrainThresholds(sampleObjects int, quantile float64, rng *rand.Rand) {
+	m.TrainThresholdsWorkers(sampleObjects, quantile, rng, 0)
+}
+
+// TrainThresholdsWorkers is TrainThresholds with a bounded fan-out
+// (0 = NumCPU). The trained thresholds are identical at any worker count:
+// pair sampling stays serial (the rng draw order is untouched), the workers
+// only evaluate Cor — a pure function of the immutable corpus statistics —
+// into fixed slots of the sampled-pair slice, and the quantiles are taken
+// over the per-kind-pair sample lists assembled serially in sample order.
+func (m *Model) TrainThresholdsWorkers(sampleObjects int, quantile float64, rng *rand.Rand, workers int) {
 	corpus := m.Stats.Corpus()
 	if corpus.Len() == 0 || sampleObjects <= 0 {
 		return
 	}
 	quantile = math.Max(0, math.Min(1, quantile))
-	samples := make([][media.NumKinds][]float64, media.NumKinds)
+	type sampledPair struct {
+		a, b   media.FID
+		ka, kb media.Kind
+		v      float64
+	}
+	var pairsList []sampledPair
 	for s := 0; s < sampleObjects; s++ {
 		o := corpus.Object(media.ObjectID(rng.Intn(corpus.Len())))
 		// Bound per-object pair work so a few giant objects cannot dominate
@@ -203,15 +220,26 @@ func (m *Model) TrainThresholds(sampleObjects int, quantile float64, rng *rand.R
 		for i := 0; i < len(o.Feats) && pairs < maxPairsPerObject; i++ {
 			for j := i + 1; j < len(o.Feats) && pairs < maxPairsPerObject; j++ {
 				a, b := o.Feats[i], o.Feats[j]
-				ka := corpus.KindOf(a)
-				kb := corpus.KindOf(b)
-				v := m.Cor(a, b)
-				samples[ka][kb] = append(samples[ka][kb], v)
-				if ka != kb {
-					samples[kb][ka] = append(samples[kb][ka], v)
-				}
+				pairsList = append(pairsList, sampledPair{
+					a: a, b: b,
+					ka: corpus.KindOf(a), kb: corpus.KindOf(b),
+				})
 				pairs++
 			}
+		}
+	}
+	// Cor is safe for concurrent use (the cosine cache is sharded), so the
+	// evaluations stripe freely; each worker writes only its own slots.
+	par.Range(len(pairsList), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pairsList[i].v = m.Cor(pairsList[i].a, pairsList[i].b)
+		}
+	})
+	samples := make([][media.NumKinds][]float64, media.NumKinds)
+	for _, p := range pairsList {
+		samples[p.ka][p.kb] = append(samples[p.ka][p.kb], p.v)
+		if p.ka != p.kb {
+			samples[p.kb][p.ka] = append(samples[p.kb][p.ka], p.v)
 		}
 	}
 	for a := 0; a < media.NumKinds; a++ {

@@ -26,6 +26,7 @@ import (
 type Stats struct {
 	corpus   *media.Corpus
 	postings [][]media.ObjectID // FID -> sorted objects containing it
+	pcounts  [][]uint16         // FID -> counts aligned with postings
 	sumCount []float64          // FID -> Σ_i n_{f,i}
 	sumSq    []float64          // FID -> Σ_i n_{f,i}²
 }
@@ -36,6 +37,7 @@ func NewStats(c *media.Corpus) *Stats {
 	s := &Stats{
 		corpus:   c,
 		postings: make([][]media.ObjectID, nf),
+		pcounts:  make([][]uint16, nf),
 		sumCount: make([]float64, nf),
 		sumSq:    make([]float64, nf),
 	}
@@ -43,6 +45,7 @@ func NewStats(c *media.Corpus) *Stats {
 		for i, fid := range o.Feats {
 			cnt := float64(o.Counts[i])
 			s.postings[fid] = append(s.postings[fid], o.ID)
+			s.pcounts[fid] = append(s.pcounts[fid], o.Counts[i])
 			s.sumCount[fid] += cnt
 			s.sumSq[fid] += cnt * cnt
 		}
@@ -92,28 +95,71 @@ func (s *Stats) Variance(fid media.FID) float64 {
 	return v
 }
 
+// gallopSkew is the length ratio beyond which Dot switches from the linear
+// merge to galloping: exponential search only wins once one list is much
+// longer than the other, otherwise the doubling probes cost more than the
+// straight scan they replace.
+const gallopSkew = 8
+
 // Dot returns n⃗1·n⃗2: the sum over objects of the product of the two
-// features' frequencies, computed by intersecting posting lists.
+// features' frequencies, computed by intersecting posting lists. Counts
+// ride alongside the postings, so no per-match corpus lookups are needed.
+// When the list lengths are skewed more than gallopSkew×, the scan of the
+// longer list gallops (exponential search then binary refinement); the
+// matches — and therefore the floating-point sum — are identical to the
+// linear merge's, as the property test cross-checks.
 func (s *Stats) Dot(a, b media.FID) float64 {
 	pa, pb := s.Postings(a), s.Postings(b)
 	if len(pa) > len(pb) {
 		pa, pb = pb, pa
 		a, b = b, a
 	}
+	ca, cb := s.counts(a), s.counts(b)
 	var dot float64
 	j := 0
-	for _, oid := range pa {
-		// Galloping would help for very skewed lists; linear merge is fine
-		// at our posting densities.
-		for j < len(pb) && pb[j] < oid {
-			j++
+	gallop := len(pb) > gallopSkew*len(pa)
+	for i, oid := range pa {
+		if gallop {
+			j = gallopTo(pb, j, oid)
+		} else {
+			for j < len(pb) && pb[j] < oid {
+				j++
+			}
 		}
 		if j < len(pb) && pb[j] == oid {
-			o := s.corpus.Object(oid)
-			dot += float64(o.Count(a)) * float64(o.Count(b))
+			dot += float64(ca[i]) * float64(cb[j])
 		}
 	}
 	return dot
+}
+
+// gallopTo returns the smallest index ≥ from with list[index] ≥ target,
+// probing at exponentially growing strides and binary-searching the last
+// bracket. Equivalent to advancing linearly, in O(log gap).
+func gallopTo(list []media.ObjectID, from int, target media.ObjectID) int {
+	if from >= len(list) || list[from] >= target {
+		return from
+	}
+	step := 1
+	lo := from
+	hi := from + step
+	for hi < len(list) && list[hi] < target {
+		lo = hi
+		step *= 2
+		hi = lo + step
+	}
+	if hi > len(list) {
+		hi = len(list)
+	}
+	// Invariant: list[lo] < target, and list[hi] ≥ target if hi < len.
+	return lo + sort.Search(hi-lo, func(i int) bool { return list[lo+i] >= target })
+}
+
+func (s *Stats) counts(fid media.FID) []uint16 {
+	if int(fid) >= len(s.pcounts) {
+		return nil
+	}
+	return s.pcounts[fid]
 }
 
 // Cosine computes Eq. 1: Cor(n1, n2) = n⃗1·n⃗2 / (|n⃗1|·|n⃗2|).
@@ -136,10 +182,48 @@ func (s *Stats) Cosine(a, b media.FID) float64 {
 // interaction information to weight (Section 3.4 uses CorS to code the
 // importance of multi-feature cliques).
 //
-// The exact sum is computed by iterating only the union of posting lists and
-// adding an analytic correction for the objects containing none of the
-// features, whose per-object term is the constant Π_j (−n̄_j / sd_j).
+// The exact sum is computed by streaming a cursor merge over the features'
+// posting lists — visiting each union object once, in ascending ID order,
+// without materialising the union — and adding an analytic correction for
+// the objects containing none of the features, whose per-object term is
+// the constant Π_j (−n̄_j / sd_j).
 func (s *Stats) CorS(fids []media.FID) float64 {
+	var ws WeightScratch
+	return s.CorSWith(fids, &ws)
+}
+
+// WeightScratch holds the reusable per-call state of CorSWith and
+// CliqueWeightWith, so bulk callers (the index build's weighting loop
+// recomputes Eq. 9 for every distinct clique) avoid re-allocating cursor
+// and moment slices tens of thousands of times. A scratch value must not
+// be shared between concurrent calls; give each worker its own.
+type WeightScratch struct {
+	means, sds []float64
+	lists      [][]media.ObjectID
+	counts     [][]uint16
+	cursors    []int
+}
+
+func (ws *WeightScratch) reset(k int) {
+	if cap(ws.means) < k {
+		ws.means = make([]float64, k)
+		ws.sds = make([]float64, k)
+		ws.lists = make([][]media.ObjectID, k)
+		ws.counts = make([][]uint16, k)
+		ws.cursors = make([]int, k)
+	}
+	ws.means = ws.means[:k]
+	ws.sds = ws.sds[:k]
+	ws.lists = ws.lists[:k]
+	ws.counts = ws.counts[:k]
+	ws.cursors = ws.cursors[:k]
+	for j := range ws.cursors {
+		ws.cursors[j] = 0
+	}
+}
+
+// CorSWith is CorS using caller-provided scratch space.
+func (s *Stats) CorSWith(fids []media.FID, ws *WeightScratch) float64 {
 	if len(fids) <= 1 {
 		return 1
 	}
@@ -148,32 +232,52 @@ func (s *Stats) CorS(fids []media.FID) float64 {
 		return 0
 	}
 	k := len(fids)
-	means := make([]float64, k)
-	sds := make([]float64, k)
+	ws.reset(k)
 	for j, fid := range fids {
-		means[j] = s.Mean(fid)
+		ws.means[j] = s.Mean(fid)
 		v := s.Variance(fid)
 		if numeric.IsZero(v) {
 			return 0 // a constant feature correlates with nothing
 		}
-		sds[j] = math.Sqrt(v)
+		ws.sds[j] = math.Sqrt(v)
+		ws.lists[j] = s.Postings(fid)
+		ws.counts[j] = s.counts(fid)
 	}
-	union := s.unionPostings(fids)
+	// k-way cursor merge: every iteration handles the smallest object ID
+	// any cursor points at, multiplying the standardized per-feature terms
+	// in fids order — the same product order the materialised-union loop
+	// used, so the floating-point result is bit-identical.
 	var sum float64
-	for _, oid := range union {
-		o := s.corpus.Object(oid)
+	unionLen := 0
+	for {
+		const noObject = media.ObjectID(^uint32(0) >> 1)
+		next := noObject
+		for j := range ws.lists {
+			if c := ws.cursors[j]; c < len(ws.lists[j]) && ws.lists[j][c] < next {
+				next = ws.lists[j][c]
+			}
+		}
+		if next == noObject {
+			break
+		}
+		unionLen++
 		term := 1.0
-		for j, fid := range fids {
-			term *= (float64(o.Count(fid)) - means[j]) / sds[j]
+		for j := range ws.lists {
+			var cnt float64
+			if c := ws.cursors[j]; c < len(ws.lists[j]) && ws.lists[j][c] == next {
+				cnt = float64(ws.counts[j][c])
+				ws.cursors[j] = c + 1
+			}
+			term *= (cnt - ws.means[j]) / ws.sds[j]
 		}
 		sum += term
 	}
 	// All-absent objects contribute the constant term.
 	absentTerm := 1.0
 	for j := range fids {
-		absentTerm *= -means[j] / sds[j]
+		absentTerm *= -ws.means[j] / ws.sds[j]
 	}
-	sum += float64(n-len(union)) * absentTerm
+	sum += float64(n-unionLen) * absentTerm
 	return sum
 }
 
@@ -193,6 +297,14 @@ func (s *Stats) CorS(fids []media.FID) float64 {
 // visual words). The relative scale between clique sizes is absorbed by
 // the trained λ parameters.
 func (s *Stats) CliqueWeight(fids []media.FID) float64 {
+	var ws WeightScratch
+	return s.CliqueWeightWith(fids, &ws)
+}
+
+// CliqueWeightWith is CliqueWeight using caller-provided scratch space; see
+// WeightScratch. The index build's weighting loop calls this once per
+// distinct clique with a per-worker scratch.
+func (s *Stats) CliqueWeightWith(fids []media.FID, ws *WeightScratch) float64 {
 	var v float64
 	switch {
 	case len(fids) == 0:
@@ -203,32 +315,13 @@ func (s *Stats) CliqueWeight(fids []media.FID) float64 {
 		}
 	default:
 		if n := s.corpus.Len(); n > 0 {
-			v = s.CorS(fids) / float64(n)
+			v = s.CorSWith(fids, ws) / float64(n)
 		}
 	}
 	if v < 0 {
 		v = 0
 	}
 	return v
-}
-
-// unionPostings returns the sorted union of the features' posting lists.
-func (s *Stats) unionPostings(fids []media.FID) []media.ObjectID {
-	var union []media.ObjectID
-	for _, fid := range fids {
-		union = append(union, s.Postings(fid)...)
-	}
-	if len(union) == 0 {
-		return nil
-	}
-	sort.Slice(union, func(i, j int) bool { return union[i] < union[j] })
-	out := union[:1]
-	for _, oid := range union[1:] {
-		if oid != out[len(out)-1] {
-			out = append(out, oid)
-		}
-	}
-	return out
 }
 
 // Append folds one newly added corpus object into the statistics: posting
@@ -244,6 +337,7 @@ func (s *Stats) Append(o *media.Object) error {
 	for i, fid := range o.Feats {
 		for int(fid) >= len(s.postings) {
 			s.postings = append(s.postings, nil)
+			s.pcounts = append(s.pcounts, nil)
 			s.sumCount = append(s.sumCount, 0)
 			s.sumSq = append(s.sumSq, 0)
 		}
@@ -252,6 +346,7 @@ func (s *Stats) Append(o *media.Object) error {
 		}
 		cnt := float64(o.Counts[i])
 		s.postings[fid] = append(s.postings[fid], o.ID)
+		s.pcounts[fid] = append(s.pcounts[fid], o.Counts[i])
 		s.sumCount[fid] += cnt
 		s.sumSq[fid] += cnt * cnt
 	}

@@ -81,6 +81,11 @@ type Config struct {
 	// SecondaryTopicProb is the probability an object mixes in a second
 	// topic (contributing some of its tags/users/blocks).
 	SecondaryTopicProb float64
+
+	// Workers bounds the fan-out of vocabulary training (0 = NumCPU,
+	// mirroring retrieval.Config.Workers). Generation is deterministic at
+	// any worker count.
+	Workers int
 }
 
 // DefaultConfig returns a laptop-scale configuration that preserves the

@@ -217,7 +217,7 @@ func (d *Dataset) trainVisualVocabulary(rng *rand.Rand) error {
 		}
 		samples = append(samples, descs...)
 	}
-	voc, err := vision.TrainVocabulary(samples, cfg.VisualVocab, cfg.KMeansIters, rng)
+	voc, err := vision.TrainVocabularyWorkers(samples, cfg.VisualVocab, cfg.KMeansIters, rng, cfg.Workers)
 	if err != nil {
 		return err
 	}

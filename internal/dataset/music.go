@@ -56,6 +56,10 @@ type MusicConfig struct {
 
 	// SecondaryGenreProb is the probability a track blends two genres.
 	SecondaryGenreProb float64
+
+	// Workers bounds the fan-out of codebook training (0 = NumCPU).
+	// Generation is deterministic at any worker count.
+	Workers int
 }
 
 // DefaultMusicConfig returns a laptop-scale music corpus configuration.
@@ -193,7 +197,7 @@ func GenerateMusic(cfg MusicConfig) (*Dataset, error) {
 		}
 		samples = append(samples, descs...)
 	}
-	vocab, err := audio.TrainVocabulary(samples, cfg.AudioVocab, cfg.KMeansIters, rng)
+	vocab, err := audio.TrainVocabularyWorkers(samples, cfg.AudioVocab, cfg.KMeansIters, rng, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}

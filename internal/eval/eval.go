@@ -11,6 +11,7 @@ import (
 	"figfusion/internal/baselines"
 	"figfusion/internal/dataset"
 	"figfusion/internal/media"
+	"figfusion/internal/par"
 	"figfusion/internal/recommend"
 	"figfusion/internal/retrieval"
 	"figfusion/internal/topk"
@@ -93,25 +94,51 @@ func Precision(q *media.Object, results []topk.Item, corpus *media.Corpus,
 }
 
 // RetrievalPrecision runs every query through the system once at the
-// largest N and reports mean Precision@N for each requested N.
+// largest N and reports mean Precision@N for each requested N. Queries are
+// evaluated concurrently across every CPU; see RetrievalPrecisionWorkers to
+// pin the fan-out.
 func RetrievalPrecision(sys System, corpus *media.Corpus, queries []media.ObjectID,
 	ns []int, relevant func(q, o *media.Object) bool) map[int]float64 {
+	return RetrievalPrecisionWorkers(sys, corpus, queries, ns, relevant, 0)
+}
+
+// RetrievalPrecisionWorkers is RetrievalPrecision with a bounded fan-out
+// (0 = NumCPU). The result is identical at any worker count: each worker
+// evaluates whole queries — the System must be safe for concurrent
+// searches, as retrieval.Engine and the baselines are — into fixed
+// per-query slots, and the per-query precisions are summed serially in
+// query order, so the floating-point reduction never depends on the
+// fan-out. This is the λ-training objective's hot loop: the §3.4
+// coordinate ascent calls it once per candidate parameter point.
+func RetrievalPrecisionWorkers(sys System, corpus *media.Corpus, queries []media.ObjectID,
+	ns []int, relevant func(q, o *media.Object) bool, workers int) map[int]float64 {
 	maxN := 0
 	for _, n := range ns {
 		if n > maxN {
 			maxN = n
 		}
 	}
-	sums := make(map[int]float64, len(ns))
-	for _, qid := range queries {
-		q := corpus.Object(qid)
-		results := sys.Search(q, maxN, qid)
-		for _, n := range ns {
-			top := results
-			if len(top) > n {
-				top = top[:n]
+	precs := make([][]float64, len(queries))
+	par.Range(len(queries), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			qid := queries[i]
+			q := corpus.Object(qid)
+			results := sys.Search(q, maxN, qid)
+			row := make([]float64, len(ns))
+			for j, n := range ns {
+				top := results
+				if len(top) > n {
+					top = top[:n]
+				}
+				row[j] = Precision(q, top, corpus, relevant)
 			}
-			sums[n] += Precision(q, top, corpus, relevant)
+			precs[i] = row
+		}
+	})
+	sums := make(map[int]float64, len(ns))
+	for _, row := range precs {
+		for j, n := range ns {
+			sums[n] += row[j]
 		}
 	}
 	out := make(map[int]float64, len(ns))

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchFile is the on-disk shape shared by the tracked benchmark files
+// (BENCH_retrieval.json, BENCH_build.json): one benchmark identity plus an
+// append-only list of runs, one per measured revision, so each file records
+// a performance trajectory across PRs. Runs are kept as raw JSON so the
+// same recording code serves files with different run schemas (PerfRun,
+// BuildRun).
+type BenchFile struct {
+	Benchmark string            `json:"benchmark"`
+	Command   string            `json:"command"`
+	Runs      []json.RawMessage `json:"runs"`
+}
+
+// AppendBenchRun appends one run to the benchmark file at path, creating
+// the file — with the given benchmark description and reproduction command
+// — if it does not exist yet. It returns the total number of recorded runs.
+func AppendBenchRun(path, benchmark, command string, run any) (int, error) {
+	pf := BenchFile{Benchmark: benchmark, Command: command}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &pf); err != nil {
+			return 0, fmt.Errorf("bench: %s exists but is not a benchmark file: %w", path, err)
+		}
+	}
+	raw, err := json.Marshal(run)
+	if err != nil {
+		return 0, err
+	}
+	pf.Runs = append(pf.Runs, raw)
+	out, err := json.MarshalIndent(pf, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return 0, err
+	}
+	return len(pf.Runs), nil
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"figfusion/internal/dataset"
+	"figfusion/internal/eval"
+	"figfusion/internal/fig"
+	"figfusion/internal/index"
+	"figfusion/internal/mrf"
+	"figfusion/internal/par"
+	"figfusion/internal/retrieval"
+	"figfusion/internal/vision"
+)
+
+// BuildPhase is one measured phase of the engine build path, timed once at
+// Workers=1 (the serial reference) and once at Workers=NumCPU.
+type BuildPhase struct {
+	Name       string  `json:"name"`
+	SerialMs   float64 `json:"serialMs"`
+	ParallelMs float64 `json:"parallelMs"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// BuildRun is one complete measurement of the offline build path on one
+// code revision. Runs accumulate in BENCH_build.json so the build-time
+// trajectory is tracked across PRs alongside the query-path trajectory in
+// BENCH_retrieval.json.
+type BuildRun struct {
+	Label           string       `json:"label"`
+	GoVersion       string       `json:"goVersion"`
+	GOMAXPROCS      int          `json:"gomaxprocs"`
+	Workers         int          `json:"workers"`
+	Scale           int          `json:"scale"`
+	TrainQueries    int          `json:"trainQueries"`
+	Phases          []BuildPhase `json:"phases"`
+	SerialTotalMs   float64      `json:"serialTotalMs"`
+	ParallelTotalMs float64      `json:"parallelTotalMs"`
+	Speedup         float64      `json:"speedup"`
+}
+
+// buildPhaseNames are the four offline hot paths, in pipeline order.
+var buildPhaseNames = [4]string{"vocabulary", "stats+thresholds", "index", "lambda"}
+
+// BuildPerf measures the four phases of the offline build path — visual
+// vocabulary k-means, statistics + threshold training, clique index build
+// with Eq. 9 weighting, and the §3.4 λ/α coordinate ascent — each timed at
+// Workers=1 and again at Workers=NumCPU over a fresh model and engine, so
+// neither leg inherits the other's warm caches. The workload is derived
+// entirely from o.Seed/o.Scale/o.TrainQueries, so two runs on the same
+// revision measure the same work.
+func BuildPerf(o Options, label string) (*BuildRun, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	serial, err := buildPhaseTimes(o, 1)
+	if err != nil {
+		return nil, err
+	}
+	parallel, err := buildPhaseTimes(o, 0)
+	if err != nil {
+		return nil, err
+	}
+	run := &BuildRun{
+		Label:        label,
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Workers:      par.Workers(0, o.Scale),
+		Scale:        o.Scale,
+		TrainQueries: o.TrainQueries,
+	}
+	for i, name := range buildPhaseNames {
+		p := BuildPhase{Name: name, SerialMs: serial[i], ParallelMs: parallel[i]}
+		if p.ParallelMs > 0 {
+			p.Speedup = p.SerialMs / p.ParallelMs
+		}
+		run.Phases = append(run.Phases, p)
+		run.SerialTotalMs += p.SerialMs
+		run.ParallelTotalMs += p.ParallelMs
+	}
+	if run.ParallelTotalMs > 0 {
+		run.Speedup = run.SerialTotalMs / run.ParallelTotalMs
+	}
+	return run, nil
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t).Nanoseconds()) / 1e6 }
+
+// buildPhaseTimes runs the full build pipeline once at the given fan-out
+// and returns the per-phase wall-clock times in buildPhaseNames order.
+func buildPhaseTimes(o Options, workers int) ([4]float64, error) {
+	var out [4]float64
+	seed := o.Seed
+
+	// Phase 1: visual-vocabulary k-means over synthesized descriptors
+	// (Scale*5 samples around 32 prototypes, k=64, 10 Lloyd iterations) —
+	// a vocabulary-training workload larger than the one hidden inside
+	// dataset.Generate, timed in isolation.
+	vrng := rand.New(rand.NewSource(seed + 21))
+	protos := make([]vision.Descriptor, 32)
+	for p := range protos {
+		for c := range protos[p] {
+			protos[p][c] = vrng.Float64()
+		}
+	}
+	samples := make([]vision.Descriptor, o.Scale*5)
+	for i := range samples {
+		proto := protos[vrng.Intn(len(protos))]
+		for c := range samples[i] {
+			samples[i][c] = proto[c] + vrng.NormFloat64()*0.05
+		}
+	}
+	t0 := time.Now()
+	if _, err := vision.TrainVocabularyWorkers(samples, 64, 10, rand.New(rand.NewSource(seed+22)), workers); err != nil {
+		return out, err
+	}
+	out[0] = msSince(t0)
+
+	// Corpus for the remaining phases (generation itself is not a measured
+	// phase; its vocabulary training is the workload phase 1 isolates).
+	cfg := o.retrievalConfig()
+	cfg.Workers = workers
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		return out, err
+	}
+
+	// Phase 2: statistics + threshold training.
+	t0 = time.Now()
+	m := d.Model()
+	m.TrainThresholdsWorkers(200, 0.35, rand.New(rand.NewSource(seed+13)), workers)
+	out[1] = msSince(t0)
+
+	// Phase 3: clique index build + Eq. 9 weighting.
+	t0 = time.Now()
+	inv := index.BuildWorkers(m, fig.Options{}, fig.EnumerateOptions{}, workers)
+	out[2] = msSince(t0)
+
+	// Phase 4: λ/α coordinate ascent on mean P@10 over training queries.
+	engine, err := retrieval.NewEngine(m, retrieval.Config{Index: inv, Workers: workers})
+	if err != nil {
+		return out, err
+	}
+	queries := d.SampleQueries(o.TrainQueries, rand.New(rand.NewSource(seed+7)))
+	if len(queries) == 0 {
+		return out, fmt.Errorf("experiments: no training queries sampled")
+	}
+	objective := func(p mrf.Params) float64 {
+		cand, err := engine.WithParams(p)
+		if err != nil {
+			return -1
+		}
+		prec := eval.RetrievalPrecisionWorkers(eval.FIGSystem{Engine: cand}, d.Corpus, queries,
+			[]int{10}, dataset.Relevant, workers)
+		return prec[10]
+	}
+	t0 = time.Now()
+	mrf.Train(engine.Scorer.Params, objective, 2)
+	out[3] = msSince(t0)
+	return out, nil
+}

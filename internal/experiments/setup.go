@@ -133,8 +133,8 @@ func buildFIGSystem(d *dataset.Dataset, cfg retrieval.Config, seed int64, trainQ
 			if err != nil {
 				return -1
 			}
-			prec := eval.RetrievalPrecision(eval.FIGSystem{Engine: cand}, d.Corpus, trainQ,
-				[]int{10}, dataset.Relevant)
+			prec := eval.RetrievalPrecisionWorkers(eval.FIGSystem{Engine: cand}, d.Corpus, trainQ,
+				[]int{10}, dataset.Relevant, cfg.Workers)
 			return prec[10]
 		}
 		best, _ := mrf.Train(base, objective, 2)

@@ -9,13 +9,13 @@ package index
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 
 	"figfusion/internal/corr"
 	"figfusion/internal/fig"
 	"figfusion/internal/media"
+	"figfusion/internal/par"
 )
 
 // Entry is one inverted-list row: the clique's correlation-strength weight
@@ -68,17 +68,22 @@ type Inverted struct {
 // Build constructs the index over the model's corpus: each object's FIG is
 // built with bopts and its cliques enumerated with eopts (the same options
 // later used on queries, so query cliques line up with indexed cliques).
-// FIG construction fans out across CPUs; the merge is deterministic.
+// FIG construction and entry weighting fan out across CPUs; see
+// BuildWorkers to pin the fan-out. The result is deterministic.
 func Build(m *corr.Model, bopts fig.Options, eopts fig.EnumerateOptions) *Inverted {
+	return BuildWorkers(m, bopts, eopts, 0)
+}
+
+// BuildWorkers is Build with a bounded fan-out (0 = NumCPU, mirroring
+// retrieval.Config.Workers). The index is identical at any worker count:
+// the FIG stage merges per-worker results in object-ID order, and the
+// closing weighting stage stripes the entries — sorted once by clique key —
+// across workers that each write only their own disjoint entries, computing
+// the corpus-global Eq. 9 weight with a per-worker scratch.
+func BuildWorkers(m *corr.Model, bopts fig.Options, eopts fig.EnumerateOptions, wopt int) *Inverted {
 	corpus := m.Stats.Corpus()
 	n := corpus.Len()
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers := par.Workers(wopt, n)
 	type objCliques struct {
 		id      media.ObjectID
 		cliques []fig.Clique
@@ -119,13 +124,27 @@ func Build(m *corr.Model, bopts fig.Options, eopts fig.EnumerateOptions) *Invert
 	}
 	// Attach the stored correlation-strength weights (the Eq. 9 quantity
 	// the scorer applies, already clamped non-negative), stamped with the
-	// statistics generation they were computed from.
+	// statistics generation they were computed from. This loop dominates
+	// the build at scale — one posting-list merge plus z-score pass per
+	// distinct clique — and every weight is a pure function of one entry
+	// and the immutable statistics, so entries stripe across workers
+	// writing disjoint rows (trivially deterministic; the key sort only
+	// keeps the partitioning stable).
 	gen := m.Generation()
 	inv.gen = gen
-	for _, e := range inv.entries {
-		e.CorS = m.Stats.CliqueWeight(e.Feats)
-		e.corsGen = gen
+	keys := make([]string, 0, len(inv.entries))
+	for key := range inv.entries {
+		keys = append(keys, key)
 	}
+	sort.Strings(keys)
+	par.Range(len(keys), wopt, func(lo, hi int) {
+		var ws corr.WeightScratch
+		for i := lo; i < hi; i++ {
+			e := inv.entries[keys[i]]
+			e.CorS = m.Stats.CliqueWeightWith(e.Feats, &ws)
+			e.corsGen = gen
+		}
+	})
 	return inv
 }
 

@@ -1,0 +1,115 @@
+package index
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"figfusion/internal/corr"
+	"figfusion/internal/fig"
+	"figfusion/internal/lexicon"
+	"figfusion/internal/media"
+)
+
+// widerWorld builds a corpus big enough that BuildWorkers actually stripes:
+// dozens of objects drawing random subsets from two topic vocabularies, so
+// the index holds enough distinct cliques for multi-worker FIG enumeration
+// and weighting chunks.
+func widerWorld(t testing.TB) *corr.Model {
+	t.Helper()
+	pets := []string{"hamster", "animal", "vegetable", "cat", "dog", "fur"}
+	vehicles := []string{"car", "engine", "wheel", "road"}
+	rng := rand.New(rand.NewSource(4))
+	c := media.NewCorpus()
+	add := func(vocab []string) {
+		var feats []media.Feature
+		var counts []int
+		for _, n := range vocab {
+			if rng.Float64() < 0.5 {
+				feats = append(feats, media.Feature{Kind: media.Text, Name: n})
+				counts = append(counts, 1+rng.Intn(2))
+			}
+		}
+		if len(feats) == 0 {
+			feats = append(feats, media.Feature{Kind: media.Text, Name: vocab[0]})
+			counts = append(counts, 1)
+		}
+		if _, err := c.Add(feats, counts, rng.Intn(6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 60; i++ {
+		if i%2 == 0 {
+			add(pets)
+		} else {
+			add(vehicles)
+		}
+	}
+	tax, err := lexicon.Generate([]lexicon.TopicGroup{
+		{Name: "pets", Domain: "living", Words: pets},
+		{Name: "vehicles", Domain: "artifact", Words: vehicles},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corr.NewModel(corr.NewStats(c), tax, nil, nil, nil, nil)
+}
+
+func saveBytes(t testing.TB, inv *Inverted) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := inv.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBuildWorkersDeterministic: the striped FIG enumeration and the
+// chunked weighting loop must assemble a byte-identical index (same
+// cliques, postings, CorS weights, serialization) at any worker count.
+func TestBuildWorkersDeterministic(t *testing.T) {
+	m := widerWorld(t)
+	opts, eopts := fig.Options{}, fig.EnumerateOptions{MaxFeatures: 3}
+	ref := BuildWorkers(m, opts, eopts, 1)
+	if ref.NumCliques() < 10 {
+		t.Fatalf("fixture too small to exercise striping: %d cliques", ref.NumCliques())
+	}
+	refBytes := saveBytes(t, ref)
+	for _, w := range []int{2, 3, 4, 0, runtime.NumCPU()} {
+		inv := BuildWorkers(m, opts, eopts, w)
+		if got := saveBytes(t, inv); !bytes.Equal(got, refBytes) {
+			t.Errorf("workers=%d: persisted index differs from serial build (%d vs %d bytes)", w, len(got), len(refBytes))
+		}
+	}
+	// Build is the workers=0 case by definition.
+	if got := saveBytes(t, Build(m, opts, eopts)); !bytes.Equal(got, refBytes) {
+		t.Error("Build diverges from BuildWorkers")
+	}
+}
+
+// TestBuildWorkersConcurrentStress hammers the build fan-out from several
+// goroutines sharing one model — the correlation caches behind CliqueWeight
+// are shared mutable state, so this is the -race probe for the weighting
+// stripes.
+func TestBuildWorkersConcurrentStress(t *testing.T) {
+	m := widerWorld(t)
+	opts, eopts := fig.Options{}, fig.EnumerateOptions{MaxFeatures: 3}
+	want := saveBytes(t, BuildWorkers(m, opts, eopts, 1))
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(workers int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				inv := BuildWorkers(m, opts, eopts, workers)
+				if got := saveBytes(t, inv); !bytes.Equal(got, want) {
+					t.Errorf("workers=%d round %d: concurrent build diverged", workers, round)
+					return
+				}
+			}
+		}(1 + g%4)
+	}
+	wg.Wait()
+}

@@ -136,6 +136,23 @@ func NewScorer(m *corr.Model, p Params) (*Scorer, error) {
 	}, nil
 }
 
+// WithParams returns a scorer with different parameters sharing this
+// scorer's model and its warm CorS and smoothing caches. Both cached
+// quantities are parameter-independent — CorS is a pure function of the
+// corpus statistics, the smoothing sums a pure function of the correlation
+// tables; λ, α and the switches only enter Potential outside the caches —
+// and both caches are concurrency-safe and generation-stamped, so clones
+// sharing them stay correct across corpus growth. This is what makes the
+// λ/α coordinate ascent cheap: every candidate scorer reuses the weights
+// and sums already computed instead of refilling cold caches per sweep
+// point.
+func (s *Scorer) WithParams(p Params) (*Scorer, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scorer{Model: s.Model, Params: p, cors: s.cors, smooth: s.smooth}, nil
+}
+
 // CorS returns the cached correlation-strength weight of a clique for the
 // Eq. 9 importance weighting ("the larger the CorS, the more important the
 // clique"). The weight itself — Eq. 8 normalized by |D| for multi-feature

@@ -1,6 +1,7 @@
 package mrf
 
 import (
+	"encoding/binary"
 	"math"
 
 	"figfusion/internal/numeric"
@@ -19,9 +20,24 @@ type Objective func(Params) float64
 // parameters found and their objective value. The base parameters supply
 // the fixed switches (UseCorS, Delta) and the λ dimensionality.
 func Train(base Params, objective Objective, maxRounds int) (Params, float64) {
+	// The sweeps revisit parameter points — normalization collapses many
+	// grid values onto the same simplex point, and later rounds re-test the
+	// incumbent's neighbourhood — so memoise the objective by the exact
+	// float bits of the parameters. The ascent's decision sequence is
+	// unchanged: a memoised value is the value the objective returned.
+	memo := make(map[string]float64)
+	eval := func(p Params) float64 {
+		k := paramsKey(p)
+		if v, ok := memo[k]; ok {
+			return v
+		}
+		v := objective(p)
+		memo[k] = v
+		return v
+	}
 	best := clone(base)
 	normalize(best.Lambda)
-	bestScore := objective(best)
+	bestScore := eval(best)
 
 	lambdaGrid := []float64{0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8}
 	alphaGrid := []float64{0, 0.1, 0.25, 0.5, 0.75}
@@ -34,7 +50,7 @@ func Train(base Params, objective Objective, maxRounds int) (Params, float64) {
 				cand := clone(best)
 				cand.Lambda[i] = v
 				normalize(cand.Lambda)
-				if score := objective(cand); score > bestScore {
+				if score := eval(cand); score > bestScore {
 					best, bestScore = cand, score
 					improved = true
 				}
@@ -44,7 +60,7 @@ func Train(base Params, objective Objective, maxRounds int) (Params, float64) {
 		for _, a := range alphaGrid {
 			cand := clone(best)
 			cand.Alpha = a
-			if score := objective(cand); score > bestScore {
+			if score := eval(cand); score > bestScore {
 				best, bestScore = cand, score
 				improved = true
 			}
@@ -72,6 +88,24 @@ func TrainDelta(base Params, objective Objective, grid []float64) (Params, float
 		}
 	}
 	return best, bestScore
+}
+
+// paramsKey serializes the exact float bits of every trainable parameter
+// (plus the switches) as the memoisation key; two parameter settings map to
+// the same key iff every field is bit-identical.
+func paramsKey(p Params) string {
+	buf := make([]byte, 0, 8*(len(p.Lambda)+2)+1)
+	for _, l := range p.Lambda {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(l))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Alpha))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Delta))
+	if p.UseCorS {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return string(buf)
 }
 
 func clone(p Params) Params {

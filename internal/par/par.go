@@ -1,0 +1,54 @@
+// Package par provides the small deterministic fan-out helpers shared by
+// the offline build paths (vocabulary k-means, threshold training, index
+// weighting, λ search). The pattern every caller follows is the one the
+// repo's determinism contract requires: the parallel stage computes pure
+// per-item values into fixed slots of a preallocated slice, and every
+// order-sensitive step — floating-point accumulation, rng draws — runs
+// serially in item order. Under that discipline the output is byte-identical
+// at any worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a configured fan-out (0 = NumCPU, mirroring
+// retrieval.Config.Workers) against n items, clamping to [1, n].
+func Workers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Range splits [0, n) into one contiguous chunk per worker and runs body
+// over each chunk, inline when one worker suffices. Chunks never overlap,
+// so bodies may write per-index slots without locks.
+func Range(n, workers int, body func(lo, hi int)) {
+	w := Workers(workers, n)
+	if w <= 1 {
+		body(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

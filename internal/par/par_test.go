@@ -1,0 +1,84 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	ncpu := runtime.NumCPU()
+	cases := []struct {
+		workers, n, want int
+	}{
+		{1, 100, 1},
+		{4, 100, 4},
+		{4, 3, 3},          // never more workers than items
+		{0, 1 << 30, ncpu}, // 0 = NumCPU
+		{-1, 1 << 30, ncpu},
+		{0, 0, 1}, // empty range still resolves to one (inline) worker
+		{5, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.workers, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+// TestRangeCoversEachIndexOnce is the contract Range's callers rely on when
+// writing per-index slots without locks: every index in [0, n) is visited by
+// exactly one body call, and chunks are contiguous.
+func TestRangeCoversEachIndexOnce(t *testing.T) {
+	f := func(nRaw, wRaw uint8) bool {
+		n := int(nRaw % 97)
+		workers := int(wRaw%9) - 1 // includes -1 and 0
+		visits := make([]int32, n)
+		var mu sync.Mutex
+		chunks := 0
+		Range(n, workers, func(lo, hi int) {
+			mu.Lock()
+			chunks++
+			mu.Unlock()
+			if lo > hi || lo < 0 || hi > n {
+				t.Errorf("bad chunk [%d, %d) for n=%d", lo, hi, n)
+			}
+			for i := lo; i < hi; i++ {
+				mu.Lock()
+				visits[i]++
+				mu.Unlock()
+			}
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Errorf("n=%d workers=%d: index %d visited %d times", n, workers, i, v)
+				return false
+			}
+		}
+		if n > 0 && chunks > Workers(workers, n) {
+			t.Errorf("n=%d workers=%d: %d chunks exceed worker cap %d", n, workers, chunks, Workers(workers, n))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRangeInlineWhenSerial pins the w ≤ 1 fast path: with one worker the
+// body must run on the calling goroutine (callers may rely on this for
+// rng-bearing serial paths).
+func TestRangeInlineWhenSerial(t *testing.T) {
+	ran := false
+	Range(10, 1, func(lo, hi int) {
+		ran = true
+		if lo != 0 || hi != 10 {
+			t.Errorf("serial chunk [%d, %d), want [0, 10)", lo, hi)
+		}
+	})
+	if !ran {
+		t.Fatal("body never ran")
+	}
+}

@@ -1,0 +1,189 @@
+// Full-pipeline build determinism: the ISSUE acceptance test lives in an
+// external test package because the λ-training objective needs
+// internal/eval, which imports retrieval.
+package retrieval_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"figfusion/internal/corr"
+	"figfusion/internal/dataset"
+	"figfusion/internal/eval"
+	"figfusion/internal/mrf"
+	"figfusion/internal/retrieval"
+)
+
+// buildOutcome captures everything the offline build path produces: the
+// persisted index bytes, the trained correlation thresholds, and the λ/α
+// parameters the coordinate ascent lands on (with its objective value).
+type buildOutcome struct {
+	indexBytes []byte
+	thresholds corr.Thresholds
+	params     mrf.Params
+	objective  float64
+}
+
+// buildPipelineAt runs the complete offline pipeline — dataset generation
+// (vocabulary k-means inside), threshold training, index build, λ/α
+// coordinate ascent — with every stage pinned to the given fan-out.
+func buildPipelineAt(t *testing.T, workers int) buildOutcome {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.NumObjects = 150
+	cfg.NumTopics = 5
+	cfg.TagsPerTopic = 8
+	cfg.NoiseTags = 24
+	cfg.UsersPerTopic = 8
+	cfg.VisualVocab = 12
+	cfg.VocabTrainImages = 40
+	cfg.ImageBlocks = 2
+	cfg.KMeansIters = 8
+	cfg.Workers = workers
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Model()
+	m.TrainThresholdsWorkers(100, 0.35, rand.New(rand.NewSource(13)), workers)
+	e, err := retrieval.NewEngine(m, retrieval.Config{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := d.SampleQueries(6, rand.New(rand.NewSource(7)))
+	objective := func(p mrf.Params) float64 {
+		cand, err := e.WithParams(p)
+		if err != nil {
+			return -1
+		}
+		prec := eval.RetrievalPrecisionWorkers(eval.FIGSystem{Engine: cand}, d.Corpus, queries,
+			[]int{10}, dataset.Relevant, workers)
+		return prec[10]
+	}
+	best, score := mrf.Train(e.Scorer.Params, objective, 1)
+	var buf bytes.Buffer
+	if err := e.Index.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buildOutcome{
+		indexBytes: buf.Bytes(),
+		thresholds: m.Thresholds,
+		params:     best,
+		objective:  score,
+	}
+}
+
+func sameParams(a, b mrf.Params) bool {
+	if len(a.Lambda) != len(b.Lambda) || a.UseCorS != b.UseCorS {
+		return false
+	}
+	for i := range a.Lambda {
+		if math.Float64bits(a.Lambda[i]) != math.Float64bits(b.Lambda[i]) {
+			return false
+		}
+	}
+	return math.Float64bits(a.Alpha) == math.Float64bits(b.Alpha) &&
+		math.Float64bits(a.Delta) == math.Float64bits(b.Delta)
+}
+
+// TestBuildDeterministicAcrossWorkers is the build-path determinism
+// contract end to end: a full engine build — vocabulary k-means, threshold
+// training, clique index with Eq. 9 weights, trained λ/α — must persist to
+// byte-identical index bytes and land on bit-identical trained parameters
+// at Workers = 1, 2 and NumCPU. Every parallel stage only fills fixed
+// per-item slots; rng draws and floating-point reductions stay serial.
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline build per worker count")
+	}
+	ref := buildPipelineAt(t, 1)
+	counts := []int{2, runtime.NumCPU()}
+	if runtime.NumCPU() == 2 {
+		counts = []int{2, 4}
+	}
+	for _, w := range counts {
+		got := buildPipelineAt(t, w)
+		if !bytes.Equal(got.indexBytes, ref.indexBytes) {
+			at := len(ref.indexBytes)
+			for i := 0; i < len(got.indexBytes) && i < len(ref.indexBytes); i++ {
+				if got.indexBytes[i] != ref.indexBytes[i] {
+					at = i
+					break
+				}
+			}
+			t.Errorf("workers=%d: persisted index differs from serial build (lengths %d vs %d, first difference at byte %d)",
+				w, len(got.indexBytes), len(ref.indexBytes), at)
+		}
+		if got.thresholds != ref.thresholds {
+			t.Errorf("workers=%d: trained thresholds differ:\n got %v\nwant %v", w, got.thresholds, ref.thresholds)
+		}
+		if !sameParams(got.params, ref.params) {
+			t.Errorf("workers=%d: trained params differ:\n got %+v\nwant %+v", w, got.params, ref.params)
+		}
+		if math.Float64bits(got.objective) != math.Float64bits(ref.objective) {
+			t.Errorf("workers=%d: training objective differs: %v vs %v", w, got.objective, ref.objective)
+		}
+	}
+}
+
+// TestStressConcurrentTrainingObjective is the -race probe for the λ-search
+// fan-out: many goroutines evaluate the training objective — each cloning
+// the engine via WithParams (shared caches) and fanning queries out — over
+// one shared engine and corpus.
+func TestStressConcurrentTrainingObjective(t *testing.T) {
+	cfg := dataset.DefaultConfig()
+	cfg.NumObjects = 120
+	cfg.NumTopics = 5
+	cfg.TagsPerTopic = 8
+	cfg.NoiseTags = 16
+	cfg.UsersPerTopic = 6
+	cfg.VisualVocab = 12
+	cfg.VocabTrainImages = 40
+	cfg.ImageBlocks = 2
+	cfg.KMeansIters = 6
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Model()
+	e, err := retrieval.NewEngine(m, retrieval.Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := d.SampleQueries(4, rand.New(rand.NewSource(7)))
+	evalAt := func(p mrf.Params) float64 {
+		cand, err := e.WithParams(p)
+		if err != nil {
+			t.Error(err)
+			return -1
+		}
+		return eval.RetrievalPrecisionWorkers(eval.FIGSystem{Engine: cand}, d.Corpus, queries,
+			[]int{10}, dataset.Relevant, 4)[10]
+	}
+	base := e.Scorer.Params
+	want := evalAt(base)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := base
+			p.Lambda = append([]float64(nil), base.Lambda...)
+			if len(p.Lambda) > 0 {
+				p.Lambda[g%len(p.Lambda)] *= 1 + 0.1*float64(g%3)
+			}
+			for round := 0; round < 3; round++ {
+				evalAt(p)
+				if got := evalAt(base); math.Float64bits(got) != math.Float64bits(want) {
+					t.Errorf("goroutine %d round %d: base objective drifted: %v vs %v", g, round, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

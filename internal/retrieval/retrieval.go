@@ -55,9 +55,11 @@ type Config struct {
 	CandidateCap int
 	// Workers bounds the scoring fan-out of one query (Search, SearchTA,
 	// SearchMergeFull and SearchScan stripe their candidate scoring over
-	// this many goroutines); 0 means runtime.NumCPU(). Results are
+	// this many goroutines) and of the index build (FIG construction and
+	// entry weighting); 0 means runtime.NumCPU(). Results are
 	// deterministic at any worker count — partial top-k lists merge under
-	// the total order of topk.Less.
+	// the total order of topk.Less, and the build's parallel stages write
+	// disjoint slots with order-stable reductions.
 	Workers int
 }
 
@@ -97,7 +99,7 @@ func NewEngine(m *corr.Model, cfg Config) (*Engine, error) {
 	case cfg.Index != nil:
 		e.Index = cfg.Index
 	case !cfg.SkipIndex:
-		e.Index = index.Build(m, cfg.BuildOpts, cfg.EnumOpts)
+		e.Index = index.BuildWorkers(m, cfg.BuildOpts, cfg.EnumOpts, cfg.Workers)
 	}
 	return e, nil
 }
@@ -105,9 +107,13 @@ func NewEngine(m *corr.Model, cfg Config) (*Engine, error) {
 // WithParams returns an engine sharing this engine's model and inverted
 // index but scoring with different MRF parameters. The index stores only
 // postings and CorS values, which do not depend on Λ, so parameter training
-// can sweep candidates without rebuilding it.
+// can sweep candidates without rebuilding it. The clone's scorer also
+// shares this engine's warm CorS and smoothing caches (both are
+// parameter-independent and generation-stamped; see mrf.Scorer.WithParams),
+// which is what keeps the λ/α coordinate ascent from refilling cold caches
+// at every sweep point.
 func (e *Engine) WithParams(params mrf.Params) (*Engine, error) {
-	scorer, err := mrf.NewScorer(e.Model, params)
+	scorer, err := e.Scorer.WithParams(params)
 	if err != nil {
 		return nil, fmt.Errorf("retrieval: %w", err)
 	}

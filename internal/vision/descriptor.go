@@ -43,6 +43,12 @@ func TrainVocabulary(samples []Descriptor, k, maxIter int, rng *rand.Rand) (*Voc
 	return vq.TrainVocabulary(samples, k, maxIter, rng)
 }
 
+// TrainVocabularyWorkers is TrainVocabulary with a bounded fan-out
+// (0 = NumCPU); output is byte-identical at any worker count.
+func TrainVocabularyWorkers(samples []Descriptor, k, maxIter int, rng *rand.Rand, workers int) (*Vocabulary, error) {
+	return vq.TrainVocabularyWorkers(samples, k, maxIter, rng, workers)
+}
+
 // Image is a synthetic grayscale image with intensities in [0, 1].
 type Image struct {
 	W, H int

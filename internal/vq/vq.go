@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"figfusion/internal/numeric"
+	"figfusion/internal/par"
 )
 
 // Dim is the dimensionality of a descriptor. The paper uses 16-D visual
@@ -58,31 +59,51 @@ var ErrTooFewSamples = errors.New("vq: fewer samples than requested words")
 
 // TrainVocabulary clusters samples into k words using k-means++ seeding
 // followed by Lloyd iterations. Training stops when assignments stabilise
-// or maxIter is reached. The rng makes training reproducible.
+// or maxIter is reached. The rng makes training reproducible. The
+// assignment fan-out uses every CPU; see TrainVocabularyWorkers to pin it.
 func TrainVocabulary(samples []Descriptor, k, maxIter int, rng *rand.Rand) (*Vocabulary, error) {
+	return TrainVocabularyWorkers(samples, k, maxIter, rng, 0)
+}
+
+// TrainVocabularyWorkers is TrainVocabulary with a bounded fan-out:
+// workers caps the goroutines striping the Lloyd assignment step and the
+// k-means++ distance passes (0 = NumCPU). Training is deterministic —
+// byte-identical centroids at any worker count — because the parallel
+// stages only compute pure per-sample values into fixed slots; every
+// floating-point accumulation (centroid sums, the D² seeding mass) and
+// every rng draw stays on the serial path in sample order.
+func TrainVocabularyWorkers(samples []Descriptor, k, maxIter int, rng *rand.Rand, workers int) (*Vocabulary, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("vq: k must be positive, got %d", k)
 	}
 	if len(samples) < k {
 		return nil, fmt.Errorf("%w: %d < %d", ErrTooFewSamples, len(samples), k)
 	}
-	centroids := seedPlusPlus(samples, k, rng)
+	centroids := seedPlusPlus(samples, k, rng, workers)
 	assign := make([]int, len(samples))
 	for i := range assign {
 		assign[i] = -1
 	}
+	next := make([]int, len(samples))
 	for iter := 0; iter < maxIter; iter++ {
+		// Assignment is a pure per-sample argmin, so it stripes freely.
+		par.Range(len(samples), workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				next[i] = nearest(centroids, samples[i])
+			}
+		})
 		changed := false
-		for i, s := range samples {
-			best := nearest(centroids, s)
-			if best != assign[i] {
-				assign[i] = best
+		for i := range samples {
+			if next[i] != assign[i] {
+				assign[i] = next[i]
 				changed = true
 			}
 		}
 		if !changed && iter > 0 {
 			break
 		}
+		// Centroid accumulation runs serially in sample order so the
+		// floating-point summation order never depends on the fan-out.
 		counts := make([]int, k)
 		sums := make([]Descriptor, k)
 		for i, s := range samples {
@@ -106,18 +127,26 @@ func TrainVocabulary(samples []Descriptor, k, maxIter int, rng *rand.Rand) (*Voc
 }
 
 // seedPlusPlus picks k initial centroids with the k-means++ D² weighting.
-func seedPlusPlus(samples []Descriptor, k int, rng *rand.Rand) []Descriptor {
+// The distance pass against the latest centroid fans out; the D² mass and
+// the weighted draw accumulate serially in sample order.
+func seedPlusPlus(samples []Descriptor, k int, rng *rand.Rand, workers int) []Descriptor {
 	centroids := make([]Descriptor, 0, k)
 	centroids = append(centroids, samples[rng.Intn(len(samples))])
 	dist2 := make([]float64, len(samples))
+	newD2 := make([]float64, len(samples))
 	for len(centroids) < k {
-		var total float64
 		last := centroids[len(centroids)-1]
-		for i, s := range samples {
-			d := s.Distance(last)
-			d2 := d * d
-			if len(centroids) == 1 || d2 < dist2[i] {
-				dist2[i] = d2
+		par.Range(len(samples), workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				d := samples[i].Distance(last)
+				newD2[i] = d * d
+			}
+		})
+		var total float64
+		first := len(centroids) == 1
+		for i := range samples {
+			if first || newD2[i] < dist2[i] {
+				dist2[i] = newD2[i]
 			}
 			total += dist2[i]
 		}
@@ -142,14 +171,37 @@ func seedPlusPlus(samples []Descriptor, k int, rng *rand.Rand) []Descriptor {
 	return centroids
 }
 
+// nearest returns the index of the centroid closest to s. It compares
+// squared distances (the argmin is the same, sqrt is monotone) and abandons
+// a candidate as soon as its partial sum exceeds the best seen, which skips
+// most of the component loop once a close centroid is found.
 func nearest(centroids []Descriptor, s Descriptor) int {
 	best, bestDist := 0, math.Inf(1)
-	for c, cent := range centroids {
-		if d := cent.Distance(s); d < bestDist {
-			best, bestDist = c, d
+	for c := range centroids {
+		if d2 := centroids[c].distance2Within(s, bestDist); d2 < bestDist {
+			best, bestDist = c, d2
 		}
 	}
 	return best
+}
+
+// distance2Within returns the squared Euclidean distance between d and o,
+// early-exiting once the partial sum reaches limit (the returned value is
+// then only a lower bound, but already ≥ limit, so an argmin comparing
+// against limit rejects it either way).
+func (d Descriptor) distance2Within(o Descriptor, limit float64) float64 {
+	var sum float64
+	for i := 0; i < Dim; i += 4 {
+		d0 := d[i] - o[i]
+		d1 := d[i+1] - o[i+1]
+		d2 := d[i+2] - o[i+2]
+		d3 := d[i+3] - o[i+3]
+		sum += d0*d0 + d1*d1 + d2*d2 + d3*d3
+		if sum >= limit {
+			return sum
+		}
+	}
+	return sum
 }
 
 // Size returns the number of words.

@@ -1,0 +1,99 @@
+package vq
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// trainAt runs one complete vocabulary training at the given fan-out from a
+// fixed seed; every call sees the identical sample set and rng stream.
+func trainAt(t *testing.T, workers int) *Vocabulary {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	centers := separated(6)
+	samples := clustered(centers, 30, 0.15, rng)
+	voc, err := TrainVocabularyWorkers(samples, 6, 25, rand.New(rand.NewSource(12)), workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return voc
+}
+
+// TestTrainVocabularyWorkersDeterministic is the vq leg of the build-path
+// determinism contract: the k-means++ seeding and Lloyd iterations must
+// produce bit-identical centroids at any worker count, because the parallel
+// passes only fill per-sample slots while every rng draw and floating-point
+// accumulation stays serial in sample order.
+func TestTrainVocabularyWorkersDeterministic(t *testing.T) {
+	ref := trainAt(t, 1)
+	for _, w := range []int{2, 3, 4, 0, runtime.NumCPU()} {
+		voc := trainAt(t, w)
+		if len(voc.Centroids) != len(ref.Centroids) {
+			t.Fatalf("workers=%d: %d centroids, want %d", w, len(voc.Centroids), len(ref.Centroids))
+		}
+		for i := range ref.Centroids {
+			if voc.Centroids[i] != ref.Centroids[i] {
+				t.Fatalf("workers=%d: centroid %d differs from serial result", w, i)
+			}
+		}
+	}
+	// The unbounded entry point is the workers=0 case by definition.
+	rng := rand.New(rand.NewSource(11))
+	samples := clustered(separated(6), 30, 0.15, rng)
+	voc, err := TrainVocabulary(samples, 6, 25, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Centroids {
+		if voc.Centroids[i] != ref.Centroids[i] {
+			t.Fatalf("TrainVocabulary diverges from TrainVocabularyWorkers at centroid %d", i)
+		}
+	}
+}
+
+// TestNearestMatchesExhaustive pins the early-exit squared-distance argmin
+// against the public Distance: for every sample the assigned word must be a
+// true nearest centroid.
+func TestNearestMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	centers := separated(8)
+	samples := clustered(centers, 20, 0.4, rng)
+	voc, err := TrainVocabulary(samples, 8, 15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, s := range samples {
+		w := voc.Quantize(s)
+		got := voc.Centroids[w].Distance(s)
+		for ci, c := range voc.Centroids {
+			if d := c.Distance(s); d < got-1e-12 {
+				t.Fatalf("sample %d: Quantize chose word %d at %v, but centroid %d is nearer at %v", si, w, got, ci, d)
+			}
+		}
+	}
+}
+
+func BenchmarkTrainVocabularySerial(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	samples := clustered(separated(6), 50, 0.15, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainVocabularyWorkers(samples, 6, 10, rand.New(rand.NewSource(12)), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainVocabularyParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	samples := clustered(separated(6), 50, 0.15, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainVocabularyWorkers(samples, 6, 10, rand.New(rand.NewSource(12)), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
