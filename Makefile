@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-build benchall vet fmt lint figlint figures examples clean
+.PHONY: all build test race bench bench-build bench-shard benchall vet fmt lint figlint figures examples clean
 
 all: build lint test
 
@@ -18,7 +18,7 @@ race:
 # Query-path benchmarks: the retrieval microbenches plus the serving-path
 # measurement appended to the tracked baseline file (see "Query-path
 # performance baseline" in EXPERIMENTS.md).
-bench: bench-build
+bench: bench-build bench-shard
 	$(GO) test -bench='Search|CandidateSet' -benchmem ./internal/retrieval/...
 	$(GO) run ./cmd/figbench -perf BENCH_retrieval.json -scale 800 -queries 12 -seed 1
 
@@ -29,6 +29,12 @@ bench: bench-build
 bench-build:
 	$(GO) test -bench='CliqueWeight|TrainVocabulary' -benchmem ./internal/corr/... ./internal/vq/...
 	$(GO) run ./cmd/figbench -buildperf BENCH_build.json -scale 800 -trainqueries 12 -seed 1
+
+# Shard-scaling benchmark: scatter-gather Search at 1/2/4/NumCPU shards
+# against the single-engine baseline, appended to the tracked baseline file
+# (see "Sharded serving" in DESIGN.md).
+bench-shard:
+	$(GO) run ./cmd/figbench -shardperf BENCH_shard.json -scale 800 -queries 12 -seed 1
 
 # Every microbenchmark in the repo (slow; includes the ablation sweeps).
 benchall:

@@ -36,6 +36,7 @@ func main() {
 
 		perf      = flag.String("perf", "", "measure the retrieval query path and append the run to this JSON file (e.g. BENCH_retrieval.json); skips the figures")
 		buildPerf = flag.String("buildperf", "", "measure the offline build path (vocabulary, thresholds, index, lambda training) and append the run to this JSON file (e.g. BENCH_build.json); skips the figures")
+		shardPerf = flag.String("shardperf", "", "measure scatter-gather search throughput at 1/2/4/NumCPU shards against the single-engine baseline and append the run to this JSON file (e.g. BENCH_shard.json); skips the figures")
 		perfLabel = flag.String("perflabel", "", "label recorded with the -perf/-buildperf run (default: go version + GOMAXPROCS)")
 		perfCap   = flag.Int("perfcap", 0, "CandidateCap for the -perf engine (0 = uncapped)")
 		trainQ    = flag.Int("trainqueries", 20, "training queries for the lambda coordinate ascent (paper: 20)")
@@ -50,7 +51,7 @@ func main() {
 	opts.RecUsers = *users
 	opts.Seed = *seed
 
-	if *perf != "" || *buildPerf != "" {
+	if *perf != "" || *buildPerf != "" || *shardPerf != "" {
 		label := *perfLabel
 		if label == "" {
 			label = fmt.Sprintf("%s GOMAXPROCS=%d", runtime.Version(), runtime.GOMAXPROCS(0))
@@ -63,6 +64,11 @@ func main() {
 		if *buildPerf != "" {
 			if err := runBuildPerf(*buildPerf, label, opts); err != nil {
 				log.Fatalf("buildperf: %v", err)
+			}
+		}
+		if *shardPerf != "" {
+			if err := runShardPerf(*shardPerf, label, opts); err != nil {
+				log.Fatalf("shardperf: %v", err)
 			}
 		}
 		return

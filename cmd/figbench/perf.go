@@ -28,6 +28,28 @@ func runPerf(path, label string, opts experiments.Options, candidateCap int) err
 	return nil
 }
 
+// runShardPerf measures scatter-gather search throughput across shard
+// counts and appends the run to the JSON file at path (creating it if
+// absent).
+func runShardPerf(path, label string, opts experiments.Options) error {
+	run, err := experiments.ShardPerf(opts, label)
+	if err != nil {
+		return err
+	}
+	total, err := experiments.AppendBenchRun(path,
+		"sharded serving: scatter-gather Search at 1/2/4/NumCPU shards vs the single-engine baseline",
+		fmt.Sprintf("go run ./cmd/figbench -shardperf %s -scale %d -queries %d -seed %d", path, opts.Scale, opts.Queries, opts.Seed),
+		run)
+	if err != nil {
+		return err
+	}
+	for _, r := range run.Results {
+		fmt.Printf("%-30s %10.0f ns/op %12.1f queries/sec\n", r.Name, r.NsPerOp, r.QueriesPerSec)
+	}
+	fmt.Printf("appended run %q to %s (%d runs total)\n", label, path, total)
+	return nil
+}
+
 // runBuildPerf measures the offline build path phase by phase and appends
 // the run to the JSON file at path (creating it if absent).
 func runBuildPerf(path, label string, opts experiments.Options) error {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	figdata -out corpus.gob -objects 20000 -topics 24 -seed 7
+//	figdata -out corpus.gob -index snap -shards 4   # sharded snapshot set for figserver -shards 4
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"figfusion/internal/dataset"
 	"figfusion/internal/fig"
 	"figfusion/internal/index"
+	"figfusion/internal/shard"
 )
 
 func main() {
@@ -28,7 +30,8 @@ func main() {
 		topics  = flag.Int("topics", 0, "number of planted topics (0 = scale-derived)")
 		months  = flag.Int("months", 6, "timeline length in months")
 		seed    = flag.Int64("seed", 1, "generation seed")
-		idxOut  = flag.String("index", "", "also build and persist the clique index to this file")
+		idxOut  = flag.String("index", "", "also build and persist the clique index to this file (with -shards > 1: the base path of the sharded snapshot set)")
+		shards  = flag.Int("shards", 1, "partition the index across this many shards; writes <index>.manifest.json plus one snapshot per shard")
 	)
 	flag.Parse()
 
@@ -64,6 +67,25 @@ func main() {
 	}
 	fmt.Printf("wrote %s: %d objects, %d features, %d topics, %d users, %d visual words\n",
 		*out, d.Corpus.Len(), d.Corpus.Dict.Len(), cfg.NumTopics, d.Network.Len(), d.Vocab.Size())
+	if *idxOut != "" && *shards > 1 {
+		// Thresholds must match what figserver trains at startup, or the
+		// loaded snapshot pairs with a different clique structure.
+		model := d.Model()
+		model.TrainThresholds(200, 0.35, rand.New(rand.NewSource(*seed+13)))
+		router, err := shard.NewRouter(model, shard.Config{Shards: *shards})
+		if err != nil {
+			log.Fatal(err)
+		}
+		man, err := router.Save(*idxOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: %d shards cut at %d objects\n", shard.ManifestPath(*idxOut), man.Shards, man.Objects)
+		for _, si := range router.ShardInfos() {
+			fmt.Printf("  shard %d: %d objects, %d cliques, %d postings\n", si.Shard, si.Objects, si.Cliques, si.Postings)
+		}
+		return
+	}
 	if *idxOut != "" {
 		model := d.Model()
 		model.TrainThresholds(200, 0.35, rand.New(rand.NewSource(*seed+13)))

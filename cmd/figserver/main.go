@@ -1,30 +1,40 @@
 // Command figserver serves FIG similarity search over HTTP/JSON: it loads
-// (or generates) a corpus, builds the engine, and listens for search,
-// inspection and ingestion requests.
+// (or generates) a corpus, builds the engine — a single engine or a
+// scatter-gather shard router — and listens for search, inspection and
+// ingestion requests until SIGINT/SIGTERM, then drains in-flight requests
+// and exits.
 //
 // Usage:
 //
 //	figserver -addr :8080 -data corpus.gob
 //	figserver -addr :8080 -objects 5000        # generate on the fly
+//	figserver -addr :8080 -shards 4            # scatter-gather serving
+//	figserver -data corpus.gob -shards 4 -index snap   # cold-start from figdata -shards snapshots
 //
 //	curl 'localhost:8080/search?text=sunset&k=5'
 //	curl 'localhost:8080/search?id=42'
 //	curl 'localhost:8080/object?id=42'
+//	curl 'localhost:8080/healthz'
 //	curl -XPOST localhost:8080/objects -d '{"tags":["sunset","beach"],"month":5}'
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"figfusion/internal/dataset"
 	"figfusion/internal/index"
 	"figfusion/internal/retrieval"
 	"figfusion/internal/server"
+	"figfusion/internal/shard"
 )
 
 func main() {
@@ -35,7 +45,11 @@ func main() {
 		data    = flag.String("data", "", "corpus gob written by figdata (empty = generate)")
 		objects = flag.Int("objects", 2000, "corpus size when generating")
 		seed    = flag.Int64("seed", 1, "generation seed")
-		idx     = flag.String("index", "", "prebuilt clique index written by figdata -index")
+		idx     = flag.String("index", "", "prebuilt index: a clique-index file from figdata -index, or with -shards > 1 the base path of a snapshot set from figdata -shards")
+		shards  = flag.Int("shards", 1, "engine shards; > 1 serves scatter-gather over a partitioned index")
+		workers = flag.Int("workers", 0, "scoring workers per engine (0 = GOMAXPROCS; sharded mode usually keeps 1 per shard)")
+		capFlag = flag.Int("candidate-cap", 0, "cap on scored candidates per query per engine (0 = uncapped/exact)")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
 
@@ -59,31 +73,77 @@ func main() {
 	}
 	model := d.Model()
 	model.TrainThresholds(200, 0.35, rand.New(rand.NewSource(*seed+13)))
-	engineCfg := retrieval.Config{}
-	if *idx != "" {
-		f, ferr := os.Open(*idx)
-		if ferr != nil {
-			log.Fatal(ferr)
+	retrievalCfg := retrieval.Config{Workers: *workers, CandidateCap: *capFlag}
+
+	var handler http.Handler
+	if *shards > 1 {
+		cfg := shard.Config{Shards: *shards, Retrieval: retrievalCfg}
+		var router *shard.Router
+		if *idx != "" {
+			r, man, lerr := shard.Load(model, cfg, *idx)
+			if lerr != nil {
+				log.Fatal(lerr)
+			}
+			router = r
+			log.Printf("loaded snapshot set %s: %d shards, cut at %d objects", *idx, man.Shards, man.Objects)
+		} else {
+			router, err = shard.NewRouter(model, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
 		}
-		prebuilt, lerr := index.Load(f)
-		f.Close()
-		if lerr != nil {
-			log.Fatal(lerr)
+		for _, si := range router.ShardInfos() {
+			log.Printf("shard %d: %d objects, %d cliques, %d postings", si.Shard, si.Objects, si.Cliques, si.Postings)
 		}
-		engineCfg.Index = prebuilt
-		log.Printf("loaded index: %d cliques", prebuilt.NumCliques())
+		handler = server.NewSharded(router).Handler()
+	} else {
+		engineCfg := retrievalCfg
+		if *idx != "" {
+			f, ferr := os.Open(*idx)
+			if ferr != nil {
+				log.Fatal(ferr)
+			}
+			prebuilt, lerr := index.Load(f)
+			f.Close()
+			if lerr != nil {
+				log.Fatal(lerr)
+			}
+			engineCfg.Index = prebuilt
+			log.Printf("loaded index: %d cliques", prebuilt.NumCliques())
+		}
+		engine, err := retrieval.NewEngine(model, engineCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		handler = server.New(engine).Handler()
 	}
-	engine, err := retrieval.NewEngine(model, engineCfg)
-	if err != nil {
-		log.Fatal(err)
-	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(engine).Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      30 * time.Second,
 	}
-	log.Printf("serving %d objects on %s", d.Corpus.Len(), *addr)
-	if err := srv.ListenAndServe(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving %d objects on %s (%d shard(s))", d.Corpus.Len(), *addr, *shards)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behaviour: a second signal kills immediately
+	log.Printf("signal received, draining (timeout %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+	log.Printf("drained, bye")
 }

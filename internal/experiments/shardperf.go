@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"figfusion/internal/dataset"
+	"figfusion/internal/media"
+	"figfusion/internal/retrieval"
+	"figfusion/internal/shard"
+)
+
+// ShardResult is one measured configuration of the shard-scaling bench:
+// a shard count (0 marks the unsharded single-engine baseline) driven by
+// some number of client goroutines.
+type ShardResult struct {
+	Name          string  `json:"name"`
+	Shards        int     `json:"shards"`
+	Goroutines    int     `json:"goroutines"`
+	Iterations    int     `json:"iterations"`
+	NsPerOp       float64 `json:"nsPerOp"`
+	QueriesPerSec float64 `json:"queriesPerSec"`
+}
+
+// ShardRun is one complete shard-scaling measurement on one code revision.
+// Runs accumulate in BENCH_shard.json so the scatter-gather overhead is
+// tracked across PRs alongside the single-engine baseline it must not
+// fall below.
+type ShardRun struct {
+	Label      string        `json:"label"`
+	GoVersion  string        `json:"goVersion"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Scale      int           `json:"scale"`
+	Queries    int           `json:"queries"`
+	K          int           `json:"k"`
+	Results    []ShardResult `json:"results"`
+}
+
+// ShardPerf measures scatter-gather query throughput against the
+// single-engine baseline on the same corpus: serial latency and 4-client
+// throughput for the unsharded engine, then for routers at 1/2/4/NumCPU
+// shards. All systems search the same trained model read-only, so one
+// generated corpus serves every configuration.
+func ShardPerf(o Options, label string) (*ShardRun, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	d, err := dataset.Generate(o.retrievalConfig())
+	if err != nil {
+		return nil, err
+	}
+	m := d.Model()
+	m.TrainThresholds(200, 0.35, rand.New(rand.NewSource(o.Seed+13)))
+	queries := make([]*media.Object, 0, o.Queries)
+	for _, id := range d.SampleQueries(o.Queries, rand.New(rand.NewSource(o.Seed+7))) {
+		queries = append(queries, d.Corpus.Object(id))
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("experiments: no queries sampled")
+	}
+	const k = 10
+	run := &ShardRun{
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      o.Scale,
+		Queries:    len(queries),
+		K:          k,
+	}
+
+	measure := func(name string, shards, goroutines int, search func(q *media.Object)) {
+		r := testing.Benchmark(func(b *testing.B) {
+			if goroutines <= 1 {
+				for i := 0; i < b.N; i++ {
+					search(queries[i%len(queries)])
+				}
+				return
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < goroutines; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < b.N; i += goroutines {
+						search(queries[i%len(queries)])
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+		sr := ShardResult{
+			Name:       name,
+			Shards:     shards,
+			Goroutines: goroutines,
+			Iterations: r.N,
+			NsPerOp:    float64(r.T.Nanoseconds()) / float64(r.N),
+		}
+		if sr.NsPerOp > 0 {
+			sr.QueriesPerSec = 1e9 / sr.NsPerOp
+		}
+		run.Results = append(run.Results, sr)
+	}
+
+	engine, err := retrieval.NewEngine(m, retrieval.Config{})
+	if err != nil {
+		return nil, err
+	}
+	measure("engine/serial", 0, 1, func(q *media.Object) { engine.Search(q, k, q.ID) })
+	measure("engine/clients=4", 0, 4, func(q *media.Object) { engine.Search(q, k, q.ID) })
+
+	for _, n := range shardScalePoints() {
+		r, err := shard.NewRouter(m, shard.Config{Shards: n})
+		if err != nil {
+			return nil, fmt.Errorf("shards=%d: %w", n, err)
+		}
+		measure(fmt.Sprintf("router/shards=%d/serial", n), n, 1,
+			func(q *media.Object) { r.Search(q, k, q.ID) })
+		measure(fmt.Sprintf("router/shards=%d/clients=4", n), n, 4,
+			func(q *media.Object) { r.Search(q, k, q.ID) })
+	}
+	return run, nil
+}
+
+// shardScalePoints is the deduplicated 1/2/4/NumCPU ladder the parity test
+// also pins.
+func shardScalePoints() []int {
+	points := []int{1, 2, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	out := points[:0]
+	for _, n := range points {
+		if n >= 1 && !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -81,6 +81,16 @@ func Build(m *corr.Model, bopts fig.Options, eopts fig.EnumerateOptions) *Invert
 // across workers that each write only their own disjoint entries, computing
 // the corpus-global Eq. 9 weight with a per-worker scratch.
 func BuildWorkers(m *corr.Model, bopts fig.Options, eopts fig.EnumerateOptions, wopt int) *Inverted {
+	return BuildOwnedWorkers(m, bopts, eopts, wopt, nil)
+}
+
+// BuildOwnedWorkers builds the index over the subset of corpus objects for
+// which owns returns true (nil = every object) — the per-shard builder of
+// the scatter-gather serving subsystem. Only the postings are partitioned:
+// each entry's CorS stays the corpus-global Eq. 9 weight computed from the
+// full statistics, so a shard scores its candidates exactly as a corpus-wide
+// index would. Deterministic at any worker count, same as BuildWorkers.
+func BuildOwnedWorkers(m *corr.Model, bopts fig.Options, eopts fig.EnumerateOptions, wopt int, owns func(media.ObjectID) bool) *Inverted {
 	corpus := m.Stats.Corpus()
 	n := corpus.Len()
 	workers := par.Workers(wopt, n)
@@ -96,6 +106,9 @@ func BuildWorkers(m *corr.Model, bopts fig.Options, eopts fig.EnumerateOptions, 
 			defer wg.Done()
 			for i := w; i < n; i += workers {
 				o := corpus.Object(media.ObjectID(i))
+				if owns != nil && !owns(o.ID) {
+					continue
+				}
 				g := fig.Build(o, m, bopts)
 				results[w] = append(results[w], objCliques{id: o.ID, cliques: g.Cliques(eopts)})
 			}
@@ -104,9 +117,15 @@ func BuildWorkers(m *corr.Model, bopts fig.Options, eopts fig.EnumerateOptions, 
 	wg.Wait()
 
 	inv := &Inverted{entries: make(map[string]*Entry)}
-	// Merge in object-ID order so postings come out sorted.
+	// Merge in object-ID order so postings come out sorted. Worker w visited
+	// IDs w, w+workers, … in increasing order and kept only the owned ones,
+	// so replaying the same stripe walk with a filter consumes each worker's
+	// list exactly in step.
 	cursors := make([]int, workers)
 	for i := 0; i < n; i++ {
+		if owns != nil && !owns(media.ObjectID(i)) {
+			continue
+		}
 		w := i % workers
 		oc := results[w][cursors[w]]
 		cursors[w]++
@@ -151,6 +170,13 @@ func BuildWorkers(m *corr.Model, bopts fig.Options, eopts fig.EnumerateOptions, 
 // Lookup returns the index entry for a clique's feature set.
 func (inv *Inverted) Lookup(c fig.Clique) (*Entry, bool) {
 	e, ok := inv.entries[c.Key()]
+	return e, ok
+}
+
+// LookupKey is Lookup with a precomputed clique key (fig.Clique.Key) —
+// for callers resolving the same cliques against many shard indexes.
+func (inv *Inverted) LookupKey(key string) (*Entry, bool) {
+	e, ok := inv.entries[key]
 	return e, ok
 }
 

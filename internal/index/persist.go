@@ -27,8 +27,22 @@ type wireEntry struct {
 // own Save, a deployment can persist everything a serving engine needs and
 // skip the O(|D|) clique enumeration at startup. Rows are emitted in
 // clique-key order so the same index always serializes to the same bytes
-// (map iteration order would otherwise leak into the file).
+// (map iteration order would otherwise leak into the file). Freshness is
+// judged against the index's own last refresh generation — correct for an
+// index that hears about every model invalidation (Build, or Insert on a
+// single-index engine); sharded indexes must use SaveAt.
 func (inv *Inverted) Save(w io.Writer) error {
+	return inv.SaveAt(w, inv.gen)
+}
+
+// SaveAt is Save with the freshness authority made explicit: a row is
+// persisted as fresh iff its CorS was computed at generation gen. A shard
+// of a partitioned index only refreshes its own entries when an insert
+// routes to it, so its internal refresh generation lags the shared model
+// whenever another shard ingested last — judging freshness against the lag
+// would resurrect weights of an intermediate corpus state as authoritative
+// on Load. Callers holding a corpus-global model pass m.Generation().
+func (inv *Inverted) SaveAt(w io.Writer, gen uint64) error {
 	keys := make([]string, 0, len(inv.entries))
 	for k := range inv.entries {
 		keys = append(keys, k)
@@ -37,7 +51,7 @@ func (inv *Inverted) Save(w io.Writer) error {
 	rows := make([]wireEntry, 0, len(keys))
 	for _, k := range keys {
 		e := inv.entries[k]
-		rows = append(rows, wireEntry{Feats: e.Feats, CorS: e.CorS, Objects: e.Objects, Fresh: e.corsGen == inv.gen})
+		rows = append(rows, wireEntry{Feats: e.Feats, CorS: e.CorS, Objects: e.Objects, Fresh: e.corsGen == gen})
 	}
 	return gob.NewEncoder(w).Encode(rows)
 }

@@ -3,6 +3,7 @@ package mrf
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"figfusion/internal/fig"
 	"figfusion/internal/media"
@@ -26,6 +27,11 @@ type CliqueSet struct {
 	pairCor [][]float64 // k×k row-major Cor(f_i, f_j) per clique; nil when α = 0
 	feats   []media.FID // sorted distinct features of the active cliques
 	featIdx [][]int32   // per active clique: positions of its Feats in feats
+
+	// scratch recycles Scratch buffers across the scoring passes that share
+	// this compiled query (the shards of a scatter-gather search); it does
+	// not alter the compiled state, which stays immutable.
+	scratch sync.Pool
 }
 
 // Compile precomputes the per-clique state for one query. weights, when
@@ -194,6 +200,21 @@ func (cs *CliqueSet) NewScratch() *Scratch {
 		cors:    make([]float64, n),
 	}
 }
+
+// GetScratch returns a pooled scratch for this compiled query, allocating
+// one when the pool is empty. Scratches fully overwrite their state on
+// every fill, so recycling needs no reset; return with PutScratch.
+func (cs *CliqueSet) GetScratch() *Scratch {
+	if v := cs.scratch.Get(); v != nil {
+		return v.(*Scratch)
+	}
+	return cs.NewScratch()
+}
+
+// PutScratch recycles a scratch obtained from GetScratch. The scratch must
+// not be used after return, and must only go back to the CliqueSet that
+// issued it (scratch buffers are sized to the compiled feature set).
+func (cs *CliqueSet) PutScratch(sc *Scratch) { cs.scratch.Put(sc) }
 
 // fill loads the candidate's state for every distinct query feature: one
 // linear merge over the two sorted feature lists for counts and presence,

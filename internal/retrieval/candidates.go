@@ -64,15 +64,27 @@ func putAccum(a *candAccum) {
 // clique is not indexed) and collects the non-empty posting lists.
 func (a *candAccum) lookup(inv *index.Inverted, cliques []fig.Clique) {
 	for _, c := range cliques {
-		entry, ok := inv.Lookup(c)
-		if !ok {
-			a.entries = append(a.entries, nil)
-			continue
-		}
-		a.entries = append(a.entries, entry)
-		if len(entry.Objects) > 0 {
-			a.lists = append(a.lists, entry.Objects)
-		}
+		a.add(inv.Lookup(c))
+	}
+}
+
+// lookupKeys is lookup over precomputed clique keys — the prepared-query
+// path, where encoding each clique's key once per shard would repeat the
+// allocation the preparation already paid.
+func (a *candAccum) lookupKeys(inv *index.Inverted, keys []string) {
+	for _, k := range keys {
+		a.add(inv.LookupKey(k))
+	}
+}
+
+func (a *candAccum) add(entry *index.Entry, ok bool) {
+	if !ok {
+		a.entries = append(a.entries, nil)
+		return
+	}
+	a.entries = append(a.entries, entry)
+	if len(entry.Objects) > 0 {
+		a.lists = append(a.lists, entry.Objects)
 	}
 }
 

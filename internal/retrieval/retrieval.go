@@ -151,6 +151,66 @@ func (e *Engine) Search(q *media.Object, k int, exclude media.ObjectID) []topk.I
 	return e.scoreCandidates(cs, candidates, k)
 }
 
+// PreparedQuery is a query compiled once and searched many times: the FIG
+// clique enumeration and the MRF compile — the per-query work that does
+// not depend on any index — are hoisted out so a scatter-gather router can
+// pay them once per query instead of once per shard. Prepare and the
+// Prepared searches are read-only on engine and model; a Prepared query is
+// invalidated by any corpus mutation (its compiled weights are
+// generation-stamped at prepare time).
+type PreparedQuery struct {
+	query   *media.Object
+	cliques []fig.Clique
+	keys    []string // index keys, precomputed so shard lookups do not re-encode
+	cs      *mrf.CliqueSet
+}
+
+// Prepare compiles a query for repeated SearchPrepared/SearchTAPrepared
+// calls. Clique weights are served from the scorer's generation-stamped
+// cache — the same corr.Stats.CliqueWeight the index stores, so prepared
+// searches score identically to Search (see cliqueWeight).
+func (e *Engine) Prepare(q *media.Object) *PreparedQuery {
+	cliques := e.QueryCliques(q)
+	keys := make([]string, len(cliques))
+	for i, c := range cliques {
+		keys[i] = c.Key()
+	}
+	var weights []float64
+	if e.Scorer.Params.UseCorS {
+		weights = make([]float64, len(cliques))
+		for i, c := range cliques {
+			weights[i] = e.Scorer.CorS(c)
+		}
+	}
+	return &PreparedQuery{query: q, cliques: cliques, keys: keys, cs: e.Scorer.Compile(cliques, weights)}
+}
+
+// SearchPrepared is Search with the query-side work already done: only the
+// candidate lookup against this engine's index and the candidate scoring
+// remain. Results are byte-identical to Search on the same engine.
+func (e *Engine) SearchPrepared(p *PreparedQuery, k int, exclude media.ObjectID) []topk.Item {
+	if e.Index == nil {
+		return e.SearchScan(p.query, k, exclude)
+	}
+	acc := getAccum()
+	defer putAccum(acc)
+	acc.lookupKeys(e.Index, p.keys)
+	candidates := acc.merge(exclude, e.candidateCap)
+	return e.scoreCandidates(p.cs, candidates, k)
+}
+
+// SearchTAPrepared is SearchTA with the query-side work already done.
+func (e *Engine) SearchTAPrepared(p *PreparedQuery, k int, exclude media.ObjectID) []topk.Item {
+	if e.Index == nil {
+		return e.SearchScan(p.query, k, exclude)
+	}
+	acc := getAccum()
+	defer putAccum(acc)
+	acc.lookupKeys(e.Index, p.keys)
+	lists := e.cliqueLists(p.cs, acc.entries, exclude, true)
+	return topk.ThresholdMerge(lists, k)
+}
+
 // compile builds the query's compiled clique set, serving the Eq. 9 CorS
 // weights from the inverted index where the clique is indexed (the stored
 // value is exactly corr.Stats.CliqueWeight, the quantity the scorer would
@@ -194,7 +254,8 @@ func (e *Engine) scoreCandidates(cs *mrf.CliqueSet, candidates []media.ObjectID,
 	corpus := e.Model.Stats.Corpus()
 	workers := e.workerCount(len(candidates))
 	if workers <= 1 || len(candidates) < 2*workers {
-		sc := cs.NewScratch()
+		sc := cs.GetScratch()
+		defer cs.PutScratch(sc)
 		h := topk.NewHeap(k)
 		for _, oid := range candidates {
 			if s := cs.ScoreScratch(sc, corpus.Object(oid)); s > 0 {
@@ -209,7 +270,8 @@ func (e *Engine) scoreCandidates(cs *mrf.CliqueSet, candidates []media.ObjectID,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			sc := cs.NewScratch()
+			sc := cs.GetScratch()
+			defer cs.PutScratch(sc)
 			h := topk.NewHeap(k)
 			for i := w; i < len(candidates); i += workers {
 				oid := candidates[i]
@@ -417,11 +479,25 @@ func (e *Engine) Insert(feats []media.Feature, counts []int, month int) (*media.
 	}
 	e.Model.InvalidateCache()
 	e.Scorer.Reset()
-	if e.Index != nil {
-		g := fig.Build(o, e.Model, e.buildOpts)
-		if err := e.Index.Insert(o.ID, g.Cliques(e.enumOpts), e.Model); err != nil {
-			return nil, err
-		}
+	if err := e.IndexObject(o); err != nil {
+		return nil, err
 	}
 	return o, nil
+}
+
+// IndexObject adds one existing corpus object's cliques to the engine's
+// inverted index (a no-op for index-less engines), using the same FIG
+// construction and enumeration options as the build, so the object's
+// cliques line up with the indexed ones. The corpus statistics must
+// already include the object (its CorS weights are computed from them).
+// Routed ingestion uses this directly: the shard router appends the
+// object to the shared corpus-global statistics once and then indexes it
+// on its owning shard alone. Not safe to call concurrently with searches
+// on the same engine.
+func (e *Engine) IndexObject(o *media.Object) error {
+	if e.Index == nil {
+		return nil
+	}
+	g := fig.Build(o, e.Model, e.buildOpts)
+	return e.Index.Insert(o.ID, g.Cliques(e.enumOpts), e.Model)
 }

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"figfusion/internal/dataset"
+	"figfusion/internal/shard"
+)
+
+// testShardedServer builds a server over a 2-shard router on the same
+// corpus config as testServer.
+func testShardedServer(t testing.TB, shards int) (*Server, *dataset.Dataset) {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.NumObjects = 200
+	cfg.NumTopics = 5
+	cfg.TagsPerTopic = 8
+	cfg.NoiseTags = 24
+	cfg.UsersPerTopic = 8
+	cfg.VisualVocab = 12
+	cfg.VocabTrainImages = 40
+	cfg.ImageBlocks = 2
+	cfg.KMeansIters = 8
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := shard.NewRouter(d.Model(), shard.Config{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSharded(r), d
+}
+
+// TestMethodNotAllowed pins one 405 per route: the method-qualified mux
+// patterns must reject the wrong verb rather than fall through to a
+// handler that would misparse the request.
+func TestMethodNotAllowed(t *testing.T) {
+	s, _ := testServer(t)
+	cases := []struct{ method, target string }{
+		{"POST", "/healthz"},
+		{"POST", "/search?id=1"},
+		{"POST", "/object?id=1"},
+		{"GET", "/objects"},
+		{"DELETE", "/objects"},
+		{"GET", "/recommend"},
+	}
+	for _, tc := range cases {
+		if code := doJSON(t, s.Handler(), tc.method, tc.target, nil, nil); code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status = %d, want %d", tc.method, tc.target, code, http.StatusMethodNotAllowed)
+		}
+	}
+}
+
+// TestInsertMalformed walks the /objects error surface: syntactically
+// broken JSON, type mismatches, and feature-free objects all answer 400
+// with a JSON error body.
+func TestInsertMalformed(t *testing.T) {
+	s, _ := testServer(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"truncated", `{"tags":["a"`},
+		{"not JSON", `tags=a`},
+		{"wrong type", `{"tags":"notanarray"}`},
+		{"month type", `{"tags":["topic00tag00"],"month":"five"}`},
+		{"no features", `{}`},
+		{"empty names", `{"tags":["",""],"users":[""]}`},
+	}
+	for _, tc := range cases {
+		var resp errorResponse
+		code := doJSON(t, s.Handler(), "POST", "/objects", []byte(tc.body), &resp)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, code)
+		}
+		if resp.Error == "" {
+			t.Errorf("%s: error body missing", tc.name)
+		}
+	}
+}
+
+// TestSearchMissingParams pins the bare-request errors on the GET routes.
+func TestSearchMissingParams(t *testing.T) {
+	s, _ := testServer(t)
+	var resp errorResponse
+	if code := doJSON(t, s.Handler(), "GET", "/search", nil, &resp); code != http.StatusBadRequest {
+		t.Errorf("/search: status = %d, want 400", code)
+	}
+	if resp.Error == "" {
+		t.Error("/search: error body missing")
+	}
+	if code := doJSON(t, s.Handler(), "GET", "/object", nil, nil); code != http.StatusNotFound {
+		t.Errorf("/object: status = %d, want 404", code)
+	}
+	// text= that normalizes to nothing behaves like unknown text.
+	if code := doJSON(t, s.Handler(), "GET", "/search?text=%20%20", nil, nil); code != http.StatusNotFound {
+		t.Errorf("blank text: status = %d, want 404", code)
+	}
+}
+
+// TestShardedHealthz pins the /healthz shape under a sharded backend:
+// a shards array whose object counts partition the corpus, plus the
+// model generation.
+func TestShardedHealthz(t *testing.T) {
+	s, d := testShardedServer(t, 2)
+	var resp struct {
+		Status     string            `json:"status"`
+		Objects    int               `json:"objects"`
+		Cliques    int               `json:"cliques"`
+		Generation uint64            `json:"generation"`
+		Shards     []shard.ShardInfo `json:"shards"`
+	}
+	if code := doJSON(t, s.Handler(), "GET", "/healthz", nil, &resp); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if resp.Status != "ok" {
+		t.Errorf("status field = %q", resp.Status)
+	}
+	if resp.Objects != d.Corpus.Len() {
+		t.Errorf("objects = %d, want %d", resp.Objects, d.Corpus.Len())
+	}
+	if len(resp.Shards) != 2 {
+		t.Fatalf("shards = %d entries, want 2", len(resp.Shards))
+	}
+	sum, cliques := 0, 0
+	for i, si := range resp.Shards {
+		if si.Shard != i {
+			t.Errorf("shard[%d].Shard = %d", i, si.Shard)
+		}
+		sum += si.Objects
+		cliques += si.Cliques
+	}
+	if sum != d.Corpus.Len() {
+		t.Errorf("shard objects sum to %d, want %d", sum, d.Corpus.Len())
+	}
+	if cliques != resp.Cliques {
+		t.Errorf("cliques = %d, shard sum = %d", resp.Cliques, cliques)
+	}
+}
+
+// TestShardedEndToEnd drives the sharded server through the same
+// search→insert→search flow the single-engine test uses.
+func TestShardedEndToEnd(t *testing.T) {
+	s, d := testShardedServer(t, 2)
+	var sr SearchResponse
+	if code := doJSON(t, s.Handler(), "GET", "/search?id=5&k=4", nil, &sr); code != http.StatusOK {
+		t.Fatalf("search status = %d", code)
+	}
+	if len(sr.Results) == 0 {
+		t.Fatal("no results")
+	}
+	body, _ := json.Marshal(InsertRequest{Tags: []string{"topic00tag00", "topic00tag01"}, Month: 2})
+	var ir InsertResponse
+	if code := doJSON(t, s.Handler(), "POST", "/objects", body, &ir); code != http.StatusCreated {
+		t.Fatalf("insert status = %d", code)
+	}
+	if int(ir.ID) != d.Corpus.Len()-1 {
+		t.Errorf("ID = %d, want %d", ir.ID, d.Corpus.Len()-1)
+	}
+	var sr2 SearchResponse
+	target := fmt.Sprintf("/search?text=topic00tag00+topic00tag01&k=%d", d.Corpus.Len())
+	if code := doJSON(t, s.Handler(), "GET", target, nil, &sr2); code != http.StatusOK {
+		t.Fatalf("post-insert search status = %d", code)
+	}
+	found := false
+	for _, it := range sr2.Results {
+		if it.ID == ir.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("inserted object not searchable through the sharded backend")
+	}
+}

@@ -12,9 +12,15 @@
 //	POST /objects                      insert {"tags":[],"users":[],"visualWords":[],"month":0}
 //	POST /recommend                    {"history":[ids],"k":10,"now":3} → FIG-T recommendations
 //
-// Searches and recommendations run concurrently under a read lock;
-// ingestion takes the write lock (Engine.Insert mutates global statistics
-// and caches).
+// The server fronts either a single retrieval.Engine (New) or a sharded
+// shard.Router (NewSharded). In single-engine mode searches and
+// recommendations run concurrently under the server's read lock and
+// ingestion takes its write lock (Engine.Insert mutates global statistics
+// and caches). In sharded mode the router is the concurrency authority —
+// scatter-gather searches and routed inserts carry their own locking, so
+// an insert blocks searches only for the global-statistics phase and the
+// one shard it lands on — and the server pins corpus reads (query parsing,
+// result formatting) with the router's View.
 package server
 
 import (
@@ -24,25 +30,64 @@ import (
 	"strconv"
 	"sync"
 
+	"figfusion/internal/corr"
 	"figfusion/internal/media"
 	"figfusion/internal/recommend"
 	"figfusion/internal/retrieval"
+	"figfusion/internal/shard"
 	"figfusion/internal/textproc"
+	"figfusion/internal/topk"
 )
 
-// Server wires an engine into an http.Handler. Construct with New.
+// Server wires an engine or a shard router into an http.Handler.
+// Construct with New or NewSharded.
 type Server struct {
-	mu     sync.RWMutex
+	mu     sync.RWMutex // single-engine mode: searches share, inserts exclude
 	engine *retrieval.Engine
+	router *shard.Router
+	model  *corr.Model
 	rec    *recommend.Recommender
 }
 
-// New returns a server over the engine. The recommendation endpoint uses
-// a temporal (FIG-T) recommender over the same model.
+// New returns a server over a single engine. The recommendation endpoint
+// uses a temporal (FIG-T) recommender over the same model.
 func New(engine *retrieval.Engine) *Server {
 	// recommend.New only fails on invalid parameters; defaults are valid.
 	rec, _ := recommend.New(engine.Model, recommend.Config{Temporal: true})
-	return &Server{engine: engine, rec: rec}
+	return &Server{engine: engine, model: engine.Model, rec: rec}
+}
+
+// NewSharded returns a server over a scatter-gather shard router; /healthz
+// additionally reports per-shard object, clique and posting counts.
+func NewSharded(router *shard.Router) *Server {
+	rec, _ := recommend.New(router.Model(), recommend.Config{Temporal: true})
+	return &Server{router: router, model: router.Model(), rec: rec}
+}
+
+// view runs fn while corpus-global state (the corpus object slice, interned
+// features, statistics) is pinned against inserts: under the server's read
+// lock in single-engine mode, under the router's statistics read lock in
+// sharded mode. fn must not call search or insert (recursive read-locking
+// deadlocks once a writer queues); handlers that need both take the lock
+// in separate non-overlapping stages instead.
+func (s *Server) view(fn func()) {
+	if s.router != nil {
+		s.router.View(fn)
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fn()
+}
+
+// search dispatches one top-k search to the backend under its read locking.
+func (s *Server) search(q *media.Object, k int, exclude media.ObjectID) []topk.Item {
+	if s.router != nil {
+		return s.router.Search(q, k, exclude)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.engine.Search(q, k, exclude)
 }
 
 // Handler returns the route multiplexer.
@@ -111,17 +156,31 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) healthSnapshot() map[string]interface{} {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	corpus := s.engine.Model.Stats.Corpus()
-	resp := map[string]interface{}{
-		"status":   "ok",
-		"objects":  corpus.Len(),
-		"features": corpus.Dict.Len(),
-	}
-	if s.engine.Index != nil {
-		resp["cliques"] = s.engine.Index.NumCliques()
-	}
+	var resp map[string]interface{}
+	s.view(func() {
+		corpus := s.model.Stats.Corpus()
+		resp = map[string]interface{}{
+			"status":   "ok",
+			"objects":  corpus.Len(),
+			"features": corpus.Dict.Len(),
+		}
+		switch {
+		case s.router != nil:
+			// Per-shard locks nest safely under the router's statistics
+			// read lock (inserts never hold a shard lock while waiting on
+			// the statistics lock).
+			infos := s.router.ShardInfos()
+			cliques := 0
+			for _, si := range infos {
+				cliques += si.Cliques
+			}
+			resp["cliques"] = cliques
+			resp["shards"] = infos
+			resp["generation"] = s.router.Generation()
+		case s.engine.Index != nil:
+			resp["cliques"] = s.engine.Index.NumCliques()
+		}
+	})
 	return resp
 }
 
@@ -135,69 +194,90 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		k = v
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	corpus := s.engine.Model.Stats.Corpus()
-
+	// The handler runs in three pinned stages — parse the query, search,
+	// format the results — instead of one long critical section, so a
+	// sharded backend can admit routed inserts between stages. Result IDs
+	// stay valid across the gaps: the corpus only ever grows.
 	var q *media.Object
 	exclude := retrieval.NoExclude
 	label := ""
-	switch {
-	case r.URL.Query().Get("id") != "":
-		raw := r.URL.Query().Get("id")
-		id, err := strconv.Atoi(raw)
-		if err != nil || id < 0 || id >= corpus.Len() {
-			writeError(w, http.StatusBadRequest, "id must identify a corpus object in [0,%d), got %q", corpus.Len(), raw)
-			return
+	status, errMsg := 0, ""
+	s.view(func() {
+		corpus := s.model.Stats.Corpus()
+		switch {
+		case r.URL.Query().Get("id") != "":
+			raw := r.URL.Query().Get("id")
+			id, err := strconv.Atoi(raw)
+			if err != nil || id < 0 || id >= corpus.Len() {
+				status = http.StatusBadRequest
+				errMsg = fmt.Sprintf("id must identify a corpus object in [0,%d), got %q", corpus.Len(), raw)
+				return
+			}
+			q = corpus.Object(media.ObjectID(id))
+			exclude = q.ID
+			label = "id:" + raw
+		case r.URL.Query().Get("text") != "":
+			text := r.URL.Query().Get("text")
+			var ok bool
+			q, ok = textQuery(corpus, text)
+			if !ok {
+				status = http.StatusNotFound
+				errMsg = fmt.Sprintf("no term of %q matches the corpus vocabulary", text)
+				return
+			}
+			label = "text:" + text
+		default:
+			status = http.StatusBadRequest
+			errMsg = "provide either ?id= or ?text="
 		}
-		q = corpus.Object(media.ObjectID(id))
-		exclude = q.ID
-		label = "id:" + raw
-	case r.URL.Query().Get("text") != "":
-		text := r.URL.Query().Get("text")
-		var ok bool
-		q, ok = textQuery(corpus, text)
-		if !ok {
-			writeError(w, http.StatusNotFound, "no term of %q matches the corpus vocabulary", text)
-			return
-		}
-		label = "text:" + text
-	default:
-		writeError(w, http.StatusBadRequest, "provide either ?id= or ?text=")
+	})
+	if status != 0 {
+		writeError(w, status, "%s", errMsg)
 		return
 	}
-	results := s.engine.Search(q, k, exclude)
+	results := s.search(q, k, exclude)
 	resp := SearchResponse{Query: label, Results: make([]ResultItem, 0, len(results))}
-	for _, it := range results {
-		o := corpus.Object(it.ID)
-		resp.Results = append(resp.Results, ResultItem{
-			ID:    int64(o.ID),
-			Score: it.Score,
-			Month: o.Month,
-			Tags:  featureNames(corpus, o, media.Text, 8),
-		})
-	}
+	s.view(func() {
+		corpus := s.model.Stats.Corpus()
+		for _, it := range results {
+			o := corpus.Object(it.ID)
+			resp.Results = append(resp.Results, ResultItem{
+				ID:    int64(o.ID),
+				Score: it.Score,
+				Month: o.Month,
+				Tags:  featureNames(corpus, o, media.Text, 8),
+			})
+		}
+	})
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	corpus := s.engine.Model.Stats.Corpus()
-	raw := r.URL.Query().Get("id")
-	id, err := strconv.Atoi(raw)
-	if err != nil || id < 0 || id >= corpus.Len() {
-		writeError(w, http.StatusNotFound, "unknown object %q", raw)
+	var resp ObjectResponse
+	status, errMsg := 0, ""
+	s.view(func() {
+		corpus := s.model.Stats.Corpus()
+		raw := r.URL.Query().Get("id")
+		id, err := strconv.Atoi(raw)
+		if err != nil || id < 0 || id >= corpus.Len() {
+			status = http.StatusNotFound
+			errMsg = fmt.Sprintf("unknown object %q", raw)
+			return
+		}
+		o := corpus.Object(media.ObjectID(id))
+		resp = ObjectResponse{
+			ID:          int64(o.ID),
+			Month:       o.Month,
+			Tags:        featureNames(corpus, o, media.Text, 0),
+			Users:       featureNames(corpus, o, media.User, 0),
+			VisualWords: featureNames(corpus, o, media.Visual, 0),
+		}
+	})
+	if status != 0 {
+		writeError(w, status, "%s", errMsg)
 		return
 	}
-	o := corpus.Object(media.ObjectID(id))
-	writeJSON(w, http.StatusOK, ObjectResponse{
-		ID:          int64(o.ID),
-		Month:       o.Month,
-		Tags:        featureNames(corpus, o, media.Text, 0),
-		Users:       featureNames(corpus, o, media.User, 0),
-		VisualWords: featureNames(corpus, o, media.Visual, 0),
-	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
@@ -232,9 +312,15 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, InsertResponse{ID: int64(o.ID)})
 }
 
-// insert takes the write lock for the engine mutation; a deferred unlock
-// keeps the server serviceable even if Insert panics on corrupt input.
+// insert dispatches ingestion to the backend. The sharded router locks
+// internally (global statistics phase, then the owning shard alone); the
+// single engine mutates global state and takes the server's write lock —
+// a deferred unlock keeps the server serviceable even if Insert panics on
+// corrupt input.
 func (s *Server) insert(feats []media.Feature, counts []int, month int) (*media.Object, error) {
+	if s.router != nil {
+		return s.router.Insert(feats, counts, month)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.engine.Insert(feats, counts, month)
@@ -258,41 +344,50 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	if req.K < 1 || req.K > 1000 {
 		req.K = 10
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	corpus := s.engine.Model.Stats.Corpus()
 	if len(req.History) == 0 {
 		writeError(w, http.StatusBadRequest, "history must not be empty")
 		return
 	}
-	history := make([]*media.Object, 0, len(req.History))
-	histSet := make(map[media.ObjectID]bool, len(req.History))
-	for _, raw := range req.History {
-		if raw < 0 || int(raw) >= corpus.Len() {
-			writeError(w, http.StatusBadRequest, "unknown history object %d", raw)
-			return
+	var resp SearchResponse
+	status, errMsg := 0, ""
+	// The recommender reads corpus-global statistics throughout scoring, so
+	// the whole request stays pinned in one view.
+	s.view(func() {
+		corpus := s.model.Stats.Corpus()
+		history := make([]*media.Object, 0, len(req.History))
+		histSet := make(map[media.ObjectID]bool, len(req.History))
+		for _, raw := range req.History {
+			if raw < 0 || int(raw) >= corpus.Len() {
+				status = http.StatusBadRequest
+				errMsg = fmt.Sprintf("unknown history object %d", raw)
+				return
+			}
+			id := media.ObjectID(raw)
+			history = append(history, corpus.Object(id))
+			histSet[id] = true
 		}
-		id := media.ObjectID(raw)
-		history = append(history, corpus.Object(id))
-		histSet[id] = true
-	}
-	// Candidates: everything not already in the history.
-	candidates := make([]media.ObjectID, 0, corpus.Len()-len(histSet))
-	for i := 0; i < corpus.Len(); i++ {
-		if id := media.ObjectID(i); !histSet[id] {
-			candidates = append(candidates, id)
+		// Candidates: everything not already in the history.
+		candidates := make([]media.ObjectID, 0, corpus.Len()-len(histSet))
+		for i := 0; i < corpus.Len(); i++ {
+			if id := media.ObjectID(i); !histSet[id] {
+				candidates = append(candidates, id)
+			}
 		}
-	}
-	results := s.rec.Recommend(history, candidates, req.K, req.Now)
-	resp := SearchResponse{Query: fmt.Sprintf("recommend:%d-item history", len(history))}
-	for _, it := range results {
-		o := corpus.Object(it.ID)
-		resp.Results = append(resp.Results, ResultItem{
-			ID:    int64(o.ID),
-			Score: it.Score,
-			Month: o.Month,
-			Tags:  featureNames(corpus, o, media.Text, 8),
-		})
+		results := s.rec.Recommend(history, candidates, req.K, req.Now)
+		resp = SearchResponse{Query: fmt.Sprintf("recommend:%d-item history", len(history))}
+		for _, it := range results {
+			o := corpus.Object(it.ID)
+			resp.Results = append(resp.Results, ResultItem{
+				ID:    int64(o.ID),
+				Score: it.Score,
+				Month: o.Month,
+				Tags:  featureNames(corpus, o, media.Text, 8),
+			})
+		}
+	})
+	if status != 0 {
+		writeError(w, status, "%s", errMsg)
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,171 @@
+// Sharded snapshot persistence: one JSON manifest describing the shard
+// layout plus one gob snapshot per shard (written by index.Save). Together
+// with the dataset's own Save, a sharded deployment can cold-start without
+// the O(|D|) clique enumeration: figdata writes the snapshot set, figserver
+// loads it.
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"figfusion/internal/corr"
+	"figfusion/internal/index"
+)
+
+// manifestVersion guards the manifest schema; bump on incompatible change.
+const manifestVersion = 1
+
+// Manifest describes one sharded snapshot set. Files are relative to the
+// manifest's own directory, in shard order, so the set can be moved as a
+// unit. Objects, Generation and Inserts stamp the corpus state the
+// snapshot was cut at: Load refuses a corpus of a different size, and a
+// loaded snapshot's stored CorS weights are only served while the paired
+// model still sits at the generation index.Load restamps them to.
+type Manifest struct {
+	Version    int      `json:"version"`
+	Shards     int      `json:"shards"`
+	Objects    int      `json:"objects"`
+	Generation uint64   `json:"generation"`
+	Inserts    uint64   `json:"inserts"`
+	Files      []string `json:"files"`
+}
+
+// ManifestPath returns the manifest filename for a snapshot base path.
+func ManifestPath(base string) string { return base + ".manifest.json" }
+
+// shardFile returns the per-shard snapshot filename for a base path.
+func shardFile(base string, s int) string { return fmt.Sprintf("%s.shard%03d.idx", base, s) }
+
+// Save writes the router's shards to <base>.shard000.idx … and the
+// manifest to <base>.manifest.json, returning the manifest. Routed inserts
+// are held off for the duration (the snapshot must pair one corpus state
+// with every shard file); searches proceed, pausing per shard only while
+// that shard serializes.
+func (r *Router) Save(base string) (*Manifest, error) {
+	r.insertMu.Lock()
+	defer r.insertMu.Unlock()
+	m := &Manifest{
+		Version:    manifestVersion,
+		Shards:     len(r.shards),
+		Objects:    r.corpusLen(),
+		Generation: r.model.Generation(),
+		Inserts:    r.inserts.Load(),
+	}
+	for s, sh := range r.shards {
+		name := filepath.Base(shardFile(base, s))
+		if err := sh.save(shardFile(base, s), m.Generation); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		m.Files = append(m.Files, name)
+	}
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	raw = append(raw, '\n')
+	if err := os.WriteFile(ManifestPath(base), raw, 0o644); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// corpusLen reads the corpus size under the statistics read lock.
+func (r *Router) corpusLen() int {
+	r.statsMu.RLock()
+	defer r.statsMu.RUnlock()
+	return r.model.Stats.Corpus().Len()
+}
+
+// save serializes one shard's index under its read lock. Freshness is
+// judged against the shared model's generation: a shard's own refresh
+// generation lags the model whenever the last insert routed elsewhere, and
+// rows refreshed at an intermediate generation must not load as
+// authoritative (see index.SaveAt).
+func (sh *shardState) save(path string, gen uint64) error {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sh.eng.Index.SaveAt(f, gen); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load rebuilds a router from a snapshot set written by Save, over a model
+// whose corpus must be the one the snapshot was cut from (same size and
+// object-ID space; pair snapshot sets with their dataset files). cfg.Shards
+// must be zero or match the manifest. As with index.Load, entries that were
+// fresh at save time are restamped to generation 0 — authoritative for a
+// freshly constructed model over the paired dataset — and stale entries
+// keep a never-matching stamp, falling back to the scorer.
+func Load(m *corr.Model, cfg Config, base string) (*Router, *Manifest, error) {
+	raw, err := os.ReadFile(ManifestPath(base))
+	if err != nil {
+		return nil, nil, err
+	}
+	var man Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, nil, fmt.Errorf("shard: manifest %s: %w", ManifestPath(base), err)
+	}
+	if man.Version != manifestVersion {
+		return nil, nil, fmt.Errorf("shard: manifest version %d, want %d", man.Version, manifestVersion)
+	}
+	if man.Shards < 1 || len(man.Files) != man.Shards {
+		return nil, nil, fmt.Errorf("shard: manifest lists %d files for %d shards", len(man.Files), man.Shards)
+	}
+	if cfg.Shards != 0 && cfg.Shards != man.Shards {
+		return nil, nil, fmt.Errorf("shard: configured %d shards but snapshot has %d", cfg.Shards, man.Shards)
+	}
+	if cfg.Retrieval.Index != nil || cfg.Retrieval.SkipIndex {
+		return nil, nil, fmt.Errorf("shard: Retrieval.Index/SkipIndex are managed by the router")
+	}
+	if got := m.Stats.Corpus().Len(); got != man.Objects {
+		return nil, nil, fmt.Errorf("shard: snapshot cut at %d objects but corpus has %d — pair snapshots with their dataset", man.Objects, got)
+	}
+	dir := filepath.Dir(ManifestPath(base))
+	r := &Router{model: m, shards: make([]*shardState, man.Shards)}
+	counts := r.ownedCounts(man.Shards)
+	for s, name := range man.Files {
+		inv, err := loadShardIndex(filepath.Join(dir, name))
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		if err := checkRouting(inv, s, man.Shards); err != nil {
+			return nil, nil, err
+		}
+		if err := r.attach(s, inv, cfg, counts[s]); err != nil {
+			return nil, nil, err
+		}
+	}
+	return r, &man, nil
+}
+
+func loadShardIndex(path string) (*index.Inverted, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return index.Load(f)
+}
+
+// checkRouting verifies every posting of a loaded shard file routes to the
+// shard it was loaded into — the cheap integrity check that catches a
+// snapshot set reassembled with the wrong shard count or renamed files.
+func checkRouting(inv *index.Inverted, s, shards int) error {
+	for _, e := range inv.Entries() {
+		for _, id := range e.Objects {
+			if ShardOf(id, shards) != s {
+				return fmt.Errorf("shard: object %d found in shard %d's snapshot but routes to shard %d — snapshot set does not match its manifest", id, s, ShardOf(id, shards))
+			}
+		}
+	}
+	return nil
+}

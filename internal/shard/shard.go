@@ -1,0 +1,317 @@
+// Package shard implements the scatter-gather serving subsystem: the
+// corpus's postings are partitioned across N independent retrieval engines
+// by a deterministic hash of the object ID, while every shard shares the
+// one corpus-global correlation model and statistics. Sharding therefore
+// changes where candidates are generated and scored, never how: each
+// candidate's MRF score is computed from the same global statistics a
+// single-shard engine would use, so scatter-gather results are
+// byte-identical at any shard count (the determinism test pins this at
+// 1/2/4/NumCPU shards, before and after routed inserts, and across a
+// snapshot round trip).
+//
+// Concurrency contract: searches fan out under a corpus-statistics read
+// lock plus per-shard read locks; a routed insert takes the statistics
+// write lock only for the global mutation (corpus append, statistics
+// growth, cache invalidation) and then updates the owning shard's index
+// under that shard's lock alone, so an insert blocks searches only for the
+// short global phase and the one shard it lands on.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"figfusion/internal/corr"
+	"figfusion/internal/index"
+	"figfusion/internal/media"
+	"figfusion/internal/retrieval"
+	"figfusion/internal/topk"
+)
+
+// Config assembles a Router.
+type Config struct {
+	// Shards is the number of engine shards; 0 and 1 both mean a single
+	// shard (the router then adds no goroutine fan-out per query).
+	Shards int
+	// Retrieval configures each per-shard engine. Index and SkipIndex must
+	// be left zero: the router builds (or loads) one index per shard.
+	// Workers applies within one shard; sharded deployments usually keep
+	// it at 1 and let the shard fan-out supply the parallelism.
+	Retrieval retrieval.Config
+}
+
+// ShardOf routes an object ID to its owning shard: a splitmix64-style
+// finalizer over the ID, reduced modulo the shard count. The function is a
+// pure, seedless mapping — the routing contract persisted snapshots rely
+// on — so it must never change for a given (id, shards) pair.
+func ShardOf(id media.ObjectID, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	x := uint64(id)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(shards))
+}
+
+// shardState is one engine shard: the engine over this shard's postings
+// and the lock serializing its index mutation against its reads.
+type shardState struct {
+	mu      sync.RWMutex
+	eng     *retrieval.Engine
+	objects int // corpus objects routed to this shard
+}
+
+// Router is the scatter-gather front of N engine shards. Construct with
+// NewRouter or Load. Safe for concurrent use: searches, health snapshots
+// and routed inserts may race freely.
+type Router struct {
+	model  *corr.Model
+	shards []*shardState
+
+	// statsMu guards the corpus-global state (corpus objects, correlation
+	// statistics, derived caches) that every search reads throughout
+	// scoring: readers hold it shared for a whole scatter-gather, a routed
+	// insert holds it exclusively only while growing the statistics.
+	statsMu sync.RWMutex
+	// insertMu serializes routed inserts end to end. Inserts are inherently
+	// sequential (corpus IDs are dense and posting lists append-ordered);
+	// serializing them also lets the post-append index update run outside
+	// statsMu, where it only ever reads the statistics.
+	insertMu sync.Mutex
+	// inserts counts routed inserts since construction or load; snapshots
+	// stamp it into the manifest alongside the model generation.
+	inserts atomic.Uint64
+}
+
+// NewRouter partitions the model's corpus across cfg.Shards engines,
+// building one ownership-filtered clique index per shard over the shared
+// corpus-global statistics. All shards share one MRF scorer (and with it
+// the generation-stamped CorS/smoothing caches), so per-candidate scores
+// are bit-identical to a single-shard engine's.
+func NewRouter(m *corr.Model, cfg Config) (*Router, error) {
+	n := cfg.Shards
+	if n <= 0 {
+		n = 1
+	}
+	if cfg.Retrieval.Index != nil || cfg.Retrieval.SkipIndex {
+		return nil, fmt.Errorf("shard: Retrieval.Index/SkipIndex are managed by the router")
+	}
+	r := &Router{model: m, shards: make([]*shardState, n)}
+	counts := r.ownedCounts(n)
+	for s := 0; s < n; s++ {
+		s := s
+		owns := func(id media.ObjectID) bool { return ShardOf(id, n) == s }
+		inv := index.BuildOwnedWorkers(m, cfg.Retrieval.BuildOpts, cfg.Retrieval.EnumOpts, cfg.Retrieval.Workers, owns)
+		if err := r.attach(s, inv, cfg, counts[s]); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// ownedCounts tallies, in one corpus pass, how many objects route to each
+// of n shards.
+func (r *Router) ownedCounts(n int) []int {
+	counts := make([]int, n)
+	corpus := r.model.Stats.Corpus()
+	for i := 0; i < corpus.Len(); i++ {
+		counts[ShardOf(media.ObjectID(i), n)]++
+	}
+	return counts
+}
+
+// attach wires shard s around a prebuilt (or loaded) per-shard index. The
+// first shard's engine donates its scorer to the rest, so every shard
+// serves from the same parameter and cache state.
+func (r *Router) attach(s int, inv *index.Inverted, cfg Config, objects int) error {
+	engCfg := cfg.Retrieval
+	engCfg.Index = inv
+	eng, err := retrieval.NewEngine(r.model, engCfg)
+	if err != nil {
+		return fmt.Errorf("shard %d: %w", s, err)
+	}
+	if s > 0 {
+		eng.Scorer = r.shards[0].eng.Scorer
+	}
+	r.shards[s] = &shardState{eng: eng, objects: objects}
+	return nil
+}
+
+// NumShards returns the shard count.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Model returns the shared corpus-global correlation model. Reads of the
+// corpus it serves must be pinned with View when inserts may race.
+func (r *Router) Model() *corr.Model { return r.model }
+
+// Generation returns the shared model's statistics generation — the stamp
+// routed inserts advance and snapshots record.
+func (r *Router) Generation() uint64 { return r.model.Generation() }
+
+// Inserts returns the number of routed inserts since construction or load.
+func (r *Router) Inserts() uint64 { return r.inserts.Load() }
+
+// View runs fn while the corpus-global state is pinned against routed
+// inserts — the hook HTTP handlers use to format corpus objects outside a
+// search. fn must not call the router's own search or insert methods
+// (recursive read-locking deadlocks once a writer queues).
+func (r *Router) View(fn func()) {
+	r.statsMu.RLock()
+	defer r.statsMu.RUnlock()
+	fn()
+}
+
+// Search scatter-gathers the indexed MRF search: every shard returns its
+// local top-k and the partial lists fold under topk.MergeRanked's total
+// order. Shard partitions are disjoint, so the merged list is exactly the
+// single-engine top-k, byte for byte. The query-side work — FIG build,
+// clique enumeration, MRF compile — is prepared once and shared by every
+// shard; only candidate lookup and scoring are per-shard.
+func (r *Router) Search(q *media.Object, k int, exclude media.ObjectID) []topk.Item {
+	r.statsMu.RLock()
+	defer r.statsMu.RUnlock()
+	p := r.shards[0].eng.Prepare(q)
+	return r.gather(k, func(sh *shardState) []topk.Item { return sh.search(p, k, exclude) })
+}
+
+// SearchTA is the scatter-gather form of the literal Algorithm 1 path:
+// each shard runs the Threshold Algorithm over its own per-clique lists
+// (every posting of an object lives on its owning shard, so per-shard
+// aggregates are exact), and the exact per-shard top-k lists merge to the
+// exact global top-k.
+func (r *Router) SearchTA(q *media.Object, k int, exclude media.ObjectID) []topk.Item {
+	r.statsMu.RLock()
+	defer r.statsMu.RUnlock()
+	p := r.shards[0].eng.Prepare(q)
+	return r.gather(k, func(sh *shardState) []topk.Item { return sh.searchTA(p, k, exclude) })
+}
+
+// gather runs one search on every shard and folds the per-shard top-k
+// lists. With one shard, or with no parallelism to exploit, the scatter
+// runs inline — the per-query goroutine fan-out is pure overhead at
+// GOMAXPROCS=1, and the fold is order-independent either way.
+func (r *Router) gather(k int, run func(*shardState) []topk.Item) []topk.Item {
+	if len(r.shards) == 1 {
+		return run(r.shards[0])
+	}
+	partial := make([][]topk.Item, len(r.shards))
+	if runtime.GOMAXPROCS(0) == 1 {
+		for i, sh := range r.shards {
+			partial[i] = run(sh)
+		}
+		return topk.MergeRanked(partial, k)
+	}
+	var wg sync.WaitGroup
+	for i, sh := range r.shards {
+		wg.Add(1)
+		go func(i int, sh *shardState) {
+			defer wg.Done()
+			partial[i] = run(sh)
+		}(i, sh)
+	}
+	wg.Wait()
+	return topk.MergeRanked(partial, k)
+}
+
+func (sh *shardState) search(p *retrieval.PreparedQuery, k int, exclude media.ObjectID) []topk.Item {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.eng.SearchPrepared(p, k, exclude)
+}
+
+func (sh *shardState) searchTA(p *retrieval.PreparedQuery, k int, exclude media.ObjectID) []topk.Item {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.eng.SearchTAPrepared(p, k, exclude)
+}
+
+// Insert routes one new object: the shared corpus and statistics grow
+// under the exclusive statistics lock (with cache invalidation advancing
+// the model generation, which stamps every downstream cache stale), then
+// the object's cliques join the owning shard's index under that shard's
+// lock alone. Concurrent searches observe either the pre-insert corpus or
+// the post-insert one; between the two phases a search may see the grown
+// statistics before the new object is indexed, which only delays the
+// object's retrievability, never corrupts a score.
+func (r *Router) Insert(feats []media.Feature, counts []int, month int) (*media.Object, error) {
+	r.insertMu.Lock()
+	defer r.insertMu.Unlock()
+	o, err := r.appendObject(feats, counts, month)
+	if err != nil {
+		return nil, err
+	}
+	sh := r.shards[ShardOf(o.ID, len(r.shards))]
+	if err := sh.indexObject(o); err != nil {
+		return nil, err
+	}
+	r.inserts.Add(1)
+	return o, nil
+}
+
+// appendObject performs the corpus-global phase of a routed insert under
+// the exclusive statistics lock.
+func (r *Router) appendObject(feats []media.Feature, counts []int, month int) (*media.Object, error) {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	corpus := r.model.Stats.Corpus()
+	o, err := corpus.Add(feats, counts, month)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.model.Stats.Append(o); err != nil {
+		return nil, err
+	}
+	r.model.InvalidateCache()
+	// One reset suffices: every shard serves from shard 0's scorer.
+	r.shards[0].eng.Scorer.Reset()
+	return o, nil
+}
+
+// indexObject adds one appended object's cliques to this shard's index.
+// It runs outside the statistics lock — FIG construction and CorS
+// weighting only read the statistics, and the insert lock keeps any other
+// mutation out — so concurrent searches block only on this one shard.
+func (sh *shardState) indexObject(o *media.Object) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.eng.IndexObject(o); err != nil {
+		return err
+	}
+	sh.objects++
+	return nil
+}
+
+// ShardInfo is one shard's health snapshot.
+type ShardInfo struct {
+	Shard    int `json:"shard"`
+	Objects  int `json:"objects"`
+	Cliques  int `json:"cliques"`
+	Postings int `json:"postings"`
+}
+
+// ShardInfos snapshots every shard's object, clique and posting counts —
+// the per-shard stats the server's /healthz reports.
+func (r *Router) ShardInfos() []ShardInfo {
+	infos := make([]ShardInfo, len(r.shards))
+	for i, sh := range r.shards {
+		infos[i] = sh.info(i)
+	}
+	return infos
+}
+
+func (sh *shardState) info(i int) ShardInfo {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return ShardInfo{
+		Shard:    i,
+		Objects:  sh.objects,
+		Cliques:  sh.eng.Index.NumCliques(),
+		Postings: sh.eng.Index.Postings(),
+	}
+}

@@ -1,0 +1,104 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"figfusion/internal/media"
+	"figfusion/internal/retrieval"
+)
+
+// TestConcurrentSearchInsert is the -race gate for the router's lock
+// protocol: scatter-gather searches, threshold searches, and health
+// snapshots race routed inserts and a snapshot save. Correctness of
+// results under this interleaving is covered by the parity test; here the
+// assertions are only that nothing panics, every search returns a
+// well-formed ranking, and all inserts land.
+func TestConcurrentSearchInsert(t *testing.T) {
+	d, m := testSystem(t)
+	r, err := NewRouter(m, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		searchers = 4
+		inserts   = 24
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, searchers+2)
+	stop := make(chan struct{})
+
+	for g := 0; g < searchers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Query objects are fetched under View, as the server does:
+				// the corpus slice may be growing under a routed insert.
+				var q *media.Object
+				r.View(func() { q = d.Corpus.Object(media.ObjectID((g*17 + i) % 150)) })
+				var items = r.Search(q, 10, q.ID)
+				if g%2 == 0 {
+					items = r.SearchTA(q, 10, q.ID)
+				}
+				for j := 1; j < len(items); j++ {
+					if items[j].Score > items[j-1].Score {
+						errc <- fmt.Errorf("goroutine %d: unsorted ranking", g)
+						return
+					}
+				}
+				if i%8 == 0 {
+					total := 0
+					for _, si := range r.ShardInfos() {
+						total += si.Objects
+					}
+					if total < 150 {
+						errc <- fmt.Errorf("goroutine %d: shard infos sum %d < 150", g, total)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for j := 0; j < inserts; j++ {
+			feats := []media.Feature{
+				{Kind: media.Text, Name: fmt.Sprintf("topic%02dtag%02d", j%5, j%8)},
+				{Kind: media.Text, Name: fmt.Sprintf("stresstag%02d", j)},
+			}
+			if _, err := r.Insert(feats, []int{1, 2}, j%6); err != nil {
+				errc <- err
+				return
+			}
+			if j == inserts/2 {
+				if _, err := r.Save(t.TempDir() + "/snap"); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if got := r.Inserts(); got != inserts {
+		t.Errorf("Inserts() = %d, want %d", got, inserts)
+	}
+	q := d.Corpus.Object(0)
+	if len(r.Search(q, 10, retrieval.NoExclude)) == 0 {
+		t.Error("no results after stress run")
+	}
+}
