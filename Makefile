@@ -17,10 +17,12 @@ race:
 
 # Query-path benchmarks: the retrieval microbenches plus the serving-path
 # measurement appended to the tracked baseline file (see "Query-path
-# performance baseline" in EXPERIMENTS.md).
+# performance baseline" in EXPERIMENTS.md). The -perfgate flag fails the
+# run if serial search throughput regresses more than 5% vs the previous
+# recorded run.
 bench: bench-build bench-shard
 	$(GO) test -bench='Search|CandidateSet' -benchmem ./internal/retrieval/...
-	$(GO) run ./cmd/figbench -perf BENCH_retrieval.json -scale 800 -queries 12 -seed 1
+	$(GO) run ./cmd/figbench -perf BENCH_retrieval.json -scale 800 -queries 12 -seed 1 -perfgate 5
 
 # Build-path benchmarks: the bulk-weighting microbenches plus the offline
 # build measurement (vocabulary, thresholds, index, lambda) appended to the

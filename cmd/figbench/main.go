@@ -39,6 +39,7 @@ func main() {
 		shardPerf = flag.String("shardperf", "", "measure scatter-gather search throughput at 1/2/4/NumCPU shards against the single-engine baseline and append the run to this JSON file (e.g. BENCH_shard.json); skips the figures")
 		perfLabel = flag.String("perflabel", "", "label recorded with the -perf/-buildperf run (default: go version + GOMAXPROCS)")
 		perfCap   = flag.Int("perfcap", 0, "CandidateCap for the -perf engine (0 = uncapped)")
+		perfGate  = flag.Float64("perfgate", 0, "fail the -perf run if search/serial queries/sec drops more than this percentage below the previous recorded run (0 = record only)")
 		trainQ    = flag.Int("trainqueries", 20, "training queries for the lambda coordinate ascent (paper: 20)")
 	)
 	flag.Parse()
@@ -57,7 +58,7 @@ func main() {
 			label = fmt.Sprintf("%s GOMAXPROCS=%d", runtime.Version(), runtime.GOMAXPROCS(0))
 		}
 		if *perf != "" {
-			if err := runPerf(*perf, label, opts, *perfCap); err != nil {
+			if err := runPerf(*perf, label, opts, *perfCap, *perfGate); err != nil {
 				log.Fatalf("perf: %v", err)
 			}
 		}

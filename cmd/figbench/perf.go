@@ -7,8 +7,15 @@ import (
 )
 
 // runPerf measures the retrieval query path and appends the run to the
-// JSON file at path (creating it if absent).
-func runPerf(path, label string, opts experiments.Options, candidateCap int) error {
+// JSON file at path (creating it if absent). With gatePct > 0 it also
+// acts as a regression gate: the new run's serial search throughput must
+// not drop more than gatePct percent below the previous recorded run.
+func runPerf(path, label string, opts experiments.Options, candidateCap int, gatePct float64) error {
+	var prev experiments.PerfRun
+	havePrev, err := experiments.LastRun(path, &prev)
+	if err != nil {
+		return err
+	}
 	run, err := experiments.RetrievalPerf(opts, label, candidateCap)
 	if err != nil {
 		return err
@@ -25,7 +32,30 @@ func runPerf(path, label string, opts experiments.Options, candidateCap int) err
 			r.Name, r.NsPerOp, r.AllocsPerOp, r.QueriesPerSec)
 	}
 	fmt.Printf("appended run %q to %s (%d runs total)\n", label, path, total)
+	if gatePct > 0 && havePrev {
+		prevQPS := serialQPS(&prev)
+		newQPS := serialQPS(run)
+		if prevQPS > 0 && newQPS > 0 {
+			drop := (prevQPS - newQPS) / prevQPS * 100
+			fmt.Printf("perf gate: search/serial %.1f -> %.1f queries/sec (%+.1f%%, limit -%.0f%%)\n",
+				prevQPS, newQPS, -drop, gatePct)
+			if drop > gatePct {
+				return fmt.Errorf("search/serial regressed %.1f%% (limit %.0f%%): %.1f -> %.1f queries/sec vs run %q",
+					drop, gatePct, prevQPS, newQPS, prev.Label)
+			}
+		}
+	}
 	return nil
+}
+
+// serialQPS extracts the serial indexed-search throughput from a run.
+func serialQPS(run *experiments.PerfRun) float64 {
+	for _, r := range run.Results {
+		if r.Name == "search/serial" {
+			return r.QueriesPerSec
+		}
+	}
+	return 0
 }
 
 // runShardPerf measures scatter-gather search throughput across shard

@@ -1,8 +1,12 @@
-// Command figserver serves FIG similarity search over HTTP/JSON: it loads
-// (or generates) a corpus, builds the engine — a single engine or a
-// scatter-gather shard router — and listens for search, inspection and
-// ingestion requests until SIGINT/SIGTERM, then drains in-flight requests
-// and exits.
+// Command figserver serves FIG similarity search over a versioned
+// HTTP/JSON API: it loads (or generates) a corpus, builds the engine — a
+// single engine or a scatter-gather shard router — and listens for
+// search, inspection, ingestion and observability requests until
+// SIGINT/SIGTERM, then drains in-flight requests and exits.
+//
+// All flags parse into one server.Options (see its Flags method); the
+// defaults come from server.DefaultOptions, so the flag surface and the
+// struct cannot drift apart.
 //
 // Usage:
 //
@@ -10,12 +14,17 @@
 //	figserver -addr :8080 -objects 5000        # generate on the fly
 //	figserver -addr :8080 -shards 4            # scatter-gather serving
 //	figserver -data corpus.gob -shards 4 -index snap   # cold-start from figdata -shards snapshots
+//	figserver -query-timeout 250ms -pprof      # bounded queries + profiling
 //
-//	curl 'localhost:8080/search?text=sunset&k=5'
-//	curl 'localhost:8080/search?id=42'
-//	curl 'localhost:8080/object?id=42'
-//	curl 'localhost:8080/healthz'
-//	curl -XPOST localhost:8080/objects -d '{"tags":["sunset","beach"],"month":5}'
+//	curl 'localhost:8080/v1/search?text=sunset&k=5'
+//	curl 'localhost:8080/v1/search?id=42'
+//	curl 'localhost:8080/v1/objects/42'
+//	curl 'localhost:8080/v1/healthz'
+//	curl 'localhost:8080/v1/metrics'
+//	curl -XPOST localhost:8080/v1/objects -d '{"tags":["sunset","beach"],"month":5}'
+//
+// The pre-v1 unversioned routes still answer but are deprecated; see the
+// server package docs.
 package main
 
 import (
@@ -40,23 +49,17 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figserver: ")
-	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		data    = flag.String("data", "", "corpus gob written by figdata (empty = generate)")
-		objects = flag.Int("objects", 2000, "corpus size when generating")
-		seed    = flag.Int64("seed", 1, "generation seed")
-		idx     = flag.String("index", "", "prebuilt index: a clique-index file from figdata -index, or with -shards > 1 the base path of a snapshot set from figdata -shards")
-		shards  = flag.Int("shards", 1, "engine shards; > 1 serves scatter-gather over a partitioned index")
-		workers = flag.Int("workers", 0, "scoring workers per engine (0 = GOMAXPROCS; sharded mode usually keeps 1 per shard)")
-		capFlag = flag.Int("candidate-cap", 0, "cap on scored candidates per query per engine (0 = uncapped/exact)")
-		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
-	)
+	opts := server.DefaultOptions()
+	opts.Flags(flag.CommandLine)
 	flag.Parse()
+	if err := opts.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
 	var d *dataset.Dataset
 	var err error
-	if *data != "" {
-		f, ferr := os.Open(*data)
+	if opts.Data != "" {
+		f, ferr := os.Open(opts.Data)
 		if ferr != nil {
 			log.Fatal(ferr)
 		}
@@ -64,28 +67,28 @@ func main() {
 		f.Close()
 	} else {
 		cfg := dataset.DefaultConfig()
-		cfg.Seed = *seed
-		cfg.NumObjects = *objects
+		cfg.Seed = opts.Seed
+		cfg.NumObjects = opts.Objects
 		d, err = dataset.Generate(cfg)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	model := d.Model()
-	model.TrainThresholds(200, 0.35, rand.New(rand.NewSource(*seed+13)))
-	retrievalCfg := retrieval.Config{Workers: *workers, CandidateCap: *capFlag}
+	model.TrainThresholds(200, 0.35, rand.New(rand.NewSource(opts.Seed+13)))
+	retrievalCfg := retrieval.Config{Workers: opts.Workers, CandidateCap: opts.CandidateCap}
 
-	var handler http.Handler
-	if *shards > 1 {
-		cfg := shard.Config{Shards: *shards, Retrieval: retrievalCfg}
+	var srv *server.Server
+	if opts.Shards > 1 {
+		cfg := shard.Config{Shards: opts.Shards, Retrieval: retrievalCfg}
 		var router *shard.Router
-		if *idx != "" {
-			r, man, lerr := shard.Load(model, cfg, *idx)
+		if opts.Index != "" {
+			r, man, lerr := shard.Load(model, cfg, opts.Index)
 			if lerr != nil {
 				log.Fatal(lerr)
 			}
 			router = r
-			log.Printf("loaded snapshot set %s: %d shards, cut at %d objects", *idx, man.Shards, man.Objects)
+			log.Printf("loaded snapshot set %s: %d shards, cut at %d objects", opts.Index, man.Shards, man.Objects)
 		} else {
 			router, err = shard.NewRouter(model, cfg)
 			if err != nil {
@@ -95,11 +98,11 @@ func main() {
 		for _, si := range router.ShardInfos() {
 			log.Printf("shard %d: %d objects, %d cliques, %d postings", si.Shard, si.Objects, si.Cliques, si.Postings)
 		}
-		handler = server.NewSharded(router).Handler()
+		srv = server.NewSharded(router, opts)
 	} else {
 		engineCfg := retrievalCfg
-		if *idx != "" {
-			f, ferr := os.Open(*idx)
+		if opts.Index != "" {
+			f, ferr := os.Open(opts.Index)
 			if ferr != nil {
 				log.Fatal(ferr)
 			}
@@ -111,24 +114,25 @@ func main() {
 			engineCfg.Index = prebuilt
 			log.Printf("loaded index: %d cliques", prebuilt.NumCliques())
 		}
-		engine, err := retrieval.NewEngine(model, engineCfg)
-		if err != nil {
-			log.Fatal(err)
+		engine, eerr := retrieval.NewEngine(model, engineCfg)
+		if eerr != nil {
+			log.Fatal(eerr)
 		}
-		handler = server.New(engine).Handler()
+		srv = server.New(engine, opts)
 	}
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           handler,
+	httpSrv := &http.Server{
+		Addr:              opts.Addr,
+		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      30 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("serving %d objects on %s (%d shard(s))", d.Corpus.Len(), *addr, *shards)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("serving %d objects on %s (%d shard(s), query timeout %s, metrics %v)",
+		d.Corpus.Len(), opts.Addr, opts.Shards, opts.QueryTimeout, opts.Metrics)
 
 	select {
 	case err := <-errc:
@@ -136,10 +140,10 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop() // restore default signal behaviour: a second signal kills immediately
-	log.Printf("signal received, draining (timeout %s)", *drain)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	log.Printf("signal received, draining (timeout %s)", opts.Drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), opts.Drain)
 	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Fatalf("drain: %v", err)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {

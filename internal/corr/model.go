@@ -96,6 +96,11 @@ func NewModel(stats *Stats, tax *lexicon.Taxonomy, vocab *vision.Vocabulary, net
 // their entries.
 func (m *Model) Generation() uint64 { return m.gen.Load() }
 
+// CacheStats returns the cosine cache's lifetime hit and miss counts —
+// the observability hook the serving metrics expose. Misses are exact;
+// hits are a sampled estimate (see floatcache.Cache.Stats).
+func (m *Model) CacheStats() (hits, misses uint64) { return m.cache.Stats() }
+
 // Cor returns the correlation between two interned features in [0, 1].
 func (m *Model) Cor(a, b media.FID) float64 {
 	if a == b {

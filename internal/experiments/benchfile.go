@@ -43,3 +43,27 @@ func AppendBenchRun(path, benchmark, command string, run any) (int, error) {
 	}
 	return len(pf.Runs), nil
 }
+
+// LastRun decodes the most recent run recorded in the benchmark file at
+// path into out. It reports false when the file does not exist or holds
+// no runs yet, so callers can treat a fresh file as "no baseline".
+func LastRun(path string, out any) (bool, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	var pf BenchFile
+	if err := json.Unmarshal(raw, &pf); err != nil {
+		return false, fmt.Errorf("bench: %s exists but is not a benchmark file: %w", path, err)
+	}
+	if len(pf.Runs) == 0 {
+		return false, nil
+	}
+	if err := json.Unmarshal(pf.Runs[len(pf.Runs)-1], out); err != nil {
+		return false, fmt.Errorf("bench: %s: decoding last run: %w", path, err)
+	}
+	return true, nil
+}

@@ -6,9 +6,11 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"figfusion/internal/dataset"
 	"figfusion/internal/media"
+	"figfusion/internal/obs"
 	"figfusion/internal/retrieval"
 )
 
@@ -55,7 +57,15 @@ func RetrievalPerf(o Options, label string, candidateCap int) (*PerfRun, error) 
 	}
 	m := d.Model()
 	m.TrainThresholds(200, 0.35, rand.New(rand.NewSource(o.Seed+13)))
-	engine, err := retrieval.NewEngine(m, retrieval.Config{CandidateCap: candidateCap})
+	// The engine carries a live metrics registry and slow log, exactly as
+	// the serving binary runs it: the tracked baseline prices in the
+	// instrumentation overhead rather than measuring a configuration no
+	// deployment uses.
+	engine, err := retrieval.NewEngine(m, retrieval.Config{
+		CandidateCap: candidateCap,
+		Metrics:      obs.NewRegistry(),
+		SlowLog:      obs.NewSlowLog(64, 250*time.Millisecond),
+	})
 	if err != nil {
 		return nil, err
 	}

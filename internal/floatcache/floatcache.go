@@ -28,7 +28,10 @@
 // statistics could be stored under the pre-insert stamp.
 package floatcache
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // numShards is the stripe width. Power of two so the hash folds with a
 // mask; 32 shards keep worst-case contention low well past the core
@@ -47,7 +50,23 @@ type shard[K comparable] struct {
 	mu  sync.RWMutex
 	gen uint64
 	m   map[K]float64
+	// Hit/miss tallies live per shard so concurrent readers of different
+	// shards never share a counter cache line; Stats sums them on demand.
+	// Misses are exact (a miss precedes an expensive recompute, so one
+	// atomic add is noise); hits are sampled — see hitSampleShift.
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
+
+// hitSampleShift controls hit-count sampling: only keys whose top
+// hitSampleShift hash bits are zero (1 in 2^hitSampleShift) bump the hit
+// counter, and Stats scales the tally back up. The hit path runs tens of
+// thousands of times per query inside MRF scoring, where an atomic
+// read-modify-write per call costs double-digit percent of query
+// throughput; sampling reduces that to a shift-and-compare on a hash the
+// lookup has already computed. The shard index uses the low hash bits,
+// so sampling on the top bits stays independent of shard placement.
+const hitSampleShift = 5
 
 // New returns a cache distributing keys with the given hash function.
 func New[K comparable](hash func(K) uint64) *Cache[K] {
@@ -62,13 +81,22 @@ func (c *Cache[K]) shardFor(key K) *shard[K] {
 // under an older generation are invisible (the shard self-invalidates on
 // the next Put instead of being cleared eagerly).
 func (c *Cache[K]) Get(gen uint64, key K) (float64, bool) {
-	sh := c.shardFor(key)
+	h := c.hash(key)
+	sh := &c.shards[h&(numShards-1)]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	if sh.gen != gen || sh.m == nil {
+		sh.misses.Add(1)
 		return 0, false
 	}
 	v, ok := sh.m[key]
+	if ok {
+		if h>>(64-hitSampleShift) == 0 {
+			sh.hits.Add(1)
+		}
+	} else {
+		sh.misses.Add(1)
+	}
 	return v, ok
 }
 
@@ -119,6 +147,22 @@ func (sh *shard[K]) length() int {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	return len(sh.m)
+}
+
+// Stats returns the cumulative hit and miss counts across all shards —
+// the observability hook the serving metrics expose. Misses are exact;
+// hits are a sampled estimate (1-in-2^hitSampleShift of the key space is
+// tallied and scaled back up, see hitSampleShift), so the hit figure is
+// statistical: accurate to a few percent once lookups number in the
+// thousands, coarse below that. Counts survive generation bumps and
+// Reset: they describe the cache's lifetime effectiveness, not its
+// current contents.
+func (c *Cache[K]) Stats() (hits, misses uint64) {
+	for i := range c.shards {
+		hits += c.shards[i].hits.Load()
+		misses += c.shards[i].misses.Load()
+	}
+	return hits << hitSampleShift, misses
 }
 
 // HashString is the FNV-1a hash of a string key, inlined to avoid the

@@ -104,3 +104,44 @@ func TestHashSpread(t *testing.T) {
 		t.Errorf("string keys bunch into %d shards", len(hit))
 	}
 }
+
+// TestStats pins the observability contract: misses are exact, hits are a
+// sampled estimate that converges once lookups are numerous, and counts
+// survive Reset.
+func TestStats(t *testing.T) {
+	c := New[uint64](HashUint64)
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("fresh cache stats = %d/%d", h, m)
+	}
+	const keys = 10000
+	for i := uint64(0); i < keys; i++ {
+		if _, ok := c.Get(1, i); ok {
+			t.Fatalf("phantom hit for key %d", i)
+		}
+		c.Put(1, i, float64(i))
+	}
+	if _, m := c.Stats(); m != keys {
+		t.Errorf("misses = %d, want exactly %d", m, keys)
+	}
+	const rounds = 10
+	for r := 0; r < rounds; r++ {
+		for i := uint64(0); i < keys; i++ {
+			if _, ok := c.Get(1, i); !ok {
+				t.Fatalf("lost key %d", i)
+			}
+		}
+	}
+	hits, misses := c.Stats()
+	if misses != keys {
+		t.Errorf("misses moved to %d after hit-only traffic", misses)
+	}
+	// 100k uniform lookups: the sampled estimate should land within 25%.
+	want := uint64(rounds * keys)
+	if hits < want*3/4 || hits > want*5/4 {
+		t.Errorf("sampled hits = %d, want within 25%% of %d", hits, want)
+	}
+	c.Reset()
+	if h, m := c.Stats(); h != hits || m != misses {
+		t.Errorf("Reset changed stats: %d/%d -> %d/%d", hits, misses, h, m)
+	}
+}

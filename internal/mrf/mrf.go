@@ -312,3 +312,12 @@ func (s *Scorer) Reset() {
 	s.cors.Reset()
 	s.smooth.Reset()
 }
+
+// CacheStats returns lifetime hit/miss counts for the CorS and smoothing
+// caches — the observability hook the serving metrics expose. Misses are
+// exact; hits are a sampled estimate (see floatcache.Cache.Stats).
+func (s *Scorer) CacheStats() (corsHits, corsMisses, smoothHits, smoothMisses uint64) {
+	corsHits, corsMisses = s.cors.Stats()
+	smoothHits, smoothMisses = s.smooth.Stats()
+	return
+}

@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries pins the bucket placement rule: an
+// observation lands in the first bucket whose bound is >= the value, so a
+// value exactly on a bound belongs to that bound's bucket, one nanosecond
+// more spills into the next, and anything past the last bound lands in
+// the overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []time.Duration{time.Microsecond, 10 * time.Microsecond, time.Millisecond}
+	h := NewHistogram(bounds)
+	cases := []struct {
+		d    time.Duration
+		want int // bucket index; len(bounds) = overflow
+	}{
+		{0, 0},
+		{-5 * time.Second, 0}, // negative clamps to zero
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{10 * time.Microsecond, 1},
+		{10*time.Microsecond + 1, 2},
+		{time.Millisecond, 2},
+		{time.Millisecond + 1, 3},
+		{time.Hour, 3},
+	}
+	for _, tc := range cases {
+		before := make([]uint64, len(h.counts))
+		for i := range h.counts {
+			before[i] = h.counts[i].Load()
+		}
+		h.Observe(tc.d)
+		for i := range h.counts {
+			delta := h.counts[i].Load() - before[i]
+			want := uint64(0)
+			if i == tc.want {
+				want = 1
+			}
+			if delta != want {
+				t.Errorf("Observe(%v): bucket %d delta = %d, want %d", tc.d, i, delta, want)
+			}
+		}
+	}
+}
+
+// TestHistogramSnapshotQuantiles checks the quantile estimate against a
+// hand-computable distribution: 90 fast observations and 10 slow ones.
+func TestHistogramSnapshotQuantiles(t *testing.T) {
+	bounds := []time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond}
+	h := NewHistogram(bounds)
+	for i := 0; i < 90; i++ {
+		h.Observe(500 * time.Microsecond) // bucket 0, bound 1ms
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(50 * time.Millisecond) // bucket 2, bound 100ms
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.P50Ms != 1 {
+		t.Errorf("P50Ms = %v, want 1 (fast bucket bound)", s.P50Ms)
+	}
+	if s.P95Ms != 100 {
+		t.Errorf("P95Ms = %v, want 100 (slow bucket bound)", s.P95Ms)
+	}
+	if s.P99Ms != 100 {
+		t.Errorf("P99Ms = %v, want 100", s.P99Ms)
+	}
+	wantSum := 90*0.5 + 10*50.0
+	if s.SumMs != wantSum {
+		t.Errorf("SumMs = %v, want %v", s.SumMs, wantSum)
+	}
+	if len(s.Buckets) != 2 {
+		t.Fatalf("Buckets = %+v, want the two non-empty buckets", s.Buckets)
+	}
+	if s.Buckets[0].LeMs != 1 || s.Buckets[0].Count != 90 {
+		t.Errorf("bucket[0] = %+v", s.Buckets[0])
+	}
+	if s.Buckets[1].LeMs != 100 || s.Buckets[1].Count != 10 {
+		t.Errorf("bucket[1] = %+v", s.Buckets[1])
+	}
+}
+
+// TestHistogramOverflowBucket: observations past the last bound are
+// counted, and the overflow bucket reports the largest finite bound.
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]time.Duration{time.Millisecond})
+	h.Observe(time.Minute)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if s.P50Ms != 1 {
+		t.Errorf("P50Ms = %v, want largest finite bound 1", s.P50Ms)
+	}
+	if len(s.Buckets) != 1 || s.Buckets[0].LeMs != 1 || s.Buckets[0].Count != 1 {
+		t.Errorf("Buckets = %+v", s.Buckets)
+	}
+}
+
+// TestConcurrentRecording hammers one registry's instruments from many
+// goroutines (this is the -race test) and checks the totals add up.
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared.counter")
+			g := r.Gauge("shared.gauge")
+			h := r.Histogram("shared.latency")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(time.Duration(i) * time.Microsecond)
+				if i%100 == 0 {
+					_ = r.Snapshot() // snapshots race observations by design
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if got := snap.Counters["shared.counter"]; got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := snap.Gauges["shared.gauge"]; got != workers*perWorker {
+		t.Errorf("gauge = %d, want %d", got, workers*perWorker)
+	}
+	if got := snap.Histograms["shared.latency"].Count; got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestSnapshotDeterminism: two snapshots of the same registry state
+// marshal to byte-identical JSON.
+func TestSnapshotDeterminism(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.requests").Add(7)
+	r.Counter("a.requests").Add(3)
+	r.Gauge("z.depth").Set(-2)
+	r.Func("cache.hits", func() int64 { return 42 })
+	h := r.Histogram("a.latency")
+	for i := 0; i < 50; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	first, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Errorf("snapshots differ:\n%s\n%s", first, second)
+	}
+}
+
+// TestRegistryCreateOrReturn: the same name yields the same instrument,
+// and Func re-registration replaces the function (last wins).
+func TestRegistryCreateOrReturn(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("Counter not idempotent")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Error("Gauge not idempotent")
+	}
+	if r.Histogram("x") != r.Histogram("x") {
+		t.Error("Histogram not idempotent")
+	}
+	r.Func("f", func() int64 { return 1 })
+	r.Func("f", func() int64 { return 2 })
+	if got := r.Snapshot().Gauges["f"]; got != 2 {
+		t.Errorf("func gauge = %d, want last-registered 2", got)
+	}
+	want := []string{"f", "x", "x", "x"}
+	got := r.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestNilSafety: every recording method must be a no-op on nil receivers,
+// and a nil registry hands out nil instruments.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry handed out a real instrument")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(time.Second)
+	r.Func("f", func() int64 { return 1 })
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 {
+		t.Error("nil instruments recorded something")
+	}
+	if s := r.Snapshot(); s.Counters != nil || s.Gauges != nil || s.Histograms != nil {
+		t.Error("nil registry snapshot not empty")
+	}
+	if r.Names() != nil {
+		t.Error("nil registry has names")
+	}
+
+	var tr *QueryTrace
+	if !tr.Begin().IsZero() {
+		t.Error("nil trace Begin consulted the clock")
+	}
+	tr.End(StageScore, time.Now())
+	tr.SetCandidates(5)
+	tr.Finish()
+
+	var l *SlowLog
+	l.Record(NewTrace(PathIndex))
+	if q, n := l.Snapshot(); q != nil || n != 0 {
+		t.Error("nil slow log retained entries")
+	}
+	if l.Threshold() != 0 {
+		t.Error("nil slow log threshold")
+	}
+}
+
+// TestSlowLog covers the threshold filter, ring eviction, most-recent-
+// first ordering, and the lifetime total.
+func TestSlowLog(t *testing.T) {
+	l := NewSlowLog(3, 10*time.Millisecond)
+	fast := &QueryTrace{Path: PathIndex, Total: time.Millisecond}
+	l.Record(fast)
+	if q, n := l.Snapshot(); len(q) != 0 || n != 0 {
+		t.Fatalf("fast query recorded: %v, %d", q, n)
+	}
+	for i := 1; i <= 5; i++ {
+		tr := &QueryTrace{Path: PathIndex, Candidates: i, Total: time.Duration(10+i) * time.Millisecond}
+		tr.Stages[StageScore] = time.Duration(i) * time.Millisecond
+		l.Record(tr)
+	}
+	q, n := l.Snapshot()
+	if n != 5 {
+		t.Errorf("total = %d, want 5", n)
+	}
+	if len(q) != 3 {
+		t.Fatalf("retained = %d, want capacity 3", len(q))
+	}
+	for i, want := range []int{5, 4, 3} { // most recent first
+		if q[i].Candidates != want {
+			t.Errorf("entry %d candidates = %d, want %d", i, q[i].Candidates, want)
+		}
+	}
+	if q[0].TotalMs != 15 || q[0].ScoreMs != 5 {
+		t.Errorf("entry 0 = %+v", q[0])
+	}
+}
+
+// TestTraceAccumulation: ending a stage twice accumulates both spans.
+func TestTraceAccumulation(t *testing.T) {
+	tr := NewTrace(PathTA)
+	base := time.Now().Add(-20 * time.Millisecond)
+	tr.End(StagePrepare, base)
+	tr.End(StagePrepare, base)
+	if tr.Stages[StagePrepare] < 40*time.Millisecond {
+		t.Errorf("prepare = %v, want >= 40ms (two 20ms spans)", tr.Stages[StagePrepare])
+	}
+	tr.SetCandidates(9)
+	tr.Finish()
+	if tr.Total <= 0 || tr.Candidates != 9 || tr.Path != PathTA {
+		t.Errorf("trace = %+v", tr)
+	}
+}
+
+// TestStageStrings pins the metric-suffix names.
+func TestStageStrings(t *testing.T) {
+	want := map[Stage]string{StagePrepare: "prepare", StageGather: "gather", StageScore: "score", StageMerge: "merge", NumStages: "unknown"}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), w)
+		}
+	}
+}
+
+// TestDefaultLatencyBuckets: 24 power-of-two bounds starting at 1µs.
+func TestDefaultLatencyBuckets(t *testing.T) {
+	b := DefaultLatencyBuckets()
+	if len(b) != 24 {
+		t.Fatalf("len = %d", len(b))
+	}
+	if b[0] != time.Microsecond {
+		t.Errorf("b[0] = %v", b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] != 2*b[i-1] {
+			t.Errorf("b[%d] = %v, want %v", i, b[i], 2*b[i-1])
+		}
+	}
+}

@@ -14,15 +14,18 @@
 package retrieval
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"figfusion/internal/corr"
 	"figfusion/internal/fig"
 	"figfusion/internal/index"
 	"figfusion/internal/media"
 	"figfusion/internal/mrf"
+	"figfusion/internal/obs"
 	"figfusion/internal/topk"
 )
 
@@ -61,6 +64,14 @@ type Config struct {
 	// the total order of topk.Less, and the build's parallel stages write
 	// disjoint slots with order-stable reductions.
 	Workers int
+	// Metrics, when non-nil, attaches per-query observability: stage
+	// latency histograms, path counters, candidate volume, and cache
+	// hit/miss gauges, all registered by name (see metrics.go). Nil — the
+	// default — is the no-op mode: searches pay only an untaken branch.
+	Metrics *obs.Registry
+	// SlowLog, when non-nil (and Metrics is set), receives finished query
+	// traces that crossed its threshold.
+	SlowLog *obs.SlowLog
 }
 
 // Engine is a retrieval engine over one corpus. Safe for concurrent
@@ -74,6 +85,7 @@ type Engine struct {
 	enumOpts     fig.EnumerateOptions
 	candidateCap int
 	workers      int
+	metrics      *queryMetrics // nil = no-op instrumentation
 }
 
 // NewEngine trains nothing by itself: it wires the correlation model,
@@ -101,6 +113,7 @@ func NewEngine(m *corr.Model, cfg Config) (*Engine, error) {
 	case !cfg.SkipIndex:
 		e.Index = index.BuildWorkers(m, cfg.BuildOpts, cfg.EnumOpts, cfg.Workers)
 	}
+	e.SetMetrics(cfg.Metrics, cfg.SlowLog)
 	return e, nil
 }
 
@@ -139,16 +152,37 @@ func (e *Engine) QueryCliques(q *media.Object) []fig.Clique {
 // (normally the query itself, when it comes from the corpus) from the
 // results; pass NoExclude to keep everything.
 func (e *Engine) Search(q *media.Object, k int, exclude media.ObjectID) []topk.Item {
+	// context.Background is never cancelled, so the context path adds no
+	// cancellation checks (done channel is nil) and cannot return an error.
+	out, _ := e.SearchContext(context.Background(), q, k, exclude)
+	return out
+}
+
+// SearchContext is Search under a context: cancellation and deadline are
+// honoured between scoring stripes (every cancelStride candidates per
+// worker), returning ctx.Err() with no results once the context is done.
+// With an undone context the results are byte-identical to Search.
+func (e *Engine) SearchContext(ctx context.Context, q *media.Object, k int, exclude media.ObjectID) ([]topk.Item, error) {
 	if e.Index == nil {
-		return e.SearchScan(q, k, exclude)
+		return e.SearchScanContext(ctx, q, k, exclude)
 	}
+	tr := e.metrics.begin(obs.PathIndex)
+	st := tr.Begin()
 	cliques := e.QueryCliques(q)
+	tr.End(obs.StagePrepare, st)
 	acc := getAccum()
 	defer putAccum(acc)
+	st = tr.Begin()
 	acc.lookup(e.Index, cliques)
 	candidates := acc.merge(exclude, e.candidateCap)
+	tr.End(obs.StageGather, st)
+	st = tr.Begin()
 	cs := e.compile(cliques, acc.entries)
-	return e.scoreCandidates(cs, candidates, k)
+	tr.End(obs.StagePrepare, st)
+	tr.SetCandidates(len(candidates))
+	out, err := e.scoreCandidates(ctx, cs, candidates, k, tr)
+	e.metrics.finish(tr)
+	return out, err
 }
 
 // PreparedQuery is a query compiled once and searched many times: the FIG
@@ -189,14 +223,28 @@ func (e *Engine) Prepare(q *media.Object) *PreparedQuery {
 // candidate lookup against this engine's index and the candidate scoring
 // remain. Results are byte-identical to Search on the same engine.
 func (e *Engine) SearchPrepared(p *PreparedQuery, k int, exclude media.ObjectID) []topk.Item {
+	out, _ := e.SearchPreparedContext(context.Background(), p, k, exclude)
+	return out
+}
+
+// SearchPreparedContext is SearchPrepared under a context — the per-shard
+// leg of the router's SearchContext. The prepare stage was paid in
+// Prepare, so the trace records only gather/score/merge.
+func (e *Engine) SearchPreparedContext(ctx context.Context, p *PreparedQuery, k int, exclude media.ObjectID) ([]topk.Item, error) {
 	if e.Index == nil {
-		return e.SearchScan(p.query, k, exclude)
+		return e.SearchScanContext(ctx, p.query, k, exclude)
 	}
+	tr := e.metrics.begin(obs.PathIndex)
 	acc := getAccum()
 	defer putAccum(acc)
+	st := tr.Begin()
 	acc.lookupKeys(e.Index, p.keys)
 	candidates := acc.merge(exclude, e.candidateCap)
-	return e.scoreCandidates(p.cs, candidates, k)
+	tr.End(obs.StageGather, st)
+	tr.SetCandidates(len(candidates))
+	out, err := e.scoreCandidates(ctx, p.cs, candidates, k, tr)
+	e.metrics.finish(tr)
+	return out, err
 }
 
 // SearchTAPrepared is SearchTA with the query-side work already done.
@@ -204,11 +252,20 @@ func (e *Engine) SearchTAPrepared(p *PreparedQuery, k int, exclude media.ObjectI
 	if e.Index == nil {
 		return e.SearchScan(p.query, k, exclude)
 	}
+	tr := e.metrics.begin(obs.PathTA)
 	acc := getAccum()
 	defer putAccum(acc)
+	st := tr.Begin()
 	acc.lookupKeys(e.Index, p.keys)
+	tr.End(obs.StageGather, st)
+	st = tr.Begin()
 	lists := e.cliqueLists(p.cs, acc.entries, exclude, true)
-	return topk.ThresholdMerge(lists, k)
+	tr.End(obs.StageScore, st)
+	st = tr.Begin()
+	out := topk.ThresholdMerge(lists, k)
+	tr.End(obs.StageMerge, st)
+	e.metrics.finish(tr)
+	return out
 }
 
 // compile builds the query's compiled clique set, serving the Eq. 9 CorS
@@ -245,27 +302,47 @@ func (e *Engine) cliqueWeight(c fig.Clique, entry *index.Entry, gen uint64) floa
 	return e.Scorer.CorS(c)
 }
 
+// cancelStride is how many candidates a scoring loop processes between
+// context checks. Scoring one candidate costs microseconds, so a stride of
+// 64 bounds cancellation latency well under a millisecond while keeping
+// the per-candidate overhead to a predictable-taken branch.
+const cancelStride = 64
+
 // scoreCandidates applies the full compiled MRF score to every candidate
 // and keeps the top k. With more than one configured worker and enough
 // candidates to matter, scoring stripes across goroutines; the partial
 // top-k lists merge under topk.Less's total order, so the result is
-// byte-identical at any worker count.
-func (e *Engine) scoreCandidates(cs *mrf.CliqueSet, candidates []media.ObjectID, k int) []topk.Item {
+// byte-identical at any worker count. Cancellation is checked every
+// cancelStride candidates per stripe — only when the context is
+// cancellable (done channel non-nil), so Background-context searches pay
+// nothing.
+func (e *Engine) scoreCandidates(ctx context.Context, cs *mrf.CliqueSet, candidates []media.ObjectID, k int, tr *obs.QueryTrace) ([]topk.Item, error) {
 	corpus := e.Model.Stats.Corpus()
+	done := ctx.Done()
 	workers := e.workerCount(len(candidates))
 	if workers <= 1 || len(candidates) < 2*workers {
 		sc := cs.GetScratch()
 		defer cs.PutScratch(sc)
+		st := tr.Begin()
 		h := topk.NewHeap(k)
-		for _, oid := range candidates {
+		for i, oid := range candidates {
+			if done != nil && i%cancelStride == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			if s := cs.ScoreScratch(sc, corpus.Object(oid)); s > 0 {
 				h.Push(topk.Item{ID: oid, Score: s})
 			}
 		}
-		return h.Results()
+		tr.End(obs.StageScore, st)
+		st = tr.Begin()
+		out := h.Results()
+		tr.End(obs.StageMerge, st)
+		return out, nil
 	}
 	partial := make([][]topk.Item, workers)
+	var cancelled atomic.Bool
 	var wg sync.WaitGroup
+	st := tr.Begin()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -273,7 +350,13 @@ func (e *Engine) scoreCandidates(cs *mrf.CliqueSet, candidates []media.ObjectID,
 			sc := cs.GetScratch()
 			defer cs.PutScratch(sc)
 			h := topk.NewHeap(k)
+			n := 0
 			for i := w; i < len(candidates); i += workers {
+				if done != nil && n%cancelStride == 0 && ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
+				n++
 				oid := candidates[i]
 				if s := cs.ScoreScratch(sc, corpus.Object(oid)); s > 0 {
 					h.Push(topk.Item{ID: oid, Score: s})
@@ -283,7 +366,14 @@ func (e *Engine) scoreCandidates(cs *mrf.CliqueSet, candidates []media.ObjectID,
 		}(w)
 	}
 	wg.Wait()
-	return topk.MergeRanked(partial, k)
+	if cancelled.Load() {
+		return nil, ctx.Err()
+	}
+	tr.End(obs.StageScore, st)
+	st = tr.Begin()
+	out := topk.MergeRanked(partial, k)
+	tr.End(obs.StageMerge, st)
+	return out, nil
 }
 
 // workerCount resolves the configured scoring fan-out against the size of
@@ -311,13 +401,26 @@ func (e *Engine) SearchTA(q *media.Object, k int, exclude media.ObjectID) []topk
 	if e.Index == nil {
 		return e.SearchScan(q, k, exclude)
 	}
+	tr := e.metrics.begin(obs.PathTA)
+	st := tr.Begin()
 	cliques := e.QueryCliques(q)
+	tr.End(obs.StagePrepare, st)
 	acc := getAccum()
 	defer putAccum(acc)
+	st = tr.Begin()
 	acc.lookup(e.Index, cliques)
+	tr.End(obs.StageGather, st)
+	st = tr.Begin()
 	cs := e.compile(cliques, acc.entries)
+	tr.End(obs.StagePrepare, st)
+	st = tr.Begin()
 	lists := e.cliqueLists(cs, acc.entries, exclude, true)
-	return topk.ThresholdMerge(lists, k)
+	tr.End(obs.StageScore, st)
+	st = tr.Begin()
+	out := topk.ThresholdMerge(lists, k)
+	tr.End(obs.StageMerge, st)
+	e.metrics.finish(tr)
+	return out
 }
 
 // cliqueLists scores each indexed query clique's posting list with that
@@ -383,17 +486,33 @@ func (e *Engine) cliqueLists(cs *mrf.CliqueSet, entries []*index.Entry, exclude 
 // sequential comparison path. Scoring fans out across CPUs; results are
 // deterministic (ties break by object ID).
 func (e *Engine) SearchScan(q *media.Object, k int, exclude media.ObjectID) []topk.Item {
+	out, _ := e.SearchScanContext(context.Background(), q, k, exclude)
+	return out
+}
+
+// SearchScanContext is SearchScan under a context, with the same
+// cancellation contract as SearchContext.
+func (e *Engine) SearchScanContext(ctx context.Context, q *media.Object, k int, exclude media.ObjectID) ([]topk.Item, error) {
+	tr := e.metrics.begin(obs.PathScan)
+	st := tr.Begin()
 	cliques := e.QueryCliques(q)
 	// The scan path is the exactness reference: weights come from the
 	// scorer (nil ⇒ computed through its cache), never the index.
 	cs := e.Scorer.Compile(cliques, nil)
+	tr.End(obs.StagePrepare, st)
 	corpus := e.Model.Stats.Corpus()
 	n := corpus.Len()
+	tr.SetCandidates(n)
+	done := ctx.Done()
 	workers := e.workerCount(n)
 	if workers <= 1 {
 		sc := cs.NewScratch()
+		st = tr.Begin()
 		h := topk.NewHeap(k)
-		for _, o := range corpus.Objects {
+		for i, o := range corpus.Objects {
+			if done != nil && i%cancelStride == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			if o.ID == exclude {
 				continue
 			}
@@ -401,17 +520,30 @@ func (e *Engine) SearchScan(q *media.Object, k int, exclude media.ObjectID) []to
 				h.Push(topk.Item{ID: o.ID, Score: s})
 			}
 		}
-		return h.Results()
+		tr.End(obs.StageScore, st)
+		st = tr.Begin()
+		out := h.Results()
+		tr.End(obs.StageMerge, st)
+		e.metrics.finish(tr)
+		return out, nil
 	}
 	partial := make([][]topk.Item, workers)
+	var cancelled atomic.Bool
 	var wg sync.WaitGroup
+	st = tr.Begin()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			sc := cs.NewScratch()
 			h := topk.NewHeap(k)
+			cnt := 0
 			for i := w; i < n; i += workers {
+				if done != nil && cnt%cancelStride == 0 && ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
+				cnt++
 				o := corpus.Object(media.ObjectID(i))
 				if o.ID == exclude {
 					continue
@@ -424,7 +556,15 @@ func (e *Engine) SearchScan(q *media.Object, k int, exclude media.ObjectID) []to
 		}(w)
 	}
 	wg.Wait()
-	return topk.MergeRanked(partial, k)
+	if cancelled.Load() {
+		return nil, ctx.Err()
+	}
+	tr.End(obs.StageScore, st)
+	st = tr.Begin()
+	out := topk.MergeRanked(partial, k)
+	tr.End(obs.StageMerge, st)
+	e.metrics.finish(tr)
+	return out, nil
 }
 
 // SearchMergeFull is the no-TA ablation of SearchTA: identical per-clique

@@ -14,6 +14,13 @@ import (
 // corpus config as testServer.
 func testShardedServer(t testing.TB, shards int) (*Server, *dataset.Dataset) {
 	t.Helper()
+	return testShardedServerOpts(t, shards, DefaultOptions())
+}
+
+// testShardedServerOpts is the same fixture with a custom Options (used
+// by the query-timeout tests).
+func testShardedServerOpts(t testing.TB, shards int, opts Options) (*Server, *dataset.Dataset) {
+	t.Helper()
 	cfg := dataset.DefaultConfig()
 	cfg.NumObjects = 200
 	cfg.NumTopics = 5
@@ -32,7 +39,7 @@ func testShardedServer(t testing.TB, shards int) (*Server, *dataset.Dataset) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return NewSharded(r), d
+	return NewSharded(r, opts), d
 }
 
 // TestMethodNotAllowed pins one 405 per route: the method-qualified mux
@@ -55,9 +62,9 @@ func TestMethodNotAllowed(t *testing.T) {
 	}
 }
 
-// TestInsertMalformed walks the /objects error surface: syntactically
+// TestInsertMalformed walks the /v1/objects error surface: syntactically
 // broken JSON, type mismatches, and feature-free objects all answer 400
-// with a JSON error body.
+// with the invalid_argument envelope.
 func TestInsertMalformed(t *testing.T) {
 	s, _ := testServer(t)
 	cases := []struct {
@@ -72,13 +79,16 @@ func TestInsertMalformed(t *testing.T) {
 		{"empty names", `{"tags":["",""],"users":[""]}`},
 	}
 	for _, tc := range cases {
-		var resp errorResponse
-		code := doJSON(t, s.Handler(), "POST", "/objects", []byte(tc.body), &resp)
+		var resp ErrorResponse
+		code := doJSON(t, s.Handler(), "POST", "/v1/objects", []byte(tc.body), &resp)
 		if code != http.StatusBadRequest {
 			t.Errorf("%s: status = %d, want 400", tc.name, code)
 		}
-		if resp.Error == "" {
-			t.Errorf("%s: error body missing", tc.name)
+		if resp.Error.Code != CodeInvalidArgument {
+			t.Errorf("%s: error code = %q, want %q", tc.name, resp.Error.Code, CodeInvalidArgument)
+		}
+		if resp.Error.Message == "" {
+			t.Errorf("%s: error message missing", tc.name)
 		}
 	}
 }
@@ -86,12 +96,12 @@ func TestInsertMalformed(t *testing.T) {
 // TestSearchMissingParams pins the bare-request errors on the GET routes.
 func TestSearchMissingParams(t *testing.T) {
 	s, _ := testServer(t)
-	var resp errorResponse
-	if code := doJSON(t, s.Handler(), "GET", "/search", nil, &resp); code != http.StatusBadRequest {
-		t.Errorf("/search: status = %d, want 400", code)
+	var resp ErrorResponse
+	if code := doJSON(t, s.Handler(), "GET", "/v1/search", nil, &resp); code != http.StatusBadRequest {
+		t.Errorf("/v1/search: status = %d, want 400", code)
 	}
-	if resp.Error == "" {
-		t.Error("/search: error body missing")
+	if resp.Error.Code != CodeInvalidArgument || resp.Error.Message == "" {
+		t.Errorf("/v1/search: envelope = %+v", resp.Error)
 	}
 	if code := doJSON(t, s.Handler(), "GET", "/object", nil, nil); code != http.StatusNotFound {
 		t.Errorf("/object: status = %d, want 404", code)

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"figfusion/internal/obs"
+)
+
+// instrument wraps one route handler with per-route observability:
+// request and error counters plus a latency histogram, all named
+// http.<route>.*. Deprecated aliases additionally answer a
+// "Deprecation: true" header and count under http.deprecated.requests so
+// legacy traffic is visible before the aliases are removed. With
+// metrics disabled the wrapper reduces to the deprecation header alone.
+func (s *Server) instrument(route string, h http.HandlerFunc, deprecated bool) http.Handler {
+	if s.reg == nil {
+		if !deprecated {
+			return h
+		}
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", "true")
+			h(w, r)
+		})
+	}
+	requests := s.reg.Counter("http." + route + ".requests")
+	errs := s.reg.Counter("http." + route + ".errors")
+	latency := s.reg.Histogram("http." + route + ".latency")
+	depRequests := s.reg.Counter("http.deprecated.requests")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if deprecated {
+			w.Header().Set("Deprecation", "true")
+			depRequests.Inc()
+		}
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		latency.Observe(time.Since(start))
+		requests.Inc()
+		if sw.status >= 400 {
+			errs.Inc()
+		}
+	})
+}
+
+// statusWriter captures the response status for the error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// envelopeHandler rewrites the mux's own plain-text 404/405 responses
+// (unmatched path, wrong method) into the JSON error envelope, so every
+// error leaving the server — handler-written or mux-written — has the
+// same machine-readable shape. Handler responses pass through untouched:
+// they set an application/json content type before writing the header.
+type envelopeHandler struct {
+	next http.Handler
+}
+
+func (e envelopeHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	e.next.ServeHTTP(&envelopeWriter{ResponseWriter: w}, r)
+}
+
+type envelopeWriter struct {
+	http.ResponseWriter
+	rewrote     bool
+	wroteHeader bool
+}
+
+func (w *envelopeWriter) WriteHeader(status int) {
+	if w.wroteHeader {
+		return
+	}
+	w.wroteHeader = true
+	if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
+		!strings.HasPrefix(w.Header().Get("Content-Type"), "application/json") {
+		w.rewrote = true
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Del("X-Content-Type-Options")
+		w.ResponseWriter.WriteHeader(status)
+		code := CodeNotFound
+		msg := "no such route"
+		if status == http.StatusMethodNotAllowed {
+			code = CodeMethodNotAllowed
+			msg = "method not allowed for this route"
+		}
+		_ = json.NewEncoder(w.ResponseWriter).Encode(ErrorResponse{Error: ErrorBody{Code: code, Message: msg}})
+		return
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *envelopeWriter) Write(b []byte) (int, error) {
+	if w.rewrote {
+		// Swallow the mux's plain-text body; the envelope already went out.
+		return len(b), nil
+	}
+	if !w.wroteHeader {
+		w.wroteHeader = true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// MetricsResponse is the /v1/metrics payload: the full registry snapshot
+// plus the slow-query log.
+type MetricsResponse struct {
+	Metrics       obs.Snapshot    `json:"metrics"`
+	SlowQueries   []obs.SlowQuery `json:"slowQueries"`
+	SlowTotal     uint64          `json:"slowTotal"`
+	SlowThreshold string          `json:"slowThreshold"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "metrics are disabled (-metrics=false)")
+		return
+	}
+	slowQueries, slowTotal := s.slow.Snapshot()
+	if slowQueries == nil {
+		slowQueries = []obs.SlowQuery{}
+	}
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		Metrics:       s.reg.Snapshot(),
+		SlowQueries:   slowQueries,
+		SlowTotal:     slowTotal,
+		SlowThreshold: s.slow.Threshold().String(),
+	})
+}
+
+// handleDebugVars is the /debug/vars-style exposition: the same registry
+// flattened into one JSON object of name → value (histograms appear as
+// their snapshot objects), plus goroutine and heap vitals — convenient
+// for expvar-shaped scrapers and `curl | jq` spelunking.
+func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
+	vars := make(map[string]interface{})
+	if s.reg != nil {
+		snap := s.reg.Snapshot()
+		for n, v := range snap.Counters {
+			vars[n] = v
+		}
+		for n, v := range snap.Gauges {
+			vars[n] = v
+		}
+		for n, v := range snap.Histograms {
+			vars[n] = v
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	vars["runtime.goroutines"] = runtime.NumGoroutine()
+	vars["runtime.heapAllocBytes"] = ms.HeapAlloc
+	vars["runtime.totalAllocBytes"] = ms.TotalAlloc
+	vars["runtime.numGC"] = ms.NumGC
+	writeJSON(w, http.StatusOK, vars)
+}

@@ -1,0 +1,277 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsShape drives a known request sequence and pins what
+// /v1/metrics must report afterwards: per-route request/error counters,
+// per-route and per-stage latency histograms with non-zero counts, the
+// query-path counters, and the cache gauges.
+func TestMetricsShape(t *testing.T) {
+	s, _ := testServer(t)
+	h := s.Handler()
+
+	// Known sequence: 3 good searches, 1 bad search, 1 healthz.
+	for i := 0; i < 3; i++ {
+		if code := doJSON(t, h, "GET", "/v1/search?id=5&k=4", nil, nil); code != http.StatusOK {
+			t.Fatalf("warm search %d: status = %d", i, code)
+		}
+	}
+	if code := doJSON(t, h, "GET", "/v1/search", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad search: status = %d", code)
+	}
+	if code := doJSON(t, h, "GET", "/v1/healthz", nil, nil); code != http.StatusOK {
+		t.Fatalf("healthz: status = %d", code)
+	}
+
+	var resp MetricsResponse
+	if code := doJSON(t, h, "GET", "/v1/metrics", nil, &resp); code != http.StatusOK {
+		t.Fatalf("metrics: status = %d", code)
+	}
+	m := resp.Metrics
+
+	if got := m.Counters["http.search.requests"]; got != 4 {
+		t.Errorf("http.search.requests = %d, want 4", got)
+	}
+	if got := m.Counters["http.search.errors"]; got != 1 {
+		t.Errorf("http.search.errors = %d, want 1", got)
+	}
+	if got := m.Counters["http.healthz.requests"]; got != 1 {
+		t.Errorf("http.healthz.requests = %d, want 1", got)
+	}
+	hs, ok := m.Histograms["http.search.latency"]
+	if !ok || hs.Count != 4 || len(hs.Buckets) == 0 {
+		t.Errorf("http.search.latency = %+v", hs)
+	}
+
+	// Engine-side: 3 queries took the indexed path end to end.
+	if got := m.Counters["retrieval.search.total"]; got != 3 {
+		t.Errorf("retrieval.search.total = %d, want 3", got)
+	}
+	if got := m.Counters["retrieval.search.path.index"]; got != 3 {
+		t.Errorf("retrieval.search.path.index = %d, want 3", got)
+	}
+	if got := m.Counters["retrieval.candidates.scored"]; got == 0 {
+		t.Error("retrieval.candidates.scored = 0")
+	}
+	if got := m.Histograms["retrieval.search.latency"].Count; got != 3 {
+		t.Errorf("retrieval.search.latency count = %d, want 3", got)
+	}
+	for _, stage := range []string{"prepare", "score"} {
+		if got := m.Histograms["retrieval.stage."+stage].Count; got == 0 {
+			t.Errorf("retrieval.stage.%s count = 0", stage)
+		}
+	}
+
+	// Scorer cache gauges are folded in as func gauges.
+	for _, name := range []string{
+		"cache.cosine.hits", "cache.cosine.misses",
+		"cache.cors.hits", "cache.cors.misses",
+		"cache.smooth.hits", "cache.smooth.misses",
+	} {
+		if _, ok := m.Gauges[name]; !ok {
+			t.Errorf("gauge %s missing", name)
+		}
+	}
+
+	// Slow log: present, never null, threshold echoed.
+	if resp.SlowQueries == nil {
+		t.Error("slowQueries is null")
+	}
+	if resp.SlowThreshold != DefaultOptions().SlowQuery.String() {
+		t.Errorf("slowThreshold = %q", resp.SlowThreshold)
+	}
+}
+
+// TestMetricsDisabled: -metrics=false answers 503 unavailable on
+// /v1/metrics and serves searches without a registry.
+func TestMetricsDisabled(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Metrics = false
+	s, _ := testShardedServerOpts(t, 1, opts)
+	if s.Registry() != nil {
+		t.Fatal("registry attached despite -metrics=false")
+	}
+	if code := doJSON(t, s.Handler(), "GET", "/v1/search?id=5&k=4", nil, nil); code != http.StatusOK {
+		t.Errorf("search status = %d", code)
+	}
+	code, resp := doError(t, s.Handler(), "GET", "/v1/metrics")
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("metrics status = %d, want 503", code)
+	}
+	if resp.Error.Code != CodeUnavailable {
+		t.Errorf("code = %q, want %q", resp.Error.Code, CodeUnavailable)
+	}
+}
+
+// doError performs a request and decodes the error envelope regardless
+// of status class (doJSON skips decoding on 5xx).
+func doError(t *testing.T, h http.Handler, method, target string) (int, ErrorResponse) {
+	t.Helper()
+	req := httptest.NewRequest(method, target, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var resp ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("%s %s: bad JSON %q: %v", method, target, rec.Body.String(), err)
+	}
+	return rec.Code, resp
+}
+
+// TestQueryTimeout: an unmeetable -query-timeout cancels the sharded
+// search mid-flight and surfaces as 504 deadline_exceeded.
+func TestQueryTimeout(t *testing.T) {
+	opts := DefaultOptions()
+	opts.QueryTimeout = time.Nanosecond
+	s, _ := testShardedServerOpts(t, 2, opts)
+	code, resp := doError(t, s.Handler(), "GET", "/v1/search?id=5&k=4")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", code)
+	}
+	if resp.Error.Code != CodeDeadlineExceeded {
+		t.Errorf("code = %q, want %q", resp.Error.Code, CodeDeadlineExceeded)
+	}
+	// The legacy alias is bounded by the same budget.
+	if code, _ := doError(t, s.Handler(), "GET", "/search?id=5&k=4"); code != http.StatusGatewayTimeout {
+		t.Errorf("legacy search status = %d, want 504", code)
+	}
+}
+
+// TestDeprecatedAliases: the unversioned routes still answer but carry a
+// Deprecation header and count under http.deprecated.requests; the /v1
+// routes carry no such header.
+func TestDeprecatedAliases(t *testing.T) {
+	s, _ := testServer(t)
+	h := s.Handler()
+
+	req := httptest.NewRequest("GET", "/search?id=5&k=2", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("legacy /search status = %d", rec.Code)
+	}
+	if rec.Header().Get("Deprecation") != "true" {
+		t.Error("legacy /search missing Deprecation header")
+	}
+
+	req = httptest.NewRequest("GET", "/v1/search?id=5&k=2", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/search status = %d", rec.Code)
+	}
+	if rec.Header().Get("Deprecation") != "" {
+		t.Error("/v1/search carries a Deprecation header")
+	}
+
+	if got := s.Registry().Counter("http.deprecated.requests").Value(); got != 1 {
+		t.Errorf("http.deprecated.requests = %d, want 1", got)
+	}
+}
+
+// TestEnvelopeOnMuxErrors: 404s and 405s generated by the mux itself
+// (no handler involved) still answer the JSON envelope.
+func TestEnvelopeOnMuxErrors(t *testing.T) {
+	s, _ := testServer(t)
+	cases := []struct {
+		method, target string
+		status         int
+		code           string
+	}{
+		{"GET", "/v1/nope", http.StatusNotFound, CodeNotFound},
+		{"DELETE", "/v1/search", http.StatusMethodNotAllowed, CodeMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		var resp ErrorResponse
+		if got := doJSON(t, s.Handler(), tc.method, tc.target, nil, &resp); got != tc.status {
+			t.Errorf("%s %s: status = %d, want %d", tc.method, tc.target, got, tc.status)
+		}
+		if resp.Error.Code != tc.code {
+			t.Errorf("%s %s: code = %q, want %q", tc.method, tc.target, resp.Error.Code, tc.code)
+		}
+	}
+}
+
+// TestObjectV1PathParam: /v1/objects/{id} resolves via the path value.
+func TestObjectV1PathParam(t *testing.T) {
+	s, _ := testServer(t)
+	var resp ObjectResponse
+	if code := doJSON(t, s.Handler(), "GET", "/v1/objects/7", nil, &resp); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if resp.ID != 7 {
+		t.Errorf("ID = %d", resp.ID)
+	}
+	var eresp ErrorResponse
+	if code := doJSON(t, s.Handler(), "GET", "/v1/objects/zzz", nil, &eresp); code != http.StatusNotFound {
+		t.Errorf("bad id status = %d", code)
+	}
+	if eresp.Error.Code != CodeNotFound {
+		t.Errorf("bad id code = %q", eresp.Error.Code)
+	}
+}
+
+// TestPprofGate: /debug/pprof/ is absent by default and mounts with
+// Options.Pprof.
+func TestPprofGate(t *testing.T) {
+	s, _ := testServer(t)
+	if code := doJSON(t, s.Handler(), "GET", "/debug/pprof/", nil, nil); code != http.StatusNotFound {
+		t.Errorf("pprof mounted without the flag: status = %d", code)
+	}
+	opts := DefaultOptions()
+	opts.Pprof = true
+	sp, _ := testShardedServerOpts(t, 1, opts)
+	req := httptest.NewRequest("GET", "/debug/pprof/", nil)
+	rec := httptest.NewRecorder()
+	sp.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Errorf("pprof index status = %d", rec.Code)
+	}
+}
+
+// TestOptionsValidate walks the rejection surface of Options.Validate.
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	mutate := func(f func(*Options)) Options {
+		o := DefaultOptions()
+		f(&o)
+		return o
+	}
+	cases := []struct {
+		name string
+		o    Options
+		want string
+	}{
+		{"empty addr", mutate(func(o *Options) { o.Addr = "" }), "addr"},
+		{"zero objects", mutate(func(o *Options) { o.Objects = 0 }), "objects"},
+		{"zero shards", mutate(func(o *Options) { o.Shards = 0 }), "shards"},
+		{"negative workers", mutate(func(o *Options) { o.Workers = -1 }), "workers"},
+		{"negative cap", mutate(func(o *Options) { o.CandidateCap = -1 }), "candidate-cap"},
+		{"zero drain", mutate(func(o *Options) { o.Drain = 0 }), "drain"},
+		{"negative timeout", mutate(func(o *Options) { o.QueryTimeout = -time.Second }), "query-timeout"},
+		{"negative slow", mutate(func(o *Options) { o.SlowQuery = -time.Second }), "slow-query"},
+	}
+	for _, tc := range cases {
+		err := tc.o.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// A corpus file lifts the generated-corpus requirement.
+	withData := mutate(func(o *Options) { o.Data = "corpus.gob"; o.Objects = 0 })
+	if err := withData.Validate(); err != nil {
+		t.Errorf("data-backed options rejected: %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+package server
+
+import (
+	"flag"
+	"fmt"
+	"time"
+)
+
+// Options is the one configuration surface of the serving binary: every
+// figserver flag parses into it, and the server consumes it directly.
+// Defaults live in DefaultOptions alone — Flags registers each flag with
+// the receiver's current value as its default, so flag defaults and
+// struct values cannot drift apart.
+type Options struct {
+	// Addr is the HTTP listen address.
+	Addr string
+	// Data is a corpus gob written by figdata; empty generates a corpus.
+	Data string
+	// Objects is the generated corpus size (used when Data is empty).
+	Objects int
+	// Seed seeds corpus generation and threshold training.
+	Seed int64
+	// Index is a prebuilt index: a clique-index file from figdata -index,
+	// or with Shards > 1 the base path of a figdata -shards snapshot set.
+	Index string
+	// Shards is the engine shard count; > 1 serves scatter-gather over a
+	// partitioned index.
+	Shards int
+	// Workers is the scoring fan-out per engine (0 = GOMAXPROCS; sharded
+	// deployments usually keep 1 per shard).
+	Workers int
+	// CandidateCap caps scored candidates per query per engine
+	// (0 = uncapped/exact).
+	CandidateCap int
+	// Drain is the graceful-shutdown drain timeout.
+	Drain time.Duration
+	// QueryTimeout bounds one search request; on expiry the handler
+	// cancels the engine mid-scoring and answers with the
+	// deadline_exceeded error code (0 = unbounded).
+	QueryTimeout time.Duration
+	// SlowQuery is the slow-query-log threshold: queries at or above it
+	// are retained in the bounded slow log exposed at /v1/metrics.
+	SlowQuery time.Duration
+	// Metrics toggles the observability registry (counters, latency
+	// histograms, slow-query log, /v1/metrics). Default on; disabling
+	// reduces the serving path to the bare engine.
+	Metrics bool
+	// Pprof mounts net/http/pprof under /debug/pprof/ when set.
+	Pprof bool
+}
+
+// DefaultOptions returns the serving defaults.
+func DefaultOptions() Options {
+	return Options{
+		Addr:         ":8080",
+		Objects:      2000,
+		Seed:         1,
+		Shards:       1,
+		Drain:        10 * time.Second,
+		QueryTimeout: 10 * time.Second,
+		SlowQuery:    250 * time.Millisecond,
+		Metrics:      true,
+	}
+}
+
+// Flags registers every option on fs, defaulting to the receiver's
+// current values. Call Validate after fs.Parse.
+func (o *Options) Flags(fs *flag.FlagSet) {
+	fs.StringVar(&o.Addr, "addr", o.Addr, "listen address")
+	fs.StringVar(&o.Data, "data", o.Data, "corpus gob written by figdata (empty = generate)")
+	fs.IntVar(&o.Objects, "objects", o.Objects, "corpus size when generating")
+	fs.Int64Var(&o.Seed, "seed", o.Seed, "generation seed")
+	fs.StringVar(&o.Index, "index", o.Index, "prebuilt index: a clique-index file from figdata -index, or with -shards > 1 the base path of a snapshot set from figdata -shards")
+	fs.IntVar(&o.Shards, "shards", o.Shards, "engine shards; > 1 serves scatter-gather over a partitioned index")
+	fs.IntVar(&o.Workers, "workers", o.Workers, "scoring workers per engine (0 = GOMAXPROCS; sharded mode usually keeps 1 per shard)")
+	fs.IntVar(&o.CandidateCap, "candidate-cap", o.CandidateCap, "cap on scored candidates per query per engine (0 = uncapped/exact)")
+	fs.DurationVar(&o.Drain, "drain", o.Drain, "graceful-shutdown drain timeout")
+	fs.DurationVar(&o.QueryTimeout, "query-timeout", o.QueryTimeout, "per-request search budget; expiry answers deadline_exceeded (0 = unbounded)")
+	fs.DurationVar(&o.SlowQuery, "slow-query", o.SlowQuery, "slow-query-log threshold")
+	fs.BoolVar(&o.Metrics, "metrics", o.Metrics, "enable the metrics registry and /v1/metrics")
+	fs.BoolVar(&o.Pprof, "pprof", o.Pprof, "mount net/http/pprof under /debug/pprof/")
+}
+
+// Validate rejects option combinations the server cannot serve.
+func (o Options) Validate() error {
+	if o.Addr == "" {
+		return fmt.Errorf("server: addr must not be empty")
+	}
+	if o.Data == "" && o.Objects < 1 {
+		return fmt.Errorf("server: objects must be >= 1 when generating a corpus, got %d", o.Objects)
+	}
+	if o.Shards < 1 {
+		return fmt.Errorf("server: shards must be >= 1, got %d", o.Shards)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("server: workers must be >= 0, got %d", o.Workers)
+	}
+	if o.CandidateCap < 0 {
+		return fmt.Errorf("server: candidate-cap must be >= 0, got %d", o.CandidateCap)
+	}
+	if o.Drain <= 0 {
+		return fmt.Errorf("server: drain must be positive, got %s", o.Drain)
+	}
+	if o.QueryTimeout < 0 {
+		return fmt.Errorf("server: query-timeout must be >= 0, got %s", o.QueryTimeout)
+	}
+	if o.SlowQuery < 0 {
+		return fmt.Errorf("server: slow-query must be >= 0, got %s", o.SlowQuery)
+	}
+	return nil
+}

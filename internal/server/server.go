@@ -1,16 +1,36 @@
-// Package server exposes the retrieval engine over HTTP/JSON — the
-// deployment surface an open-source release of the paper's system ships:
-// similarity search by object ID or free text, object inspection, and
-// incremental ingestion of new objects into the live index.
+// Package server exposes the retrieval engine over a versioned HTTP/JSON
+// API — the deployment surface an open-source release of the paper's
+// system ships: similarity search by object ID or free text, object
+// inspection, incremental ingestion, recommendation, and the
+// observability surface (metrics snapshot, slow-query log, optional
+// pprof).
 //
-// Routes:
+// Versioned routes (v1):
 //
-//	GET  /healthz                      liveness + corpus stats
-//	GET  /search?id=42&k=10            top-k similar to a corpus object
-//	GET  /search?text=sunset+beach&k=5 top-k for a free-text query
-//	GET  /object?id=42                 one object's features and labels
-//	POST /objects                      insert {"tags":[],"users":[],"visualWords":[],"month":0}
-//	POST /recommend                    {"history":[ids],"k":10,"now":3} → FIG-T recommendations
+//	GET  /v1/healthz                      liveness + corpus stats
+//	GET  /v1/search?id=42&k=10            top-k similar to a corpus object
+//	GET  /v1/search?text=sunset+beach&k=5 top-k for a free-text query
+//	GET  /v1/objects/{id}                 one object's features and labels
+//	POST /v1/objects                      insert {"tags":[],"users":[],"visualWords":[],"month":0}
+//	POST /v1/recommend                    {"history":[ids],"k":10,"now":3} → FIG-T recommendations
+//	GET  /v1/metrics                      metrics registry snapshot + slow-query log
+//	GET  /debug/vars                      flat expvar-style view of the same registry
+//	GET  /debug/pprof/*                   net/http/pprof (only with Options.Pprof)
+//
+// The unversioned pre-v1 routes (/healthz, /search, /object?id=,
+// /objects, /recommend) remain as deprecated aliases of their /v1
+// equivalents: same handlers, same payloads, plus a "Deprecation: true"
+// response header. New clients should use /v1.
+//
+// Every error answers the structured envelope
+//
+//	{"error": {"code": "invalid_argument", "message": "..."}}
+//
+// with machine-readable codes (invalid_argument, not_found,
+// method_not_allowed, deadline_exceeded, unavailable). Search requests
+// run under a per-request budget (Options.QueryTimeout): on expiry the
+// engine is cancelled between scoring stripes and the handler answers
+// 504/deadline_exceeded.
 //
 // The server fronts either a single retrieval.Engine (New) or a sharded
 // shard.Router (NewSharded). In single-engine mode searches and
@@ -24,14 +44,18 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 
 	"figfusion/internal/corr"
 	"figfusion/internal/media"
+	"figfusion/internal/obs"
 	"figfusion/internal/recommend"
 	"figfusion/internal/retrieval"
 	"figfusion/internal/shard"
@@ -47,22 +71,43 @@ type Server struct {
 	router *shard.Router
 	model  *corr.Model
 	rec    *recommend.Recommender
+	opts   Options
+	reg    *obs.Registry // nil when Options.Metrics is off
+	slow   *obs.SlowLog  // nil when Options.Metrics is off
 }
 
 // New returns a server over a single engine. The recommendation endpoint
-// uses a temporal (FIG-T) recommender over the same model.
-func New(engine *retrieval.Engine) *Server {
+// uses a temporal (FIG-T) recommender over the same model. When
+// opts.Metrics is set (the DefaultOptions state) the server builds an
+// observability registry and attaches it to the engine.
+func New(engine *retrieval.Engine, opts Options) *Server {
 	// recommend.New only fails on invalid parameters; defaults are valid.
 	rec, _ := recommend.New(engine.Model, recommend.Config{Temporal: true})
-	return &Server{engine: engine, model: engine.Model, rec: rec}
+	s := &Server{engine: engine, model: engine.Model, rec: rec, opts: opts}
+	if opts.Metrics {
+		s.reg = obs.NewRegistry()
+		s.slow = obs.NewSlowLog(64, opts.SlowQuery)
+		engine.SetMetrics(s.reg, s.slow)
+	}
+	return s
 }
 
 // NewSharded returns a server over a scatter-gather shard router; /healthz
 // additionally reports per-shard object, clique and posting counts.
-func NewSharded(router *shard.Router) *Server {
+func NewSharded(router *shard.Router, opts Options) *Server {
 	rec, _ := recommend.New(router.Model(), recommend.Config{Temporal: true})
-	return &Server{router: router, model: router.Model(), rec: rec}
+	s := &Server{router: router, model: router.Model(), rec: rec, opts: opts}
+	if opts.Metrics {
+		s.reg = obs.NewRegistry()
+		s.slow = obs.NewSlowLog(64, opts.SlowQuery)
+		router.SetMetrics(s.reg, s.slow)
+	}
+	return s
 }
+
+// Registry exposes the server's metrics registry (nil when metrics are
+// disabled) — tests and embedding binaries read it directly.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // view runs fn while corpus-global state (the corpus object slice, interned
 // features, statistics) is pinned against inserts: under the server's read
@@ -80,25 +125,57 @@ func (s *Server) view(fn func()) {
 	fn()
 }
 
-// search dispatches one top-k search to the backend under its read locking.
-func (s *Server) search(q *media.Object, k int, exclude media.ObjectID) []topk.Item {
+// search dispatches one top-k search to the backend under its read
+// locking, honouring ctx between scoring stripes.
+func (s *Server) search(ctx context.Context, q *media.Object, k int, exclude media.ObjectID) ([]topk.Item, error) {
 	if s.router != nil {
-		return s.router.Search(q, k, exclude)
+		return s.router.SearchContext(ctx, q, k, exclude)
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.engine.Search(q, k, exclude)
+	return s.engine.SearchContext(ctx, q, k, exclude)
 }
 
-// Handler returns the route multiplexer.
+// queryContext derives one request's search budget from Options.
+func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.QueryTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.opts.QueryTimeout)
+}
+
+// Handler returns the route multiplexer: the /v1 API, its deprecated
+// unversioned aliases, and the debug surface, all wrapped in the
+// per-route instrumentation middleware and the error-envelope rewriter.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /search", s.handleSearch)
-	mux.HandleFunc("GET /object", s.handleObject)
-	mux.HandleFunc("POST /objects", s.handleInsert)
-	mux.HandleFunc("POST /recommend", s.handleRecommend)
-	return mux
+	route := func(pattern, name string, h http.HandlerFunc, deprecated bool) {
+		mux.Handle(pattern, s.instrument(name, h, deprecated))
+	}
+	// The versioned API.
+	route("GET /v1/healthz", "healthz", s.handleHealth, false)
+	route("GET /v1/search", "search", s.handleSearch, false)
+	route("GET /v1/objects/{id}", "object", s.handleObjectV1, false)
+	route("POST /v1/objects", "insert", s.handleInsert, false)
+	route("POST /v1/recommend", "recommend", s.handleRecommend, false)
+	route("GET /v1/metrics", "metrics", s.handleMetrics, false)
+	// Deprecated pre-v1 aliases: same handlers and payloads, flagged with
+	// a Deprecation header and counted under http.deprecated.requests.
+	route("GET /healthz", "healthz", s.handleHealth, true)
+	route("GET /search", "search", s.handleSearch, true)
+	route("GET /object", "object", s.handleObjectLegacy, true)
+	route("POST /objects", "insert", s.handleInsert, true)
+	route("POST /recommend", "recommend", s.handleRecommend, true)
+	// Debug surface.
+	route("GET /debug/vars", "debugvars", s.handleDebugVars, false)
+	if s.opts.Pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return envelopeHandler{next: mux}
 }
 
 // ResultItem is one search hit.
@@ -109,13 +186,13 @@ type ResultItem struct {
 	Tags  []string `json:"tags,omitempty"`
 }
 
-// SearchResponse is the /search payload.
+// SearchResponse is the /v1/search payload.
 type SearchResponse struct {
 	Query   string       `json:"query"`
 	Results []ResultItem `json:"results"`
 }
 
-// ObjectResponse is the /object payload.
+// ObjectResponse is the /v1/objects/{id} payload.
 type ObjectResponse struct {
 	ID          int64    `json:"id"`
 	Month       int      `json:"month"`
@@ -124,7 +201,7 @@ type ObjectResponse struct {
 	VisualWords []string `json:"visualWords"`
 }
 
-// InsertRequest is the /objects payload.
+// InsertRequest is the POST /v1/objects payload.
 type InsertRequest struct {
 	Tags        []string `json:"tags"`
 	Users       []string `json:"users"`
@@ -137,8 +214,27 @@ type InsertResponse struct {
 	ID int64 `json:"id"`
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
+// Error codes of the envelope. Statuses map conventionally:
+// invalid_argument → 400, not_found → 404, method_not_allowed → 405,
+// deadline_exceeded → 504, unavailable → 503.
+const (
+	CodeInvalidArgument  = "invalid_argument"
+	CodeNotFound         = "not_found"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeUnavailable      = "unavailable"
+)
+
+// ErrorBody is the envelope's inner object.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorResponse is the structured error envelope every handler answers
+// with: {"error": {"code": "...", "message": "..."}}.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -147,8 +243,8 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+func writeError(w http.ResponseWriter, status int, code, format string, args ...interface{}) {
+	writeJSON(w, status, ErrorResponse{Error: ErrorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -189,7 +285,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("k"); raw != "" {
 		v, err := strconv.Atoi(raw)
 		if err != nil || v < 1 || v > 1000 {
-			writeError(w, http.StatusBadRequest, "k must be an integer in [1,1000], got %q", raw)
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument, "k must be an integer in [1,1000], got %q", raw)
 			return
 		}
 		k = v
@@ -201,7 +297,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var q *media.Object
 	exclude := retrieval.NoExclude
 	label := ""
-	status, errMsg := 0, ""
+	status, errCode, errMsg := 0, "", ""
 	s.view(func() {
 		corpus := s.model.Stats.Corpus()
 		switch {
@@ -209,7 +305,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			raw := r.URL.Query().Get("id")
 			id, err := strconv.Atoi(raw)
 			if err != nil || id < 0 || id >= corpus.Len() {
-				status = http.StatusBadRequest
+				status, errCode = http.StatusBadRequest, CodeInvalidArgument
 				errMsg = fmt.Sprintf("id must identify a corpus object in [0,%d), got %q", corpus.Len(), raw)
 				return
 			}
@@ -221,21 +317,33 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			var ok bool
 			q, ok = textQuery(corpus, text)
 			if !ok {
-				status = http.StatusNotFound
+				status, errCode = http.StatusNotFound, CodeNotFound
 				errMsg = fmt.Sprintf("no term of %q matches the corpus vocabulary", text)
 				return
 			}
 			label = "text:" + text
 		default:
-			status = http.StatusBadRequest
+			status, errCode = http.StatusBadRequest, CodeInvalidArgument
 			errMsg = "provide either ?id= or ?text="
 		}
 	})
 	if status != 0 {
-		writeError(w, status, "%s", errMsg)
+		writeError(w, status, errCode, "%s", errMsg)
 		return
 	}
-	results := s.search(q, k, exclude)
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	results, err := s.search(ctx, q, k, exclude)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusGatewayTimeout, CodeDeadlineExceeded,
+				"search exceeded the %s query budget", s.opts.QueryTimeout)
+			return
+		}
+		// The client went away; the status is a formality.
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "search cancelled: %v", err)
+		return
+	}
 	resp := SearchResponse{Query: label, Results: make([]ResultItem, 0, len(results))}
 	s.view(func() {
 		corpus := s.model.Stats.Corpus()
@@ -252,12 +360,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
+// handleObjectV1 serves GET /v1/objects/{id}.
+func (s *Server) handleObjectV1(w http.ResponseWriter, r *http.Request) {
+	s.renderObject(w, r.PathValue("id"))
+}
+
+// handleObjectLegacy serves the deprecated GET /object?id= alias.
+func (s *Server) handleObjectLegacy(w http.ResponseWriter, r *http.Request) {
+	s.renderObject(w, r.URL.Query().Get("id"))
+}
+
+func (s *Server) renderObject(w http.ResponseWriter, raw string) {
 	var resp ObjectResponse
-	status, errMsg := 0, ""
+	status := 0
+	errMsg := ""
 	s.view(func() {
 		corpus := s.model.Stats.Corpus()
-		raw := r.URL.Query().Get("id")
 		id, err := strconv.Atoi(raw)
 		if err != nil || id < 0 || id >= corpus.Len() {
 			status = http.StatusNotFound
@@ -274,7 +392,7 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	if status != 0 {
-		writeError(w, status, "%s", errMsg)
+		writeError(w, status, CodeNotFound, "%s", errMsg)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -283,7 +401,7 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	var req InsertRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "bad JSON: %v", err)
 		return
 	}
 	var feats []media.Feature
@@ -301,12 +419,12 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	add(media.User, req.Users)
 	add(media.Visual, req.VisualWords)
 	if len(feats) == 0 {
-		writeError(w, http.StatusBadRequest, "object must carry at least one feature")
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "object must carry at least one feature")
 		return
 	}
 	o, err := s.insert(feats, counts, req.Month)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "insert: %v", err)
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "insert: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, InsertResponse{ID: int64(o.ID)})
@@ -326,7 +444,7 @@ func (s *Server) insert(feats []media.Feature, counts []int, month int) (*media.
 	return s.engine.Insert(feats, counts, month)
 }
 
-// RecommendRequest is the /recommend payload: the caller's favourite
+// RecommendRequest is the /v1/recommend payload: the caller's favourite
 // history as corpus object IDs, the recommendation depth, and the current
 // month for the Eq. 10 decay.
 type RecommendRequest struct {
@@ -338,14 +456,14 @@ type RecommendRequest struct {
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	var req RecommendRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "bad JSON: %v", err)
 		return
 	}
 	if req.K < 1 || req.K > 1000 {
 		req.K = 10
 	}
 	if len(req.History) == 0 {
-		writeError(w, http.StatusBadRequest, "history must not be empty")
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "history must not be empty")
 		return
 	}
 	var resp SearchResponse
@@ -386,7 +504,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	if status != 0 {
-		writeError(w, status, "%s", errMsg)
+		writeError(w, status, CodeInvalidArgument, "%s", errMsg)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)

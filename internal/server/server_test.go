@@ -34,7 +34,7 @@ func testServer(t testing.TB) (*Server, *dataset.Dataset) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(engine), d
+	return New(engine, DefaultOptions()), d
 }
 
 func doJSON(t *testing.T, h http.Handler, method, target string, body []byte, out interface{}) int {

@@ -1,0 +1,112 @@
+package shard
+
+import (
+	"fmt"
+	"time"
+
+	"figfusion/internal/obs"
+)
+
+// Metric names the router registers. Per-shard insert counters carry the
+// shard number (shard.00.inserts, shard.01.inserts, …) so routing skew is
+// visible directly in a metrics snapshot.
+const (
+	metricSearchTotal    = "shard.search.total"
+	metricPrepareLatency = "shard.prepare.latency"
+	metricFanoutLatency  = "shard.fanout.latency"
+	metricStragglerGap   = "shard.straggler.gap"
+	metricInsertsTotal   = "shard.inserts.total"
+)
+
+// routerMetrics is the router's instrument bundle: scatter-gather fan-out
+// latency (one observation per shard per query), the straggler gap (the
+// spread between the fastest and slowest shard of one query — the quantity
+// that bounds scatter-gather tail latency), query-side prepare latency,
+// and insert routing counters. Nil = instrumentation off.
+type routerMetrics struct {
+	searches  *obs.Counter
+	prepare   *obs.Histogram
+	fanout    *obs.Histogram
+	straggler *obs.Histogram
+	inserts   *obs.Counter
+	shardIns  []*obs.Counter
+}
+
+func newRouterMetrics(reg *obs.Registry, shards int) *routerMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &routerMetrics{
+		searches:  reg.Counter(metricSearchTotal),
+		prepare:   reg.Histogram(metricPrepareLatency),
+		fanout:    reg.Histogram(metricFanoutLatency),
+		straggler: reg.Histogram(metricStragglerGap),
+		inserts:   reg.Counter(metricInsertsTotal),
+		shardIns:  make([]*obs.Counter, shards),
+	}
+	for i := range m.shardIns {
+		m.shardIns[i] = reg.Counter(fmt.Sprintf("shard.%02d.inserts", i))
+	}
+	return m
+}
+
+// begin opens a prepare-stage span; zero time when disabled.
+func (m *routerMetrics) begin() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// endPrepare closes the prepare span and counts the query.
+func (m *routerMetrics) endPrepare(start time.Time) {
+	if m == nil {
+		return
+	}
+	m.prepare.Observe(time.Since(start))
+	m.searches.Inc()
+}
+
+// observeFanout records the per-shard latencies of one scatter and their
+// straggler gap (only meaningful past one shard).
+func (m *routerMetrics) observeFanout(durs []time.Duration) {
+	if m == nil {
+		return
+	}
+	min, max := durs[0], durs[0]
+	for _, d := range durs {
+		m.fanout.Observe(d)
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	if len(durs) > 1 {
+		m.straggler.Observe(max - min)
+	}
+}
+
+// recordInsert counts one routed insert against its owning shard.
+func (m *routerMetrics) recordInsert(shard int) {
+	if m == nil {
+		return
+	}
+	m.inserts.Inc()
+	m.shardIns[shard].Inc()
+}
+
+// SetMetrics attaches (or detaches, with a nil registry) observability:
+// router-level fan-out/straggler/insert instruments plus each shard
+// engine's per-stage query metrics — all into one shared registry, so
+// per-stage histograms aggregate across shards. Call after construction
+// or load, never concurrently with serving (the scorer-backed cache
+// gauges are registered through the shared shard-0 scorer, which is only
+// in place once the router is fully wired).
+func (r *Router) SetMetrics(reg *obs.Registry, slow *obs.SlowLog) {
+	r.metrics = newRouterMetrics(reg, len(r.shards))
+	for _, sh := range r.shards {
+		sh.eng.SetMetrics(reg, slow)
+	}
+}

@@ -18,10 +18,12 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"figfusion/internal/corr"
 	"figfusion/internal/index"
@@ -37,8 +39,12 @@ type Config struct {
 	Shards int
 	// Retrieval configures each per-shard engine. Index and SkipIndex must
 	// be left zero: the router builds (or loads) one index per shard.
-	// Workers applies within one shard; sharded deployments usually keep
-	// it at 1 and let the shard fan-out supply the parallelism.
+	// Metrics and SlowLog must also be left zero — attach observability
+	// through Router.SetMetrics once the router is wired, so the cache
+	// gauges bind the shared shard-0 scorer rather than the donor scorers
+	// discarded during construction. Workers applies within one shard;
+	// sharded deployments usually keep it at 1 and let the shard fan-out
+	// supply the parallelism.
 	Retrieval retrieval.Config
 }
 
@@ -87,6 +93,9 @@ type Router struct {
 	// inserts counts routed inserts since construction or load; snapshots
 	// stamp it into the manifest alongside the model generation.
 	inserts atomic.Uint64
+	// metrics is the router-level instrument bundle (nil = off); attach
+	// with SetMetrics.
+	metrics *routerMetrics
 }
 
 // NewRouter partitions the model's corpus across cfg.Shards engines,
@@ -101,6 +110,9 @@ func NewRouter(m *corr.Model, cfg Config) (*Router, error) {
 	}
 	if cfg.Retrieval.Index != nil || cfg.Retrieval.SkipIndex {
 		return nil, fmt.Errorf("shard: Retrieval.Index/SkipIndex are managed by the router")
+	}
+	if cfg.Retrieval.Metrics != nil || cfg.Retrieval.SlowLog != nil {
+		return nil, fmt.Errorf("shard: attach observability via Router.SetMetrics, not Retrieval.Metrics")
 	}
 	r := &Router{model: m, shards: make([]*shardState, n)}
 	counts := r.ownedCounts(n)
@@ -174,10 +186,23 @@ func (r *Router) View(fn func()) {
 // clique enumeration, MRF compile — is prepared once and shared by every
 // shard; only candidate lookup and scoring are per-shard.
 func (r *Router) Search(q *media.Object, k int, exclude media.ObjectID) []topk.Item {
+	out, _ := r.SearchContext(context.Background(), q, k, exclude)
+	return out
+}
+
+// SearchContext is Search under a context: each shard's scoring honours
+// cancellation between stripes (see retrieval.Engine.SearchContext), and a
+// done context aborts the scatter with ctx.Err(). With an undone context
+// the results are byte-identical to Search.
+func (r *Router) SearchContext(ctx context.Context, q *media.Object, k int, exclude media.ObjectID) ([]topk.Item, error) {
 	r.statsMu.RLock()
 	defer r.statsMu.RUnlock()
+	st := r.metrics.begin()
 	p := r.shards[0].eng.Prepare(q)
-	return r.gather(k, func(sh *shardState) []topk.Item { return sh.search(p, k, exclude) })
+	r.metrics.endPrepare(st)
+	return r.gather(k, func(sh *shardState) ([]topk.Item, error) {
+		return sh.search(ctx, p, k, exclude)
+	})
 }
 
 // SearchTA is the scatter-gather form of the literal Algorithm 1 path:
@@ -188,41 +213,74 @@ func (r *Router) Search(q *media.Object, k int, exclude media.ObjectID) []topk.I
 func (r *Router) SearchTA(q *media.Object, k int, exclude media.ObjectID) []topk.Item {
 	r.statsMu.RLock()
 	defer r.statsMu.RUnlock()
+	st := r.metrics.begin()
 	p := r.shards[0].eng.Prepare(q)
-	return r.gather(k, func(sh *shardState) []topk.Item { return sh.searchTA(p, k, exclude) })
+	r.metrics.endPrepare(st)
+	out, _ := r.gather(k, func(sh *shardState) ([]topk.Item, error) {
+		return sh.searchTA(p, k, exclude), nil
+	})
+	return out
 }
 
 // gather runs one search on every shard and folds the per-shard top-k
-// lists. With one shard, or with no parallelism to exploit, the scatter
-// runs inline — the per-query goroutine fan-out is pure overhead at
-// GOMAXPROCS=1, and the fold is order-independent either way.
-func (r *Router) gather(k int, run func(*shardState) []topk.Item) []topk.Item {
-	if len(r.shards) == 1 {
-		return run(r.shards[0])
+// lists. With no parallelism to exploit, the scatter runs inline — the
+// per-query goroutine fan-out is pure overhead at GOMAXPROCS=1, and the
+// fold is order-independent either way. When metrics are attached, each
+// shard's latency feeds the fan-out histogram and the per-query max−min
+// spread feeds the straggler-gap histogram. Any shard error (only
+// cancellation today) aborts the merge.
+func (r *Router) gather(k int, run func(*shardState) ([]topk.Item, error)) ([]topk.Item, error) {
+	m := r.metrics
+	n := len(r.shards)
+	partial := make([][]topk.Item, n)
+	errs := make([]error, n)
+	var durs []time.Duration
+	if m != nil {
+		durs = make([]time.Duration, n)
 	}
-	partial := make([][]topk.Item, len(r.shards))
-	if runtime.GOMAXPROCS(0) == 1 {
-		for i, sh := range r.shards {
-			partial[i] = run(sh)
+	runOne := func(i int, sh *shardState) {
+		var st time.Time
+		if m != nil {
+			st = time.Now()
 		}
-		return topk.MergeRanked(partial, k)
+		partial[i], errs[i] = run(sh)
+		if m != nil {
+			durs[i] = time.Since(st)
+		}
 	}
-	var wg sync.WaitGroup
-	for i, sh := range r.shards {
-		wg.Add(1)
-		go func(i int, sh *shardState) {
-			defer wg.Done()
-			partial[i] = run(sh)
-		}(i, sh)
+	if n == 1 || runtime.GOMAXPROCS(0) == 1 {
+		for i, sh := range r.shards {
+			runOne(i, sh)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, sh := range r.shards {
+			wg.Add(1)
+			go func(i int, sh *shardState) {
+				defer wg.Done()
+				runOne(i, sh)
+			}(i, sh)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
-	return topk.MergeRanked(partial, k)
+	if m != nil {
+		m.observeFanout(durs)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if n == 1 {
+		return partial[0], nil
+	}
+	return topk.MergeRanked(partial, k), nil
 }
 
-func (sh *shardState) search(p *retrieval.PreparedQuery, k int, exclude media.ObjectID) []topk.Item {
+func (sh *shardState) search(ctx context.Context, p *retrieval.PreparedQuery, k int, exclude media.ObjectID) ([]topk.Item, error) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return sh.eng.SearchPrepared(p, k, exclude)
+	return sh.eng.SearchPreparedContext(ctx, p, k, exclude)
 }
 
 func (sh *shardState) searchTA(p *retrieval.PreparedQuery, k int, exclude media.ObjectID) []topk.Item {
@@ -246,11 +304,12 @@ func (r *Router) Insert(feats []media.Feature, counts []int, month int) (*media.
 	if err != nil {
 		return nil, err
 	}
-	sh := r.shards[ShardOf(o.ID, len(r.shards))]
-	if err := sh.indexObject(o); err != nil {
+	owner := ShardOf(o.ID, len(r.shards))
+	if err := r.shards[owner].indexObject(o); err != nil {
 		return nil, err
 	}
 	r.inserts.Add(1)
+	r.metrics.recordInsert(owner)
 	return o, nil
 }
 
