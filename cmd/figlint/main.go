@@ -5,11 +5,13 @@
 //
 // Usage:
 //
-//	figlint [-run names] [-tests] [-list] [package-dir | ./...]...
+//	figlint [-run names] [-tests] [-list] [-json] [package-dir | ./...]...
 //
 // With no arguments (or "./...") every package in the enclosing module
 // is analyzed. Exits 1 when any diagnostic survives the
-// //figlint:allow pragmas, 2 on driver errors.
+// //figlint:allow pragmas, 2 on driver errors. -json swaps the
+// file:line:col text lines for a JSON array of findings (empty array on a
+// clean run) with the same exit codes.
 package main
 
 import (
@@ -32,6 +34,7 @@ func run() int {
 		runNames = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 		tests    = flag.Bool("tests", false, "also analyze in-package _test.go files")
 		list     = flag.Bool("list", false, "list analyzers and exit")
+		asJSON   = flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
 	)
 	flag.Parse()
 
@@ -66,8 +69,15 @@ func run() int {
 	}
 
 	diags := analysis.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(shorten(d))
+	if *asJSON {
+		if err := analysis.WriteJSON(os.Stdout, diags, relPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(shorten(d))
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "figlint: %d finding(s)\n", len(diags))
@@ -106,11 +116,19 @@ func loadTargets(loader *analysis.Loader, args []string) ([]*analysis.Package, e
 
 // shorten prints paths relative to the working directory when possible.
 func shorten(d analysis.Diagnostic) string {
-	s := d.String()
+	if rel := relPath(d.Pos.Filename); rel != d.Pos.Filename {
+		return fmt.Sprintf("%s:%d:%d: %s: %s", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	return d.String()
+}
+
+// relPath maps a filename to working-directory-relative form when it lies
+// under the working directory; paths outside come back unchanged.
+func relPath(file string) string {
 	if wd, err := os.Getwd(); err == nil {
-		if rel, err := filepath.Rel(wd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			s = fmt.Sprintf("%s:%d:%d: %s: %s", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		if rel, err := filepath.Rel(wd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
 		}
 	}
-	return s
+	return file
 }

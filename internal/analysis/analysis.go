@@ -71,6 +71,11 @@ func All() []*Analyzer {
 		MapOrder,
 		LockSafety,
 		NakedGo,
+		LockOrder,
+		GenStamp,
+		ParDet,
+		CtxFlow,
+		ErrEnvelope,
 	}
 }
 
@@ -122,6 +127,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			diags = append(diags, d)
 		}
 		diags = append(diags, pragmaDiags...)
+		diags = append(diags, allows.unusedDiags(analyzers)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces the cancellation contract on the serving path: every
+// exported blocking entry point in the retrieval, shard, and server layers
+// must either take a context.Context or be a thin wrapper delegating to
+// its *Context variant, and context.Background()/context.TODO() may not be
+// minted below main — a Background smuggled into a library call detaches
+// that subtree from request cancellation, so a hung shard pins goroutines
+// for the life of the process. The one sanctioned Background is the
+// delegation idiom itself:
+//
+//	func (e *Engine) Search(q …) { return e.SearchContext(context.Background(), q…) }
+//
+// where Background's nil Done channel makes the cancellation checks free
+// for callers that opted out. Tests and package main (which owns signal
+// handling and the root context) are exempt.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags context.Background/TODO below main and exported blocking entry points with no context variant",
+	Run:  runCtxFlow,
+}
+
+// ctxEntryPkgs are the serving layers whose exported Search*/Recommend*
+// entry points must be cancellable. Keyed by package name so golden
+// fixtures can exercise the rule.
+var ctxEntryPkgs = map[string]bool{"retrieval": true, "shard": true, "server": true}
+
+func runCtxFlow(p *Pass) {
+	if p.Pkg != nil && p.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range p.Files {
+		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxCreation(p, fd)
+			if ctxEntryPkgs[p.Pkg.Name()] {
+				checkCtxEntryPoint(p, fd)
+			}
+		}
+	}
+}
+
+// checkCtxCreation flags context.Background()/TODO() calls in fd unless
+// the call is an argument of the delegation call fd → fdContext.
+func checkCtxCreation(p *Pass, fd *ast.FuncDecl) {
+	delegate := fd.Name.Name + "Context"
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := contextCtorName(p, call)
+		if name == "" {
+			return true
+		}
+		// Walk out one level: the sanctioned shape is Background() sitting
+		// directly in the argument list of a call to <fd.Name>Context.
+		if len(stack) >= 2 {
+			if outer, ok := stack[len(stack)-2].(*ast.CallExpr); ok && calleeName(outer) == delegate {
+				for _, arg := range outer.Args {
+					if arg == ast.Expr(call) {
+						return true
+					}
+				}
+			}
+		}
+		p.Reportf(call.Pos(), "context.%s() below main detaches this call tree from request cancellation; accept a context.Context or delegate to a *Context variant", name)
+		return true
+	})
+}
+
+// contextCtorName returns "Background"/"TODO" when call is the
+// corresponding context constructor, else "".
+func contextCtorName(p *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name()
+	}
+	return ""
+}
+
+// calleeName extracts the bare name a call invokes (x.F(...) and F(...)
+// both yield "F").
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// checkCtxEntryPoint flags an exported Search*/Recommend* declaration that
+// neither takes a context nor delegates to its *Context variant.
+func checkCtxEntryPoint(p *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	if !fd.Name.IsExported() || strings.HasSuffix(name, "Context") {
+		return
+	}
+	if !strings.HasPrefix(name, "Search") && !strings.HasPrefix(name, "Recommend") {
+		return
+	}
+	if hasContextParam(p, fd) {
+		return
+	}
+	delegates := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && calleeName(call) == name+"Context" {
+			delegates = true
+		}
+		return !delegates
+	})
+	if !delegates {
+		p.Reportf(fd.Name.Pos(), "exported blocking entry point %s neither takes a context.Context nor delegates to %sContext; a hung downstream call cannot be cancelled", name, name)
+	}
+}
+
+// hasContextParam reports whether fd declares a context.Context parameter.
+func hasContextParam(p *Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		tv, ok := p.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if named, ok := tv.Type.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context" {
+				return true
+			}
+		}
+	}
+	return false
+}

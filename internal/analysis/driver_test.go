@@ -10,8 +10,8 @@ func TestLookup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 5 {
-		t.Fatalf("suite has %d analyzers, want 5", len(all))
+	if len(all) != 10 {
+		t.Fatalf("suite has %d analyzers, want 10", len(all))
 	}
 	two, err := Lookup("nakedgo, floatcmp")
 	if err != nil {

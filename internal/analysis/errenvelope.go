@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// ErrEnvelope keeps every error leaving the HTTP layer inside the /v1
+// JSON envelope: handlers must report failures through the envelope
+// helper (writeError), never by http.Error — which emits text/plain and
+// bypasses the {error: {code, message}} contract clients parse — or by a
+// bare WriteHeader with a literal 4xx/5xx status, which sends an error
+// status with no body at all. WriteHeader calls forwarding a non-constant
+// status (the instrumentation and envelope-rewriting middleware wrappers)
+// are the plumbing the envelope is built on and stay legal. Scoped to
+// packages named "server", where the envelope helper lives.
+var ErrEnvelope = &Analyzer{
+	Name: "errenvelope",
+	Doc:  "flags raw http.Error and bare constant WriteHeader(4xx/5xx) in the server package",
+	Run:  runErrEnvelope,
+}
+
+func runErrEnvelope(p *Pass) {
+	if p.Pkg == nil || p.Pkg.Name() != "server" {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			if fn.Pkg() != nil && fn.Pkg().Path() == "net/http" && fn.Name() == "Error" {
+				p.Reportf(call.Pos(), "http.Error bypasses the /v1 JSON error envelope; use the envelope helper so clients get {error: {code, message}}")
+				return true
+			}
+			if fn.Name() == "WriteHeader" && len(call.Args) == 1 {
+				if status, ok := constStatus(p, call.Args[0]); ok && status >= 400 && status <= 599 {
+					p.Reportf(call.Pos(), "bare WriteHeader(%d) sends an error status with no JSON envelope body; use the envelope helper", status)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// constStatus evaluates arg as a compile-time integer constant. Dynamic
+// statuses (middleware forwarding a recorded code) return false.
+func constStatus(p *Pass, arg ast.Expr) (int64, bool) {
+	tv, ok := p.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

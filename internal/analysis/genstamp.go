@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GenStamp enforces the generation-stamped cache-fill contract from the
+// PR 2 stale-weight incident: a goroutine that computes a value for a
+// floatcache entry races with model mutation, so the fill must capture the
+// generation before computing, recompute nothing under a lock, and only
+// Put if the model is still at the captured generation. Concretely, every
+// call of the form
+//
+//	cache.Put(gen, key, v)
+//
+// must sit inside an if-statement whose condition compares gen (the
+// stamped first argument) against a fresh generation load:
+//
+//	if m.Generation() == gen { cache.Put(gen, key, v) }
+//
+// An unguarded Put publishes a value computed against superseded weights
+// under the new generation's stamp, and every reader until the next bump
+// gets the stale score back. The check is syntactic on purpose: the guard
+// belongs in the same function as the fill, where the race window is
+// visible to the reader.
+var GenStamp = &Analyzer{
+	Name: "genstamp",
+	Doc:  "flags generation-stamped cache fills with no post-compute generation re-check",
+	Run:  runGenStamp,
+}
+
+func runGenStamp(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGenStampFunc(p, fd.Body)
+		}
+	}
+}
+
+// checkGenStampFunc walks one function body keeping the ancestor stack so
+// a Put site can look outward for its guarding if-statement.
+func checkGenStampFunc(p *Pass, body *ast.BlockStmt) {
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isCachePut(p, call) {
+			return true
+		}
+		if !genGuarded(p, stack, call.Args[0]) {
+			p.Reportf(call.Pos(), "cache fill is not guarded by a post-compute generation re-check; wrap it in `if <model>.Generation() == %s { ... }` so a concurrent weight refresh discards the stale value", types.ExprString(call.Args[0]))
+		}
+		return true
+	})
+}
+
+// isCachePut reports whether call is a generation-stamped cache fill: a
+// method named Put taking (generation, key, value) on a named Cache type.
+// The shape test (rather than resolving figfusion/internal/floatcache)
+// keeps the analyzer checkable against stdlib-only golden fixtures;
+// one-argument Puts like sync.Pool's never match.
+func isCachePut(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" || len(call.Args) != 3 {
+		return false
+	}
+	fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	return namedTypeName(recv.Type()) == "Cache"
+}
+
+// genGuarded reports whether some enclosing if-statement's condition
+// compares the stamped generation expression against a fresh load (any
+// call on the other side of an == — Generation(), gen.Load(), …).
+func genGuarded(p *Pass, stack []ast.Node, genArg ast.Expr) bool {
+	want := types.ExprString(genArg)
+	for i := len(stack) - 1; i >= 0; i-- {
+		// The guard must live in the same function as the fill.
+		if _, ok := stack[i].(*ast.FuncLit); ok {
+			return false
+		}
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if condRechecksGen(ifs.Cond, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// condRechecksGen looks through a condition (including && / || arms) for
+// an equality with the stamped generation on one side and a call-bearing
+// expression — the re-load — on the other.
+func condRechecksGen(cond ast.Expr, want string) bool {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op.String() {
+	case "&&", "||":
+		return condRechecksGen(bin.X, want) || condRechecksGen(bin.Y, want)
+	case "==":
+		if types.ExprString(bin.X) == want && containsCall(bin.Y) {
+			return true
+		}
+		if types.ExprString(bin.Y) == want && containsCall(bin.X) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsCall reports whether e contains any call expression.
+func containsCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

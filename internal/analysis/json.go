@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONDiagnostic is the machine-readable form of one finding — the schema
+// `figlint -json` emits and the CI problem matcher parses. File is the
+// path exactly as the run resolved it (figlint shortens to
+// working-directory-relative before encoding).
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON encodes diagnostics as a JSON array (never null — an empty
+// run encodes as []) with a trailing newline. rel, when non-nil, maps each
+// diagnostic's filename before encoding.
+func WriteJSON(w io.Writer, diags []Diagnostic, rel func(string) string) error {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel != nil {
+			file = rel(file)
+		}
+		out = append(out, JSONDiagnostic{
+			File:     file,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSON(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "/tmp/repo/internal/x/x.go", Line: 12, Column: 3},
+			Analyzer: "floatcmp",
+			Message:  "== on floating-point operands",
+		},
+		{
+			Pos:      token.Position{Filename: "/tmp/repo/internal/y/y.go", Line: 7, Column: 9},
+			Analyzer: "lockorder",
+			Message:  "hierarchy must only be descended",
+		},
+	}
+	var buf bytes.Buffer
+	rel := func(f string) string { return strings.TrimPrefix(f, "/tmp/repo/") }
+	if err := WriteJSON(&buf, diags, rel); err != nil {
+		t.Fatal(err)
+	}
+	var got []JSONDiagnostic
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	want := []JSONDiagnostic{
+		{File: "internal/x/x.go", Line: 12, Col: 3, Analyzer: "floatcmp", Message: "== on floating-point operands"},
+		{File: "internal/y/y.go", Line: 7, Col: 9, Analyzer: "lockorder", Message: "hierarchy must only be descended"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d findings, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWriteJSONEmpty: a clean run encodes as an empty array, never null —
+// downstream jq/matcher tooling relies on the array shape.
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Fatalf("empty run encodes as %q, want []", buf.String())
+	}
+}

@@ -1,0 +1,392 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrder builds a static lock-acquisition graph per package from every
+// sync.Mutex/RWMutex Lock/RLock site: an edge A→B means B is acquired (or
+// a callee that acquires B is called) while A is held. Two properties are
+// enforced on the graph. First, the documented serving-tier hierarchy
+//
+//	Router.insertMu (tier 0) > Router.statsMu (tier 1) > shardState.mu (tier 2)
+//
+// must only ever be descended: acquiring a lock at the same or an earlier
+// tier than one already held (statsMu under a shard lock, insertMu under
+// statsMu, statsMu under statsMu) is the deadlock PR 4's three-tier insert
+// protocol exists to prevent. Acquisitions may legitimately skip a tier
+// downward — a routed insert indexes the owning shard after releasing the
+// statistics lock — which the held-set tracking models exactly. Second,
+// untiered locks must not form acquisition cycles (A under B in one
+// function, B under A in another), including the one-lock cycle of
+// re-acquiring a lock the current call path already holds.
+//
+// The graph is interprocedural within one package: each function's
+// transitive acquisition set is computed to a fixed point, and a call made
+// while holding a lock contributes edges to everything the callee (or a
+// function-literal argument it may invoke synchronously) can acquire.
+// Goroutine bodies start with an empty held set — a spawned worker does
+// not inherit its parent's acquisition order.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "flags mutex acquisitions that violate the insertMu > statsMu > shard-mu hierarchy or form cycles",
+	Run:  runLockOrder,
+}
+
+// lockTiers encodes the documented hierarchy, keyed by the node names
+// nodeForLockExpr produces (package name, owning type, field). Scoping by
+// package name lets the golden fixture exercise the tiers.
+var lockTiers = map[string]int{
+	"shard.Router.insertMu": 0,
+	"shard.Router.statsMu":  1,
+	"shard.shardState.mu":   2,
+}
+
+// lockNode is one canonical lock identity: all instances of a struct field
+// share a node (every shardState.mu is "the per-shard tier"), package-level
+// vars get their own node, and locals are keyed by declaration.
+type lockNode string
+
+// lockEdge is one "B acquired while A held" observation, pinned to the
+// position that created it.
+type lockEdge struct {
+	from, to lockNode
+	pos      token.Pos
+}
+
+// edgeSite keys one observation for dedup.
+type edgeSite struct {
+	from, to lockNode
+	pos      token.Pos
+}
+
+type lockOrderPass struct {
+	p *Pass
+	// units maps each declared function to its body, summary holds the
+	// fixed-point transitive acquisition sets.
+	units   map[*types.Func]*ast.FuncDecl
+	summary map[*types.Func]map[lockNode]bool
+	edges   []lockEdge
+	seen    map[edgeSite]bool
+	// inlineLits are function literals scanned at their call site (passed
+	// as an argument while locks were held); the top-level walk skips them.
+	inlineLits map[*ast.FuncLit]bool
+}
+
+func runLockOrder(p *Pass) {
+	lo := &lockOrderPass{
+		p:          p,
+		units:      make(map[*types.Func]*ast.FuncDecl),
+		summary:    make(map[*types.Func]map[lockNode]bool),
+		seen:       make(map[edgeSite]bool),
+		inlineLits: make(map[*ast.FuncLit]bool),
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := p.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				lo.units[fn] = fd
+			}
+		}
+	}
+	lo.computeSummaries()
+	for _, fd := range lo.sortedUnits() {
+		lo.scanScope(fd.Body, nil)
+	}
+	// Function literals not invoked at a lock-holding call site run with an
+	// empty held set (goroutine bodies, stored callbacks).
+	for _, fd := range lo.sortedUnits() {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && !lo.inlineLits[lit] {
+				lo.scanScope(lit.Body, nil)
+			}
+			return true
+		})
+	}
+	lo.report()
+}
+
+func (lo *lockOrderPass) sortedUnits() []*ast.FuncDecl {
+	decls := make([]*ast.FuncDecl, 0, len(lo.units))
+	for _, fd := range lo.units {
+		decls = append(decls, fd)
+	}
+	sort.Slice(decls, func(i, j int) bool { return decls[i].Pos() < decls[j].Pos() })
+	return decls
+}
+
+// computeSummaries iterates the per-function transitive acquisition sets
+// to a fixed point: direct acquisitions anywhere in the body (nested
+// literals included — a stored callback may run under the caller's locks)
+// plus everything same-package callees acquire.
+func (lo *lockOrderPass) computeSummaries() {
+	direct := make(map[*types.Func]map[lockNode]bool)
+	calls := make(map[*types.Func]map[*types.Func]bool)
+	for fn, fd := range lo.units {
+		acq := make(map[lockNode]bool)
+		callees := make(map[*types.Func]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if recv, name := lo.mutexCall(call); recv != nil && (name == "Lock" || name == "RLock") {
+				acq[lo.nodeFor(recv)] = true
+				return true
+			}
+			if callee := lo.calleeFunc(call); callee != nil {
+				if _, ok := lo.units[callee]; ok {
+					callees[callee] = true
+				}
+			}
+			return true
+		})
+		direct[fn] = acq
+		calls[fn] = callees
+		lo.summary[fn] = acq
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range lo.units {
+			merged := make(map[lockNode]bool, len(lo.summary[fn]))
+			for n := range direct[fn] {
+				merged[n] = true
+			}
+			for callee := range calls[fn] {
+				for n := range lo.summary[callee] {
+					merged[n] = true
+				}
+			}
+			if len(merged) != len(lo.summary[fn]) {
+				lo.summary[fn] = merged
+				changed = true
+			}
+		}
+	}
+}
+
+// scanScope walks one function scope in source order tracking the held
+// set: direct acquisitions and lock-holding calls add edges, explicit
+// unlocks release, deferred unlocks hold to scope end. Nested literals are
+// scanned only when passed to a call made in this scope (synchronous
+// invocation under the current held set); goroutines start empty.
+func (lo *lockOrderPass) scanScope(body *ast.BlockStmt, held []lockNode) {
+	held = append([]lockNode(nil), held...)
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			// A deferred Unlock keeps the lock held for the rest of the
+			// scope; a deferred helper call is not an acquisition order.
+			return false
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				lo.inlineLits[lit] = true
+				lo.scanScope(lit.Body, nil)
+			}
+			return false
+		case *ast.CallExpr:
+			if recv, name := lo.mutexCall(n); recv != nil {
+				node := lo.nodeFor(recv)
+				switch name {
+				case "Lock", "RLock":
+					for _, h := range held {
+						lo.addEdge(h, node, n.Pos())
+					}
+					held = append(held, node)
+				case "Unlock", "RUnlock":
+					for i := len(held) - 1; i >= 0; i-- {
+						if held[i] == node {
+							held = append(held[:i], held[i+1:]...)
+							break
+						}
+					}
+				}
+				return true
+			}
+			if len(held) > 0 {
+				if callee := lo.calleeFunc(n); callee != nil {
+					for node := range lo.summary[callee] {
+						for _, h := range held {
+							lo.addEdge(h, node, n.Pos())
+						}
+					}
+				}
+				for _, arg := range n.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						lo.inlineLits[lit] = true
+						lo.scanScope(lit.Body, held)
+					}
+				}
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// addEdge records one acquisition observation. Every site is kept — a
+// violation must report (and be pragma-suppressible) where it happens, not
+// only at the edge's first occurrence. Duplicate observations at one
+// position (held-set fan-out) collapse.
+func (lo *lockOrderPass) addEdge(from, to lockNode, pos token.Pos) {
+	key := edgeSite{from: from, to: to, pos: pos}
+	if lo.seen[key] {
+		return
+	}
+	lo.seen[key] = true
+	lo.edges = append(lo.edges, lockEdge{from: from, to: to, pos: pos})
+}
+
+// report classifies the accumulated edges: self-edges (re-acquisition on
+// one call path), tier inversions, and cycles among the rest.
+func (lo *lockOrderPass) report() {
+	cyclic := lo.cyclicEdges()
+	for _, e := range lo.edges {
+		fromTier, fromTiered := lockTiers[string(e.from)]
+		toTier, toTiered := lockTiers[string(e.to)]
+		switch {
+		case e.from == e.to:
+			lo.p.Reportf(e.pos, "%s acquired while a call path already holds it; sync mutexes are not reentrant and a queued writer deadlocks recursive read-locks", e.to)
+		case fromTiered && toTiered:
+			// Tiered pairs answer to the hierarchy alone: the inverted edge
+			// reports, the legal descending edge stays silent even when an
+			// inversion elsewhere closes a cycle through it.
+			if fromTier >= toTier {
+				lo.p.Reportf(e.pos, "%s (tier %d) acquired while holding %s (tier %d); the lock hierarchy insertMu > statsMu > per-shard must only be descended", e.to, toTier, e.from, fromTier)
+			}
+		case cyclic[[2]lockNode{e.from, e.to}]:
+			lo.p.Reportf(e.pos, "acquisition edge %s → %s participates in a lock-order cycle; pick one order and use it everywhere", e.from, e.to)
+		}
+	}
+}
+
+// cyclicEdges returns the edges inside a strongly connected component of
+// the acquisition graph (self-edges and tier inversions report separately).
+func (lo *lockOrderPass) cyclicEdges() map[[2]lockNode]bool {
+	adj := make(map[lockNode][]lockNode)
+	for _, e := range lo.edges {
+		if e.from != e.to {
+			adj[e.from] = append(adj[e.from], e.to)
+		}
+	}
+	// reaches reports whether to is reachable from from.
+	reaches := func(from, to lockNode) bool {
+		seen := map[lockNode]bool{}
+		stack := []lockNode{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if n == to {
+				return true
+			}
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			stack = append(stack, adj[n]...)
+		}
+		return false
+	}
+	out := make(map[[2]lockNode]bool)
+	for _, e := range lo.edges {
+		if e.from != e.to && reaches(e.to, e.from) {
+			out[[2]lockNode{e.from, e.to}] = true
+		}
+	}
+	return out
+}
+
+// mutexCall unwraps call as sync.Mutex/RWMutex method invocation,
+// returning the receiver expression and method name.
+func (lo *lockOrderPass) mutexCall(call *ast.CallExpr) (ast.Expr, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn, ok := lo.p.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, ""
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil, ""
+	}
+	name := recv.Type().String()
+	if name != "*sync.Mutex" && name != "*sync.RWMutex" {
+		return nil, ""
+	}
+	return sel.X, fn.Name()
+}
+
+// calleeFunc resolves a call's target as a declared function or method.
+func (lo *lockOrderPass) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := lo.p.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := lo.p.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// nodeFor canonicalizes the expression a mutex method was invoked on.
+// Struct fields collapse to package.Type.field (every instance of a
+// per-shard lock is the same tier), package-level vars to package.name,
+// locals to their declaration site.
+func (lo *lockOrderPass) nodeFor(recv ast.Expr) lockNode {
+	pkgName := ""
+	if lo.p.Pkg != nil {
+		pkgName = lo.p.Pkg.Name()
+	}
+	switch e := recv.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := lo.p.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			owner := namedTypeName(sel.Recv())
+			return lockNode(fmt.Sprintf("%s.%s.%s", pkgName, owner, sel.Obj().Name()))
+		}
+		// Package-qualified var: pkg.mu.Lock().
+		if obj, ok := lo.p.TypesInfo.Uses[e.Sel].(*types.Var); ok {
+			return lockNode(fmt.Sprintf("%s.%s", pkgName, obj.Name()))
+		}
+	case *ast.Ident:
+		if obj := lo.p.TypesInfo.ObjectOf(e); obj != nil {
+			if obj.Parent() == lo.p.Pkg.Scope() {
+				return lockNode(fmt.Sprintf("%s.%s", pkgName, obj.Name()))
+			}
+			return lockNode(fmt.Sprintf("local:%s@%d", obj.Name(), obj.Pos()))
+		}
+	case *ast.ParenExpr:
+		return lo.nodeFor(e.X)
+	case *ast.StarExpr:
+		return lo.nodeFor(e.X)
+	}
+	return lockNode("expr:" + types.ExprString(recv))
+}
+
+// namedTypeName unwraps pointers and generic instantiations down to the
+// defining type's name.
+func namedTypeName(t types.Type) string {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt.Obj().Name()
+		default:
+			return t.String()
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ParDet enforces the determinism contract PR 3 established for parallel
+// stages: a closure handed to par.Range (or sized by par.Workers) may only
+// write per-item slots of a preallocated slice, indexed by its own loop
+// variable. Everything else a parallel body might do to captured state —
+// accumulate into a captured scalar, append to a shared slice, write a
+// map, draw from an rng — either races outright or makes the result
+// depend on goroutine interleaving and worker count, breaking the
+// byte-identical-at-any-fan-out guarantee the benchmarks and snapshot
+// tests pin. Floating-point accumulations and rng draws belong on the
+// serial path in sample order (see vq.TrainVocabularyWorkers for the
+// canonical split).
+var ParDet = &Analyzer{
+	Name: "pardet",
+	Doc:  "flags non-slot writes, appends, map writes, and rng draws inside par.Range/par.Workers closures",
+	Run:  runParDet,
+}
+
+func runParDet(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isParCall(call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					checkParBody(p, lit)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isParCall matches par.Range(...) / par.Workers(...) by selector shape so
+// golden fixtures can model the par package with a local stub.
+func isParCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if x, ok := sel.X.(*ast.Ident); !ok || x.Name != "par" {
+		return false
+	}
+	return sel.Sel.Name == "Range" || sel.Sel.Name == "Workers"
+}
+
+// checkParBody scans one parallel closure for writes that escape the
+// per-slot discipline and for rng draws.
+func checkParBody(p *Pass, lit *ast.FuncLit) {
+	captured := func(obj types.Object) bool {
+		return obj != nil && (obj.Pos() < lit.Pos() || obj.Pos() > lit.End())
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok.String() == ":=" {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				checkParWrite(p, lit, captured, lhs, rhs)
+			}
+		case *ast.IncDecStmt:
+			checkParWrite(p, lit, captured, n.X, nil)
+		case *ast.CallExpr:
+			if fn := calledFunc(p, n); fn != nil && fn.Pkg() != nil {
+				switch fn.Pkg().Path() {
+				case "math/rand", "math/rand/v2":
+					p.Reportf(n.Pos(), "rng draw inside a parallel body makes the stream depend on goroutine interleaving; draw on the serial path in sample order")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkParWrite classifies one assignment target inside a parallel body.
+// The legal shape is a disjoint-slot write: an access chain rooted in a
+// captured slice where some index is derived from the closure's own loop
+// variable (slots[i], pairs[i].v, rows[i][j]). Everything else on a
+// captured root is reported.
+func checkParWrite(p *Pass, lit *ast.FuncLit, captured func(types.Object) bool, lhs, rhs ast.Expr) {
+	root := exprRootIdent(lhs)
+	if root == nil || !captured(p.TypesInfo.ObjectOf(root)) {
+		return
+	}
+	hasIndex, viaMap, localIdx := classifyAccess(p, lit, lhs)
+	if viaMap {
+		p.Reportf(lhs.Pos(), "write to captured map %s inside a parallel body; map writes race — collect per-item results into slice slots and fold serially", root.Name)
+		return
+	}
+	if hasIndex {
+		if !localIdx {
+			p.Reportf(lhs.Pos(), "indexed write to captured %s is not derived from the loop variable; parallel bodies must write disjoint slots", root.Name)
+		}
+		return
+	}
+	if _, ok := lhs.(*ast.Ident); ok {
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+				p.Reportf(lhs.Pos(), "append to captured %s inside a parallel body races and its element order depends on worker count; preallocate and fill fixed slots instead", root.Name)
+				return
+			}
+		}
+		p.Reportf(lhs.Pos(), "write to captured %s inside a parallel body; parallel bodies must write disjoint slots of a preallocated slice, accumulations belong on the serial path", root.Name)
+		return
+	}
+	p.Reportf(lhs.Pos(), "write through captured %s inside a parallel body; shared structure mutation races across workers", root.Name)
+}
+
+// classifyAccess unwraps an lvalue's access chain, reporting whether it
+// indexes at all, whether any level indexes a map, and whether any index
+// expression mentions an identifier declared inside the closure (the loop
+// variable or something derived from it).
+func classifyAccess(p *Pass, lit *ast.FuncLit, lhs ast.Expr) (hasIndex, viaMap, localIdx bool) {
+	e := lhs
+	for {
+		switch t := e.(type) {
+		case *ast.IndexExpr:
+			hasIndex = true
+			if tv, ok := p.TypesInfo.Types[t.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					viaMap = true
+				}
+			}
+			ast.Inspect(t.Index, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := p.TypesInfo.ObjectOf(id); obj != nil && obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+						localIdx = true
+					}
+				}
+				return !localIdx
+			})
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.SelectorExpr:
+			e = t.X
+		default:
+			return hasIndex, viaMap, localIdx
+		}
+	}
+}
+
+// exprRootIdent unwraps selectors, derefs, parens, and indexes down to the
+// base identifier of an lvalue.
+func exprRootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			return t
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// calledFunc resolves the *types.Func a call invokes, if any.
+func calledFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := p.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"go/token"
 	"strings"
 )
 
@@ -13,10 +14,56 @@ type allowKey struct {
 	analyzer string
 }
 
-type allowSet map[allowKey]bool
+// pragmaRec is one parsed allow pragma; used tracks whether any diagnostic
+// was actually suppressed through it, so dead pragmas can be reported.
+type pragmaRec struct {
+	pos   token.Position
+	names []string
+	used  bool
+}
 
-func (s allowSet) allowed(d Diagnostic) bool {
-	return s[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]
+// allowSet indexes every (file, line, analyzer) allowance back to its
+// pragma of origin.
+type allowSet struct {
+	keys    map[allowKey]*pragmaRec
+	pragmas []*pragmaRec
+}
+
+func (s *allowSet) allowed(d Diagnostic) bool {
+	rec := s.keys[allowKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}]
+	if rec == nil {
+		return false
+	}
+	rec.used = true
+	return true
+}
+
+// unusedDiags reports pragmas that suppressed nothing this run. A pragma
+// is only judged when every analyzer it names is in the running set — a
+// partial -run invocation cannot tell whether the others would have used
+// it.
+func (s *allowSet) unusedDiags(analyzers []*Analyzer) []Diagnostic {
+	running := make(map[string]bool)
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, rec := range s.pragmas {
+		if rec.used {
+			continue
+		}
+		judgeable := true
+		for _, n := range rec.names {
+			if !running[n] {
+				judgeable = false
+			}
+		}
+		if !judgeable {
+			continue
+		}
+		out = append(out, Diagnostic{Pos: rec.pos, Analyzer: "pragma", Message: "allow pragma suppresses nothing; delete it or move it onto the offending line"})
+	}
+	return out
 }
 
 // collectAllows scans a package's comments for //figlint:allow pragmas.
@@ -28,13 +75,15 @@ func (s allowSet) allowed(d Diagnostic) bool {
 //
 // Pragmas with no analyzer names, an unknown analyzer name, or no reason
 // are reported as diagnostics themselves so vetted exceptions stay
-// auditable.
-func collectAllows(pkg *Package, analyzers []*Analyzer) (allowSet, []Diagnostic) {
+// auditable; a well-formed pragma that ends up suppressing nothing is
+// reported after the run (see allowSet.unusedDiags) so stale allowances
+// don't linger as silent holes.
+func collectAllows(pkg *Package, analyzers []*Analyzer) (*allowSet, []Diagnostic) {
 	known := make(map[string]bool)
 	for _, a := range All() {
 		known[a.Name] = true
 	}
-	allows := make(allowSet)
+	allows := &allowSet{keys: make(map[allowKey]*pragmaRec)}
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -74,9 +123,11 @@ func collectAllows(pkg *Package, analyzers []*Analyzer) (allowSet, []Diagnostic)
 				// The pragma covers its own line (trailing form) and the
 				// line after the comment's end (standalone form).
 				endLine := pkg.Fset.Position(c.End()).Line
+				rec := &pragmaRec{pos: pos, names: fields}
+				allows.pragmas = append(allows.pragmas, rec)
 				for _, n := range fields {
-					allows[allowKey{pos.Filename, pos.Line, n}] = true
-					allows[allowKey{pos.Filename, endLine + 1, n}] = true
+					allows.keys[allowKey{pos.Filename, pos.Line, n}] = rec
+					allows.keys[allowKey{pos.Filename, endLine + 1, n}] = rec
 				}
 			}
 		}

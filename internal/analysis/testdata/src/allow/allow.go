@@ -21,7 +21,7 @@ func unknownName(a, b float64) bool {
 }
 
 func wrongAnalyzer(a, b float64) bool {
-	//figlint:allow maporder -- fixture: names the wrong analyzer, so floatcmp still fires
+	//figlint:allow maporder -- fixture: names the wrong analyzer, so floatcmp still fires // want "suppresses nothing"
 	return a == b // want "floating-point"
 }
 

@@ -1,0 +1,80 @@
+// Fixture for the ctxflow analyzer. The package is named retrieval so the
+// exported-entry-point rule applies.
+package retrieval
+
+import "context"
+
+type Item struct{ Score float64 }
+
+type Engine struct{}
+
+func (e *Engine) run(ctx context.Context, q string, k int) []Item { return nil }
+
+// SearchContext is the cancellable form — context parameter, no findings.
+func (e *Engine) SearchContext(ctx context.Context, q string, k int) ([]Item, error) {
+	return e.run(ctx, q, k), nil
+}
+
+// Search delegates: Background as a direct argument of the call to
+// SearchContext is the sanctioned wrapper idiom.
+func (e *Engine) Search(q string, k int) []Item {
+	out, _ := e.SearchContext(context.Background(), q, k)
+	return out
+}
+
+// SearchTA neither takes a context nor delegates — the hung-shard shape.
+func (e *Engine) SearchTA(q string, k int) []Item { // want "neither takes a context.Context nor delegates"
+	return e.run(context.TODO(), q, k) // want "detaches this call tree from request cancellation"
+}
+
+// SearchDirect takes the context itself.
+func (e *Engine) SearchDirect(ctx context.Context, q string, k int) []Item {
+	return e.run(ctx, q, k)
+}
+
+// RecommendContext + Recommend: the delegation rule covers the recommend
+// surface too.
+func (e *Engine) RecommendContext(ctx context.Context, user string, k int) ([]Item, error) {
+	return e.run(ctx, user, k), nil
+}
+
+func (e *Engine) Recommend(user string, k int) []Item {
+	out, _ := e.RecommendContext(context.Background(), user, k)
+	return out
+}
+
+// helper mints a Background outside any delegation call.
+func (e *Engine) helper(q string) []Item {
+	ctx := context.Background() // want "detaches this call tree from request cancellation"
+	return e.run(ctx, q, 1)
+}
+
+// wrongDelegate calls some other *Context function; Background is not
+// sanctioned by a name mismatch.
+func (e *Engine) wrongDelegate(q string, k int) []Item {
+	out, _ := e.SearchContext(context.Background(), q, k) // want "detaches this call tree from request cancellation"
+	return out
+}
+
+// unexported blocking helpers are not entry points.
+func (e *Engine) searchLocal(q string, k int) []Item {
+	return nil
+}
+
+// SearchStats is exported but its body delegates, so only the delegation
+// rule applies and it is satisfied.
+func (e *Engine) SearchStats(q string) []Item {
+	out, _ := e.SearchStatsContext(context.Background(), q)
+	return out
+}
+
+func (e *Engine) SearchStatsContext(ctx context.Context, q string) ([]Item, error) {
+	return e.run(ctx, q, 1), nil
+}
+
+// pragmaCase keeps the vetted-exception path covered.
+func (e *Engine) pragmaCase(q string) []Item {
+	//figlint:allow ctxflow -- fixture: offline tool path, cancellation owned by the caller
+	ctx := context.Background() // silent: allowed above
+	return e.run(ctx, q, 1)
+}

@@ -1,0 +1,12 @@
+// Scope fixture for ctxflow: package main owns the root context, so
+// minting Background here is exactly right and produces nothing.
+package main
+
+import "context"
+
+func run(ctx context.Context) error { return nil }
+
+func main() {
+	ctx := context.Background() // silent: main owns the root context
+	_ = run(ctx)
+}

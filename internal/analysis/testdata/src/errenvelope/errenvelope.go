@@ -1,0 +1,53 @@
+// Fixture for the errenvelope analyzer. The package is named server so
+// the envelope rule applies; writeError stands in for the real /v1
+// envelope helper.
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// writeError is the envelope helper: every error becomes a JSON body.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status) // silent: non-constant status is the helper's own plumbing
+	_ = json.NewEncoder(w).Encode(map[string]any{"error": map[string]string{"code": code, "message": msg}})
+}
+
+func rawError(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "bad request", http.StatusBadRequest) // want "bypasses the /v1 JSON error envelope"
+}
+
+func bareHeader(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusNotFound) // want "no JSON envelope body"
+}
+
+func bareHeaderLiteral(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(500) // want "no JSON envelope body"
+}
+
+func enveloped(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusBadRequest, "bad_query", "missing id") // silent: the envelope path
+}
+
+func success(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusCreated) // silent: success statuses need no envelope
+	_ = json.NewEncoder(w).Encode(map[string]bool{"ok": true})
+}
+
+// statusWriter mirrors the instrumentation middleware: forwarding a
+// recorded, non-constant status is the plumbing envelopes ride on.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) flush(w http.ResponseWriter) {
+	w.WriteHeader(sw.status) // silent: dynamic status forward
+}
+
+func pragmaCase(w http.ResponseWriter, r *http.Request) {
+	//figlint:allow errenvelope -- fixture: raw probe endpoint predating the envelope
+	http.Error(w, "gone", http.StatusGone) // silent: allowed above
+}

@@ -1,0 +1,93 @@
+// Fixture for the genstamp analyzer: generation-stamped cache fills must
+// re-load the generation after computing and discard on mismatch. The
+// local Cache/model stubs mirror internal/floatcache's Put shape.
+package fixture
+
+type Cache struct{ m map[string]float64 }
+
+func (c *Cache) Put(gen uint64, key string, v float64) { c.m[key] = v }
+
+type pool struct{}
+
+// Put here has one argument, like sync.Pool's — never a stamped fill.
+func (p *pool) Put(v interface{}) {}
+
+type model struct{ gen uint64 }
+
+func (m *model) Generation() uint64 { return m.gen }
+
+func compute() float64 { return 1.0 }
+
+// guarded is the blessed idiom: capture, compute, re-check, fill.
+func guarded(m *model, c *Cache, key string) float64 {
+	gen := m.Generation()
+	v := compute()
+	if m.Generation() == gen {
+		c.Put(gen, key, v) // silent: guarded by the re-check above
+	}
+	return v
+}
+
+// guardedFlipped writes the comparison the other way round.
+func guardedFlipped(m *model, c *Cache, key string) float64 {
+	gen := m.Generation()
+	v := compute()
+	if gen == m.Generation() {
+		c.Put(gen, key, v) // silent: same guard, operands swapped
+	}
+	return v
+}
+
+// guardedCompound keeps the re-check inside a compound condition.
+func guardedCompound(m *model, c *Cache, key string, ok bool) float64 {
+	gen := m.Generation()
+	v := compute()
+	if ok && m.Generation() == gen {
+		c.Put(gen, key, v) // silent: the && arm carries the re-check
+	}
+	return v
+}
+
+// unguarded publishes a value computed against possibly-superseded state.
+func unguarded(m *model, c *Cache, key string) float64 {
+	gen := m.Generation()
+	v := compute()
+	c.Put(gen, key, v) // want "not guarded by a post-compute generation re-check"
+	return v
+}
+
+// wrongGuard re-checks a different expression than the one stamped in.
+func wrongGuard(m *model, c *Cache, key string, other uint64) float64 {
+	gen := m.Generation()
+	v := compute()
+	if m.Generation() == other {
+		c.Put(gen, key, v) // want "not guarded by a post-compute generation re-check"
+	}
+	return v
+}
+
+// closureGuard: a guard in the enclosing function does not cover a fill
+// inside a nested literal — the race window is the literal's own.
+func closureGuard(m *model, c *Cache, key string) func() {
+	gen := m.Generation()
+	v := compute()
+	if m.Generation() == gen {
+		return func() {
+			c.Put(gen, key, v) // want "not guarded by a post-compute generation re-check"
+		}
+	}
+	return nil
+}
+
+// poolPut: one-argument Puts are not stamped fills.
+func poolPut(p *pool) {
+	p.Put(42) // silent: not a generation-stamped cache
+}
+
+// pragmaCase keeps the vetted-exception path covered.
+func pragmaCase(m *model, c *Cache, key string) {
+	gen := m.Generation()
+	v := compute()
+	//figlint:allow genstamp -- fixture: single-threaded fill, no generation race
+	c.Put(gen, key, v) // silent: allowed above
+}

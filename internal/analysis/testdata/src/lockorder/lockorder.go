@@ -1,0 +1,137 @@
+// Fixture for the lockorder analyzer. The package is named shard so the
+// tier table (shard.Router.insertMu > shard.Router.statsMu >
+// shard.shardState.mu) applies.
+package shard
+
+import "sync"
+
+type shardState struct {
+	mu      sync.RWMutex
+	objects int
+}
+
+type Router struct {
+	insertMu sync.Mutex
+	statsMu  sync.RWMutex
+	shards   []*shardState
+}
+
+// legalInsert mirrors the real routed-insert protocol: insertMu for the
+// whole insert, statsMu only for the global phase (released before the
+// shard phase), then the owning shard's lock. Every edge descends, the
+// insertMu→shard edge legitimately skips tier 1.
+func (r *Router) legalInsert() {
+	r.insertMu.Lock()
+	defer r.insertMu.Unlock()
+	r.appendObject() // silent: insertMu → statsMu descends
+	sh := r.shards[0]
+	sh.mu.Lock() // silent: insertMu → shard mu skips a tier downward
+	sh.objects++
+	sh.mu.Unlock()
+}
+
+func (r *Router) appendObject() {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+}
+
+// invertedInsert takes the statistics lock first and then tries to start
+// an insert — the tier-1-before-tier-0 inversion that deadlocks against
+// legalInsert.
+func (r *Router) invertedInsert() {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	r.insertMu.Lock() // want "must only be descended"
+	r.insertMu.Unlock()
+}
+
+// shardThenStats reads shard state and then reaches back up for the
+// global statistics — ascending from tier 2 to tier 1.
+func (r *Router) shardThenStats(sh *shardState) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r.statsMu.RLock() // want "must only be descended"
+	defer r.statsMu.RUnlock()
+}
+
+// View pins the statistics; viewTwice re-enters it through a call while
+// the read lock is already held — a deadlock once a writer queues between
+// the two acquisitions.
+func (r *Router) View(fn func()) {
+	r.statsMu.RLock()
+	defer r.statsMu.RUnlock()
+	fn()
+}
+
+func (r *Router) viewTwice() {
+	r.statsMu.RLock()
+	defer r.statsMu.RUnlock()
+	r.View(func() {}) // want "not reentrant"
+}
+
+// Two untiered locks acquired in opposite orders in different functions:
+// neither order is blessed, so both edges of the cycle report.
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+func abOrder() {
+	muA.Lock()
+	defer muA.Unlock()
+	muB.Lock() // want "lock-order cycle"
+	muB.Unlock()
+}
+
+func baOrder() {
+	muB.Lock()
+	defer muB.Unlock()
+	muA.Lock() // want "lock-order cycle"
+	muA.Unlock()
+}
+
+// goroutineScope: a spawned worker's acquisitions do not extend the
+// parent's held set — no insertMu→statsMu-inversion edge exists here.
+func (r *Router) goroutineScope() {
+	r.statsMu.RLock()
+	defer r.statsMu.RUnlock()
+	go func() {
+		r.insertMu.Lock() // silent: goroutine body starts with an empty held set
+		r.insertMu.Unlock()
+	}()
+}
+
+// gatherStyle: a function literal passed to a call while statsMu is held
+// runs under it — its shard-lock acquisition descends, staying silent.
+func (r *Router) gatherStyle() {
+	r.statsMu.RLock()
+	defer r.statsMu.RUnlock()
+	r.each(func(sh *shardState) {
+		sh.mu.RLock() // silent: statsMu → shard mu descends
+		defer sh.mu.RUnlock()
+	})
+}
+
+func (r *Router) each(fn func(*shardState)) {
+	for _, sh := range r.shards {
+		fn(sh)
+	}
+}
+
+// released: an explicit unlock before the next acquisition leaves no held
+// edge at all.
+func (r *Router) released() {
+	r.statsMu.Lock()
+	r.statsMu.Unlock()
+	r.insertMu.Lock() // silent: statsMu was released first
+	defer r.insertMu.Unlock()
+}
+
+// pragmaCase: a vetted inversion stays suppressible.
+func (r *Router) pragmaCase(sh *shardState) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	//figlint:allow lockorder -- fixture: vetted exception keeps the pragma path covered
+	r.statsMu.RLock() // silent: allowed above
+	defer r.statsMu.RUnlock()
+}

@@ -1,0 +1,115 @@
+// Fixture for the pardet analyzer: closures handed to par.Range may only
+// fill disjoint slots indexed by their own loop variable. The local par
+// stub mirrors internal/par's API shape.
+package fixture
+
+import "math/rand"
+
+type parAPI struct{}
+
+func (parAPI) Range(n, workers int, body func(lo, hi int)) { body(0, n) }
+func (parAPI) Workers(workers, n int) int                  { return 1 }
+
+var par parAPI
+
+type result struct{ v float64 }
+
+func slotFill(n int) []float64 {
+	slots := make([]float64, n)
+	par.Range(n, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			slots[i] = float64(i) // silent: disjoint slot indexed by the loop variable
+		}
+	})
+	return slots
+}
+
+func structSlotFill(n int) []result {
+	slots := make([]result, n)
+	par.Range(n, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			slots[i].v = float64(i) // silent: field of a disjoint slot
+		}
+	})
+	return slots
+}
+
+func capturedAccumulate(n int) float64 {
+	var total float64
+	par.Range(n, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			total += float64(i) // want "write to captured total"
+		}
+	})
+	return total
+}
+
+func sharedAppend(n int) []float64 {
+	var out []float64
+	par.Range(n, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out = append(out, float64(i)) // want "append to captured out"
+		}
+	})
+	return out
+}
+
+func mapWrite(n int) map[int]float64 {
+	m := make(map[int]float64)
+	par.Range(n, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m[i] = float64(i) // want "write to captured map m"
+		}
+	})
+	return m
+}
+
+func fixedSlot(n int) []float64 {
+	slots := make([]float64, n)
+	par.Range(n, 4, func(lo, hi int) {
+		slots[0] = 1 // want "not derived from the loop variable"
+	})
+	return slots
+}
+
+func rngDraw(n int, rng *rand.Rand) []float64 {
+	slots := make([]float64, n)
+	par.Range(n, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			slots[i] = rng.Float64() // want "rng draw inside a parallel body"
+		}
+	})
+	return slots
+}
+
+func localState(n int) []float64 {
+	slots := make([]float64, n)
+	par.Range(n, 4, func(lo, hi int) {
+		sum := 0.0 // silent: closure-local accumulator
+		for i := lo; i < hi; i++ {
+			sum += float64(i)
+			slots[i] = sum
+		}
+	})
+	return slots
+}
+
+func serialAppend(n int) []float64 {
+	// Outside a parallel body the same shapes are fine.
+	var out []float64
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i)) // silent: serial path
+	}
+	return out
+}
+
+func pragmaCase(n int) float64 {
+	var total float64
+	par.Range(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			//figlint:allow pardet -- fixture: single worker pinned by the caller
+			total += float64(i) // silent: allowed above
+		}
+	})
+	return total
+}

@@ -249,8 +249,17 @@ func (e *Engine) SearchPreparedContext(ctx context.Context, p *PreparedQuery, k 
 
 // SearchTAPrepared is SearchTA with the query-side work already done.
 func (e *Engine) SearchTAPrepared(p *PreparedQuery, k int, exclude media.ObjectID) []topk.Item {
+	out, _ := e.SearchTAPreparedContext(context.Background(), p, k, exclude)
+	return out
+}
+
+// SearchTAPreparedContext is SearchTAPrepared under a context — the
+// per-shard leg of the router's SearchTAContext. Cancellation follows the
+// SearchContext contract: on a done context the partial lists are
+// discarded and ctx.Err() comes back.
+func (e *Engine) SearchTAPreparedContext(ctx context.Context, p *PreparedQuery, k int, exclude media.ObjectID) ([]topk.Item, error) {
 	if e.Index == nil {
-		return e.SearchScan(p.query, k, exclude)
+		return e.SearchScanContext(ctx, p.query, k, exclude)
 	}
 	tr := e.metrics.begin(obs.PathTA)
 	acc := getAccum()
@@ -259,13 +268,17 @@ func (e *Engine) SearchTAPrepared(p *PreparedQuery, k int, exclude media.ObjectI
 	acc.lookupKeys(e.Index, p.keys)
 	tr.End(obs.StageGather, st)
 	st = tr.Begin()
-	lists := e.cliqueLists(p.cs, acc.entries, exclude, true)
+	lists, err := e.cliqueLists(ctx, p.cs, acc.entries, exclude, true)
 	tr.End(obs.StageScore, st)
+	if err != nil {
+		e.metrics.finish(tr)
+		return nil, err
+	}
 	st = tr.Begin()
 	out := topk.ThresholdMerge(lists, k)
 	tr.End(obs.StageMerge, st)
 	e.metrics.finish(tr)
-	return out
+	return out, nil
 }
 
 // compile builds the query's compiled clique set, serving the Eq. 9 CorS
@@ -398,8 +411,16 @@ func (e *Engine) workerCount(n int) int {
 // the cross-clique smoothing mass of Search for cheaper scoring; the
 // ablation benchmarks compare the two.
 func (e *Engine) SearchTA(q *media.Object, k int, exclude media.ObjectID) []topk.Item {
+	out, _ := e.SearchTAContext(context.Background(), q, k, exclude)
+	return out
+}
+
+// SearchTAContext is SearchTA under a context, with the same cancellation
+// contract as SearchContext: checked every cancelStride postings while the
+// per-clique lists build, partial work discarded on cancellation.
+func (e *Engine) SearchTAContext(ctx context.Context, q *media.Object, k int, exclude media.ObjectID) ([]topk.Item, error) {
 	if e.Index == nil {
-		return e.SearchScan(q, k, exclude)
+		return e.SearchScanContext(ctx, q, k, exclude)
 	}
 	tr := e.metrics.begin(obs.PathTA)
 	st := tr.Begin()
@@ -414,13 +435,17 @@ func (e *Engine) SearchTA(q *media.Object, k int, exclude media.ObjectID) []topk
 	cs := e.compile(cliques, acc.entries)
 	tr.End(obs.StagePrepare, st)
 	st = tr.Begin()
-	lists := e.cliqueLists(cs, acc.entries, exclude, true)
+	lists, err := e.cliqueLists(ctx, cs, acc.entries, exclude, true)
 	tr.End(obs.StageScore, st)
+	if err != nil {
+		e.metrics.finish(tr)
+		return nil, err
+	}
 	st = tr.Begin()
 	out := topk.ThresholdMerge(lists, k)
 	tr.End(obs.StageMerge, st)
 	e.metrics.finish(tr)
-	return out
+	return out, nil
 }
 
 // cliqueLists scores each indexed query clique's posting list with that
@@ -429,14 +454,22 @@ func (e *Engine) SearchTA(q *media.Object, k int, exclude media.ObjectID) []topk
 // exact score ties); cliques without an index entry are skipped, matching
 // the previous sequential construction. When sorted is set each list is
 // ranked best-first, as TA requires. List construction stripes across the
-// configured workers since the lists are independent.
-func (e *Engine) cliqueLists(cs *mrf.CliqueSet, entries []*index.Entry, exclude media.ObjectID, sorted bool) [][]topk.Item {
+// configured workers since the lists are independent. Cancellation is
+// checked every cancelStride postings per stripe (the counter carries
+// across lists so short posting lists still hit the check), only when the
+// context is cancellable — Background-context callers pay nothing.
+func (e *Engine) cliqueLists(ctx context.Context, cs *mrf.CliqueSet, entries []*index.Entry, exclude media.ObjectID, sorted bool) ([][]topk.Item, error) {
 	corpus := e.Model.Stats.Corpus()
+	done := ctx.Done()
 	slots := make([][]topk.Item, len(entries))
-	fill := func(i int) {
+	fill := func(i, cnt int) (int, bool) {
 		entry := entries[i]
 		list := make([]topk.Item, 0, len(entry.Objects))
 		for _, oid := range entry.Objects {
+			if done != nil && cnt%cancelStride == 0 && ctx.Err() != nil {
+				return cnt, false
+			}
+			cnt++
 			if oid == exclude {
 				continue
 			}
@@ -450,28 +483,44 @@ func (e *Engine) cliqueLists(cs *mrf.CliqueSet, entries []*index.Entry, exclude 
 			sortItems(list)
 		}
 		slots[i] = list
+		return cnt, true
 	}
 	workers := e.workerCount(len(entries))
 	if workers <= 1 {
+		cnt := 0
 		for i := range entries {
-			if entries[i] != nil {
-				fill(i)
+			if entries[i] == nil {
+				continue
+			}
+			var ok bool
+			if cnt, ok = fill(i, cnt); !ok {
+				return nil, ctx.Err()
 			}
 		}
 	} else {
+		var cancelled atomic.Bool
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				cnt := 0
 				for i := w; i < len(entries); i += workers {
-					if entries[i] != nil {
-						fill(i)
+					if entries[i] == nil {
+						continue
+					}
+					var ok bool
+					if cnt, ok = fill(i, cnt); !ok {
+						cancelled.Store(true)
+						return
 					}
 				}
 			}(w)
 		}
 		wg.Wait()
+		if cancelled.Load() {
+			return nil, ctx.Err()
+		}
 	}
 	lists := make([][]topk.Item, 0, len(entries))
 	for i := range entries {
@@ -479,7 +528,7 @@ func (e *Engine) cliqueLists(cs *mrf.CliqueSet, entries []*index.Entry, exclude 
 			lists = append(lists, slots[i])
 		}
 	}
-	return lists
+	return lists, nil
 }
 
 // SearchScan ranks every database object by the full MRF score — the
@@ -570,16 +619,26 @@ func (e *Engine) SearchScanContext(ctx context.Context, q *media.Object, k int, 
 // SearchMergeFull is the no-TA ablation of SearchTA: identical per-clique
 // candidate lists but an exhaustive merge instead of threshold termination.
 func (e *Engine) SearchMergeFull(q *media.Object, k int, exclude media.ObjectID) []topk.Item {
+	out, _ := e.SearchMergeFullContext(context.Background(), q, k, exclude)
+	return out
+}
+
+// SearchMergeFullContext is SearchMergeFull under a context, sharing
+// cliqueLists' cancellation behaviour with the TA path.
+func (e *Engine) SearchMergeFullContext(ctx context.Context, q *media.Object, k int, exclude media.ObjectID) ([]topk.Item, error) {
 	if e.Index == nil {
-		return e.SearchScan(q, k, exclude)
+		return e.SearchScanContext(ctx, q, k, exclude)
 	}
 	cliques := e.QueryCliques(q)
 	acc := getAccum()
 	defer putAccum(acc)
 	acc.lookup(e.Index, cliques)
 	cs := e.compile(cliques, acc.entries)
-	lists := e.cliqueLists(cs, acc.entries, exclude, false)
-	return topk.FullMerge(lists, k)
+	lists, err := e.cliqueLists(ctx, cs, acc.entries, exclude, false)
+	if err != nil {
+		return nil, err
+	}
+	return topk.FullMerge(lists, k), nil
 }
 
 func sortItems(items []topk.Item) {

@@ -1,0 +1,101 @@
+package retrieval
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"figfusion/internal/topk"
+)
+
+// TestTAContextParity: each TA-family context variant with an undone
+// context is byte-identical to its plain form, and a pre-cancelled
+// context aborts with ctx.Canceled and no results.
+func TestTAContextParity(t *testing.T) {
+	d := testData(t)
+	e := newEngine(t, d, Config{})
+	q := d.Corpus.Object(5)
+	p := e.Prepare(q)
+
+	cases := []struct {
+		name  string
+		plain func() []topk.Item
+		ctxed func(context.Context) ([]topk.Item, error)
+	}{
+		{
+			"SearchTA",
+			func() []topk.Item { return e.SearchTA(q, 8, q.ID) },
+			func(ctx context.Context) ([]topk.Item, error) { return e.SearchTAContext(ctx, q, 8, q.ID) },
+		},
+		{
+			"SearchTAPrepared",
+			func() []topk.Item { return e.SearchTAPrepared(p, 8, q.ID) },
+			func(ctx context.Context) ([]topk.Item, error) { return e.SearchTAPreparedContext(ctx, p, 8, q.ID) },
+		},
+		{
+			"SearchMergeFull",
+			func() []topk.Item { return e.SearchMergeFull(q, 8, q.ID) },
+			func(ctx context.Context) ([]topk.Item, error) { return e.SearchMergeFullContext(ctx, q, 8, q.ID) },
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			want := c.plain()
+			if len(want) == 0 {
+				t.Fatal("plain search returned nothing; fixture too small")
+			}
+			got, err := c.ctxed(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("lengths differ: %d vs %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("rank %d: context variant %v vs plain %v", i, got[i], want[i])
+				}
+			}
+
+			cctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			items, err := c.ctxed(cctx)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if items != nil {
+				t.Errorf("cancelled search returned results: %v", items)
+			}
+		})
+	}
+}
+
+// TestTAContextParityParallel repeats the parity check with a multi-worker
+// engine, exercising cliqueLists' striped path and its cancelled-stripe
+// abort.
+func TestTAContextParityParallel(t *testing.T) {
+	d := testData(t)
+	serial := newEngine(t, d, Config{})
+	parallel := newEngine(t, d, Config{Workers: 4})
+	q := d.Corpus.Object(9)
+
+	want := serial.SearchTA(q, 8, q.ID)
+	got, err := parallel.SearchTAContext(context.Background(), q, 8, q.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("rank %d: 4 workers %v vs serial %v", i, got[i], want[i])
+		}
+	}
+
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := parallel.SearchTAContext(cctx, q, 8, q.ID); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -211,15 +211,22 @@ func (r *Router) SearchContext(ctx context.Context, q *media.Object, k int, excl
 // aggregates are exact), and the exact per-shard top-k lists merge to the
 // exact global top-k.
 func (r *Router) SearchTA(q *media.Object, k int, exclude media.ObjectID) []topk.Item {
+	out, _ := r.SearchTAContext(context.Background(), q, k, exclude)
+	return out
+}
+
+// SearchTAContext is SearchTA under a context, with SearchContext's
+// cancellation contract: a done context aborts the scatter with ctx.Err(),
+// an undone one returns results byte-identical to SearchTA.
+func (r *Router) SearchTAContext(ctx context.Context, q *media.Object, k int, exclude media.ObjectID) ([]topk.Item, error) {
 	r.statsMu.RLock()
 	defer r.statsMu.RUnlock()
 	st := r.metrics.begin()
 	p := r.shards[0].eng.Prepare(q)
 	r.metrics.endPrepare(st)
-	out, _ := r.gather(k, func(sh *shardState) ([]topk.Item, error) {
-		return sh.searchTA(p, k, exclude), nil
+	return r.gather(k, func(sh *shardState) ([]topk.Item, error) {
+		return sh.searchTA(ctx, p, k, exclude)
 	})
-	return out
 }
 
 // gather runs one search on every shard and folds the per-shard top-k
@@ -283,10 +290,10 @@ func (sh *shardState) search(ctx context.Context, p *retrieval.PreparedQuery, k 
 	return sh.eng.SearchPreparedContext(ctx, p, k, exclude)
 }
 
-func (sh *shardState) searchTA(p *retrieval.PreparedQuery, k int, exclude media.ObjectID) []topk.Item {
+func (sh *shardState) searchTA(ctx context.Context, p *retrieval.PreparedQuery, k int, exclude media.ObjectID) ([]topk.Item, error) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return sh.eng.SearchTAPrepared(p, k, exclude)
+	return sh.eng.SearchTAPreparedContext(ctx, p, k, exclude)
 }
 
 // Insert routes one new object: the shared corpus and statistics grow

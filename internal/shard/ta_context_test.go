@@ -1,0 +1,42 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestSearchTAContext: the router's TA scatter under an undone context is
+// byte-identical to SearchTA, and a pre-cancelled context aborts the
+// scatter with ctx.Canceled.
+func TestSearchTAContext(t *testing.T) {
+	d, m := testSystem(t)
+	r, err := NewRouter(m, Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := d.Corpus.Object(4)
+
+	want := r.SearchTA(q, 10, q.ID)
+	if len(want) == 0 {
+		t.Fatal("SearchTA returned nothing; fixture too small")
+	}
+	got, err := r.SearchTAContext(context.Background(), q, 10, q.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(itemBytes(got), itemBytes(want)) {
+		t.Error("SearchTAContext(Background) diverges from SearchTA")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	items, err := r.SearchTAContext(ctx, q, 10, q.ID)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if items != nil {
+		t.Errorf("cancelled scatter returned results: %v", items)
+	}
+}
