@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-build bench-shard benchall vet fmt lint figlint figures examples clean
+.PHONY: all build test race bench bench-build bench-shard bench-prune benchall vet fmt lint figlint figures examples clean
 
 all: build lint test
 
@@ -31,6 +31,15 @@ bench: bench-build bench-shard
 bench-build:
 	$(GO) test -bench='CliqueWeight|TrainVocabulary' -benchmem ./internal/corr/... ./internal/vq/...
 	$(GO) run ./cmd/figbench -buildperf BENCH_build.json -scale 800 -trainqueries 12 -seed 1
+
+# Pruning-mode sweep: the query path at -scale 4000 once per pruning mode
+# (off / blockmax / blockmax-quantized) over one shared workload, each
+# appended to the tracked file as its own labelled run series so the
+# -perfgate baseline comparison stays like-vs-like (see "Top-k pruning" in
+# DESIGN.md). The -prunegate flag fails the sweep unless blockmax reaches
+# 1.5x off's serial TA throughput.
+bench-prune:
+	$(GO) run ./cmd/figbench -perf BENCH_retrieval.json -scale 4000 -queries 12 -seed 1 -perflabel prune-scale4000 -perfprune off,blockmax,blockmax-quantized -prunegate 1.5
 
 # Shard-scaling benchmark: scatter-gather Search at 1/2/4/NumCPU shards
 # against the single-engine baseline, appended to the tracked baseline file

@@ -284,3 +284,26 @@ func BenchmarkAblationCandidateCap(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAblationPruning sweeps the block-max pruning modes over both
+// the full-scoring Search path and the Algorithm 1 TA path. The exact
+// modes must report identical P@10 (pruning is result-preserving with
+// quantization off); the quantized mode trades candidate selection for a
+// cheaper first pass, rescored exactly.
+func BenchmarkAblationPruning(b *testing.B) {
+	d, queries := ablationFixture(b)
+	for _, mode := range []retrieval.PruningMode{
+		retrieval.PruneOff, retrieval.PruneBlockMax, retrieval.PruneBlockMaxQuantized,
+	} {
+		engine, err := retrieval.NewEngine(d.Model(), retrieval.Config{Pruning: mode})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("search/"+mode.String(), func(b *testing.B) {
+			measureSearch(b, d, queries, engine.Search)
+		})
+		b.Run("searchTA/"+mode.String(), func(b *testing.B) {
+			measureSearch(b, d, queries, engine.SearchTA)
+		})
+	}
+}

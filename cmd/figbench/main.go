@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"figfusion/internal/experiments"
+	"figfusion/internal/retrieval"
 )
 
 func main() {
@@ -39,7 +40,9 @@ func main() {
 		shardPerf = flag.String("shardperf", "", "measure scatter-gather search throughput at 1/2/4/NumCPU shards against the single-engine baseline and append the run to this JSON file (e.g. BENCH_shard.json); skips the figures")
 		perfLabel = flag.String("perflabel", "", "label recorded with the -perf/-buildperf run (default: go version + GOMAXPROCS)")
 		perfCap   = flag.Int("perfcap", 0, "CandidateCap for the -perf engine (0 = uncapped)")
-		perfGate  = flag.Float64("perfgate", 0, "fail the -perf run if search/serial queries/sec drops more than this percentage below the previous recorded run (0 = record only)")
+		perfGate  = flag.Float64("perfgate", 0, "fail the -perf run if search/serial queries/sec drops more than this percentage below the previous recorded run of the same workload shape (0 = record only)")
+		perfPrune = flag.String("perfprune", "", "comma-separated pruning modes (off,blockmax,blockmax-quantized) to sweep over one shared workload with -perf, recording one labelled run per mode")
+		pruneGate = flag.Float64("prunegate", 0, "with -perfprune: fail unless blockmax searchTA/serial reaches this multiple of off's queries/sec (0 = record only)")
 		trainQ    = flag.Int("trainqueries", 20, "training queries for the lambda coordinate ascent (paper: 20)")
 	)
 	flag.Parse()
@@ -57,8 +60,14 @@ func main() {
 		if label == "" {
 			label = fmt.Sprintf("%s GOMAXPROCS=%d", runtime.Version(), runtime.GOMAXPROCS(0))
 		}
-		if *perf != "" {
-			if err := runPerf(*perf, label, opts, *perfCap, *perfGate); err != nil {
+		if *perf != "" && *perfPrune != "" {
+			if err := runPrunePerf(*perf, label, opts, *perfCap, *perfPrune, *pruneGate); err != nil {
+				log.Fatalf("perfprune: %v", err)
+			}
+		} else if *perf != "" {
+			// The tracked baseline series measures the unpruned engine;
+			// pruning-mode series are recorded via -perfprune.
+			if err := runPerf(*perf, label, opts, *perfCap, *perfGate, retrieval.PruneOff); err != nil {
 				log.Fatalf("perf: %v", err)
 			}
 		}

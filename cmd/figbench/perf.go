@@ -2,21 +2,27 @@ package main
 
 import (
 	"fmt"
+	"strings"
 
 	"figfusion/internal/experiments"
+	"figfusion/internal/retrieval"
 )
 
 // runPerf measures the retrieval query path and appends the run to the
 // JSON file at path (creating it if absent). With gatePct > 0 it also
-// acts as a regression gate: the new run's serial search throughput must
-// not drop more than gatePct percent below the previous recorded run.
-func runPerf(path, label string, opts experiments.Options, candidateCap int, gatePct float64) error {
-	var prev experiments.PerfRun
-	havePrev, err := experiments.LastRun(path, &prev)
+// acts as a regression gate against the most recent recorded run of the
+// same workload shape (scale, candidate cap, pruning mode — runs at other
+// shapes interleave in the file without poisoning the comparison): the
+// new run's serial search throughput must not drop more than gatePct
+// percent, and its serial allocations per query must not regress more
+// than 25% (with a four-allocation absolute grace, so a blip on a tiny
+// count does not fail the build).
+func runPerf(path, label string, opts experiments.Options, candidateCap int, gatePct float64, pruning retrieval.PruningMode) error {
+	run, err := experiments.RetrievalPerf(opts, label, candidateCap, pruning)
 	if err != nil {
 		return err
 	}
-	run, err := experiments.RetrievalPerf(opts, label, candidateCap)
+	prev, havePrev, err := experiments.LastPerfRunMatching(path, run)
 	if err != nil {
 		return err
 	}
@@ -27,14 +33,11 @@ func runPerf(path, label string, opts experiments.Options, candidateCap int, gat
 	if err != nil {
 		return err
 	}
-	for _, r := range run.Results {
-		fmt.Printf("%-34s %10.0f ns/op %8d allocs/op %12.1f queries/sec\n",
-			r.Name, r.NsPerOp, r.AllocsPerOp, r.QueriesPerSec)
-	}
+	printPerfRun(run)
 	fmt.Printf("appended run %q to %s (%d runs total)\n", label, path, total)
 	if gatePct > 0 && havePrev {
-		prevQPS := serialQPS(&prev)
-		newQPS := serialQPS(run)
+		prevQPS := perfResult(prev, "search/serial").QueriesPerSec
+		newQPS := perfResult(run, "search/serial").QueriesPerSec
 		if prevQPS > 0 && newQPS > 0 {
 			drop := (prevQPS - newQPS) / prevQPS * 100
 			fmt.Printf("perf gate: search/serial %.1f -> %.1f queries/sec (%+.1f%%, limit -%.0f%%)\n",
@@ -44,18 +47,85 @@ func runPerf(path, label string, opts experiments.Options, candidateCap int, gat
 					drop, gatePct, prevQPS, newQPS, prev.Label)
 			}
 		}
+		prevAllocs := perfResult(prev, "search/serial").AllocsPerOp
+		newAllocs := perfResult(run, "search/serial").AllocsPerOp
+		if prevAllocs > 0 && newAllocs > 0 {
+			fmt.Printf("perf gate: search/serial %d -> %d allocs/op (limit +25%%)\n", prevAllocs, newAllocs)
+			if newAllocs > prevAllocs+prevAllocs/4 && newAllocs-prevAllocs > 4 {
+				return fmt.Errorf("search/serial allocations regressed more than 25%%: %d -> %d allocs/op vs run %q",
+					prevAllocs, newAllocs, prev.Label)
+			}
+		}
 	}
 	return nil
 }
 
-// serialQPS extracts the serial indexed-search throughput from a run.
-func serialQPS(run *experiments.PerfRun) float64 {
-	for _, r := range run.Results {
-		if r.Name == "search/serial" {
-			return r.QueriesPerSec
+// runPrunePerf measures the query path once per pruning mode over one
+// shared workload, appending each mode's run to the benchmark file as its
+// own labelled series. With gate > 0 it requires the blockmax mode's
+// serial TA throughput to reach at least gate times the off mode's — the
+// speedup claim the pruned path exists for, enforced where the block
+// skipping actually runs.
+func runPrunePerf(path, label string, opts experiments.Options, candidateCap int, modesCSV string, gate float64) error {
+	var modes []retrieval.PruningMode
+	for _, tok := range strings.Split(modesCSV, ",") {
+		mode, err := retrieval.ParsePruningMode(strings.TrimSpace(tok))
+		if err != nil {
+			return err
+		}
+		modes = append(modes, mode)
+	}
+	runs, err := experiments.PrunePerf(opts, label, candidateCap, modes)
+	if err != nil {
+		return err
+	}
+	qps := map[retrieval.PruningMode]float64{}
+	for i, run := range runs {
+		total, err := experiments.AppendBenchRun(path,
+			"retrieval query path: concurrent indexed Search + SearchTA",
+			fmt.Sprintf("go run ./cmd/figbench -perf %s -scale %d -queries %d -seed %d -perfprune %s", path, opts.Scale, opts.Queries, opts.Seed, modesCSV),
+			run)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("--- pruning=%s\n", modes[i])
+		printPerfRun(run)
+		fmt.Printf("appended run %q to %s (%d runs total)\n", run.Label, path, total)
+		qps[modes[i]] = perfResult(run, "searchTA/serial").QueriesPerSec
+	}
+	if gate > 0 {
+		off, blockmax := qps[retrieval.PruneOff], qps[retrieval.PruneBlockMax]
+		if off <= 0 || blockmax <= 0 {
+			return fmt.Errorf("prune gate needs both off and blockmax in the mode sweep, got %q", modesCSV)
+		}
+		speedup := blockmax / off
+		fmt.Printf("prune gate: searchTA/serial off %.1f -> blockmax %.1f queries/sec (%.2fx, need %.2fx)\n",
+			off, blockmax, speedup, gate)
+		if speedup < gate {
+			return fmt.Errorf("blockmax searchTA/serial speedup %.2fx below required %.2fx", speedup, gate)
 		}
 	}
-	return 0
+	return nil
+}
+
+func printPerfRun(run *experiments.PerfRun) {
+	for _, r := range run.Results {
+		fmt.Printf("%-34s %10.0f ns/op %8d allocs/op %12.1f queries/sec\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.QueriesPerSec)
+	}
+	if run.PrecisionAt10 > 0 {
+		fmt.Printf("%-34s %10.3f\n", "precision@10", run.PrecisionAt10)
+	}
+}
+
+// perfResult extracts the named result from a run (zero value if absent).
+func perfResult(run *experiments.PerfRun, name string) experiments.PerfResult {
+	for _, r := range run.Results {
+		if r.Name == name {
+			return r
+		}
+	}
+	return experiments.PerfResult{}
 }
 
 // runShardPerf measures scatter-gather search throughput across shard

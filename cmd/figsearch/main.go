@@ -34,8 +34,13 @@ func main() {
 		text    = flag.String("text", "", "free-text query (overrides -query)")
 		k       = flag.Int("k", 10, "results to return")
 		scan    = flag.Bool("scan", false, "use the sequential scan instead of the clique index")
+		prune   = flag.String("pruning", retrieval.PruneBlockMax.String(), "top-k pruning mode: off, blockmax (exact), or blockmax-quantized")
 	)
 	flag.Parse()
+	pruning, err := retrieval.ParsePruningMode(*prune)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	d, err := loadOrGenerate(*data, *objects, *seed)
 	if err != nil {
@@ -43,7 +48,7 @@ func main() {
 	}
 	model := d.Model()
 	model.TrainThresholds(200, 0.35, rand.New(rand.NewSource(*seed+13)))
-	engine, err := retrieval.NewEngine(model, retrieval.Config{SkipIndex: *scan})
+	engine, err := retrieval.NewEngine(model, retrieval.Config{SkipIndex: *scan, Pruning: pruning})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -76,7 +76,11 @@ func main() {
 	}
 	model := d.Model()
 	model.TrainThresholds(200, 0.35, rand.New(rand.NewSource(opts.Seed+13)))
-	retrievalCfg := retrieval.Config{Workers: opts.Workers, CandidateCap: opts.CandidateCap}
+	pruning, err := opts.PruningMode()
+	if err != nil {
+		log.Fatal(err) // unreachable after Validate; kept for direct callers
+	}
+	retrievalCfg := retrieval.Config{Workers: opts.Workers, CandidateCap: opts.CandidateCap, Pruning: pruning}
 
 	var srv *server.Server
 	if opts.Shards > 1 {

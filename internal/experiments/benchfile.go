@@ -44,6 +44,23 @@ func AppendBenchRun(path, benchmark, command string, run any) (int, error) {
 	return len(pf.Runs), nil
 }
 
+// BenchRuns returns every raw run recorded in the benchmark file at path,
+// oldest first; nil (with no error) when the file does not exist yet.
+func BenchRuns(path string) ([]json.RawMessage, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var pf BenchFile
+	if err := json.Unmarshal(raw, &pf); err != nil {
+		return nil, fmt.Errorf("bench: %s exists but is not a benchmark file: %w", path, err)
+	}
+	return pf.Runs, nil
+}
+
 // LastRun decodes the most recent run recorded in the benchmark file at
 // path into out. It reports false when the file does not exist or holds
 // no runs yet, so callers can treat a fresh file as "no baseline".

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -8,7 +9,11 @@ import (
 	"testing"
 	"time"
 
+	"figfusion/internal/corr"
 	"figfusion/internal/dataset"
+	"figfusion/internal/eval"
+	"figfusion/internal/fig"
+	"figfusion/internal/index"
 	"figfusion/internal/media"
 	"figfusion/internal/obs"
 	"figfusion/internal/retrieval"
@@ -30,24 +35,74 @@ type PerfResult struct {
 
 // PerfRun is one complete measurement of the retrieval query path on one
 // code revision. Runs accumulate in BENCH_retrieval.json so the perf
-// trajectory of the query path is tracked across PRs.
+// trajectory of the query path is tracked across PRs. Runs at different
+// scales or pruning modes interleave in the same file; regression gates
+// compare like with like through LastPerfRunMatching.
 type PerfRun struct {
-	Label        string       `json:"label"`
-	GoVersion    string       `json:"goVersion"`
-	GOMAXPROCS   int          `json:"gomaxprocs"`
-	Scale        int          `json:"scale"`
-	Queries      int          `json:"queries"`
-	K            int          `json:"k"`
-	CandidateCap int          `json:"candidateCap"`
-	Results      []PerfResult `json:"results"`
+	Label         string       `json:"label"`
+	GoVersion     string       `json:"goVersion"`
+	GOMAXPROCS    int          `json:"gomaxprocs"`
+	Scale         int          `json:"scale"`
+	Queries       int          `json:"queries"`
+	K             int          `json:"k"`
+	CandidateCap  int          `json:"candidateCap"`
+	Pruning       string       `json:"pruning,omitempty"`
+	PrecisionAt10 float64      `json:"precisionAt10,omitempty"`
+	Results       []PerfResult `json:"results"`
 }
 
-// RetrievalPerf measures the indexed query path: serial Search, Search
-// under 1/4/NumCPU concurrent client goroutines, and the literal
-// Algorithm 1 SearchTA path. The corpus, thresholds and query sample are
-// all derived from o.Seed, so two runs on the same revision measure the
-// same workload.
-func RetrievalPerf(o Options, label string, candidateCap int) (*PerfRun, error) {
+// matchesBaseline reports whether prev measured the same workload shape as
+// run — same scale, candidate cap and pruning mode — and may serve as its
+// regression baseline. Runs recorded before the pruning field existed
+// decode with an empty Pruning, which matched today's "off".
+func (run *PerfRun) matchesBaseline(prev *PerfRun) bool {
+	return prev.Scale == run.Scale &&
+		prev.CandidateCap == run.CandidateCap &&
+		normalizePruning(prev.Pruning) == normalizePruning(run.Pruning)
+}
+
+func normalizePruning(s string) string {
+	if s == "" {
+		return retrieval.PruneOff.String()
+	}
+	return s
+}
+
+// LastPerfRunMatching returns the most recent recorded run measuring the
+// same workload shape as ref (see matchesBaseline), so a gate against the
+// file compares like with like even when runs at other scales or pruning
+// modes were appended since.
+func LastPerfRunMatching(path string, ref *PerfRun) (*PerfRun, bool, error) {
+	raws, err := BenchRuns(path)
+	if err != nil {
+		return nil, false, err
+	}
+	for i := len(raws) - 1; i >= 0; i-- {
+		var prev PerfRun
+		if err := json.Unmarshal(raws[i], &prev); err != nil {
+			return nil, false, fmt.Errorf("bench: %s: decoding run %d: %w", path, i, err)
+		}
+		if ref.matchesBaseline(&prev) {
+			return &prev, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// perfWorkload is the shared fixture of a query-path measurement: one
+// generated corpus, trained model, prebuilt index and query sample. A
+// pruning sweep measures several engine configurations over one workload,
+// so building it once keeps the sweep's runs strictly comparable (and a
+// -scale 4000 build out of the per-mode loop).
+type perfWorkload struct {
+	o       Options
+	d       *dataset.Dataset
+	model   *corr.Model
+	index   *index.Inverted
+	queries []*media.Object
+}
+
+func newPerfWorkload(o Options) (*perfWorkload, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
@@ -57,18 +112,8 @@ func RetrievalPerf(o Options, label string, candidateCap int) (*PerfRun, error) 
 	}
 	m := d.Model()
 	m.TrainThresholds(200, 0.35, rand.New(rand.NewSource(o.Seed+13)))
-	// The engine carries a live metrics registry and slow log, exactly as
-	// the serving binary runs it: the tracked baseline prices in the
-	// instrumentation overhead rather than measuring a configuration no
-	// deployment uses.
-	engine, err := retrieval.NewEngine(m, retrieval.Config{
-		CandidateCap: candidateCap,
-		Metrics:      obs.NewRegistry(),
-		SlowLog:      obs.NewSlowLog(64, 250*time.Millisecond),
-	})
-	if err != nil {
-		return nil, err
-	}
+	// Same build NewEngine would run for a zero-options config.
+	inv := index.BuildWorkers(m, fig.Options{}, fig.EnumerateOptions{}, 0)
 	queries := make([]*media.Object, 0, o.Queries)
 	for _, id := range d.SampleQueries(o.Queries, rand.New(rand.NewSource(o.Seed+7))) {
 		queries = append(queries, d.Corpus.Object(id))
@@ -76,15 +121,66 @@ func RetrievalPerf(o Options, label string, candidateCap int) (*PerfRun, error) 
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("experiments: no queries sampled")
 	}
+	return &perfWorkload{o: o, d: d, model: m, index: inv, queries: queries}, nil
+}
+
+// RetrievalPerf measures the indexed query path: serial Search, Search
+// under 1/4/NumCPU concurrent client goroutines, and the literal
+// Algorithm 1 SearchTA path, under the given pruning mode. The corpus,
+// thresholds and query sample are all derived from o.Seed, so two runs on
+// the same revision measure the same workload.
+func RetrievalPerf(o Options, label string, candidateCap int, pruning retrieval.PruningMode) (*PerfRun, error) {
+	w, err := newPerfWorkload(o)
+	if err != nil {
+		return nil, err
+	}
+	return w.measure(label, candidateCap, pruning)
+}
+
+// PrunePerf measures the query path once per pruning mode over one shared
+// workload, returning one run per mode (labelled "<label>/<mode>").
+func PrunePerf(o Options, label string, candidateCap int, modes []retrieval.PruningMode) ([]*PerfRun, error) {
+	w, err := newPerfWorkload(o)
+	if err != nil {
+		return nil, err
+	}
+	runs := make([]*PerfRun, 0, len(modes))
+	for _, mode := range modes {
+		run, err := w.measure(fmt.Sprintf("%s/%s", label, mode), candidateCap, mode)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run)
+	}
+	return runs, nil
+}
+
+func (w *perfWorkload) measure(label string, candidateCap int, pruning retrieval.PruningMode) (*PerfRun, error) {
+	// The engine carries a live metrics registry and slow log, exactly as
+	// the serving binary runs it: the tracked baseline prices in the
+	// instrumentation overhead rather than measuring a configuration no
+	// deployment uses.
+	engine, err := retrieval.NewEngine(w.model, retrieval.Config{
+		Index:        w.index,
+		CandidateCap: candidateCap,
+		Pruning:      pruning,
+		Metrics:      obs.NewRegistry(),
+		SlowLog:      obs.NewSlowLog(64, 250*time.Millisecond),
+	})
+	if err != nil {
+		return nil, err
+	}
+	queries := w.queries
 	const k = 10
 	run := &PerfRun{
 		Label:        label,
 		GoVersion:    runtime.Version(),
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
-		Scale:        o.Scale,
+		Scale:        w.o.Scale,
 		Queries:      len(queries),
 		K:            k,
 		CandidateCap: candidateCap,
+		Pruning:      pruning.String(),
 	}
 
 	measure := func(name string, goroutines int, body func(b *testing.B)) {
@@ -145,5 +241,15 @@ func RetrievalPerf(o Options, label string, candidateCap int) (*PerfRun, error) 
 			engine.SearchTA(q, k, q.ID)
 		}
 	})
+	// Mean Precision@k over the query sample against the planted-topic
+	// ground truth, so a pruning sweep's quality column (EXPERIMENTS.md
+	// ablation table) regenerates with the throughput numbers. Exact modes
+	// must land on identical values; quantized mode may not.
+	qids := make([]media.ObjectID, len(queries))
+	for i, q := range queries {
+		qids[i] = q.ID
+	}
+	sys := eval.FIGSystem{Engine: engine, Label: label}
+	run.PrecisionAt10 = eval.RetrievalPrecision(sys, w.d.Corpus, qids, []int{k}, dataset.Relevant)[k]
 	return run, nil
 }

@@ -1,0 +1,123 @@
+package index
+
+import (
+	"figfusion/internal/corr"
+	"figfusion/internal/media"
+	"figfusion/internal/mrf"
+)
+
+// BlockLen is the posting-block length of the block-max summaries: every
+// entry's sorted posting list is cut into runs of up to BlockLen object
+// IDs, each summarised by its ID range and the maxima of the two
+// candidate-dependent components of the Eq. 7 conditional. The length
+// trades summary footprint (one 40-byte Block per run) against pruning
+// granularity (the lazy TA path scores a whole run the moment its bound
+// surfaces). 64 keeps the summary under 8% of the posting list's
+// footprint; halving it measured slower on the tracked -scale 4000 TA
+// series — finer blocks mean more frontier-heap traffic, which costs
+// more than the extra skipped potentials save.
+const BlockLen = 64
+
+// Block summarises one run of up to BlockLen postings. MaxSF and MaxSM are
+// maxima of the parameter-independent conditional components returned by
+// mrf.Scorer.PotentialParts — set-frequency ratio and smoothing mean — so
+// one stored summary serves any (α, λ, CorS): the query-time upper bound
+// for a clique with weighted lambda wl is
+//
+//	wl · ((1−α)·MaxSF + α·MaxSM)
+//
+// inflated by the pruning layer's reassociation slack. MaxSM may be
+// negative (the smoothing correction subtracts clique-internal
+// correlations); a block whose bound comes out ≤ 0 can only hold postings
+// the unpruned paths would drop too. MinSM — the most negative smoothing
+// mean in the block — exists purely for the slack: the floating-point
+// error of the bound comparison is relative to the magnitudes of the terms
+// involved, not to their (possibly cancelling) sum, so the inflation term
+// needs the largest |sm| in the block, which is max(|MaxSM|, |MinSM|).
+type Block struct {
+	MinID media.ObjectID
+	MaxID media.ObjectID
+	MaxSF float64
+	MaxSM float64
+	MinSM float64
+}
+
+// BlocksAt returns the entry's block summaries if they were computed at
+// the given statistics generation — the same freshness contract as CorSAt.
+// Both components depend on corpus-global state (object totals and the
+// correlation tables), so after an Insert the blocks of untouched entries
+// describe a corpus that no longer exists; serving them would silently
+// break the admission bound, the same failure class as the stale-weight
+// bug the generation stamps were introduced for.
+func (e *Entry) BlocksAt(gen uint64) ([]Block, bool) {
+	if e.corsGen != gen || len(e.Blocks) == 0 {
+		return nil, false
+	}
+	return e.Blocks, true
+}
+
+// blockScorer returns the scorer the build uses to evaluate
+// PotentialParts. The parameters are placeholders — both components are
+// parameter-independent — but a scorer needs a valid set to construct, and
+// sharing one across the build lets the per-(feature, object) smoothing
+// cache amortise across entries that share features.
+func blockScorer(m *corr.Model) *mrf.Scorer {
+	s, err := mrf.NewScorer(m, mrf.Params{Lambda: []float64{1}, Delta: 1})
+	if err != nil {
+		// Params above are statically valid; reaching here is a bug.
+		panic("index: blockScorer: " + err.Error())
+	}
+	return s
+}
+
+// computeBlocks (re)builds an entry's block summaries from the current
+// corpus. Callers stamp the entry's generation alongside, as with CorS.
+//
+// An entry whose feature set names FIDs outside the dictionary (possible
+// through Insert with caller-synthesized cliques) gets blocks without
+// smoothing summaries: the correlation tables cannot describe unknown
+// features — the scoring paths would equally fail on such an entry — while
+// the set-frequency component needs only the candidate's own counts and
+// stays exact (an unknown feature never occurs in a candidate, so its
+// set frequency, like its conditional, is zero).
+func computeBlocks(s *mrf.Scorer, corpus *media.Corpus, e *Entry) {
+	n := len(e.Objects)
+	if n == 0 {
+		e.Blocks = nil
+		return
+	}
+	known := true
+	for _, fid := range e.Feats {
+		if int(fid) >= corpus.Dict.Len() {
+			known = false
+			break
+		}
+	}
+	blocks := make([]Block, 0, (n+BlockLen-1)/BlockLen)
+	for lo := 0; lo < n; lo += BlockLen {
+		hi := lo + BlockLen
+		if hi > n {
+			hi = n
+		}
+		b := Block{MinID: e.Objects[lo], MaxID: e.Objects[hi-1]}
+		first := true
+		for _, oid := range e.Objects[lo:hi] {
+			var sf, sm float64
+			if known {
+				sf, sm = s.PotentialParts(e.Feats, corpus.Object(oid))
+			}
+			if first || sf > b.MaxSF {
+				b.MaxSF = sf
+			}
+			if first || sm > b.MaxSM {
+				b.MaxSM = sm
+			}
+			if first || sm < b.MinSM {
+				b.MinSM = sm
+			}
+			first = false
+		}
+		blocks = append(blocks, b)
+	}
+	e.Blocks = blocks
+}

@@ -34,6 +34,12 @@ type Entry struct {
 	CorS    float64
 	Objects []media.ObjectID
 
+	// Blocks are the block-max summaries over Objects (see blocks.go).
+	// They share corsGen: blocks and CorS are always recomputed together,
+	// and both go stale together when the corpus moves on. Read through
+	// BlocksAt.
+	Blocks []Block
+
 	// corsGen is the model generation CorS was computed at. staleGen
 	// marks a value known to predate the current corpus (set by Load for
 	// entries that were already stale when saved).
@@ -156,11 +162,13 @@ func BuildOwnedWorkers(m *corr.Model, bopts fig.Options, eopts fig.EnumerateOpti
 		keys = append(keys, key)
 	}
 	sort.Strings(keys)
+	bs := blockScorer(m)
 	par.Range(len(keys), wopt, func(lo, hi int) {
 		var ws corr.WeightScratch
 		for i := lo; i < hi; i++ {
 			e := inv.entries[keys[i]]
 			e.CorS = m.Stats.CliqueWeightWith(e.Feats, &ws)
+			computeBlocks(bs, corpus, e)
 			e.corsGen = gen
 		}
 	})
@@ -219,12 +227,13 @@ func lessFIDs(a, b []media.FID) bool {
 
 // Insert adds one object's cliques to the index: new postings are appended
 // (the object ID must exceed all indexed IDs so lists stay sorted) and the
-// stored CorS of every touched clique is recomputed from the model's
-// current statistics and stamped with its generation. Entries the insert
-// does not touch keep their old generation stamp: CliqueWeight is
-// corpus-global, so their stored values no longer equal what the scorer
-// would compute, and CorSAt reports them stale — the indexed search paths
-// then fall back to the scorer instead of serving a diverged weight.
+// stored CorS and block summaries of every touched clique are recomputed
+// from the model's current statistics and stamped with its generation.
+// Entries the insert does not touch keep their old generation stamp:
+// CliqueWeight and the block maxima are corpus-global, so their stored
+// values no longer describe the grown corpus, and CorSAt/BlocksAt report
+// them stale — the indexed search paths then fall back to the scorer
+// (respectively, to unpruned scoring) instead of serving diverged state.
 // Build from scratch refreshes (and restamps) everything.
 func (inv *Inverted) Insert(id media.ObjectID, cliques []fig.Clique, m *corr.Model) error {
 	touched := make([]*Entry, 0, len(cliques))
@@ -246,8 +255,11 @@ func (inv *Inverted) Insert(id media.ObjectID, cliques []fig.Clique, m *corr.Mod
 	}
 	gen := m.Generation()
 	inv.gen = gen
+	bs := blockScorer(m)
+	corpus := m.Stats.Corpus()
 	for _, e := range touched {
 		e.CorS = m.Stats.CliqueWeight(e.Feats)
+		computeBlocks(bs, corpus, e)
 		e.corsGen = gen
 	}
 	return nil

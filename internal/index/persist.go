@@ -21,6 +21,12 @@ type wireEntry struct {
 	CorS    float64
 	Objects []media.ObjectID
 	Fresh   bool
+	// Blocks are the block-max summaries (blocks.go). Added after the
+	// field set above shipped: gob decodes files written without it into
+	// a nil slice, and BlocksAt treats an entry with no blocks as
+	// unprunable — old snapshots load fine and simply search unpruned
+	// until the next Build or Insert refreshes them.
+	Blocks []Block
 }
 
 // Save writes the index to w in gob format. Combined with the dataset's
@@ -51,7 +57,7 @@ func (inv *Inverted) SaveAt(w io.Writer, gen uint64) error {
 	rows := make([]wireEntry, 0, len(keys))
 	for _, k := range keys {
 		e := inv.entries[k]
-		rows = append(rows, wireEntry{Feats: e.Feats, CorS: e.CorS, Objects: e.Objects, Fresh: e.corsGen == gen})
+		rows = append(rows, wireEntry{Feats: e.Feats, CorS: e.CorS, Objects: e.Objects, Fresh: e.corsGen == gen, Blocks: e.Blocks})
 	}
 	return gob.NewEncoder(w).Encode(rows)
 }
@@ -76,7 +82,7 @@ func Load(r io.Reader) (*Inverted, error) {
 		if row.Fresh {
 			gen = 0
 		}
-		inv.entries[key] = &Entry{Feats: row.Feats, CorS: row.CorS, Objects: row.Objects, corsGen: gen}
+		inv.entries[key] = &Entry{Feats: row.Feats, CorS: row.CorS, Objects: row.Objects, Blocks: row.Blocks, corsGen: gen}
 	}
 	return inv, nil
 }

@@ -107,6 +107,27 @@ func (s *Scorer) Compile(cliques []fig.Clique, weights []float64) *CliqueSet {
 // Len returns the number of compiled cliques.
 func (cs *CliqueSet) Len() int { return len(cs.cliques) }
 
+// ScoringParams exposes the parameters this set was compiled against, so
+// the pruning layer can evaluate its admission bound with the same α the
+// potentials use.
+func (cs *CliqueSet) ScoringParams() Params { return cs.s.Params }
+
+// WeightedLambda returns λ_c scaled by the compiled Eq. 9 weight (or λ_c
+// alone when CorS weighting is off) for the i-th clique — the
+// candidate-independent factor of potentialAt. Multiplying it by an upper
+// bound on the Eq. 7 conditional bounds the clique's potential for any
+// candidate, up to one reassociation of the λ·cond·w product.
+func (cs *CliqueSet) WeightedLambda(i int) float64 {
+	lambda := cs.lambda[i]
+	if numeric.IsZero(lambda) {
+		return 0
+	}
+	if cs.s.Params.UseCorS {
+		lambda *= cs.weight[i]
+	}
+	return lambda
+}
+
 // Score computes the Eq. 6 similarity of a candidate object to the
 // compiled query: the sum of clique potentials, identical to
 // Scorer.Score over the same cliques.

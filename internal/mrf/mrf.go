@@ -254,6 +254,22 @@ func (s *Scorer) featureObjectCor(f media.FID, o *media.Object) float64 {
 	return v
 }
 
+// PotentialParts returns the two candidate-dependent components of the
+// Eq. 7 conditional for one clique feature set: the set-frequency ratio
+// freq(n_1..n_k|O)/|O| and the smoothing mean. They are computed with the
+// same arithmetic the scoring paths use, so per-block maxima taken over
+// them upper-bound (up to reassociation rounding; see the index package's
+// bound inflation) every conditional the clique can produce for those
+// postings at any (α, λ, CorS) — which is what lets the inverted index
+// store parameter-independent block summaries.
+func (s *Scorer) PotentialParts(feats []media.FID, o *media.Object) (sf, sm float64) {
+	total := o.TotalCount()
+	if total == 0 || len(feats) == 0 {
+		return 0, 0
+	}
+	return setFreq(feats, o) / float64(total), s.smoothing(feats, o)
+}
+
 // Potential computes ϕ′(c) for a candidate object: Eq. 7 scaled by λ_c and,
 // when enabled, by the Eq. 9 CorS weight.
 func (s *Scorer) Potential(c fig.Clique, o *media.Object) float64 {

@@ -56,9 +56,15 @@ const (
 type QueryTrace struct {
 	Path       string
 	Candidates int
-	Stages     [NumStages]time.Duration
-	Total      time.Duration
-	start      time.Time
+	// Pruning effectiveness of the block-max layer: candidates the
+	// admission gate let through / skipped, and posting blocks the lazy
+	// TA merge never materialised. All zero when pruning is off.
+	PruneAdmitted int
+	PruneSkipped  int
+	PruneBlocks   int
+	Stages        [NumStages]time.Duration
+	Total         time.Duration
+	start         time.Time
 }
 
 // NewTrace starts a trace for one query on the given path.
@@ -83,6 +89,28 @@ func (t *QueryTrace) End(s Stage, start time.Time) {
 		return
 	}
 	t.Stages[s] += time.Since(start)
+}
+
+// AddPruneCandidates accrues admission-gate outcomes: candidates scored
+// versus skipped because their block-max bound could not reach the k-th
+// heap score. Accrues (rather than sets) so the quantized two-pass path
+// can report both passes.
+func (t *QueryTrace) AddPruneCandidates(admitted, skipped int) {
+	if t == nil {
+		return
+	}
+	t.PruneAdmitted += admitted
+	t.PruneSkipped += skipped
+}
+
+// AddPruneBlocks accrues posting blocks the lazy TA merge skipped —
+// blocks whose upper bound never reached the merge frontier before the
+// threshold terminated.
+func (t *QueryTrace) AddPruneBlocks(n int) {
+	if t == nil {
+		return
+	}
+	t.PruneBlocks += n
 }
 
 // SetCandidates records how many candidates received the full score.

@@ -13,6 +13,9 @@ const (
 	metricCandidatesScored = "retrieval.candidates.scored"
 	metricSearchLatency    = "retrieval.search.latency"
 	metricStagePrefix      = "retrieval.stage." // + prepare | gather | score | merge
+	metricPruneAdmitted    = "retrieval.prune.candidates.admitted"
+	metricPruneSkipped     = "retrieval.prune.candidates.skipped"
+	metricPruneBlocks      = "retrieval.prune.blocks.skipped"
 )
 
 // queryMetrics is the engine's instrument bundle, resolved once against a
@@ -25,6 +28,9 @@ type queryMetrics struct {
 	pathTA     *obs.Counter
 	pathScan   *obs.Counter
 	candidates *obs.Counter
+	pruneAdm   *obs.Counter
+	pruneSkip  *obs.Counter
+	pruneBlk   *obs.Counter
 	stages     [obs.NumStages]*obs.Histogram
 	latency    *obs.Histogram
 	slow       *obs.SlowLog
@@ -40,6 +46,9 @@ func newQueryMetrics(reg *obs.Registry, slow *obs.SlowLog) *queryMetrics {
 		pathTA:     reg.Counter(metricPathPrefix + obs.PathTA),
 		pathScan:   reg.Counter(metricPathPrefix + obs.PathScan),
 		candidates: reg.Counter(metricCandidatesScored),
+		pruneAdm:   reg.Counter(metricPruneAdmitted),
+		pruneSkip:  reg.Counter(metricPruneSkipped),
+		pruneBlk:   reg.Counter(metricPruneBlocks),
 		latency:    reg.Histogram(metricSearchLatency),
 		slow:       slow,
 	}
@@ -76,6 +85,9 @@ func (m *queryMetrics) finish(tr *obs.QueryTrace) {
 		m.pathScan.Inc()
 	}
 	m.candidates.Add(uint64(tr.Candidates))
+	m.pruneAdm.Add(uint64(tr.PruneAdmitted))
+	m.pruneSkip.Add(uint64(tr.PruneSkipped))
+	m.pruneBlk.Add(uint64(tr.PruneBlocks))
 	for s := obs.Stage(0); s < obs.NumStages; s++ {
 		if d := tr.Stages[s]; d > 0 {
 			m.stages[s].Observe(d)

@@ -153,9 +153,9 @@ func TestEntryCorSMatchesScorer(t *testing.T) {
 
 // workerRunBytes serializes every search path's ranked IDs and scores for
 // one engine configuration.
-func workerRunBytes(t *testing.T, d *dataset.Dataset, workers, candidateCap int) []byte {
+func workerRunBytes(t *testing.T, d *dataset.Dataset, workers, candidateCap int, pruning PruningMode) []byte {
 	t.Helper()
-	e := newEngine(t, d, Config{Workers: workers, CandidateCap: candidateCap})
+	e := newEngine(t, d, Config{Workers: workers, CandidateCap: candidateCap, Pruning: pruning})
 	var buf bytes.Buffer
 	for i := 0; i < 20; i++ {
 		q := d.Corpus.Object(media.ObjectID(i))
@@ -175,15 +175,25 @@ func workerRunBytes(t *testing.T, d *dataset.Dataset, workers, candidateCap int)
 
 // TestSearchDeterministicAcrossWorkers: every search path must return
 // byte-identical rankings and scores at any scoring fan-out, with and
-// without the candidate cap — the partial top-k merge under topk.Less's
-// total order makes worker partitioning unobservable.
+// without the candidate cap, in every pruning mode — the partial top-k
+// merge under topk.Less's total order makes worker partitioning
+// unobservable, and the pruning layer's bounds are striping-independent.
+// The exact pruning mode must additionally match the unpruned bytes;
+// quantized mode is held to worker determinism only (its first pass
+// legitimately selects different rescoring candidates than exact merge).
 func TestSearchDeterministicAcrossWorkers(t *testing.T) {
 	d := testData(t)
 	for _, candidateCap := range []int{0, 20} {
-		base := workerRunBytes(t, d, 1, candidateCap)
-		for _, w := range []int{2, 4, runtime.NumCPU()} {
-			if got := workerRunBytes(t, d, w, candidateCap); !bytes.Equal(base, got) {
-				t.Fatalf("cap=%d: workers=%d diverges from workers=1", candidateCap, w)
+		exact := workerRunBytes(t, d, 1, candidateCap, PruneOff)
+		for _, pruning := range []PruningMode{PruneOff, PruneBlockMax, PruneBlockMaxQuantized} {
+			base := workerRunBytes(t, d, 1, candidateCap, pruning)
+			if pruning != PruneBlockMaxQuantized && !bytes.Equal(base, exact) {
+				t.Fatalf("cap=%d pruning=%v: workers=1 diverges from unpruned", candidateCap, pruning)
+			}
+			for _, w := range []int{2, 4, runtime.NumCPU()} {
+				if got := workerRunBytes(t, d, w, candidateCap, pruning); !bytes.Equal(base, got) {
+					t.Fatalf("cap=%d pruning=%v: workers=%d diverges from workers=1", candidateCap, pruning, w)
+				}
 			}
 		}
 	}
@@ -199,7 +209,7 @@ func TestCandidateMergeMatchesMap(t *testing.T) {
 		cliques := e.QueryCliques(q)
 		acc := getAccum()
 		acc.lookup(e.Index, cliques)
-		got := acc.merge(q.ID, 0)
+		got := acc.merge(q.ID, 0, nil)
 
 		counts := make(map[media.ObjectID]int)
 		for _, c := range cliques {
@@ -242,7 +252,7 @@ func BenchmarkCandidateSet(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		acc := getAccum()
 		acc.lookup(e.Index, cliques)
-		benchSink = len(acc.merge(NoExclude, 0))
+		benchSink = len(acc.merge(NoExclude, 0, nil))
 		putAccum(acc)
 	}
 }

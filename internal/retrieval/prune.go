@@ -1,0 +1,528 @@
+package retrieval
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+
+	"figfusion/internal/fig"
+	"figfusion/internal/index"
+	"figfusion/internal/media"
+	"figfusion/internal/mrf"
+	"figfusion/internal/obs"
+	"figfusion/internal/topk"
+)
+
+// PruningMode selects the block-max pruning behaviour of the indexed
+// search paths.
+type PruningMode int
+
+const (
+	// PruneOff disables pruning: the pre-pruning code paths run
+	// unchanged. The library default.
+	PruneOff PruningMode = iota
+	// PruneBlockMax enables the exact pruning layer: the TA path merges
+	// posting lists through lazily materialised blocks (postings in
+	// blocks whose upper bound never reaches the merge frontier are never
+	// scored), and the candidate path's admission gate skips candidates
+	// whose summed block maxima cannot beat the current k-th heap score.
+	// Results are byte-identical to PruneOff at any worker and shard
+	// count; this is the mode the serving binaries default to.
+	PruneBlockMax
+	// PruneBlockMaxQuantized is PruneBlockMax plus a quantized first
+	// scoring pass on the candidate path: clique weights are snapped down
+	// to a 16-bit grid, the top 2k survivors under the cheap pass are
+	// rescored with the exact CliqueSet, and the exact top k of the
+	// survivors is returned. Deterministic at any worker count, but
+	// approximate: an object whose exact score ranks in the top k can
+	// miss the 2k survivor cut when quantization reorders the tail.
+	PruneBlockMaxQuantized
+)
+
+// String names the mode as the -pruning flags spell it.
+func (m PruningMode) String() string {
+	switch m {
+	case PruneOff:
+		return "off"
+	case PruneBlockMax:
+		return "blockmax"
+	case PruneBlockMaxQuantized:
+		return "blockmax-quantized"
+	}
+	return fmt.Sprintf("PruningMode(%d)", int(m))
+}
+
+// ParsePruningMode parses a -pruning flag value (case-insensitive).
+func ParsePruningMode(s string) (PruningMode, error) {
+	switch strings.ToLower(s) {
+	case "off":
+		return PruneOff, nil
+	case "blockmax":
+		return PruneBlockMax, nil
+	case "blockmax-quantized", "blockmaxquantized":
+		return PruneBlockMaxQuantized, nil
+	}
+	return PruneOff, fmt.Errorf("retrieval: unknown pruning mode %q (want off, blockmax or blockmax-quantized)", s)
+}
+
+// boundSlack is the relative inflation applied to every block-max bound.
+// A stored block maximum dominates each posting's conditional components
+// in real arithmetic, but the query-time bound multiplies them in a
+// different association order than potentialAt (λ·w first versus λ·cond
+// first), so the computed bound can round below a computed potential by a
+// few ulps (~2⁻⁵⁰ relative). Inflating by one part in 10¹² — twelve
+// orders of magnitude above the rounding error, twelve below any score
+// difference the tie-break could see — restores a safe inequality without
+// ever flipping the comparison for scores that genuinely differ.
+const boundSlack = 1e-12
+
+// blockBounds appends one query clique's per-block potential upper bounds
+// to dst: for each block, wl·((1−α)·MaxSF + α·MaxSM) plus a slack term
+// proportional to the magnitudes of the participating terms (see
+// boundSlack and index.Block.MinSM — magnitude-relative slack stays sound
+// even when the sf and sm terms cancel). Returns nil when the entry's
+// blocks are stale for gen: the caller must treat the clique as
+// unboundable and fall back to unpruned behaviour for anything it covers.
+func blockBounds(dst []float64, cs *mrf.CliqueSet, ci int, entry *index.Entry, gen uint64) []float64 {
+	blocks, ok := entry.BlocksAt(gen)
+	if !ok {
+		return nil
+	}
+	alpha := cs.ScoringParams().Alpha
+	wl := cs.WeightedLambda(ci)
+	for _, b := range blocks {
+		sfTerm := (1 - alpha) * b.MaxSF
+		smMag := b.MaxSM
+		if -b.MinSM > smMag {
+			smMag = -b.MinSM
+		}
+		if smMag < 0 {
+			smMag = 0
+		}
+		u := wl*(sfTerm+alpha*b.MaxSM) + wl*(sfTerm+alpha*smMag)*boundSlack
+		dst = append(dst, u)
+	}
+	return dst
+}
+
+// admissionEligible reports whether the candidate-path admission gate is
+// sound for this engine configuration. The gate's bound sums block maxima
+// over the cliques whose posting lists contain the candidate — a
+// member-only bound. Two things can put score mass outside it:
+//
+//   - α > 0: every query clique, member or not, contributes its smoothing
+//     term to every candidate. That mass is corpus-wide (it depends on
+//     the candidate's full feature list), so no per-posting summary can
+//     bound it; measurement on the generated corpora shows it dominating
+//     (the sound member+residual bound prunes nothing at the default α).
+//   - Truncated FIGs (MaxNodes, MaxCliques): an object can then contain a
+//     clique's features without appearing in its posting list, giving a
+//     non-member a positive set-frequency term the bound never sees.
+//
+// With α = 0 and untruncated enumeration, a non-member's contribution is
+// exactly zero and the member-only bound is sound. The TA path has no
+// such restriction — its aggregate is member-only by definition.
+func admissionEligible(p mrf.Params, bopts fig.Options, eopts fig.EnumerateOptions) bool {
+	return !(p.Alpha > 0) && bopts.MaxNodes == 0 && eopts.MaxCliques == 0
+}
+
+// admissionBounds builds the per-entry block-bound table the count-merge
+// consumes, reusing the accumulator's pooled backing storage. A nil row
+// marks a clique whose blocks are stale (or whose entry is nil) — any
+// candidate drawing on it becomes unboundable. Rows are aligned with
+// a.entries.
+func (a *candAccum) admissionBounds(cs *mrf.CliqueSet, gen uint64) [][]float64 {
+	total := 0
+	for _, entry := range a.entries {
+		if entry != nil {
+			total += (len(entry.Objects) + index.BlockLen - 1) / index.BlockLen
+		}
+	}
+	if cap(a.ubBack) < total {
+		a.ubBack = make([]float64, 0, total)
+	}
+	a.ubBack = a.ubBack[:0]
+	a.ub = a.ub[:0]
+	for i, entry := range a.entries {
+		if entry == nil {
+			a.ub = append(a.ub, nil)
+			continue
+		}
+		start := len(a.ubBack)
+		filled := blockBounds(a.ubBack, cs, i, entry, gen)
+		if filled == nil {
+			a.ub = append(a.ub, nil)
+			continue
+		}
+		a.ubBack = filled
+		a.ub = append(a.ub, a.ubBack[start:len(a.ubBack):len(a.ubBack)])
+	}
+	return a.ub
+}
+
+// quantizeWeights snaps the Eq. 9 clique weights down onto a 16-bit grid
+// spanning [0, max(w)]: the first-pass weights of PruneBlockMaxQuantized.
+// Rounding down (never up) keeps every quantized potential at or below
+// its exact counterpart, so the admission gate's exact-weight bounds
+// remain sound for the quantized pass and the surviving set is a
+// deterministic function of the query alone — independent of worker
+// count. The grid step max(w)/65535 bounds the per-clique weight error,
+// the quantity DESIGN.md's error analysis starts from.
+func quantizeWeights(w []float64) []float64 {
+	var maxW float64
+	for _, v := range w {
+		if v > maxW {
+			maxW = v
+		}
+	}
+	q := make([]float64, len(w))
+	if maxW <= 0 {
+		return q
+	}
+	step := maxW / 65535
+	for i, v := range w {
+		n := math.Floor(v / step)
+		if n > 65535 {
+			n = 65535
+		}
+		if n < 0 {
+			n = 0
+		}
+		q[i] = n * step
+	}
+	return q
+}
+
+// lazyShared is the state all of one query's lazy cursors share. The
+// merge is single-goroutine, so plain fields suffice: once poll observes
+// a done context the cancelled flag flips and every cursor reports
+// exhaustion, unwinding the merge without scoring another posting.
+type lazyShared struct {
+	ctx       context.Context
+	done      <-chan struct{}
+	cancelled bool
+}
+
+// poll checks the context (only when it is cancellable) and latches the
+// result. Called once per materialised block — at most index.BlockLen
+// potentials between checks, the same cancellation latency class as
+// cancelStride.
+func (s *lazyShared) poll() bool {
+	if s.cancelled {
+		return true
+	}
+	if s.done != nil && s.ctx.Err() != nil {
+		s.cancelled = true
+	}
+	return s.cancelled
+}
+
+// lazyElem is one pending element of a cursor's frontier heap: a
+// materialised posting (block < 0) or a still-summarised block carrying
+// its upper bound and first object ID. The heap orders by (score
+// descending, ID ascending) — topk.Less extended to blocks — which makes
+// the emitted posting stream exactly the sorted order the eager path
+// produces: a block always surfaces before any posting whose score its
+// bound could dominate, and at exact score ties the ID comparison is
+// decisive because a block's postings all carry IDs at or above its
+// MinID.
+type lazyElem struct {
+	score float64
+	id    media.ObjectID
+	block int32
+}
+
+func lazyLess(a, b lazyElem) bool {
+	//figlint:allow floatcmp -- mirrors topk.Less: the frontier needs the exact total order, an epsilon band breaks the heap invariant
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.id < b.id
+}
+
+// lazyCursor walks one clique's posting list best-first, materialising
+// blocks only when their upper bound reaches the frontier. It implements
+// topk.LazySource for the pruned TA path.
+type lazyCursor struct {
+	shared  *lazyShared
+	cs      *mrf.CliqueSet
+	ci      int
+	entry   *index.Entry
+	corpus  *media.Corpus
+	exclude media.ObjectID
+	h       []lazyElem
+	ub      []float64        // per-block upper bounds; nil when summaries are stale
+	scored  [][]float64      // per-block potential memo, filled by materialize
+	slab    []float64        // backing store for scored, one slice per cursor
+	minIDs  []media.ObjectID // per-block first posting ID, from the summaries
+	maxIDs  []media.ObjectID // per-block last posting ID; random access searches this
+	nBlocks int
+	nMat    int
+	// filter is a 1024-bit membership filter over the posting IDs (bit
+	// id mod 1024). Most TA random accesses ask about objects that are
+	// not in this clique's list; a clear bit answers the miss with two
+	// loads instead of a binary search. Set bits are conservative — a
+	// collision just falls through to the exact lookup.
+	filter [16]uint64
+}
+
+// pushElem / popTop maintain the frontier as a hand-rolled binary heap —
+// container/heap would box every posting into an interface value, undoing
+// the allocation discipline the scoring paths keep.
+func (c *lazyCursor) pushElem(e lazyElem) {
+	c.h = append(c.h, e)
+	i := len(c.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !lazyLess(c.h[i], c.h[parent]) {
+			break
+		}
+		c.h[i], c.h[parent] = c.h[parent], c.h[i]
+		i = parent
+	}
+}
+
+func (c *lazyCursor) popTop() lazyElem {
+	top := c.h[0]
+	last := len(c.h) - 1
+	c.h[0] = c.h[last]
+	c.h = c.h[:last]
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= len(c.h) {
+			break
+		}
+		best := left
+		if right := left + 1; right < len(c.h) && lazyLess(c.h[right], c.h[left]) {
+			best = right
+		}
+		if !lazyLess(c.h[best], c.h[i]) {
+			break
+		}
+		c.h[i], c.h[best] = c.h[best], c.h[i]
+		i = best
+	}
+	return top
+}
+
+// materialize scores one block's postings into the frontier, applying the
+// same exclusion and positive-score filters as the eager list builder. The
+// raw potentials are memoised per block so the TA random accesses (score)
+// never recompute what the merge already paid for.
+func (c *lazyCursor) materialize(bi int32) {
+	if c.shared.poll() {
+		return
+	}
+	c.nMat++
+	lo := int(bi) * index.BlockLen
+	hi := lo + index.BlockLen
+	if hi > len(c.entry.Objects) {
+		hi = len(c.entry.Objects)
+	}
+	if c.slab == nil {
+		c.slab = make([]float64, len(c.entry.Objects))
+	}
+	memo := c.slab[lo:hi:hi]
+	for j, oid := range c.entry.Objects[lo:hi] {
+		if oid == c.exclude {
+			continue
+		}
+		p := c.cs.Potential(c.ci, c.corpus.Object(oid))
+		memo[j] = p
+		if p <= 0 {
+			continue
+		}
+		c.pushElem(lazyElem{score: p, id: oid, block: -1})
+	}
+	c.scored[bi] = memo
+}
+
+// next yields the cursor's postings in exact topk.Less order: whenever a
+// block tops the frontier its postings are materialised and re-enter the
+// ordering with their true scores, so no posting is ever emitted while a
+// block that could dominate it remains summarised. Blocks whose bound is
+// ≤ 0 were dropped at init — every posting they hold scores ≤ 0 and the
+// eager path would have filtered it too.
+func (c *lazyCursor) next() (topk.Item, bool) {
+	for len(c.h) > 0 {
+		if c.shared.cancelled {
+			return topk.Item{}, false
+		}
+		top := c.popTop()
+		if top.block >= 0 {
+			c.materialize(top.block)
+			continue
+		}
+		return topk.Item{ID: top.id, Score: top.score}, true
+	}
+	return topk.Item{}, false
+}
+
+// score is the TA random access: the posting's potential if the object is
+// in this clique's list (and would have survived the eager path's
+// filters), 0 otherwise. Valid at any cursor position — it consults the
+// full posting list, not the frontier.
+func (c *lazyCursor) score(id media.ObjectID) float64 {
+	if c.shared.cancelled || id == c.exclude {
+		return 0
+	}
+	if c.filter[(uint32(id)>>6)&15]&(1<<(uint32(id)&63)) == 0 {
+		return 0
+	}
+	objs := c.entry.Objects
+	if c.maxIDs != nil {
+		// Block-first random access: a hand-rolled binary search over
+		// the per-block max IDs — a tiny, cache-resident array — picks
+		// the one block that could hold the object, and the decision
+		// finishes inside it. Most TA random accesses miss (the object
+		// is not in this clique's list); they end right here, past the
+		// last block or in the ID gap before the block's first posting,
+		// without ever touching the posting list. A block whose bound
+		// is ≤ 0 also answers 0 without scoring: the bound dominates
+		// every potential inside it, so the eager path would have
+		// filtered the posting too.
+		bs := c.maxIDs
+		lo, hi := 0, len(bs)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if bs[mid] < id {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		bi := lo
+		if bi == len(bs) || id < c.minIDs[bi] {
+			return 0
+		}
+		if c.ub[bi] <= 0 {
+			return 0
+		}
+		blo := bi * index.BlockLen
+		bhi := blo + index.BlockLen
+		if bhi > len(objs) {
+			bhi = len(objs)
+		}
+		lo, hi = blo, bhi
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if objs[mid] < id {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == bhi || objs[lo] != id {
+			return 0
+		}
+		if memo := c.scored[bi]; memo != nil {
+			// The memoised value is the identical float the merge
+			// computed — returning it preserves byte-exactness.
+			if p := memo[lo-blo]; p > 0 {
+				return p
+			}
+			return 0
+		}
+	} else {
+		// Stale summaries: membership by binary search over the full
+		// posting list, the unpruned lookup.
+		lo, hi := 0, len(objs)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if objs[mid] < id {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == len(objs) || objs[lo] != id {
+			return 0
+		}
+	}
+	p := c.cs.Potential(c.ci, c.corpus.Object(id))
+	if p <= 0 {
+		return 0
+	}
+	return p
+}
+
+// searchTALazy is the block-max TA path: one lazy cursor per indexed query
+// clique feeds topk.ThresholdMergeLazy, which is step-for-step the
+// Threshold Algorithm of the eager path. Because each cursor emits its
+// postings in exactly the order the eager sorted lists hold them (see
+// lazyElem), the result is byte-identical to cliqueLists +
+// topk.ThresholdMerge — the exactness contract — while postings in blocks
+// the threshold never reaches are never scored at all. Lists whose block
+// summaries are stale (untouched entries after an Insert, or a pre-blocks
+// snapshot) are materialised eagerly, which is precisely the unpruned
+// behaviour for that list. Cancellation is polled once per materialised
+// block (≤ index.BlockLen postings, comparable to cancelStride) and once
+// per stale-list stride.
+func (e *Engine) searchTALazy(ctx context.Context, cs *mrf.CliqueSet, entries []*index.Entry, exclude media.ObjectID, k int, tr *obs.QueryTrace) ([]topk.Item, error) {
+	corpus := e.Model.Stats.Corpus()
+	gen := e.Model.Generation()
+	done := ctx.Done()
+	shared := &lazyShared{ctx: ctx, done: done}
+	cursors := make([]*lazyCursor, 0, len(entries))
+	cnt := 0
+	for i, entry := range entries {
+		if entry == nil {
+			continue
+		}
+		c := &lazyCursor{shared: shared, cs: cs, ci: i, entry: entry, corpus: corpus, exclude: exclude}
+		for _, oid := range entry.Objects {
+			c.filter[(uint32(oid)>>6)&15] |= 1 << (uint32(oid) & 63)
+		}
+		ub := blockBounds(nil, cs, i, entry, gen)
+		if ub == nil {
+			for _, oid := range entry.Objects {
+				if done != nil && cnt%cancelStride == 0 && ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				cnt++
+				if oid == exclude {
+					continue
+				}
+				p := cs.Potential(i, corpus.Object(oid))
+				if p <= 0 {
+					continue
+				}
+				c.pushElem(lazyElem{score: p, id: oid, block: -1})
+			}
+		} else {
+			c.nBlocks = len(ub)
+			c.ub = ub
+			c.scored = make([][]float64, len(ub))
+			blocks, _ := entry.BlocksAt(gen)
+			ids := make([]media.ObjectID, 2*len(blocks))
+			c.minIDs, c.maxIDs = ids[:len(blocks)], ids[len(blocks):]
+			for bi, b := range blocks {
+				c.minIDs[bi] = b.MinID
+				c.maxIDs[bi] = b.MaxID
+			}
+			for bi, u := range ub {
+				if u <= 0 {
+					continue
+				}
+				c.pushElem(lazyElem{score: u, id: entry.Objects[bi*index.BlockLen], block: int32(bi)})
+			}
+		}
+		cursors = append(cursors, c)
+	}
+	sources := make([]topk.LazySource, len(cursors))
+	for i, c := range cursors {
+		sources[i] = topk.LazySource{Next: c.next, Score: c.score}
+	}
+	out := topk.ThresholdMergeLazy(sources, k)
+	if shared.cancelled {
+		return nil, ctx.Err()
+	}
+	skipped := 0
+	for _, c := range cursors {
+		skipped += c.nBlocks - c.nMat
+	}
+	tr.AddPruneBlocks(skipped)
+	return out, nil
+}

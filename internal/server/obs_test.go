@@ -2,11 +2,16 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"figfusion/internal/dataset"
+	"figfusion/internal/mrf"
+	"figfusion/internal/retrieval"
 )
 
 // TestMetricsShape drives a known request sequence and pins what
@@ -258,6 +263,7 @@ func TestOptionsValidate(t *testing.T) {
 		{"zero drain", mutate(func(o *Options) { o.Drain = 0 }), "drain"},
 		{"negative timeout", mutate(func(o *Options) { o.QueryTimeout = -time.Second }), "query-timeout"},
 		{"negative slow", mutate(func(o *Options) { o.SlowQuery = -time.Second }), "slow-query"},
+		{"unknown pruning", mutate(func(o *Options) { o.Pruning = "wand" }), "pruning"},
 	}
 	for _, tc := range cases {
 		err := tc.o.Validate()
@@ -273,5 +279,74 @@ func TestOptionsValidate(t *testing.T) {
 	withData := mutate(func(o *Options) { o.Data = "corpus.gob"; o.Objects = 0 })
 	if err := withData.Validate(); err != nil {
 		t.Errorf("data-backed options rejected: %v", err)
+	}
+	// Every named pruning mode is accepted and resolves; the empty string
+	// defaults to exact unpruned search.
+	for _, mode := range []string{"off", "blockmax", "blockmax-quantized"} {
+		o := mutate(func(o *Options) { o.Pruning = mode })
+		if err := o.Validate(); err != nil {
+			t.Errorf("pruning=%q rejected: %v", mode, err)
+		}
+		if m, err := o.PruningMode(); err != nil || m.String() != mode {
+			t.Errorf("pruning=%q resolved to %v, %v", mode, m, err)
+		}
+	}
+	empty := mutate(func(o *Options) { o.Pruning = "" })
+	if m, err := empty.PruningMode(); err != nil || m != retrieval.PruneOff {
+		t.Errorf("empty pruning resolved to %v, %v; want off", m, err)
+	}
+	if got := DefaultOptions().Pruning; got != retrieval.PruneBlockMax.String() {
+		t.Errorf("serving default pruning = %q, want blockmax", got)
+	}
+}
+
+// TestMetricsPruneCounters: a server fronting a pruned engine reports the
+// admission gate's work through the retrieval.prune.* counters on
+// /v1/metrics. The engine runs the smoothing-free parameter set where the
+// candidate gate is active on the Search path the HTTP handler drives.
+func TestMetricsPruneCounters(t *testing.T) {
+	cfg := dataset.DefaultConfig()
+	cfg.NumObjects = 200
+	cfg.NumTopics = 5
+	cfg.TagsPerTopic = 8
+	cfg.NoiseTags = 24
+	cfg.UsersPerTopic = 8
+	cfg.VisualVocab = 12
+	cfg.VocabTrainImages = 40
+	cfg.ImageBlocks = 2
+	cfg.KMeansIters = 8
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := mrf.DefaultParams()
+	params.Alpha = 0
+	engine, err := retrieval.NewEngine(d.Model(), retrieval.Config{
+		Params:  params,
+		Pruning: retrieval.PruneBlockMax,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(engine, DefaultOptions()).Handler()
+	for i := 0; i < 10; i++ {
+		target := fmt.Sprintf("/v1/search?id=%d&k=5", i)
+		if code := doJSON(t, h, "GET", target, nil, nil); code != http.StatusOK {
+			t.Fatalf("search %d: status = %d", i, code)
+		}
+	}
+	var resp MetricsResponse
+	if code := doJSON(t, h, "GET", "/v1/metrics", nil, &resp); code != http.StatusOK {
+		t.Fatalf("metrics: status = %d", code)
+	}
+	m := resp.Metrics
+	if got := m.Counters["retrieval.prune.candidates.admitted"]; got == 0 {
+		t.Error("retrieval.prune.candidates.admitted = 0")
+	}
+	if got := m.Counters["retrieval.prune.candidates.skipped"]; got == 0 {
+		t.Error("retrieval.prune.candidates.skipped = 0")
+	}
+	if _, ok := m.Counters["retrieval.prune.blocks.skipped"]; !ok {
+		t.Error("retrieval.prune.blocks.skipped missing from /v1/metrics")
 	}
 }

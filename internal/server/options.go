@@ -4,6 +4,8 @@ import (
 	"flag"
 	"fmt"
 	"time"
+
+	"figfusion/internal/retrieval"
 )
 
 // Options is the one configuration surface of the serving binary: every
@@ -32,6 +34,12 @@ type Options struct {
 	// CandidateCap caps scored candidates per query per engine
 	// (0 = uncapped/exact).
 	CandidateCap int
+	// Pruning selects the top-k pruning mode: "off", "blockmax" (exact,
+	// byte-identical to off), or "blockmax-quantized" (16-bit first pass
+	// with exact rescoring of the survivors). The serving default is
+	// blockmax — it changes no result bytes, only how many candidates are
+	// scored to produce them.
+	Pruning string
 	// Drain is the graceful-shutdown drain timeout.
 	Drain time.Duration
 	// QueryTimeout bounds one search request; on expiry the handler
@@ -59,6 +67,7 @@ func DefaultOptions() Options {
 		Drain:        10 * time.Second,
 		QueryTimeout: 10 * time.Second,
 		SlowQuery:    250 * time.Millisecond,
+		Pruning:      retrieval.PruneBlockMax.String(),
 		Metrics:      true,
 	}
 }
@@ -74,6 +83,7 @@ func (o *Options) Flags(fs *flag.FlagSet) {
 	fs.IntVar(&o.Shards, "shards", o.Shards, "engine shards; > 1 serves scatter-gather over a partitioned index")
 	fs.IntVar(&o.Workers, "workers", o.Workers, "scoring workers per engine (0 = GOMAXPROCS; sharded mode usually keeps 1 per shard)")
 	fs.IntVar(&o.CandidateCap, "candidate-cap", o.CandidateCap, "cap on scored candidates per query per engine (0 = uncapped/exact)")
+	fs.StringVar(&o.Pruning, "pruning", o.Pruning, "top-k pruning mode: off, blockmax (exact), or blockmax-quantized")
 	fs.DurationVar(&o.Drain, "drain", o.Drain, "graceful-shutdown drain timeout")
 	fs.DurationVar(&o.QueryTimeout, "query-timeout", o.QueryTimeout, "per-request search budget; expiry answers deadline_exceeded (0 = unbounded)")
 	fs.DurationVar(&o.SlowQuery, "slow-query", o.SlowQuery, "slow-query-log threshold")
@@ -98,6 +108,9 @@ func (o Options) Validate() error {
 	if o.CandidateCap < 0 {
 		return fmt.Errorf("server: candidate-cap must be >= 0, got %d", o.CandidateCap)
 	}
+	if _, err := o.PruningMode(); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
 	if o.Drain <= 0 {
 		return fmt.Errorf("server: drain must be positive, got %s", o.Drain)
 	}
@@ -108,4 +121,14 @@ func (o Options) Validate() error {
 		return fmt.Errorf("server: slow-query must be >= 0, got %s", o.SlowQuery)
 	}
 	return nil
+}
+
+// PruningMode parses the Pruning option. An empty string means the zero
+// Options value was used without DefaultOptions; that maps to off, the
+// library default.
+func (o Options) PruningMode() (retrieval.PruningMode, error) {
+	if o.Pruning == "" {
+		return retrieval.PruneOff, nil
+	}
+	return retrieval.ParsePruningMode(o.Pruning)
 }

@@ -133,21 +133,30 @@ func TestScatterGatherParity(t *testing.T) {
 	refBefore := searchBytes(ref, refD.Corpus, queries)
 
 	type sys struct {
-		n      int
-		d      *dataset.Dataset
-		router *Router
+		n       int
+		pruning retrieval.PruningMode
+		d       *dataset.Dataset
+		router  *Router
 	}
 	var systems []sys
+	// Routers run both without pruning and with exact block-max pruning:
+	// quantization off, the pruned scatter-gather must stay byte-identical
+	// to the unpruned single engine at every shard count and lifecycle
+	// step. (Quantized mode is excluded: its candidate selection is shard-
+	// partition dependent by design, so its contract is determinism at a
+	// fixed topology, covered in the retrieval package.)
 	for _, n := range shardCounts() {
-		d, m := testSystem(t)
-		r, err := NewRouter(m, Config{Shards: n})
-		if err != nil {
-			t.Fatal(err)
+		for _, pruning := range []retrieval.PruningMode{retrieval.PruneOff, retrieval.PruneBlockMax} {
+			d, m := testSystem(t)
+			r, err := NewRouter(m, Config{Shards: n, Retrieval: retrieval.Config{Pruning: pruning}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := searchBytes(r, d.Corpus, queries); !bytes.Equal(got, refBefore) {
+				t.Fatalf("shards=%d pruning=%v: pre-insert results diverge from single engine (%d vs %d bytes)", n, pruning, len(got), len(refBefore))
+			}
+			systems = append(systems, sys{n: n, pruning: pruning, d: d, router: r})
 		}
-		if got := searchBytes(r, d.Corpus, queries); !bytes.Equal(got, refBefore) {
-			t.Fatalf("shards=%d: pre-insert results diverge from single engine (%d vs %d bytes)", n, len(got), len(refBefore))
-		}
-		systems = append(systems, sys{n: n, d: d, router: r})
 	}
 
 	// A round of routed inserts must preserve parity: the single engine
@@ -166,7 +175,7 @@ func TestScatterGatherParity(t *testing.T) {
 	}
 	for _, s := range systems {
 		if got := searchBytes(s.router, s.d.Corpus, grown); !bytes.Equal(got, refAfter) {
-			t.Fatalf("shards=%d: post-insert results diverge from single engine", s.n)
+			t.Fatalf("shards=%d pruning=%v: post-insert results diverge from single engine", s.n, s.pruning)
 		}
 	}
 
@@ -180,11 +189,11 @@ func TestScatterGatherParity(t *testing.T) {
 			t.Fatal(err)
 		}
 		if man.Shards != s.n || man.Objects != s.d.Corpus.Len() {
-			t.Fatalf("shards=%d: manifest %+v does not match router", s.n, man)
+			t.Fatalf("shards=%d pruning=%v: manifest %+v does not match router", s.n, s.pruning, man)
 		}
 		m2 := s.d.Model()
 		m2.Thresholds = s.router.Model().Thresholds
-		r2, man2, err := Load(m2, Config{}, base)
+		r2, man2, err := Load(m2, Config{Retrieval: retrieval.Config{Pruning: s.pruning}}, base)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -192,7 +201,7 @@ func TestScatterGatherParity(t *testing.T) {
 			t.Fatalf("loaded manifest shards = %d, want %d", man2.Shards, s.n)
 		}
 		if got := searchBytes(r2, s.d.Corpus, grown); !bytes.Equal(got, refAfter) {
-			t.Fatalf("shards=%d: post-roundtrip results diverge from single engine", s.n)
+			t.Fatalf("shards=%d pruning=%v: post-roundtrip results diverge from single engine", s.n, s.pruning)
 		}
 	}
 }

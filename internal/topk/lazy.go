@@ -1,0 +1,73 @@
+package topk
+
+import "figfusion/internal/media"
+
+// LazySource is one ranked list presented incrementally to
+// ThresholdMergeLazy. Next yields the list's items best-first under Less
+// (score descending, ties by ascending ID) and reports false once the list
+// is exhausted; Score is the random-access lookup — the item's score if the
+// object is in the list, 0 otherwise — and must stay valid at any cursor
+// position, including after exhaustion. The block-max TA path implements
+// Next over lazily materialised posting blocks, so postings in blocks whose
+// upper bound never reaches the merge frontier are never scored at all.
+type LazySource struct {
+	Next  func() (Item, bool)
+	Score func(id media.ObjectID) float64
+}
+
+// ThresholdMergeLazy is ThresholdMerge over incrementally produced lists:
+// the same Threshold Algorithm — one sorted-access row across all sources
+// per round, random access to every source for each newly seen object, and
+// termination once the k-th best aggregate reaches the row's score sum. The
+// two functions are step-for-step identical given equal list contents:
+// the same rows, the same random-access sums (absent objects add 0.0
+// exactly as the map lookup does), the same encounter order at score ties,
+// and the same termination round — so their results are byte-identical,
+// which is what lets the pruned TA path keep the exactness contract while
+// sourcing its rows from block-max cursors.
+func ThresholdMergeLazy(sources []LazySource, k int) []Item {
+	h := NewHeap(k)
+	// ObjectIDs are dense from 0 (media.ObjectID), so a grow-on-demand
+	// bitmap replaces the map the eager merge uses: the TA consults it
+	// once per sorted-access row and hashing dominated the bookkeeping.
+	seen := make([]bool, 0, 1024)
+	exhausted := make([]bool, len(sources))
+	live := len(sources)
+	for live > 0 {
+		var threshold float64
+		for i := range sources {
+			if exhausted[i] {
+				continue
+			}
+			it, ok := sources[i].Next()
+			if !ok {
+				exhausted[i] = true
+				live--
+				continue
+			}
+			threshold += it.Score
+			if idx := int(it.ID); idx < len(seen) {
+				if seen[idx] {
+					continue
+				}
+			} else {
+				grown := make([]bool, idx+1, max(2*len(seen), idx+1))
+				copy(grown, seen)
+				seen = grown
+			}
+			seen[it.ID] = true
+			var total float64
+			for j := range sources {
+				total += sources[j].Score(it.ID)
+			}
+			h.Push(Item{ID: it.ID, Score: total})
+		}
+		if live == 0 {
+			break
+		}
+		if min, ok := h.Min(); ok && min.Score >= threshold {
+			break
+		}
+	}
+	return h.Results()
+}

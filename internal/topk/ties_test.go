@@ -1,0 +1,127 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"figfusion/internal/media"
+)
+
+// tieLists is a fixture whose aggregate scores tie exactly at the k-th
+// position: object 4 aggregates to 3.0, objects 1, 2 and 3 all aggregate
+// to exactly 2.0 (sums of the double 1.0, so the tie is bit-exact, not
+// approximate).
+func tieLists() [][]Item {
+	return [][]Item{
+		{{ID: 4, Score: 2.0}, {ID: 1, Score: 1.0}, {ID: 2, Score: 1.0}, {ID: 3, Score: 1.0}},
+		{{ID: 4, Score: 1.0}, {ID: 1, Score: 1.0}, {ID: 2, Score: 1.0}, {ID: 3, Score: 1.0}},
+	}
+}
+
+func assertItems(t *testing.T, got, want []Item) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d items %v, want %d items %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank %d: got %+v, want %+v (full: %v vs %v)", i, got[i], want[i], got, want)
+		}
+	}
+}
+
+// TestThresholdMergeTieBreaks pins the ranking ThresholdMerge serves when
+// several candidates share the exact k-th score: ties order by ascending
+// object ID (topk.Less's total order), at every k including the k=1 edge
+// and k covering the whole candidate set. Any change to the merge that
+// reorders equal-scored candidates — a different heap layout, a different
+// encounter order — breaks this pinned output and with it the
+// cross-worker and cross-shard byte-parity contracts.
+func TestThresholdMergeTieBreaks(t *testing.T) {
+	cases := []struct {
+		k    int
+		want []Item
+	}{
+		{k: 1, want: []Item{{ID: 4, Score: 3.0}}},
+		{k: 2, want: []Item{{ID: 4, Score: 3.0}, {ID: 1, Score: 2.0}}},
+		{k: 3, want: []Item{{ID: 4, Score: 3.0}, {ID: 1, Score: 2.0}, {ID: 2, Score: 2.0}}},
+		// k = len(candidates): every tied candidate emitted, still in ID order.
+		{k: 4, want: []Item{{ID: 4, Score: 3.0}, {ID: 1, Score: 2.0}, {ID: 2, Score: 2.0}, {ID: 3, Score: 2.0}}},
+	}
+	for _, tc := range cases {
+		assertItems(t, ThresholdMerge(tieLists(), tc.k), tc.want)
+		assertItems(t, ThresholdMergeLazy(lazyWrap(tieLists()), tc.k), tc.want)
+	}
+}
+
+// TestThresholdMergeAllTied covers the fully degenerate tie: every
+// candidate shares one score, so the output order is ID order alone.
+func TestThresholdMergeAllTied(t *testing.T) {
+	lists := [][]Item{
+		{{ID: 2, Score: 1.0}, {ID: 5, Score: 1.0}, {ID: 9, Score: 1.0}},
+	}
+	want := []Item{{ID: 2, Score: 1.0}, {ID: 5, Score: 1.0}, {ID: 9, Score: 1.0}}
+	assertItems(t, ThresholdMerge(lists, 1), want[:1])
+	assertItems(t, ThresholdMerge(lists, 3), want)
+	assertItems(t, ThresholdMergeLazy(lazyWrap(lists), 1), want[:1])
+	assertItems(t, ThresholdMergeLazy(lazyWrap(lists), 3), want)
+}
+
+// lazyWrap presents eager lists through the LazySource interface: Next
+// walks the list in order, Score is the map lookup ThresholdMerge itself
+// builds. Used to pin ThresholdMergeLazy against ThresholdMerge on
+// identical inputs.
+func lazyWrap(lists [][]Item) []LazySource {
+	sources := make([]LazySource, len(lists))
+	for i, l := range lists {
+		l := l
+		m := make(map[media.ObjectID]float64, len(l))
+		for _, it := range l {
+			m[it.ID] = it.Score
+		}
+		cur := 0
+		sources[i] = LazySource{
+			Next: func() (Item, bool) {
+				if cur >= len(l) {
+					return Item{}, false
+				}
+				it := l[cur]
+				cur++
+				return it, true
+			},
+			Score: func(id media.ObjectID) float64 { return m[id] },
+		}
+	}
+	return sources
+}
+
+// TestThresholdMergeLazyMatchesEager drives both merges over randomized
+// list sets (fixed seed) and requires identical output at every k — the
+// equivalence the pruned TA path's exactness rests on.
+func TestThresholdMergeLazyMatchesEager(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		nLists := 1 + rng.Intn(4)
+		lists := make([][]Item, nLists)
+		for i := range lists {
+			n := rng.Intn(12)
+			seen := map[media.ObjectID]bool{}
+			for j := 0; j < n; j++ {
+				id := media.ObjectID(rng.Intn(20))
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				// Coarse scores force frequent exact ties.
+				lists[i] = append(lists[i], Item{ID: id, Score: float64(rng.Intn(4)) / 2})
+			}
+			sort.Slice(lists[i], func(a, b int) bool { return Less(lists[i][a], lists[i][b]) })
+		}
+		for _, k := range []int{1, 3, 10} {
+			want := ThresholdMerge(lists, k)
+			got := ThresholdMergeLazy(lazyWrap(lists), k)
+			assertItems(t, got, want)
+		}
+	}
+}
