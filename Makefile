@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-build bench-shard bench-prune benchall vet fmt lint figlint figures examples clean
+.PHONY: all build test race bench bench-build bench-shard bench-load bench-prune benchall vet fmt lint figlint figures examples clean
 
 all: build lint test
 
@@ -20,7 +20,7 @@ race:
 # performance baseline" in EXPERIMENTS.md). The -perfgate flag fails the
 # run if serial search throughput regresses more than 5% vs the previous
 # recorded run.
-bench: bench-build bench-shard
+bench: bench-build bench-shard bench-load
 	$(GO) test -bench='Search|CandidateSet' -benchmem ./internal/retrieval/...
 	$(GO) run ./cmd/figbench -perf BENCH_retrieval.json -scale 800 -queries 12 -seed 1 -perfgate 5
 
@@ -40,6 +40,14 @@ bench-build:
 # 1.5x off's serial TA throughput.
 bench-prune:
 	$(GO) run ./cmd/figbench -perf BENCH_retrieval.json -scale 4000 -queries 12 -seed 1 -perflabel prune-scale4000 -perfprune off,blockmax,blockmax-quantized -prunegate 1.5
+
+# Cold-start benchmark: index snapshot size and load wall time, legacy gob
+# vs serial/parallel binary segment, appended to the tracked baseline file
+# (see "Cold-start baseline" in EXPERIMENTS.md). The -loadgate flag fails
+# the run if the segment/parallel cold-start load time regresses more than
+# 10% vs the previous recorded run at the same scale.
+bench-load:
+	$(GO) run ./cmd/figbench -loadperf BENCH_load.json -scale 20000 -seed 1 -loadgate 10
 
 # Shard-scaling benchmark: scatter-gather Search at 1/2/4/NumCPU shards
 # against the single-engine baseline, appended to the tracked baseline file

@@ -38,6 +38,8 @@ func main() {
 		perf      = flag.String("perf", "", "measure the retrieval query path and append the run to this JSON file (e.g. BENCH_retrieval.json); skips the figures")
 		buildPerf = flag.String("buildperf", "", "measure the offline build path (vocabulary, thresholds, index, lambda training) and append the run to this JSON file (e.g. BENCH_build.json); skips the figures")
 		shardPerf = flag.String("shardperf", "", "measure scatter-gather search throughput at 1/2/4/NumCPU shards against the single-engine baseline and append the run to this JSON file (e.g. BENCH_shard.json); skips the figures")
+		loadPerf  = flag.String("loadperf", "", "measure index snapshot size and cold-start load time (legacy gob vs serial/parallel segment) and append the run to this JSON file (e.g. BENCH_load.json); skips the figures")
+		loadGate  = flag.Float64("loadgate", 0, "fail the -loadperf run if segment/parallel cold-start load time regresses more than this percentage vs the previous recorded run at the same scale (0 = record only)")
 		perfLabel = flag.String("perflabel", "", "label recorded with the -perf/-buildperf run (default: go version + GOMAXPROCS)")
 		perfCap   = flag.Int("perfcap", 0, "CandidateCap for the -perf engine (0 = uncapped)")
 		perfGate  = flag.Float64("perfgate", 0, "fail the -perf run if search/serial queries/sec drops more than this percentage below the previous recorded run of the same workload shape (0 = record only)")
@@ -55,7 +57,7 @@ func main() {
 	opts.RecUsers = *users
 	opts.Seed = *seed
 
-	if *perf != "" || *buildPerf != "" || *shardPerf != "" {
+	if *perf != "" || *buildPerf != "" || *shardPerf != "" || *loadPerf != "" {
 		label := *perfLabel
 		if label == "" {
 			label = fmt.Sprintf("%s GOMAXPROCS=%d", runtime.Version(), runtime.GOMAXPROCS(0))
@@ -79,6 +81,11 @@ func main() {
 		if *shardPerf != "" {
 			if err := runShardPerf(*shardPerf, label, opts); err != nil {
 				log.Fatalf("shardperf: %v", err)
+			}
+		}
+		if *loadPerf != "" {
+			if err := runLoadPerf(*loadPerf, label, opts, *loadGate); err != nil {
+				log.Fatalf("loadperf: %v", err)
 			}
 		}
 		return

@@ -150,6 +150,59 @@ func runShardPerf(path, label string, opts experiments.Options) error {
 	return nil
 }
 
+// runLoadPerf measures index snapshot size and cold-start load time in
+// both formats and appends the run to the JSON file at path (creating it
+// if absent). With gatePct > 0 it also acts as a regression gate: the
+// segment/parallel cold-start load time must not regress more than
+// gatePct percent against the previous recorded run at the same scale.
+func runLoadPerf(path, label string, opts experiments.Options, gatePct float64) error {
+	run, err := experiments.LoadPerf(opts, label)
+	if err != nil {
+		return err
+	}
+	prev, havePrev, err := experiments.LastLoadRunMatching(path, run)
+	if err != nil {
+		return err
+	}
+	total, err := experiments.AppendBenchRun(path,
+		"index cold start: snapshot bytes + load wall time, legacy gob vs serial/parallel binary segment",
+		fmt.Sprintf("go run ./cmd/figbench -loadperf %s -scale %d -seed %d", path, opts.Scale, opts.Seed),
+		run)
+	if err != nil {
+		return err
+	}
+	for _, r := range run.Results {
+		fmt.Printf("%-18s %12d bytes %10.1f ms load %14d heap bytes\n", r.Name, r.Bytes, r.LoadMs, r.HeapBytes)
+	}
+	fmt.Printf("segment snapshot is %.2fx the gob size; cold start %.2fx faster than gob; parallel load %.2fx over serial\n",
+		run.SizeRatio, run.SegmentVsGob, run.ParallelSpeedup)
+	fmt.Printf("appended run %q to %s (%d runs total)\n", label, path, total)
+	if gatePct > 0 && havePrev {
+		prevMs := prevLoadMs(prev)
+		newMs := prevLoadMs(run)
+		if prevMs > 0 && newMs > 0 {
+			regress := (newMs - prevMs) / prevMs * 100
+			fmt.Printf("load gate: segment/parallel %.1f -> %.1f ms (%+.1f%%, limit +%.0f%%)\n",
+				prevMs, newMs, regress, gatePct)
+			if regress > gatePct {
+				return fmt.Errorf("segment/parallel cold-start load regressed %.1f%% (limit %.0f%%): %.1f -> %.1f ms vs run %q",
+					regress, gatePct, prevMs, newMs, prev.Label)
+			}
+		}
+	}
+	return nil
+}
+
+// prevLoadMs extracts the gated metric: the parallel segment load time.
+func prevLoadMs(run *experiments.LoadRun) float64 {
+	for _, r := range run.Results {
+		if r.Name == "segment/parallel" {
+			return r.LoadMs
+		}
+	}
+	return 0
+}
+
 // runBuildPerf measures the offline build path phase by phase and appends
 // the run to the JSON file at path (creating it if absent).
 func runBuildPerf(path, label string, opts experiments.Options) error {

@@ -6,6 +6,7 @@
 //
 //	figdata -out corpus.gob -objects 20000 -topics 24 -seed 7
 //	figdata -out corpus.gob -index snap -shards 4   # sharded snapshot set for figserver -shards 4
+//	figdata -inspect snap.0                         # print an index snapshot's header
 package main
 
 import (
@@ -32,8 +33,16 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generation seed")
 		idxOut  = flag.String("index", "", "also build and persist the clique index to this file (with -shards > 1: the base path of the sharded snapshot set)")
 		shards  = flag.Int("shards", 1, "partition the index across this many shards; writes <index>.manifest.json plus one snapshot per shard")
+		inspect = flag.String("inspect", "", "print an index snapshot's header (segment or legacy gob) and exit")
 	)
 	flag.Parse()
+
+	if *inspect != "" {
+		if err := inspectSnapshot(*inspect); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	cfg := dataset.DefaultConfig()
 	cfg.Seed = *seed
@@ -103,4 +112,32 @@ func main() {
 		}
 		fmt.Printf("wrote %s: %d cliques, %d postings\n", *idxOut, inv.NumCliques(), inv.Postings())
 	}
+}
+
+// inspectSnapshot prints an index snapshot's header and section summary
+// without building a servable index.
+func inspectSnapshot(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := index.InspectSnapshot(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s snapshot, %d bytes\n", path, info.Format, info.Bytes)
+	if info.Format == "segment" {
+		fmt.Printf("  version %d, saved at generation %d, header crc %08x\n", info.Version, info.Generation, info.HeaderCRC)
+	}
+	fmt.Printf("  %d entries (%d fresh), %d features, %d postings, %d blocks\n",
+		info.Entries, info.Fresh, info.Feats, info.Postings, info.Blocks)
+	for _, s := range info.Sections {
+		status := "ok"
+		if !s.OK {
+			status = "CORRUPT"
+		}
+		fmt.Printf("  section %-8s %10d bytes  crc %08x  %s\n", s.Name, s.Bytes, s.CRC, status)
+	}
+	return nil
 }

@@ -116,7 +116,12 @@ func main() {
 				log.Fatal(lerr)
 			}
 			engineCfg.Index = prebuilt
-			log.Printf("loaded index: %d cliques", prebuilt.NumCliques())
+			if ls := prebuilt.LoadStats(); ls != nil {
+				log.Printf("loaded index: %d cliques (%s snapshot, %d bytes, %.1f ms, %d loader worker(s))",
+					prebuilt.NumCliques(), ls.Format, ls.Bytes, ls.WallMillis, ls.Workers)
+			} else {
+				log.Printf("loaded index: %d cliques", prebuilt.NumCliques())
+			}
 		}
 		engine, eerr := retrieval.NewEngine(model, engineCfg)
 		if eerr != nil {

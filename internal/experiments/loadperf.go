@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"figfusion/internal/dataset"
+	"figfusion/internal/fig"
+	"figfusion/internal/index"
+	"figfusion/internal/par"
+)
+
+// LoadResult is one measured cold-start path: snapshot size, best-of-reps
+// load wall time, and the steady-state heap the loaded index holds.
+type LoadResult struct {
+	Name           string  `json:"name"` // gob/serial, segment/serial, segment/parallel
+	Bytes          int64   `json:"bytes"`
+	LoadMs         float64 `json:"loadMs"`
+	HeapBytes      int64   `json:"heapBytes"`      // measured live heap delta after GC
+	EstimatedBytes int64   `json:"estimatedBytes"` // index.MemoryBytes self-report
+}
+
+// LoadRun is one complete cold-start measurement on one code revision.
+// Runs accumulate in BENCH_load.json, tracking the snapshot-size and
+// load-time trajectory across PRs.
+type LoadRun struct {
+	Label      string       `json:"label"`
+	GoVersion  string       `json:"goVersion"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Workers    int          `json:"workers"`
+	Scale      int          `json:"scale"`
+	Cliques    int          `json:"cliques"`
+	Postings   int          `json:"postings"`
+	Results    []LoadResult `json:"results"`
+	// SizeRatio is segment bytes / gob bytes (< 1 means smaller).
+	SizeRatio float64 `json:"sizeRatio"`
+	// SegmentVsGob is gob/serial load time over segment/parallel load time
+	// (> 1 means the segment path is faster cold-start).
+	SegmentVsGob float64 `json:"segmentVsGob"`
+	// ParallelSpeedup is segment/serial over segment/parallel.
+	ParallelSpeedup float64 `json:"parallelSpeedup"`
+}
+
+const loadReps = 5
+
+// LoadPerf measures the index cold-start path at o.Scale: it builds the
+// clique index once, snapshots it in both formats (in memory — the
+// measurement isolates decode cost from disk cache behaviour), and times
+// legacy-gob load, serial segment load, and parallel segment load,
+// recording best-of-5 wall times and the post-GC live-heap delta each
+// loaded index retains. The workload derives entirely from o.Seed/o.Scale,
+// so two runs on the same revision measure the same work.
+func LoadPerf(o Options, label string) (*LoadRun, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	d, err := dataset.Generate(o.retrievalConfig())
+	if err != nil {
+		return nil, err
+	}
+	m := d.Model()
+	m.TrainThresholds(200, 0.35, rand.New(rand.NewSource(o.Seed+13)))
+	inv := index.Build(m, fig.Options{}, fig.EnumerateOptions{})
+	gen := m.Generation()
+
+	var segBuf, gobBuf bytes.Buffer
+	if err := inv.SaveAt(&segBuf, gen); err != nil {
+		return nil, err
+	}
+	if err := inv.SaveLegacyGob(&gobBuf, gen); err != nil {
+		return nil, err
+	}
+
+	run := &LoadRun{
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    par.Workers(0, inv.NumCliques()),
+		Scale:      o.Scale,
+		Cliques:    inv.NumCliques(),
+		Postings:   inv.Postings(),
+	}
+	cases := []struct {
+		name    string
+		data    []byte
+		workers int
+	}{
+		{"gob/serial", gobBuf.Bytes(), 1},
+		{"segment/serial", segBuf.Bytes(), 1},
+		{"segment/parallel", segBuf.Bytes(), 0},
+	}
+	for _, c := range cases {
+		r, err := measureLoad(c.name, c.data, c.workers)
+		if err != nil {
+			return nil, err
+		}
+		run.Results = append(run.Results, *r)
+	}
+	if g := loadResult(run, "gob/serial"); g.Bytes > 0 {
+		run.SizeRatio = float64(loadResult(run, "segment/serial").Bytes) / float64(g.Bytes)
+	}
+	segPar := loadResult(run, "segment/parallel").LoadMs
+	if segPar > 0 {
+		run.SegmentVsGob = loadResult(run, "gob/serial").LoadMs / segPar
+		run.ParallelSpeedup = loadResult(run, "segment/serial").LoadMs / segPar
+	}
+	return run, nil
+}
+
+// measureLoad times loadReps cold loads of one snapshot (best wall time
+// wins) and measures the live heap the final loaded index retains across a
+// GC — the steady-state cost of keeping it resident.
+func measureLoad(name string, data []byte, workers int) (*LoadResult, error) {
+	res := &LoadResult{Name: name, Bytes: int64(len(data))}
+	var inv *index.Inverted
+	for rep := 0; rep < loadReps; rep++ {
+		inv = nil
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		got, err := index.LoadWorkers(bytes.NewReader(data), workers)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+		if rep == 0 || ms < res.LoadMs {
+			res.LoadMs = ms
+		}
+		inv = got
+		if rep == loadReps-1 {
+			runtime.GC()
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			res.HeapBytes = int64(after.HeapAlloc) - int64(before.HeapAlloc)
+			res.EstimatedBytes = inv.MemoryBytes()
+		}
+	}
+	runtime.KeepAlive(inv)
+	return res, nil
+}
+
+// loadResult extracts the named result from a run (zero value if absent).
+func loadResult(run *LoadRun, name string) LoadResult {
+	for _, r := range run.Results {
+		if r.Name == name {
+			return r
+		}
+	}
+	return LoadResult{}
+}
+
+// LastLoadRunMatching returns the most recent run in the benchmark file
+// with the same workload shape (scale) as run, for regression gating;
+// runs at other scales interleave in the file without poisoning the
+// comparison.
+func LastLoadRunMatching(path string, run *LoadRun) (*LoadRun, bool, error) {
+	raws, err := BenchRuns(path)
+	if err != nil {
+		return nil, false, err
+	}
+	for i := len(raws) - 1; i >= 0; i-- {
+		var prev LoadRun
+		if err := json.Unmarshal(raws[i], &prev); err != nil {
+			return nil, false, fmt.Errorf("bench: %s: decoding run %d: %w", path, i, err)
+		}
+		if prev.Scale == run.Scale && len(prev.Results) > 0 {
+			return &prev, true, nil
+		}
+	}
+	return nil, false, nil
+}

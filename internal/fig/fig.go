@@ -126,9 +126,15 @@ func (c Clique) Size() int { return len(c.Feats) + 1 }
 
 // Key returns a canonical byte-string key for the clique's feature set,
 // independent of Month, suitable as an inverted-index map key.
-func (c Clique) Key() string {
-	buf := make([]byte, 4*len(c.Feats))
-	for i, fid := range c.Feats {
+func (c Clique) Key() string { return KeyOf(c.Feats) }
+
+// KeyOf is the one canonical clique-key encoder: the feature IDs as
+// big-endian uint32s, concatenated. Everything that keys on a clique's
+// feature set — Clique.Key, the inverted index's persisted rows — must go
+// through this function; KeyFeats is its inverse.
+func KeyOf(fids []media.FID) string {
+	buf := make([]byte, 4*len(fids))
+	for i, fid := range fids {
 		binary.BigEndian.PutUint32(buf[4*i:], uint32(fid))
 	}
 	return string(buf)

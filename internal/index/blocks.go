@@ -10,7 +10,7 @@ import (
 // entry's sorted posting list is cut into runs of up to BlockLen object
 // IDs, each summarised by its ID range and the maxima of the two
 // candidate-dependent components of the Eq. 7 conditional. The length
-// trades summary footprint (one 40-byte Block per run) against pruning
+// trades summary footprint (one 40-byte block row per run) against pruning
 // granularity (the lazy TA path scores a whole run the moment its bound
 // surfaces). 64 keeps the summary under 8% of the posting list's
 // footprint; halving it measured slower on the tracked -scale 4000 TA
@@ -18,13 +18,26 @@ import (
 // more than the extra skipped potentials save.
 const BlockLen = 64
 
-// Block summarises one run of up to BlockLen postings. MaxSF and MaxSM are
-// maxima of the parameter-independent conditional components returned by
-// mrf.Scorer.PotentialParts — set-frequency ratio and smoothing mean — so
-// one stored summary serves any (α, λ, CorS): the query-time upper bound
-// for a clique with weighted lambda wl is
+// Block is one run's summary in row form — the shape the legacy gob wire
+// format persists and the tests assemble expectations in. In memory the
+// summaries are stored columnar (see BlockSlice); Block exists at the
+// boundaries where a whole row is handled at once.
+type Block struct {
+	MinID media.ObjectID
+	MaxID media.ObjectID
+	MaxSF float64
+	MaxSM float64
+	MinSM float64
+}
+
+// BlockSlice is a columnar view over an entry's block summaries: five
+// parallel arrays, one element per block of up to BlockLen postings. MaxSF
+// and MaxSM are maxima of the parameter-independent conditional components
+// returned by mrf.Scorer.PotentialParts — set-frequency ratio and
+// smoothing mean — so one stored summary serves any (α, λ, CorS): the
+// query-time upper bound for a clique with weighted lambda wl is
 //
-//	wl · ((1−α)·MaxSF + α·MaxSM)
+//	wl · ((1−α)·MaxSF[i] + α·MaxSM[i])
 //
 // inflated by the pruning layer's reassociation slack. MaxSM may be
 // negative (the smoothing correction subtracts clique-internal
@@ -33,13 +46,58 @@ const BlockLen = 64
 // mean in the block — exists purely for the slack: the floating-point
 // error of the bound comparison is relative to the magnitudes of the terms
 // involved, not to their (possibly cancelling) sum, so the inflation term
-// needs the largest |sm| in the block, which is max(|MaxSM|, |MinSM|).
-type Block struct {
-	MinID media.ObjectID
-	MaxID media.ObjectID
-	MaxSF float64
-	MaxSM float64
-	MinSM float64
+// needs the largest |sm| in the block, which is max(|MaxSM|, |MinSM[i]|).
+//
+// On a sealed index the five arrays are sub-slices of the index's shared
+// columnar arenas — the pruned TA path aliases MinID/MaxID directly as its
+// random-access search arrays, with no per-query copy.
+type BlockSlice struct {
+	MinID []media.ObjectID
+	MaxID []media.ObjectID
+	MaxSF []float64
+	MaxSM []float64
+	MinSM []float64
+}
+
+// Len returns the number of blocks in the view.
+func (b BlockSlice) Len() int { return len(b.MinID) }
+
+// Block assembles row i of the view — the boundary helper for the gob wire
+// format and tests; hot paths read the columns directly.
+func (b BlockSlice) Block(i int) Block {
+	return Block{MinID: b.MinID[i], MaxID: b.MaxID[i], MaxSF: b.MaxSF[i], MaxSM: b.MaxSM[i], MinSM: b.MinSM[i]}
+}
+
+// blockSliceOf builds an owned columnar view from row form (the legacy gob
+// decode path), backed by two allocations regardless of block count.
+func blockSliceOf(rows []Block) BlockSlice {
+	n := len(rows)
+	if n == 0 {
+		return BlockSlice{}
+	}
+	ids := make([]media.ObjectID, 2*n)
+	fs := make([]float64, 3*n)
+	b := BlockSlice{
+		MinID: ids[:n:n], MaxID: ids[n : 2*n : 2*n],
+		MaxSF: fs[:n:n], MaxSM: fs[n : 2*n : 2*n], MinSM: fs[2*n : 3*n : 3*n],
+	}
+	for i, r := range rows {
+		b.MinID[i], b.MaxID[i] = r.MinID, r.MaxID
+		b.MaxSF[i], b.MaxSM[i], b.MinSM[i] = r.MaxSF, r.MaxSM, r.MinSM
+	}
+	return b
+}
+
+// rows converts the view back to row form (the legacy gob encode path).
+func (b BlockSlice) rows() []Block {
+	if b.Len() == 0 {
+		return nil
+	}
+	out := make([]Block, b.Len())
+	for i := range out {
+		out[i] = b.Block(i)
+	}
+	return out
 }
 
 // BlocksAt returns the entry's block summaries if they were computed at
@@ -49,11 +107,11 @@ type Block struct {
 // describe a corpus that no longer exists; serving them would silently
 // break the admission bound, the same failure class as the stale-weight
 // bug the generation stamps were introduced for.
-func (e *Entry) BlocksAt(gen uint64) ([]Block, bool) {
-	if e.corsGen != gen || len(e.Blocks) == 0 {
-		return nil, false
+func (e *Entry) BlocksAt(gen uint64) (BlockSlice, bool) {
+	if e.corsGen != gen || e.blocks.Len() == 0 {
+		return BlockSlice{}, false
 	}
-	return e.Blocks, true
+	return e.blocks, true
 }
 
 // blockScorer returns the scorer the build uses to evaluate
@@ -71,7 +129,9 @@ func blockScorer(m *corr.Model) *mrf.Scorer {
 }
 
 // computeBlocks (re)builds an entry's block summaries from the current
-// corpus. Callers stamp the entry's generation alongside, as with CorS.
+// corpus, into owned columnar storage (sealing later migrates it into the
+// shared arenas). Callers stamp the entry's generation alongside, as with
+// CorS.
 //
 // An entry whose feature set names FIDs outside the dictionary (possible
 // through Insert with caller-synthesized cliques) gets blocks without
@@ -83,7 +143,7 @@ func blockScorer(m *corr.Model) *mrf.Scorer {
 func computeBlocks(s *mrf.Scorer, corpus *media.Corpus, e *Entry) {
 	n := len(e.Objects)
 	if n == 0 {
-		e.Blocks = nil
+		e.blocks = BlockSlice{}
 		return
 	}
 	known := true
@@ -93,31 +153,37 @@ func computeBlocks(s *mrf.Scorer, corpus *media.Corpus, e *Entry) {
 			break
 		}
 	}
-	blocks := make([]Block, 0, (n+BlockLen-1)/BlockLen)
-	for lo := 0; lo < n; lo += BlockLen {
+	nb := (n + BlockLen - 1) / BlockLen
+	ids := make([]media.ObjectID, 2*nb)
+	fs := make([]float64, 3*nb)
+	b := BlockSlice{
+		MinID: ids[:nb:nb], MaxID: ids[nb : 2*nb : 2*nb],
+		MaxSF: fs[:nb:nb], MaxSM: fs[nb : 2*nb : 2*nb], MinSM: fs[2*nb : 3*nb : 3*nb],
+	}
+	for bi := 0; bi < nb; bi++ {
+		lo := bi * BlockLen
 		hi := lo + BlockLen
 		if hi > n {
 			hi = n
 		}
-		b := Block{MinID: e.Objects[lo], MaxID: e.Objects[hi-1]}
+		b.MinID[bi], b.MaxID[bi] = e.Objects[lo], e.Objects[hi-1]
 		first := true
 		for _, oid := range e.Objects[lo:hi] {
 			var sf, sm float64
 			if known {
 				sf, sm = s.PotentialParts(e.Feats, corpus.Object(oid))
 			}
-			if first || sf > b.MaxSF {
-				b.MaxSF = sf
+			if first || sf > b.MaxSF[bi] {
+				b.MaxSF[bi] = sf
 			}
-			if first || sm > b.MaxSM {
-				b.MaxSM = sm
+			if first || sm > b.MaxSM[bi] {
+				b.MaxSM[bi] = sm
 			}
-			if first || sm < b.MinSM {
-				b.MinSM = sm
+			if first || sm < b.MinSM[bi] {
+				b.MinSM[bi] = sm
 			}
 			first = false
 		}
-		blocks = append(blocks, b)
 	}
-	e.Blocks = blocks
+	e.blocks = b
 }

@@ -59,13 +59,14 @@ func TestBlocksCoverPostings(t *testing.T) {
 			t.Fatalf("entry %v: no fresh blocks at build generation", e.Feats)
 		}
 		want := (len(e.Objects) + BlockLen - 1) / BlockLen
-		if len(blocks) != want {
-			t.Fatalf("entry %v: %d blocks over %d postings, want %d", e.Feats, len(blocks), len(e.Objects), want)
+		if blocks.Len() != want {
+			t.Fatalf("entry %v: %d blocks over %d postings, want %d", e.Feats, blocks.Len(), len(e.Objects), want)
 		}
 		if want > 1 {
 			multi++
 		}
-		for bi, b := range blocks {
+		for bi := 0; bi < blocks.Len(); bi++ {
+			b := blocks.Block(bi)
 			lo := bi * BlockLen
 			hi := lo + BlockLen
 			if hi > len(e.Objects) {
@@ -101,7 +102,7 @@ func TestBlockBoundsSound(t *testing.T) {
 			t.Fatalf("entry %v: no fresh blocks", e.Feats)
 		}
 		for j, oid := range e.Objects {
-			b := blocks[j/BlockLen]
+			b := blocks.Block(j / BlockLen)
 			sf, sm := s.PotentialParts(e.Feats, corpus.Object(oid))
 			if sf > b.MaxSF {
 				t.Fatalf("entry %v posting %d: sf %v exceeds block MaxSF %v", e.Feats, oid, sf, b.MaxSF)
@@ -121,6 +122,7 @@ func TestBlockBoundsSound(t *testing.T) {
 func TestBlocksSaveLoadRoundTrip(t *testing.T) {
 	_, m := blockWorld(t)
 	inv := Build(m, fig.Options{}, fig.EnumerateOptions{MaxFeatures: 3})
+	gen := m.Generation()
 	var buf bytes.Buffer
 	if err := inv.Save(&buf); err != nil {
 		t.Fatal(err)
@@ -130,6 +132,10 @@ func TestBlocksSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, e := range inv.Entries() {
+		eb, ok := e.BlocksAt(gen)
+		if !ok {
+			t.Fatalf("entry %v: no fresh blocks before save", e.Feats)
+		}
 		le, ok := got.Lookup(fig.Clique{Feats: e.Feats})
 		if !ok {
 			t.Fatalf("clique %v missing after load", e.Feats)
@@ -138,12 +144,12 @@ func TestBlocksSaveLoadRoundTrip(t *testing.T) {
 		if !ok {
 			t.Fatalf("entry %v: blocks not fresh after load", e.Feats)
 		}
-		if len(lb) != len(e.Blocks) {
-			t.Fatalf("entry %v: %d blocks after load, want %d", e.Feats, len(lb), len(e.Blocks))
+		if lb.Len() != eb.Len() {
+			t.Fatalf("entry %v: %d blocks after load, want %d", e.Feats, lb.Len(), eb.Len())
 		}
-		for i := range lb {
-			if lb[i] != e.Blocks[i] {
-				t.Fatalf("entry %v block %d differs after load: %+v vs %+v", e.Feats, i, lb[i], e.Blocks[i])
+		for i := 0; i < lb.Len(); i++ {
+			if lb.Block(i) != eb.Block(i) {
+				t.Fatalf("entry %v block %d differs after load: %+v vs %+v", e.Feats, i, lb.Block(i), eb.Block(i))
 			}
 		}
 	}
@@ -220,10 +226,10 @@ func TestInsertRefreshesBlocks(t *testing.T) {
 		if !ok {
 			t.Fatalf("touched entry %v: blocks not refreshed by Insert", q.Feats)
 		}
-		if want := (len(e.Objects) + BlockLen - 1) / BlockLen; len(blocks) != want {
-			t.Fatalf("touched entry %v: %d blocks over %d postings, want %d", q.Feats, len(blocks), len(e.Objects), want)
+		if want := (len(e.Objects) + BlockLen - 1) / BlockLen; blocks.Len() != want {
+			t.Fatalf("touched entry %v: %d blocks over %d postings, want %d", q.Feats, blocks.Len(), len(e.Objects), want)
 		}
-		if last := blocks[len(blocks)-1]; last.MaxID != o.ID {
+		if last := blocks.Block(blocks.Len() - 1); last.MaxID != o.ID {
 			t.Fatalf("touched entry %v: last block ends at %d, inserted object is %d", q.Feats, last.MaxID, o.ID)
 		}
 	}

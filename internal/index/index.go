@@ -5,6 +5,18 @@
 // objects containing the clique. At query time the index yields, for every
 // clique of the query's FIG, the candidate objects sharing that clique —
 // Algorithm 1's InvList(c_i) — so retrieval avoids a sequential scan of D.
+//
+// Memory layout: after Build or Load the index is sealed into flat arenas —
+// all postings in one shared []media.ObjectID, all feature lists in one
+// shared []media.FID, all block summaries in columnar float64/ObjectID
+// arrays, and all entry headers in one []Entry slice — with each Entry
+// holding (offset, length) views into the shared storage. A
+// millions-of-objects index is then a handful of large allocations instead
+// of per-clique pointer soup, which is what keeps steady-state RSS
+// postings-sized and lets the segment loader reconstruct the index with a
+// few bulk copies. Insert still works after sealing: entry views carry
+// capacity == length, so appending a posting copy-on-writes that one entry
+// out of the arena without disturbing its neighbours.
 package index
 
 import (
@@ -29,16 +41,21 @@ import (
 // entry therefore carries the corr.Model statistics generation of that
 // computation; readers go through CorSAt, which refuses to serve a value
 // from another generation.
+//
+// Feats and Objects are views into the index's shared arenas once the
+// index is sealed (they carry cap == len, so appends copy out rather than
+// clobber a neighbour's postings); block summaries live behind BlocksAt as
+// columnar views for the same reason.
 type Entry struct {
 	Feats   []media.FID
 	CorS    float64
 	Objects []media.ObjectID
 
-	// Blocks are the block-max summaries over Objects (see blocks.go).
-	// They share corsGen: blocks and CorS are always recomputed together,
-	// and both go stale together when the corpus moves on. Read through
-	// BlocksAt.
-	Blocks []Block
+	// blocks are the block-max summaries over Objects (see blocks.go),
+	// stored columnar. They share corsGen: blocks and CorS are always
+	// recomputed together, and both go stale together when the corpus
+	// moves on. Read through BlocksAt.
+	blocks BlockSlice
 
 	// corsGen is the model generation CorS was computed at. staleGen
 	// marks a value known to predate the current corpus (set by Load for
@@ -61,6 +78,26 @@ func (e *Entry) CorSAt(gen uint64) (float64, bool) {
 	return e.CorS, true
 }
 
+// arena is the sealed index's flat backing storage. keys is the sorted,
+// interned clique-key table (the same string instances the lookup map
+// keys on); ents holds every entry header in key order; the remaining
+// slices back the per-entry views. Sealing never appends to these — an
+// Insert that grows an entry copies that entry's view out instead — so
+// *Entry pointers into ents stay valid for the life of the index.
+type arena struct {
+	keys  []string
+	ents  []Entry
+	feats []media.FID
+	posts []media.ObjectID
+
+	// Columnar block-summary storage, aligned across the five arrays.
+	blkMinID []media.ObjectID
+	blkMaxID []media.ObjectID
+	blkMaxSF []float64
+	blkMaxSM []float64
+	blkMinSM []float64
+}
+
 // Inverted is the clique inverted index. It is immutable after Build and
 // safe for concurrent reads.
 type Inverted struct {
@@ -69,6 +106,16 @@ type Inverted struct {
 	// refresh (Build, Insert or Load); an entry is up to date iff its own
 	// stamp equals it. Save uses this to persist staleness.
 	gen uint64
+	// arena is the flat backing storage (nil only mid-construction; Build
+	// and Load both seal before returning).
+	arena *arena
+	// extraKeys are clique keys Insert added after sealing, unsorted.
+	// SaveAt merges them with the arena's sorted key table instead of
+	// re-sorting the whole key space on every save.
+	extraKeys []string
+	// loadStats records how the index was loaded (nil for built indexes);
+	// see LoadStats.
+	loadStats *LoadStats
 }
 
 // Build constructs the index over the model's corpus: each object's FIG is
@@ -172,7 +219,99 @@ func BuildOwnedWorkers(m *corr.Model, bopts fig.Options, eopts fig.EnumerateOpti
 			e.corsGen = gen
 		}
 	})
+	inv.seal(keys)
 	return inv
+}
+
+// seal flattens the index's per-entry storage into shared arenas: one copy
+// pass in sorted-key order, after which the map's values point into the
+// arena's entry slice and every per-entry slice from construction is
+// garbage. keys must be the sorted key table covering exactly the map.
+func (inv *Inverted) seal(keys []string) {
+	a := &arena{keys: keys, ents: make([]Entry, len(keys))}
+	var nFeats, nPosts, nBlocks int
+	for _, k := range keys {
+		e := inv.entries[k]
+		nFeats += len(e.Feats)
+		nPosts += len(e.Objects)
+		nBlocks += e.blocks.Len()
+	}
+	a.feats = make([]media.FID, 0, nFeats)
+	a.posts = make([]media.ObjectID, 0, nPosts)
+	a.blkMinID = make([]media.ObjectID, 0, nBlocks)
+	a.blkMaxID = make([]media.ObjectID, 0, nBlocks)
+	a.blkMaxSF = make([]float64, 0, nBlocks)
+	a.blkMaxSM = make([]float64, 0, nBlocks)
+	a.blkMinSM = make([]float64, 0, nBlocks)
+	for i, k := range keys {
+		e := inv.entries[k]
+		fo, po, bo := len(a.feats), len(a.posts), len(a.blkMinID)
+		a.feats = append(a.feats, e.Feats...)
+		a.posts = append(a.posts, e.Objects...)
+		a.blkMinID = append(a.blkMinID, e.blocks.MinID...)
+		a.blkMaxID = append(a.blkMaxID, e.blocks.MaxID...)
+		a.blkMaxSF = append(a.blkMaxSF, e.blocks.MaxSF...)
+		a.blkMaxSM = append(a.blkMaxSM, e.blocks.MaxSM...)
+		a.blkMinSM = append(a.blkMinSM, e.blocks.MinSM...)
+		a.ents[i] = Entry{
+			Feats:   a.feats[fo:len(a.feats):len(a.feats)],
+			CorS:    e.CorS,
+			Objects: a.posts[po:len(a.posts):len(a.posts)],
+			blocks:  a.blockView(bo, len(a.blkMinID)),
+			corsGen: e.corsGen,
+		}
+		inv.entries[k] = &a.ents[i]
+	}
+	inv.arena = a
+	inv.extraKeys = nil
+}
+
+// blockView returns the columnar view over block rows [lo, hi), capped so
+// appends copy out of the arena.
+func (a *arena) blockView(lo, hi int) BlockSlice {
+	return BlockSlice{
+		MinID: a.blkMinID[lo:hi:hi],
+		MaxID: a.blkMaxID[lo:hi:hi],
+		MaxSF: a.blkMaxSF[lo:hi:hi],
+		MaxSM: a.blkMaxSM[lo:hi:hi],
+		MinSM: a.blkMinSM[lo:hi:hi],
+	}
+}
+
+// sortedKeys returns every clique key in sorted order, reusing the sealed
+// arena's interned key table: with no post-seal inserts it is returned
+// as-is (zero allocation), otherwise the few inserted keys are sorted and
+// merged with it. Only an unsealed index (never produced by Build or Load)
+// pays a full collect-and-sort.
+func (inv *Inverted) sortedKeys() []string {
+	if inv.arena != nil && len(inv.extraKeys) == 0 {
+		return inv.arena.keys
+	}
+	if inv.arena != nil {
+		extras := append([]string(nil), inv.extraKeys...)
+		sort.Strings(extras)
+		base := inv.arena.keys
+		out := make([]string, 0, len(base)+len(extras))
+		i, j := 0, 0
+		for i < len(base) && j < len(extras) {
+			if base[i] <= extras[j] {
+				out = append(out, base[i])
+				i++
+			} else {
+				out = append(out, extras[j])
+				j++
+			}
+		}
+		out = append(out, base[i:]...)
+		out = append(out, extras[j:]...)
+		return out
+	}
+	keys := make([]string, 0, len(inv.entries))
+	for k := range inv.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Lookup returns the index entry for a clique's feature set.
@@ -198,6 +337,54 @@ func (inv *Inverted) Postings() int {
 		total += len(e.Objects)
 	}
 	return total
+}
+
+// MemoryBytes estimates the index's resident heap footprint: the arena
+// payloads (postings, feature lists, columnar block summaries, entry
+// headers, key bytes) plus a fixed per-entry estimate for the lookup map's
+// bucket overhead. Entries grown or added by Insert after sealing are
+// counted through the same per-entry accounting. The number is an
+// estimate — Go's allocator rounds size classes — but it tracks the real
+// footprint closely enough for the index.resident.bytes gauge to be
+// meaningful.
+func (inv *Inverted) MemoryBytes() int64 {
+	// Per-entry fixed cost: the Entry header (three slice headers, a
+	// float64, a uint64, the BlockSlice's five slice headers ≈ 200 B) plus
+	// the lookup map's per-key bucket share (string header + pointer +
+	// bucket overhead ≈ 48 B).
+	const perEntry = 248
+	var b int64
+	var nPosts, nFeats, nBlocks, keyBytes int64
+	if inv.arena != nil {
+		nPosts = int64(cap(inv.arena.posts))
+		nFeats = int64(cap(inv.arena.feats))
+		nBlocks = int64(cap(inv.arena.blkMinID))
+		for _, k := range inv.arena.keys {
+			keyBytes += int64(len(k))
+		}
+		// Entries copied out of the arena by Insert double-count their
+		// arena slots; that slack is real (the arena keeps the dead bytes).
+		for _, k := range inv.extraKeys {
+			keyBytes += int64(len(k))
+			e := inv.entries[k]
+			nPosts += int64(cap(e.Objects))
+			nFeats += int64(cap(e.Feats))
+			nBlocks += int64(cap(e.blocks.MinID))
+		}
+	} else {
+		for k, e := range inv.entries {
+			keyBytes += int64(len(k))
+			nPosts += int64(cap(e.Objects))
+			nFeats += int64(cap(e.Feats))
+			nBlocks += int64(cap(e.blocks.MinID))
+		}
+	}
+	b += nPosts * 4            // postings
+	b += nFeats * 4            // feature lists
+	b += nBlocks * (2*4 + 3*8) // columnar block summaries
+	b += keyBytes              // interned key bytes (map and table share them)
+	b += int64(len(inv.entries)) * perEntry
+	return b
 }
 
 // Entries returns all entries sorted by descending posting-list length,
@@ -235,6 +422,11 @@ func lessFIDs(a, b []media.FID) bool {
 // them stale — the indexed search paths then fall back to the scorer
 // (respectively, to unpruned scoring) instead of serving diverged state.
 // Build from scratch refreshes (and restamps) everything.
+//
+// On a sealed index the append copy-on-writes the touched entry's views
+// out of the shared arenas (their capacity equals their length), so
+// neighbouring entries' postings are never disturbed; new cliques get
+// individually allocated entries tracked in extraKeys for SaveAt's merge.
 func (inv *Inverted) Insert(id media.ObjectID, cliques []fig.Clique, m *corr.Model) error {
 	touched := make([]*Entry, 0, len(cliques))
 	for _, c := range cliques {
@@ -243,6 +435,9 @@ func (inv *Inverted) Insert(id media.ObjectID, cliques []fig.Clique, m *corr.Mod
 		if !ok {
 			e = &Entry{Feats: append([]media.FID(nil), c.Feats...)}
 			inv.entries[key] = e
+			if inv.arena != nil {
+				inv.extraKeys = append(inv.extraKeys, key)
+			}
 		}
 		if n := len(e.Objects); n > 0 && e.Objects[n-1] >= id {
 			if e.Objects[n-1] == id {

@@ -1,0 +1,382 @@
+package index
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"figfusion/internal/fig"
+	"figfusion/internal/media"
+)
+
+// buildWithStale builds the blockWorld index and then inserts one object
+// touching two cliques (one existing, one new), so the result exercises
+// every persistence case at once: fresh entries, stale entries, a sealed
+// arena, and a post-seal extraKeys entry.
+func buildWithStale(t *testing.T) (*Inverted, uint64) {
+	t.Helper()
+	c, m := blockWorld(t)
+	inv := Build(m, fig.Options{}, fig.EnumerateOptions{MaxFeatures: 3})
+	tf := func(n string) media.Feature { return media.Feature{Kind: media.Text, Name: n} }
+	o, err := c.Add([]media.Feature{tf("common"), tf("fresh-tag")}, []int{1, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Stats.Append(o); err != nil {
+		t.Fatal(err)
+	}
+	m.InvalidateCache()
+	commonID, _ := c.Dict.Lookup(tf("common"))
+	newID, _ := c.Dict.Lookup(tf("fresh-tag"))
+	cliques := []fig.Clique{
+		{Feats: []media.FID{commonID}},
+		{Feats: []media.FID{newID}}, // not indexed before: exercises extraKeys
+	}
+	if err := inv.Insert(o.ID, cliques, m); err != nil {
+		t.Fatal(err)
+	}
+	return inv, m.Generation()
+}
+
+// entriesEqual compares two indexes entry by entry, including freshness at
+// wantGen and the block summaries.
+func entriesEqual(t *testing.T, want, got *Inverted, wantGen, gotGen uint64) {
+	t.Helper()
+	if got.NumCliques() != want.NumCliques() || got.Postings() != want.Postings() {
+		t.Fatalf("shape differs: %d cliques/%d postings vs %d/%d",
+			got.NumCliques(), got.Postings(), want.NumCliques(), want.Postings())
+	}
+	for _, e := range want.Entries() {
+		le, ok := got.LookupKey(fig.KeyOf(e.Feats))
+		if !ok {
+			t.Fatalf("clique %v missing", e.Feats)
+		}
+		if le.CorS != e.CorS {
+			t.Fatalf("entry %v: CorS %v vs %v", e.Feats, le.CorS, e.CorS)
+		}
+		if len(le.Objects) != len(e.Objects) {
+			t.Fatalf("entry %v: %d postings vs %d", e.Feats, len(le.Objects), len(e.Objects))
+		}
+		for i := range e.Objects {
+			if le.Objects[i] != e.Objects[i] {
+				t.Fatalf("entry %v: posting %d is %d, want %d", e.Feats, i, le.Objects[i], e.Objects[i])
+			}
+		}
+		_, wantFresh := e.CorSAt(wantGen)
+		_, gotFresh := le.CorSAt(gotGen)
+		if wantFresh != gotFresh {
+			t.Fatalf("entry %v: fresh=%v, want %v", e.Feats, gotFresh, wantFresh)
+		}
+		wb, wok := e.BlocksAt(wantGen)
+		gb, gok := le.BlocksAt(gotGen)
+		if wok != gok || wb.Len() != gb.Len() {
+			t.Fatalf("entry %v: blocks (%v,%d) vs (%v,%d)", e.Feats, gok, gb.Len(), wok, wb.Len())
+		}
+		for i := 0; i < wb.Len(); i++ {
+			if wb.Block(i) != gb.Block(i) {
+				t.Fatalf("entry %v block %d: %+v vs %+v", e.Feats, i, gb.Block(i), wb.Block(i))
+			}
+		}
+	}
+}
+
+// TestSegmentRoundTrip: a save at the current generation round-trips
+// entries, postings, block summaries and per-entry staleness exactly, at
+// any loader fan-out, through the sealed-arena and extraKeys paths alike.
+func TestSegmentRoundTrip(t *testing.T) {
+	inv, gen := buildWithStale(t)
+	var buf bytes.Buffer
+	if err := inv.SaveAt(&buf, gen); err != nil {
+		t.Fatal(err)
+	}
+	if !isSegment(buf.Bytes()) {
+		t.Fatal("Save did not write segment magic")
+	}
+	for _, workers := range []int{1, 3, 8} {
+		got, err := LoadWorkers(bytes.NewReader(buf.Bytes()), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		entriesEqual(t, inv, got, gen, 0)
+	}
+}
+
+// TestSegmentSaveDeterministic: the same index serializes to the same
+// bytes, save after save.
+func TestSegmentSaveDeterministic(t *testing.T) {
+	inv, gen := buildWithStale(t)
+	var a, b bytes.Buffer
+	if err := inv.SaveAt(&a, gen); err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.SaveAt(&b, gen); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two saves of the same index differ")
+	}
+}
+
+// TestSegmentEmptyRoundTrip: a zero-entry index survives the format.
+func TestSegmentEmptyRoundTrip(t *testing.T) {
+	inv := &Inverted{entries: make(map[string]*Entry)}
+	inv.seal(nil)
+	var buf bytes.Buffer
+	if err := inv.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumCliques() != 0 {
+		t.Fatalf("NumCliques = %d, want 0", got.NumCliques())
+	}
+}
+
+func segmentBytes(t *testing.T) []byte {
+	t.Helper()
+	inv, gen := buildWithStale(t)
+	var buf bytes.Buffer
+	if err := inv.SaveAt(&buf, gen); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func wantSegmentError(t *testing.T, data []byte, what string) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: reader panicked: %v", what, r)
+		}
+	}()
+	inv, err := readSegment(data, 4)
+	if err == nil {
+		t.Fatalf("%s: corrupt segment loaded without error", what)
+	}
+	if inv != nil {
+		t.Fatalf("%s: error return carried a partial index", what)
+	}
+	if !strings.HasPrefix(err.Error(), "index: segment: ") {
+		t.Fatalf("%s: error %q lacks the index: segment: prefix", what, err)
+	}
+}
+
+// TestSegmentTruncation: every proper prefix of a valid segment file is
+// rejected with a descriptive error — no panic, no partial index.
+func TestSegmentTruncation(t *testing.T) {
+	data := segmentBytes(t)
+	for n := 0; n < len(data); n++ {
+		wantSegmentError(t, data[:n], "truncated")
+	}
+}
+
+// TestSegmentBitFlips: flipping any single bit of a valid segment file is
+// detected. Every byte is covered by the header checksum, a section
+// checksum, or is itself part of the checksum trailer.
+func TestSegmentBitFlips(t *testing.T) {
+	data := segmentBytes(t)
+	mut := make([]byte, len(data))
+	for i := 0; i < len(data); i++ {
+		for bit := 0; bit < 8; bit += 3 {
+			copy(mut, data)
+			mut[i] ^= 1 << bit
+			wantSegmentError(t, mut, "bit-flipped")
+		}
+	}
+}
+
+// TestSegmentGarbage: structurally invalid inputs with a valid magic fail
+// descriptively rather than panicking or over-allocating.
+func TestSegmentGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"magic only":   []byte(segMagic),
+		"short header": append([]byte(segMagic), make([]byte, 10)...),
+		"zeroed frame": append([]byte(segMagic), make([]byte, 400)...),
+		"huge entrycount": func() []byte {
+			b := make([]byte, 4096)
+			copy(b, segMagic)
+			b[4] = segVersion
+			b[12] = segNumSections
+			for i := 24; i < 32; i++ {
+				b[i] = 0xff // entryCount = 2^64-1
+			}
+			return b
+		}(),
+	}
+	for name, data := range cases {
+		wantSegmentError(t, data, name)
+	}
+	// And through the public entry point, with a bad magic falling back to
+	// the gob path: still an error, never a panic.
+	if _, err := Load(bytes.NewReader([]byte("NOTASEGMENTFILE"))); err == nil {
+		t.Fatal("garbage without segment magic loaded without error")
+	}
+}
+
+// TestSegmentVersionGate: a bumped format version is refused up front.
+func TestSegmentVersionGate(t *testing.T) {
+	data := append([]byte(nil), segmentBytes(t)...)
+	data[4] = segVersion + 1
+	wantSegmentError(t, data, "future version")
+}
+
+// TestLoadStatsRecorded: loads report format, size and fan-out.
+func TestLoadStatsRecorded(t *testing.T) {
+	inv, gen := buildWithStale(t)
+	var seg bytes.Buffer
+	if err := inv.SaveAt(&seg, gen); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadWorkers(bytes.NewReader(seg.Bytes()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := got.LoadStats()
+	if st == nil || st.Format != "segment" || st.Bytes != int64(seg.Len()) || st.Workers != 2 {
+		t.Fatalf("segment load stats = %+v", st)
+	}
+	var legacy bytes.Buffer
+	if err := inv.SaveLegacyGob(&legacy, gen); err != nil {
+		t.Fatal(err)
+	}
+	lg, err := Load(bytes.NewReader(legacy.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := lg.LoadStats(); st == nil || st.Format != "gob" || st.Bytes != int64(legacy.Len()) {
+		t.Fatalf("legacy load stats = %+v", st)
+	}
+	if inv.LoadStats() != nil {
+		t.Fatal("built index reports load stats")
+	}
+}
+
+// TestInspectSnapshot: the inspector agrees with the index it summarizes,
+// in both formats.
+func TestInspectSnapshot(t *testing.T) {
+	inv, gen := buildWithStale(t)
+	var seg, legacy bytes.Buffer
+	if err := inv.SaveAt(&seg, gen); err != nil {
+		t.Fatal(err)
+	}
+	if err := inv.SaveLegacyGob(&legacy, gen); err != nil {
+		t.Fatal(err)
+	}
+	fresh := 0
+	for _, e := range inv.Entries() {
+		if _, ok := e.CorSAt(gen); ok {
+			fresh++
+		}
+	}
+	si, err := InspectSnapshot(bytes.NewReader(seg.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.Format != "segment" || si.Version != segVersion || si.Generation != gen {
+		t.Fatalf("segment header = %+v", si)
+	}
+	if si.Entries != inv.NumCliques() || si.Postings != int64(inv.Postings()) || si.Fresh != fresh {
+		t.Fatalf("segment totals = %+v, want %d entries / %d postings / %d fresh",
+			si, inv.NumCliques(), inv.Postings(), fresh)
+	}
+	if len(si.Sections) != segNumSections {
+		t.Fatalf("%d sections, want %d", len(si.Sections), segNumSections)
+	}
+	var sum int64 = segPayloadOff + segTrailerLen
+	for _, s := range si.Sections {
+		if !s.OK {
+			t.Fatalf("section %s reports checksum mismatch on a clean file", s.Name)
+		}
+		sum += s.Bytes
+	}
+	if sum != si.Bytes {
+		t.Fatalf("sections+frame = %d bytes, file is %d", sum, si.Bytes)
+	}
+	gi, err := InspectSnapshot(bytes.NewReader(legacy.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi.Format != "gob" || gi.Entries != si.Entries || gi.Postings != si.Postings ||
+		gi.Blocks != si.Blocks || gi.Fresh != si.Fresh {
+		t.Fatalf("gob inspect %+v disagrees with segment inspect %+v", gi, si)
+	}
+	// The corrupted-section case still inspects, flagging the section.
+	data := append([]byte(nil), seg.Bytes()...)
+	data[len(data)-segTrailerLen-1] ^= 0x40 // last payload byte (blocks section)
+	ci, err := InspectSnapshot(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Sections[3].OK {
+		t.Fatal("inspect did not flag the corrupted blocks section")
+	}
+}
+
+// TestKeyEncoderParity: the index's persisted/interned keys and
+// fig.Clique.Key are the same encoder — a clique addressed either way hits
+// the same entry, including after a snapshot round trip.
+func TestKeyEncoderParity(t *testing.T) {
+	_, m := blockWorld(t)
+	inv := Build(m, fig.Options{}, fig.EnumerateOptions{MaxFeatures: 3})
+	var buf bytes.Buffer
+	if err := inv.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range inv.Entries() {
+		key := fig.Clique{Feats: e.Feats}.Key()
+		if key != fig.KeyOf(e.Feats) {
+			t.Fatalf("Clique.Key and KeyOf disagree for %v", e.Feats)
+		}
+		if le, ok := got.LookupKey(key); !ok || len(le.Objects) != len(e.Objects) {
+			t.Fatalf("clique %v not addressable by Clique.Key after round trip", e.Feats)
+		}
+		if feats := fig.KeyFeats(key); len(feats) != len(e.Feats) {
+			t.Fatalf("KeyFeats inverse broken for %v", e.Feats)
+		}
+	}
+}
+
+// TestLegacyGobFixture: a committed pre-segment-format snapshot still
+// loads and matches a freshly built index over the same corpus. Regenerate
+// with FIG_REGEN_FIXTURE=1 go test ./internal/index -run LegacyGobFixture
+// (only needed if blockWorld or the legacy wire struct changes — the
+// point of the fixture is that the bytes on disk never have to).
+func TestLegacyGobFixture(t *testing.T) {
+	path := filepath.Join("testdata", "legacy_v1.gob")
+	_, m := blockWorld(t)
+	inv := Build(m, fig.Options{}, fig.EnumerateOptions{MaxFeatures: 3})
+	gen := m.Generation()
+	if os.Getenv("FIG_REGEN_FIXTURE") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := inv.SaveLegacyGob(&buf, gen); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", path, buf.Len())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("legacy fixture rejected: %v", err)
+	}
+	if st := got.LoadStats(); st == nil || st.Format != "gob" {
+		t.Fatalf("fixture load stats = %+v, want gob", st)
+	}
+	entriesEqual(t, inv, got, gen, 0)
+}

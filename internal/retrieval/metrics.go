@@ -114,4 +114,11 @@ func (e *Engine) SetMetrics(reg *obs.Registry, slow *obs.SlowLog) {
 	reg.Func("cache.cors.misses", func() int64 { _, m, _, _ := scorer.CacheStats(); return int64(m) })
 	reg.Func("cache.smooth.hits", func() int64 { _, _, h, _ := scorer.CacheStats(); return int64(h) })
 	reg.Func("cache.smooth.misses", func() int64 { _, _, _, m := scorer.CacheStats(); return int64(m) })
+	if idx := e.Index; idx != nil {
+		reg.Func("index.resident.bytes", func() int64 { return idx.MemoryBytes() })
+		if ls := idx.LoadStats(); ls != nil {
+			reg.Func("index.load.ms", func() int64 { return int64(ls.WallMillis) })
+			reg.Func("index.load.bytes", func() int64 { return ls.Bytes })
+		}
+	}
 }

@@ -91,16 +91,16 @@ func blockBounds(dst []float64, cs *mrf.CliqueSet, ci int, entry *index.Entry, g
 	}
 	alpha := cs.ScoringParams().Alpha
 	wl := cs.WeightedLambda(ci)
-	for _, b := range blocks {
-		sfTerm := (1 - alpha) * b.MaxSF
-		smMag := b.MaxSM
-		if -b.MinSM > smMag {
-			smMag = -b.MinSM
+	for bi := 0; bi < blocks.Len(); bi++ {
+		sfTerm := (1 - alpha) * blocks.MaxSF[bi]
+		smMag := blocks.MaxSM[bi]
+		if -blocks.MinSM[bi] > smMag {
+			smMag = -blocks.MinSM[bi]
 		}
 		if smMag < 0 {
 			smMag = 0
 		}
-		u := wl*(sfTerm+alpha*b.MaxSM) + wl*(sfTerm+alpha*smMag)*boundSlack
+		u := wl*(sfTerm+alpha*blocks.MaxSM[bi]) + wl*(sfTerm+alpha*smMag)*boundSlack
 		dst = append(dst, u)
 	}
 	return dst
@@ -495,13 +495,10 @@ func (e *Engine) searchTALazy(ctx context.Context, cs *mrf.CliqueSet, entries []
 			c.nBlocks = len(ub)
 			c.ub = ub
 			c.scored = make([][]float64, len(ub))
+			// The columnar summaries alias straight in as the cursor's
+			// random-access search arrays — no per-query copy.
 			blocks, _ := entry.BlocksAt(gen)
-			ids := make([]media.ObjectID, 2*len(blocks))
-			c.minIDs, c.maxIDs = ids[:len(blocks)], ids[len(blocks):]
-			for bi, b := range blocks {
-				c.minIDs[bi] = b.MinID
-				c.maxIDs[bi] = b.MaxID
-			}
+			c.minIDs, c.maxIDs = blocks.MinID, blocks.MaxID
 			for bi, u := range ub {
 				if u <= 0 {
 					continue

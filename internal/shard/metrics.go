@@ -109,4 +109,40 @@ func (r *Router) SetMetrics(reg *obs.Registry, slow *obs.SlowLog) {
 	for _, sh := range r.shards {
 		sh.eng.SetMetrics(reg, slow)
 	}
+	if reg == nil {
+		return
+	}
+	// The per-shard engines each registered index gauges over their own
+	// slice of the corpus; overwrite them with corpus-wide aggregates
+	// (Func registration is replace-by-name). Resident bytes and snapshot
+	// bytes sum across shards; cold-start load time is the slowest shard,
+	// since shard snapshots load concurrently at startup.
+	shards := r.shards
+	reg.Func("index.resident.bytes", func() int64 {
+		var total int64
+		for _, sh := range shards {
+			if sh.eng.Index != nil {
+				total += sh.eng.Index.MemoryBytes()
+			}
+		}
+		return total
+	})
+	var loadMs, loadBytes int64
+	loaded := false
+	for _, sh := range shards {
+		if sh.eng.Index == nil {
+			continue
+		}
+		if ls := sh.eng.Index.LoadStats(); ls != nil {
+			loaded = true
+			loadBytes += ls.Bytes
+			if ms := int64(ls.WallMillis); ms > loadMs {
+				loadMs = ms
+			}
+		}
+	}
+	if loaded {
+		reg.Func("index.load.ms", func() int64 { return loadMs })
+		reg.Func("index.load.bytes", func() int64 { return loadBytes })
+	}
 }

@@ -141,6 +141,61 @@ func TestRouterMetrics(t *testing.T) {
 			t.Errorf("gauge %s missing", name)
 		}
 	}
+	// The router-level resident-bytes gauge overwrites the per-shard ones
+	// and sums across the whole sharded index.
+	var wantResident int64
+	for _, sh := range r.shards {
+		wantResident += sh.eng.Index.MemoryBytes()
+	}
+	if got := snap.Gauges["index.resident.bytes"]; got != wantResident {
+		t.Errorf("index.resident.bytes = %d, want %d (sum over shards)", got, wantResident)
+	}
+	// A built (not loaded) router has no load stats to expose.
+	if _, ok := snap.Gauges["index.load.ms"]; ok {
+		t.Error("index.load.ms registered on a built router")
+	}
+}
+
+// TestRouterLoadGauges: a router restored from snapshots exposes the
+// cold-start gauges — total snapshot bytes across shards and the slowest
+// shard's load wall time.
+func TestRouterLoadGauges(t *testing.T) {
+	_, m := testSystem(t)
+	r, err := NewRouter(m, Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := t.TempDir() + "/snap"
+	if _, err := r.Save(base); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, err := Load(m, Config{Shards: 2}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	loaded.SetMetrics(reg, nil)
+	snap := reg.Snapshot()
+	var wantBytes, maxMs int64
+	for _, sh := range loaded.shards {
+		ls := sh.eng.Index.LoadStats()
+		if ls == nil {
+			t.Fatal("loaded shard has no LoadStats")
+		}
+		wantBytes += ls.Bytes
+		if ms := int64(ls.WallMillis); ms > maxMs {
+			maxMs = ms
+		}
+	}
+	if got := snap.Gauges["index.load.bytes"]; got != wantBytes {
+		t.Errorf("index.load.bytes = %d, want %d (sum over shards)", got, wantBytes)
+	}
+	if got, ok := snap.Gauges["index.load.ms"]; !ok || got != maxMs {
+		t.Errorf("index.load.ms = %d (present=%v), want %d (slowest shard)", got, ok, maxMs)
+	}
+	if got, ok := snap.Gauges["index.resident.bytes"]; !ok || got <= 0 {
+		t.Errorf("index.resident.bytes = %d (present=%v), want positive", got, ok)
+	}
 }
 
 // TestNewRouterRejectsEngineMetrics: observability attaches through
