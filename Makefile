@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-build bench-shard bench-load bench-prune benchall vet fmt lint figlint figures examples clean
+.PHONY: all build test race bench bench-build bench-shard bench-cluster bench-load bench-prune benchall vet fmt lint figlint figures examples clean
 
 all: build lint test
 
@@ -20,7 +20,7 @@ race:
 # performance baseline" in EXPERIMENTS.md). The -perfgate flag fails the
 # run if serial search throughput regresses more than 5% vs the previous
 # recorded run.
-bench: bench-build bench-shard bench-load
+bench: bench-build bench-shard bench-cluster bench-load
 	$(GO) test -bench='Search|CandidateSet' -benchmem ./internal/retrieval/...
 	$(GO) run ./cmd/figbench -perf BENCH_retrieval.json -scale 800 -queries 12 -seed 1 -perfgate 5
 
@@ -54,6 +54,13 @@ bench-load:
 # (see "Sharded serving" in DESIGN.md).
 bench-shard:
 	$(GO) run ./cmd/figbench -shardperf BENCH_shard.json -scale 800 -queries 12 -seed 1
+
+# Multi-node serving benchmark: scatter-gather Search over in-process vs
+# loopback-HTTP backends against the single-engine baseline at a fixed
+# two-node scale, appended to the tracked baseline file (see "Multi-node
+# serving" in DESIGN.md).
+bench-cluster:
+	$(GO) run ./cmd/figbench -clusterperf BENCH_cluster.json -scale 800 -queries 12 -seed 1
 
 # Every microbenchmark in the repo (slow; includes the ablation sweeps).
 benchall:

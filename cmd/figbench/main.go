@@ -39,6 +39,7 @@ func main() {
 		buildPerf = flag.String("buildperf", "", "measure the offline build path (vocabulary, thresholds, index, lambda training) and append the run to this JSON file (e.g. BENCH_build.json); skips the figures")
 		shardPerf = flag.String("shardperf", "", "measure scatter-gather search throughput at 1/2/4/NumCPU shards against the single-engine baseline and append the run to this JSON file (e.g. BENCH_shard.json); skips the figures")
 		loadPerf  = flag.String("loadperf", "", "measure index snapshot size and cold-start load time (legacy gob vs serial/parallel segment) and append the run to this JSON file (e.g. BENCH_load.json); skips the figures")
+		clusPerf  = flag.String("clusterperf", "", "measure multi-node scatter-gather throughput (cluster over in-process vs loopback-HTTP backends vs the single-engine baseline) and append the run to this JSON file (e.g. BENCH_cluster.json); skips the figures")
 		loadGate  = flag.Float64("loadgate", 0, "fail the -loadperf run if segment/parallel cold-start load time regresses more than this percentage vs the previous recorded run at the same scale (0 = record only)")
 		perfLabel = flag.String("perflabel", "", "label recorded with the -perf/-buildperf run (default: go version + GOMAXPROCS)")
 		perfCap   = flag.Int("perfcap", 0, "CandidateCap for the -perf engine (0 = uncapped)")
@@ -57,7 +58,7 @@ func main() {
 	opts.RecUsers = *users
 	opts.Seed = *seed
 
-	if *perf != "" || *buildPerf != "" || *shardPerf != "" || *loadPerf != "" {
+	if *perf != "" || *buildPerf != "" || *shardPerf != "" || *loadPerf != "" || *clusPerf != "" {
 		label := *perfLabel
 		if label == "" {
 			label = fmt.Sprintf("%s GOMAXPROCS=%d", runtime.Version(), runtime.GOMAXPROCS(0))
@@ -86,6 +87,11 @@ func main() {
 		if *loadPerf != "" {
 			if err := runLoadPerf(*loadPerf, label, opts, *loadGate); err != nil {
 				log.Fatalf("loadperf: %v", err)
+			}
+		}
+		if *clusPerf != "" {
+			if err := runClusterPerf(*clusPerf, label, opts); err != nil {
+				log.Fatalf("clusterperf: %v", err)
 			}
 		}
 		return

@@ -150,6 +150,29 @@ func runShardPerf(path, label string, opts experiments.Options) error {
 	return nil
 }
 
+// runClusterPerf measures multi-node serving throughput — the cluster
+// orchestrator over in-process LocalBackends and over loopback-HTTP
+// backends against the single-engine baseline — and appends the run to
+// the JSON file at path (creating it if absent).
+func runClusterPerf(path, label string, opts experiments.Options) error {
+	run, err := experiments.ClusterPerf(opts, label)
+	if err != nil {
+		return err
+	}
+	total, err := experiments.AppendBenchRun(path,
+		"multi-node serving: scatter-gather Search over in-process vs loopback-HTTP backends vs the single-engine baseline",
+		fmt.Sprintf("go run ./cmd/figbench -clusterperf %s -scale %d -queries %d -seed %d", path, opts.Scale, opts.Queries, opts.Seed),
+		run)
+	if err != nil {
+		return err
+	}
+	for _, r := range run.Results {
+		fmt.Printf("%-30s %10.0f ns/op %12.1f queries/sec\n", r.Name, r.NsPerOp, r.QueriesPerSec)
+	}
+	fmt.Printf("appended run %q to %s (%d runs total)\n", label, path, total)
+	return nil
+}
+
 // runLoadPerf measures index snapshot size and cold-start load time in
 // both formats and appends the run to the JSON file at path (creating it
 // if absent). With gatePct > 0 it also acts as a regression gate: the

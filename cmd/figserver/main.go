@@ -16,6 +16,16 @@
 //	figserver -data corpus.gob -shards 4 -index snap   # cold-start from figdata -shards snapshots
 //	figserver -query-timeout 250ms -pprof      # bounded queries + profiling
 //
+// Multi-node serving splits the corpus across shard processes behind a
+// router, all sharing one -nodes list (and one dataset):
+//
+//	figserver -role shard  -addr :8081 -data corpus.gob -nodes localhost:8081,localhost:8082 -node-name localhost:8081
+//	figserver -role shard  -addr :8082 -data corpus.gob -nodes localhost:8081,localhost:8082 -node-name localhost:8082
+//	figserver -role router -addr :8080 -data corpus.gob -nodes localhost:8081,localhost:8082
+//
+// A replacement shard node can bootstrap its index from a live peer
+// instead of building it: add -bootstrap http://localhost:8081.
+//
 //	curl 'localhost:8080/v1/search?text=sunset&k=5'
 //	curl 'localhost:8080/v1/search?id=42'
 //	curl 'localhost:8080/v1/objects/42'
@@ -39,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"figfusion/internal/cluster"
 	"figfusion/internal/dataset"
 	"figfusion/internal/index"
 	"figfusion/internal/retrieval"
@@ -82,52 +93,120 @@ func main() {
 	}
 	retrievalCfg := retrieval.Config{Workers: opts.Workers, CandidateCap: opts.CandidateCap, Pruning: pruning}
 
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	var srv *server.Server
-	if opts.Shards > 1 {
-		cfg := shard.Config{Shards: opts.Shards, Retrieval: retrievalCfg}
+	switch opts.Role {
+	case "router":
+		names := opts.NodeList()
+		nodes := make([]cluster.NodeConfig, len(names))
+		for i, name := range names {
+			nodes[i] = cluster.NodeConfig{Name: name, Backend: cluster.NewHTTPBackend(name)}
+		}
+		cl, cerr := cluster.New(cluster.Config{
+			Mirror:        model,
+			Nodes:         nodes,
+			HedgeAfter:    opts.HedgeAfter,
+			ProbeInterval: opts.ProbeInterval,
+		})
+		if cerr != nil {
+			log.Fatal(cerr)
+		}
+		defer cl.Close()
+		cl.Start(ctx)
+		log.Printf("routing over %d nodes: %v (hedge-after %s)", len(names), names, opts.HedgeAfter)
+		srv = server.NewCluster(cl, opts)
+	case "shard":
+		assign, aerr := cluster.NewAssignment(opts.NodeList())
+		if aerr != nil {
+			log.Fatal(aerr)
+		}
+		me, aerr := assign.Index(opts.NodeName)
+		if aerr != nil {
+			log.Fatal(aerr)
+		}
+		cfg := shard.Config{Shards: opts.Shards, Retrieval: retrievalCfg, Owns: assign.Owns(me)}
 		var router *shard.Router
-		if opts.Index != "" {
+		switch {
+		case opts.Bootstrap != "":
+			rc, ferr := cluster.FetchSnapshot(ctx, opts.Bootstrap)
+			if ferr != nil {
+				log.Fatal(ferr)
+			}
+			r, man, lerr := shard.LoadSnapshotStream(model, cfg, rc)
+			rc.Close()
+			if lerr != nil {
+				log.Fatal(lerr)
+			}
+			router = r
+			log.Printf("bootstrapped from %s: %d shards, cut at %d objects", opts.Bootstrap, man.Shards, man.Objects)
+		case opts.Index != "":
 			r, man, lerr := shard.Load(model, cfg, opts.Index)
 			if lerr != nil {
 				log.Fatal(lerr)
 			}
 			router = r
 			log.Printf("loaded snapshot set %s: %d shards, cut at %d objects", opts.Index, man.Shards, man.Objects)
-		} else {
+		default:
 			router, err = shard.NewRouter(model, cfg)
 			if err != nil {
 				log.Fatal(err)
 			}
 		}
+		owned := 0
 		for _, si := range router.ShardInfos() {
-			log.Printf("shard %d: %d objects, %d cliques, %d postings", si.Shard, si.Objects, si.Cliques, si.Postings)
+			owned += si.Objects
 		}
+		log.Printf("node %s (%d of %d): %d of %d objects owned", opts.NodeName, me, assign.Len(), owned, d.Corpus.Len())
 		srv = server.NewSharded(router, opts)
-	} else {
-		engineCfg := retrievalCfg
-		if opts.Index != "" {
-			f, ferr := os.Open(opts.Index)
-			if ferr != nil {
-				log.Fatal(ferr)
-			}
-			prebuilt, lerr := index.Load(f)
-			f.Close()
-			if lerr != nil {
-				log.Fatal(lerr)
-			}
-			engineCfg.Index = prebuilt
-			if ls := prebuilt.LoadStats(); ls != nil {
-				log.Printf("loaded index: %d cliques (%s snapshot, %d bytes, %.1f ms, %d loader worker(s))",
-					prebuilt.NumCliques(), ls.Format, ls.Bytes, ls.WallMillis, ls.Workers)
+	default:
+		if opts.Shards > 1 {
+			cfg := shard.Config{Shards: opts.Shards, Retrieval: retrievalCfg}
+			var router *shard.Router
+			if opts.Index != "" {
+				r, man, lerr := shard.Load(model, cfg, opts.Index)
+				if lerr != nil {
+					log.Fatal(lerr)
+				}
+				router = r
+				log.Printf("loaded snapshot set %s: %d shards, cut at %d objects", opts.Index, man.Shards, man.Objects)
 			} else {
-				log.Printf("loaded index: %d cliques", prebuilt.NumCliques())
+				router, err = shard.NewRouter(model, cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
 			}
+			for _, si := range router.ShardInfos() {
+				log.Printf("shard %d: %d objects, %d cliques, %d postings", si.Shard, si.Objects, si.Cliques, si.Postings)
+			}
+			srv = server.NewSharded(router, opts)
+		} else {
+			engineCfg := retrievalCfg
+			if opts.Index != "" {
+				f, ferr := os.Open(opts.Index)
+				if ferr != nil {
+					log.Fatal(ferr)
+				}
+				prebuilt, lerr := index.Load(f)
+				f.Close()
+				if lerr != nil {
+					log.Fatal(lerr)
+				}
+				engineCfg.Index = prebuilt
+				if ls := prebuilt.LoadStats(); ls != nil {
+					log.Printf("loaded index: %d cliques (%s snapshot, %d bytes, %.1f ms, %d loader worker(s))",
+						prebuilt.NumCliques(), ls.Format, ls.Bytes, ls.WallMillis, ls.Workers)
+				} else {
+					log.Printf("loaded index: %d cliques", prebuilt.NumCliques())
+				}
+			}
+			engine, eerr := retrieval.NewEngine(model, engineCfg)
+			if eerr != nil {
+				log.Fatal(eerr)
+			}
+			srv = server.New(engine, opts)
 		}
-		engine, eerr := retrieval.NewEngine(model, engineCfg)
-		if eerr != nil {
-			log.Fatal(eerr)
-		}
-		srv = server.New(engine, opts)
 	}
 
 	httpSrv := &http.Server{
@@ -136,8 +215,6 @@ func main() {
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      30 * time.Second,
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("serving %d objects on %s (%d shard(s), query timeout %s, metrics %v)",

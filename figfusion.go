@@ -25,7 +25,7 @@ package figfusion
 
 import (
 	"figfusion/internal/classify"
-	"figfusion/internal/cluster"
+	"figfusion/internal/clustering"
 	"figfusion/internal/corr"
 	"figfusion/internal/dataset"
 	"figfusion/internal/fig"
@@ -233,14 +233,14 @@ func NewClassifier(engine *Engine, labels map[ObjectID]int, k int) (*Classifier,
 // classification, clustering, and so on").
 type (
 	// ClusterConfig controls k-medoids clustering.
-	ClusterConfig = cluster.Config
+	ClusterConfig = clustering.Config
 	// ClusterResult is a clustering outcome with purity evaluation.
-	ClusterResult = cluster.Result
+	ClusterResult = clustering.Result
 )
 
 // KMedoids clusters objects with the FIG/MRF similarity.
 func KMedoids(engine *Engine, objects []ObjectID, cfg ClusterConfig) (*ClusterResult, error) {
-	return cluster.KMedoids(engine, objects, cfg)
+	return clustering.KMedoids(engine, objects, cfg)
 }
 
 // GenerateRecFrom layers user favourite histories over an existing dataset

@@ -29,7 +29,7 @@ var CtxFlow = &Analyzer{
 // ctxEntryPkgs are the serving layers whose exported Search*/Recommend*
 // entry points must be cancellable. Keyed by package name so golden
 // fixtures can exercise the rule.
-var ctxEntryPkgs = map[string]bool{"retrieval": true, "shard": true, "server": true}
+var ctxEntryPkgs = map[string]bool{"retrieval": true, "shard": true, "server": true, "cluster": true}
 
 func runCtxFlow(p *Pass) {
 	if p.Pkg != nil && p.Pkg.Name() == "main" {

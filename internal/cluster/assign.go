@@ -1,0 +1,90 @@
+// Consistent shard→node assignment by rendezvous (highest-random-weight)
+// hashing: every object ID scores once against every node name and lives
+// on the highest-scoring node. The map is a pure function of the node-name
+// list, so a router and its shard nodes agree on the partition by sharing
+// one -nodes list, with no coordination service; and removing one node
+// reassigns only that node's objects.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"figfusion/internal/media"
+)
+
+// Assignment is the partition map over an ordered node-name list.
+type Assignment struct {
+	names []string
+	seeds []uint64
+}
+
+// NewAssignment builds the map. Names must be non-empty and unique — they
+// are the identity the hash scores against, so two nodes sharing a name
+// would claim the same partition.
+func NewAssignment(names []string) (*Assignment, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("cluster: assignment needs at least one node")
+	}
+	a := &Assignment{names: append([]string(nil), names...), seeds: make([]uint64, len(names))}
+	seen := make(map[string]bool, len(names))
+	for i, name := range names {
+		if name == "" {
+			return nil, fmt.Errorf("cluster: node %d has an empty name", i)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", name)
+		}
+		seen[name] = true
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		a.seeds[i] = h.Sum64()
+	}
+	return a, nil
+}
+
+// Len returns the node count.
+func (a *Assignment) Len() int { return len(a.names) }
+
+// Names returns the node-name list in declaration order.
+func (a *Assignment) Names() []string { return append([]string(nil), a.names...) }
+
+// NodeFor returns the index of the node owning id: the argmax of the
+// per-node rendezvous scores, ties broken to the lower index (the mixer
+// makes ties vanishingly rare; the break only needs to be deterministic).
+func (a *Assignment) NodeFor(id media.ObjectID) int {
+	best, bestScore := 0, mix(a.seeds[0]^uint64(id))
+	for i := 1; i < len(a.seeds); i++ {
+		if s := mix(a.seeds[i] ^ uint64(id)); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// Owns returns node's partition predicate — the shard.Config.Owns value a
+// shard node runs under.
+func (a *Assignment) Owns(node int) func(media.ObjectID) bool {
+	return func(id media.ObjectID) bool { return a.NodeFor(id) == node }
+}
+
+// Index returns the position of name in the node list.
+func (a *Assignment) Index(name string) (int, error) {
+	for i, n := range a.names {
+		if n == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: node name %q is not in the node list %v", name, a.names)
+}
+
+// mix is the splitmix64 finalizer — the same avalanche shard.ShardOf uses,
+// here scrambling (node seed XOR object ID) into a rendezvous score.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

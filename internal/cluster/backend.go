@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"figfusion/internal/media"
+	"figfusion/internal/shard"
+	"figfusion/internal/topk"
+)
+
+// ErrDiverged marks a node whose corpus no longer matches the router's: a
+// stamped insert found the node at the wrong corpus size (over HTTP, a
+// 409/conflict envelope). The router stops routing to the node until a
+// probe sees it back in sync (or it is re-bootstrapped from a snapshot).
+var ErrDiverged = errors.New("cluster: node state has diverged")
+
+// ErrUnavailable marks a query or insert no node could serve.
+var ErrUnavailable = errors.New("cluster: no healthy node available")
+
+// Backend is the query/insert surface of one shard node, abstracted over
+// transport: LocalBackend serves an in-process shard.Router, HTTPBackend
+// speaks the /v1 JSON protocol to a remote figserver. Implementations must
+// be safe for concurrent use and honour ctx cancellation.
+type Backend interface {
+	// Search runs one wire search and returns the node's ranked partial
+	// top-k over its partition.
+	Search(ctx context.Context, req *SearchRequest) ([]topk.Item, error)
+	// Insert applies one replicated insert, returning the assigned object
+	// ID. A stamped request (req.Expect set) fails with an error wrapping
+	// ErrDiverged when the node's corpus size does not match the stamp.
+	Insert(ctx context.Context, req *InsertRequest) (int64, error)
+	// Objects reports the node's corpus size — the health and divergence
+	// probe.
+	Objects(ctx context.Context) (int, error)
+	// Close releases transport resources.
+	Close() error
+}
+
+// LocalBackend adapts an in-process shard.Router to the Backend surface.
+// It resolves wire requests exactly as a remote node's handler would —
+// same decode path, same corpus lookup — so a cluster over LocalBackends
+// is the wire-free reference the HTTP parity tests compare against.
+type LocalBackend struct {
+	router *shard.Router
+}
+
+// NewLocalBackend wraps router.
+func NewLocalBackend(router *shard.Router) *LocalBackend {
+	return &LocalBackend{router: router}
+}
+
+// Router exposes the wrapped router (tests kill and revive nodes around it).
+func (b *LocalBackend) Router() *shard.Router { return b.router }
+
+// Search implements Backend.
+func (b *LocalBackend) Search(ctx context.Context, req *SearchRequest) ([]topk.Item, error) {
+	var q *media.Object
+	var rerr error
+	b.router.View(func() {
+		q, rerr = ResolveQuery(b.router.Model().Stats.Corpus(), req)
+	})
+	if rerr != nil {
+		return nil, rerr
+	}
+	exclude := media.ObjectID(-1)
+	if req.Exclude != nil {
+		exclude = media.ObjectID(*req.Exclude)
+	}
+	if req.TA {
+		return b.router.SearchTAContext(ctx, q, req.K, exclude)
+	}
+	return b.router.SearchContext(ctx, q, req.K, exclude)
+}
+
+// Insert implements Backend.
+func (b *LocalBackend) Insert(_ context.Context, req *InsertRequest) (int64, error) {
+	feats, counts, err := DecodeFeatures(req.Features)
+	if err != nil {
+		return 0, err
+	}
+	expect := -1
+	if req.Expect != nil {
+		expect = *req.Expect
+	}
+	o, err := b.router.InsertAt(feats, counts, req.Month, expect)
+	if err != nil {
+		var pre *shard.PreconditionError
+		if errors.As(err, &pre) {
+			return 0, fmt.Errorf("%w: %v", ErrDiverged, err)
+		}
+		return 0, err
+	}
+	return int64(o.ID), nil
+}
+
+// Objects implements Backend.
+func (b *LocalBackend) Objects(_ context.Context) (int, error) {
+	n := 0
+	b.router.View(func() { n = b.router.Model().Stats.Corpus().Len() })
+	return n, nil
+}
+
+// Close implements Backend (nothing to release in-process).
+func (b *LocalBackend) Close() error { return nil }
+
+// HTTPBackend speaks the /v1 JSON protocol to a remote figserver node over
+// a reusable connection pool. One HTTPBackend per node; requests multiplex
+// over pooled keep-alive connections.
+type HTTPBackend struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPBackend returns a backend for the node at base (a URL such as
+// http://host:8080; a bare host:port gets the http scheme).
+func NewHTTPBackend(base string) *HTTPBackend {
+	base = strings.TrimRight(base, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	transport := &http.Transport{
+		MaxIdleConns:        64,
+		MaxIdleConnsPerHost: 16,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &HTTPBackend{base: base, client: &http.Client{Transport: transport}}
+}
+
+// Base returns the node's base URL.
+func (b *HTTPBackend) Base() string { return b.base }
+
+// Search implements Backend over POST /v1/search.
+func (b *HTTPBackend) Search(ctx context.Context, req *SearchRequest) ([]topk.Item, error) {
+	var resp SearchResponse
+	if err := b.postJSON(ctx, "/v1/search", req, &resp); err != nil {
+		return nil, err
+	}
+	items := make([]topk.Item, len(resp.Results))
+	for i, it := range resp.Results {
+		items[i] = topk.Item{ID: media.ObjectID(it.ID), Score: it.Score}
+	}
+	return items, nil
+}
+
+// Insert implements Backend over POST /v1/objects.
+func (b *HTTPBackend) Insert(ctx context.Context, req *InsertRequest) (int64, error) {
+	var resp struct {
+		ID int64 `json:"id"`
+	}
+	if err := b.postJSON(ctx, "/v1/objects", req, &resp); err != nil {
+		return 0, err
+	}
+	return resp.ID, nil
+}
+
+// Objects implements Backend over GET /v1/healthz.
+func (b *HTTPBackend) Objects(ctx context.Context) (int, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/v1/healthz", nil)
+	if err != nil {
+		return 0, err
+	}
+	var resp struct {
+		Objects int `json:"objects"`
+	}
+	if err := b.do(httpReq, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Objects, nil
+}
+
+// Close implements Backend: drops the pooled connections.
+func (b *HTTPBackend) Close() error {
+	b.client.CloseIdleConnections()
+	return nil
+}
+
+// postJSON sends one JSON request body and decodes the JSON response.
+func (b *HTTPBackend) postJSON(ctx context.Context, path string, in, out interface{}) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	return b.do(httpReq, out)
+}
+
+// do executes the request and decodes a success body into out, or an error
+// envelope into a Go error — a 409/conflict envelope wraps ErrDiverged so
+// the router's divergence handling is transport-agnostic.
+func (b *HTTPBackend) do(httpReq *http.Request, out interface{}) error {
+	resp, err := b.client.Do(httpReq)
+	if err != nil {
+		return fmt.Errorf("cluster: %s %s: %w", httpReq.Method, httpReq.URL.Path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	var envelope struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if jerr := json.Unmarshal(raw, &envelope); jerr != nil || envelope.Error.Code == "" {
+		return fmt.Errorf("cluster: %s %s: HTTP %d", httpReq.Method, httpReq.URL.Path, resp.StatusCode)
+	}
+	if envelope.Error.Code == "conflict" {
+		return fmt.Errorf("%w: %s", ErrDiverged, envelope.Error.Message)
+	}
+	return fmt.Errorf("cluster: %s %s: %s: %s", httpReq.Method, httpReq.URL.Path, envelope.Error.Code, envelope.Error.Message)
+}
+
+// FetchSnapshot streams a node's snapshot set from GET /v1/admin/snapshot
+// — the bootstrap source for a replacement node of the same partition.
+// The caller must Close the reader; shard.LoadSnapshotStream verifies the
+// FSG1 section CRCs as it decodes.
+func FetchSnapshot(ctx context.Context, base string) (io.ReadCloser, error) {
+	base = strings.TrimRight(base, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/admin/snapshot", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		return nil, fmt.Errorf("cluster: snapshot fetch from %s: HTTP %d: %s", base, resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	return resp.Body, nil
+}

@@ -1,187 +1,517 @@
-// Package cluster implements the clustering application from the paper's
-// introduction ("retrieval, recommendation, classification, clustering, and
-// so on"): k-medoids over the FIG/MRF similarity. Medoids are corpus
-// objects, so the asymmetric similarity score s(medoid → object) is
-// directly the clique-potential sum the retrieval engine computes, and no
-// vector-space embedding is needed — exactly the point of similarity-based
-// clustering over fused features.
+// Package cluster is the multi-node serving tier: a router front-end that
+// scatter-gathers searches across N shard nodes — in-process or remote
+// over the /v1 wire — and replicates inserts to all of them.
+//
+// The parity contract extends the shard package's: every node runs a
+// shard.Router whose Owns predicate restricts indexing to the rendezvous
+// partition of one shared node list, while every node's statistics cover
+// the whole corpus (inserts replicate everywhere; only the owner indexes).
+// Partitions are disjoint and exhaustive and every score is computed from
+// corpus-global statistics, so folding the per-node top-k lists under
+// topk.MergeRanked's total order reproduces the single-engine ranking byte
+// for byte — over LocalBackends and over loopback HTTP alike, because Go's
+// JSON float64 round-trip is exact.
+//
+// Failure policy: a node that errors on a search is marked unhealthy and
+// its partition is skipped — the query degrades to a flagged partial
+// result instead of failing. A node that misses or refuses a stamped
+// insert is marked diverged and skipped until a probe sees its corpus size
+// back in line with the router's mirror (typically after an operator
+// re-bootstraps it from a peer snapshot). Tail latency is bounded by
+// hedged requests: after a per-node p99-derived delay the router fires a
+// second identical request at the node and takes whichever answers first —
+// identical requests are deterministic, so hedging never changes bytes.
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
 
-	"figfusion/internal/fig"
+	"figfusion/internal/corr"
 	"figfusion/internal/media"
-	"figfusion/internal/retrieval"
+	"figfusion/internal/obs"
+	"figfusion/internal/shard"
+	"figfusion/internal/topk"
 )
 
-// Result is a clustering outcome.
-type Result struct {
-	// Medoids holds the representative object of each cluster.
-	Medoids []media.ObjectID
-	// Assign maps every clustered object index (position in the input
-	// slice) to its cluster.
-	Assign []int
-	// Objects echoes the clustered object IDs, parallel to Assign.
-	Objects []media.ObjectID
+// NodeConfig names one shard node and the transport to reach it.
+type NodeConfig struct {
+	Name    string
+	Backend Backend
 }
 
-// Config controls k-medoids.
+// Config assembles a Cluster.
 type Config struct {
-	// K is the number of clusters.
-	K int
-	// MaxIter bounds the assignment/update sweeps.
-	MaxIter int
-	// UpdateSample bounds the member sample used when re-electing a
-	// cluster's medoid (the full quadratic update is needless at our
-	// similarity cost); values < 1 default to 16.
-	UpdateSample int
-	// Seed drives medoid seeding and sampling.
-	Seed int64
+	// Mirror is the router's own corpus-global model: it resolves and
+	// formats queries, stamps replicated inserts, and is the reference the
+	// divergence probes compare node corpus sizes against. It must be built
+	// from the same dataset as every node's model.
+	Mirror *corr.Model
+	// Nodes lists the shard nodes in the order the shared -nodes list
+	// declares them; the rendezvous assignment hashes their names.
+	Nodes []NodeConfig
+	// HedgeAfter enables hedged search requests: a node that has not
+	// answered after max(HedgeAfter, its observed p99) gets a second
+	// identical request, first answer wins. 0 disables hedging.
+	HedgeAfter time.Duration
+	// ProbeInterval is the health-probe period for Start (0 = default 2s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one node probe (0 = default 1s).
+	ProbeTimeout time.Duration
 }
 
-// KMedoids clusters the given objects. The engine supplies the similarity;
-// its index is not required (scoring is direct).
-func KMedoids(engine *retrieval.Engine, objects []media.ObjectID, cfg Config) (*Result, error) {
-	if engine == nil {
-		return nil, fmt.Errorf("cluster: nil engine")
-	}
-	if cfg.K < 1 || cfg.K > len(objects) {
-		return nil, fmt.Errorf("cluster: k = %d with %d objects", cfg.K, len(objects))
-	}
-	if cfg.MaxIter < 1 {
-		cfg.MaxIter = 10
-	}
-	if cfg.UpdateSample < 1 {
-		cfg.UpdateSample = 16
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	corpus := engine.Model.Stats.Corpus()
-
-	// Clique sets per prospective medoid, cached.
-	cliqueCache := make(map[media.ObjectID][]fig.Clique)
-	cliquesOf := func(id media.ObjectID) []fig.Clique {
-		if c, ok := cliqueCache[id]; ok {
-			return c
-		}
-		c := engine.QueryCliques(corpus.Object(id))
-		cliqueCache[id] = c
-		return c
-	}
-	similarity := func(medoid, obj media.ObjectID) float64 {
-		return engine.Scorer.Score(cliquesOf(medoid), corpus.Object(obj))
-	}
-
-	// Seed medoids with distinct random objects.
-	perm := rng.Perm(len(objects))
-	medoids := make([]media.ObjectID, cfg.K)
-	for i := 0; i < cfg.K; i++ {
-		medoids[i] = objects[perm[i]]
-	}
-	assign := make([]int, len(objects))
-	for iter := 0; iter < cfg.MaxIter; iter++ {
-		// Assignment step.
-		changed := false
-		for i, obj := range objects {
-			best, bestSim := 0, similarity(medoids[0], obj)
-			for c := 1; c < cfg.K; c++ {
-				if s := similarity(medoids[c], obj); s > bestSim {
-					best, bestSim = c, s
-				}
-			}
-			if assign[i] != best {
-				assign[i] = best
-				changed = true
-			}
-		}
-		if !changed && iter > 0 {
-			break
-		}
-		// Update step: re-elect each cluster's medoid as the member with
-		// the highest total similarity to a sample of its members.
-		for c := 0; c < cfg.K; c++ {
-			var members []media.ObjectID
-			for i, obj := range objects {
-				if assign[i] == c {
-					members = append(members, obj)
-				}
-			}
-			if len(members) == 0 {
-				// Empty cluster: re-seed with a random object.
-				medoids[c] = objects[rng.Intn(len(objects))]
-				continue
-			}
-			sample := members
-			if len(sample) > cfg.UpdateSample {
-				idx := rng.Perm(len(members))[:cfg.UpdateSample]
-				sample = make([]media.ObjectID, len(idx))
-				for j, i := range idx {
-					sample[j] = members[i]
-				}
-			}
-			bestMedoid, bestTotal := medoids[c], -1.0
-			candidates := members
-			if len(candidates) > cfg.UpdateSample {
-				idx := rng.Perm(len(members))[:cfg.UpdateSample]
-				candidates = make([]media.ObjectID, len(idx))
-				for j, i := range idx {
-					candidates[j] = members[i]
-				}
-			}
-			for _, cand := range candidates {
-				var total float64
-				for _, m := range sample {
-					total += similarity(cand, m)
-				}
-				if total > bestTotal {
-					bestMedoid, bestTotal = cand, total
-				}
-			}
-			medoids[c] = bestMedoid
-		}
-	}
-	return &Result{
-		Medoids: medoids,
-		Assign:  assign,
-		Objects: append([]media.ObjectID(nil), objects...),
-	}, nil
+// node is one shard node's runtime state. healthy and divergent are
+// independent: an unreachable node is unhealthy; a reachable node whose
+// corpus drifted from the mirror is divergent. Either excludes the node
+// from serving.
+type node struct {
+	name      string
+	backend   Backend
+	healthy   atomic.Bool
+	divergent atomic.Bool
+	// latency is always on (not just under SetMetrics): the hedging delay
+	// derives from its p99.
+	latency *obs.Histogram
 }
 
-// Purity evaluates a clustering against the planted primary topics: the
-// fraction of objects belonging to their cluster's majority topic.
-func (r *Result) Purity(corpus *media.Corpus) float64 {
-	if len(r.Objects) == 0 {
+func (n *node) eligible() bool { return n.healthy.Load() && !n.divergent.Load() }
+
+// Cluster is the router front-end over N shard nodes. Construct with New;
+// safe for concurrent use.
+type Cluster struct {
+	mirror *corr.Model
+	assign *Assignment
+	nodes  []*node
+
+	hedgeAfter   time.Duration
+	probeEvery   time.Duration
+	probeTimeout time.Duration
+
+	// statsMu guards the mirror's corpus-global state, with the same
+	// reader/writer split as shard.Router.statsMu: query resolution and
+	// result formatting hold it shared, the mirror phase of a replicated
+	// insert holds it exclusively.
+	statsMu sync.RWMutex
+	// insertMu serializes replicated inserts end to end — the stamp
+	// protocol needs the mirror length and the node fan-out to change
+	// atomically with respect to other inserts.
+	insertMu sync.Mutex
+
+	metrics *clusterMetrics
+}
+
+// hedgeMinSamples is how many latency observations a node needs before its
+// own p99 (rather than the configured floor) drives the hedge delay.
+const hedgeMinSamples = 16
+
+// New assembles a cluster over cfg.Nodes. All nodes start healthy; the
+// first failed request or probe demotes them.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Mirror == nil {
+		return nil, fmt.Errorf("cluster: Config.Mirror must be set")
+	}
+	names := make([]string, len(cfg.Nodes))
+	for i, nc := range cfg.Nodes {
+		if nc.Backend == nil {
+			return nil, fmt.Errorf("cluster: node %d (%q) has no backend", i, nc.Name)
+		}
+		names[i] = nc.Name
+	}
+	assign, err := NewAssignment(names)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		mirror:       cfg.Mirror,
+		assign:       assign,
+		nodes:        make([]*node, len(cfg.Nodes)),
+		hedgeAfter:   cfg.HedgeAfter,
+		probeEvery:   cfg.ProbeInterval,
+		probeTimeout: cfg.ProbeTimeout,
+	}
+	if c.probeEvery <= 0 {
+		c.probeEvery = 2 * time.Second
+	}
+	if c.probeTimeout <= 0 {
+		c.probeTimeout = time.Second
+	}
+	for i, nc := range cfg.Nodes {
+		n := &node{name: nc.Name, backend: nc.Backend, latency: obs.NewHistogram(obs.DefaultLatencyBuckets())}
+		n.healthy.Store(true)
+		c.nodes[i] = n
+	}
+	return c, nil
+}
+
+// Model returns the router's mirror model. Reads of the corpus it serves
+// must be pinned with View when inserts may race.
+func (c *Cluster) Model() *corr.Model { return c.mirror }
+
+// Assignment returns the partition map (shared with shard nodes via the
+// node-name list).
+func (c *Cluster) Assignment() *Assignment { return c.assign }
+
+// View runs fn while the mirror's corpus-global state is pinned against
+// replicated inserts — the hook HTTP handlers use to parse queries and
+// format results. fn must not call the cluster's own search or insert
+// methods (recursive read-locking deadlocks once a writer queues).
+func (c *Cluster) View(fn func()) {
+	c.statsMu.RLock()
+	defer c.statsMu.RUnlock()
+	fn()
+}
+
+// corpusLen reads the mirror corpus size under the statistics read lock.
+func (c *Cluster) corpusLen() int {
+	c.statsMu.RLock()
+	defer c.statsMu.RUnlock()
+	return c.mirror.Stats.Corpus().Len()
+}
+
+// Result is one scatter-gather answer. Partial marks a degraded answer:
+// one or more nodes were skipped (dead or diverged), so Items covers only
+// the partitions that answered.
+type Result struct {
+	Items   []topk.Item
+	Partial bool
+}
+
+// Search scatter-gathers the indexed MRF search across the nodes.
+func (c *Cluster) Search(q *media.Object, k int, exclude media.ObjectID) Result {
+	out, _ := c.SearchContext(context.Background(), q, k, exclude)
+	return out
+}
+
+// SearchContext is Search under a context: node requests carry ctx, and a
+// done context aborts the scatter with ctx.Err() (node failures degrade to
+// a partial result instead).
+func (c *Cluster) SearchContext(ctx context.Context, q *media.Object, k int, exclude media.ObjectID) (Result, error) {
+	return c.scatter(ctx, c.encode(q, k, exclude, false), k)
+}
+
+// SearchTA scatter-gathers the literal Algorithm 1 threshold path.
+func (c *Cluster) SearchTA(q *media.Object, k int, exclude media.ObjectID) Result {
+	out, _ := c.SearchTAContext(context.Background(), q, k, exclude)
+	return out
+}
+
+// SearchTAContext is SearchTA under a context, with SearchContext's
+// cancellation contract.
+func (c *Cluster) SearchTAContext(ctx context.Context, q *media.Object, k int, exclude media.ObjectID) (Result, error) {
+	return c.scatter(ctx, c.encode(q, k, exclude, true), k)
+}
+
+// encode renders the query for the wire under the mirror's read lock (the
+// dictionary may grow under a racing insert).
+func (c *Cluster) encode(q *media.Object, k int, exclude media.ObjectID, ta bool) *SearchRequest {
+	c.statsMu.RLock()
+	defer c.statsMu.RUnlock()
+	return EncodeQuery(c.mirror.Stats.Corpus().Dict, q, k, exclude, ta)
+}
+
+// scatter fans the request out to every eligible node in parallel, folds
+// the per-node top-k lists under MergeRanked's total order, and applies
+// the degraded-mode policy: skipped and failed nodes flag the result
+// partial, a done ctx fails the query, and no answering node at all fails
+// it with ErrUnavailable.
+func (c *Cluster) scatter(ctx context.Context, req *SearchRequest, k int) (Result, error) {
+	c.metrics.search()
+	type nodeOut struct {
+		items   []topk.Item
+		err     error
+		dur     time.Duration
+		skipped bool
+	}
+	outs := make([]nodeOut, len(c.nodes))
+	var wg sync.WaitGroup
+	for i, n := range c.nodes {
+		if !n.eligible() {
+			outs[i].skipped = true
+			continue
+		}
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			start := time.Now()
+			items, err := c.callNode(ctx, n, req)
+			outs[i] = nodeOut{items: items, err: err, dur: time.Since(start)}
+		}(i, n)
+	}
+	wg.Wait()
+	partial := false
+	lists := make([][]topk.Item, 0, len(c.nodes))
+	var durs []time.Duration
+	for i, out := range outs {
+		if out.skipped {
+			partial = true
+			continue
+		}
+		durs = append(durs, out.dur)
+		if out.err != nil {
+			if ctx.Err() != nil {
+				return Result{}, ctx.Err()
+			}
+			c.metrics.nodeError()
+			c.nodes[i].healthy.Store(false)
+			partial = true
+			continue
+		}
+		lists = append(lists, out.items)
+	}
+	c.metrics.observeFanout(durs)
+	if len(lists) == 0 {
+		return Result{}, fmt.Errorf("%w: all %d nodes failed or were skipped", ErrUnavailable, len(c.nodes))
+	}
+	return Result{Items: topk.MergeRanked(lists, k), Partial: partial}, nil
+}
+
+// callNode runs one node request, hedged when configured: if the first
+// attempt has not answered within the node's hedge delay, an identical
+// second attempt races it and the first answer wins (the loser is
+// cancelled). Both attempts are the same deterministic computation, so the
+// winner's identity never changes result bytes.
+func (c *Cluster) callNode(ctx context.Context, n *node, req *SearchRequest) ([]topk.Item, error) {
+	c.metrics.request()
+	delay := c.hedgeDelay(n)
+	if delay <= 0 {
+		start := time.Now()
+		items, err := n.backend.Search(ctx, req)
+		n.latency.Observe(time.Since(start))
+		return items, err
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type attempt struct {
+		items  []topk.Item
+		err    error
+		hedged bool
+		dur    time.Duration
+	}
+	ch := make(chan attempt, 2) // buffered: the losing attempt must not block on send
+	run := func(hedged bool) {
+		start := time.Now()
+		items, err := n.backend.Search(hctx, req)
+		ch <- attempt{items: items, err: err, hedged: hedged, dur: time.Since(start)}
+	}
+	go run(false)
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	var first attempt
+	select {
+	case first = <-ch:
+		n.latency.Observe(first.dur)
+		return first.items, first.err
+	case <-timer.C:
+		c.metrics.hedgeFire()
+		go run(true)
+		first = <-ch
+	}
+	if first.err != nil {
+		// The first finisher failed; the other attempt may still succeed.
+		if second := <-ch; second.err == nil {
+			first = second
+		}
+	}
+	n.latency.Observe(first.dur)
+	if first.err == nil && first.hedged {
+		c.metrics.hedgeWin()
+	}
+	return first.items, first.err
+}
+
+// hedgeDelay derives one node's hedge delay: its observed p99 once enough
+// samples exist, floored by the configured HedgeAfter; 0 = hedging off.
+func (c *Cluster) hedgeDelay(n *node) time.Duration {
+	if c.hedgeAfter <= 0 {
 		return 0
 	}
-	majority := make(map[int]map[int]int) // cluster -> topic -> count
-	for i, obj := range r.Objects {
-		c := r.Assign[i]
-		if majority[c] == nil {
-			majority[c] = make(map[int]int)
-		}
-		majority[c][corpus.Object(obj).PrimaryTopic]++
+	snap := n.latency.Snapshot()
+	if snap.Count < hedgeMinSamples {
+		return c.hedgeAfter
 	}
-	total := 0
-	for _, topics := range majority {
-		best := 0
-		for _, n := range topics {
-			if n > best {
-				best = n
-			}
-		}
-		total += best
+	if p99 := time.Duration(snap.P99Ms * float64(time.Millisecond)); p99 > c.hedgeAfter {
+		return p99
 	}
-	return float64(total) / float64(len(r.Objects))
+	return c.hedgeAfter
 }
 
-// Sizes returns the member count of each cluster.
-func (r *Result) Sizes(k int) []int {
-	sizes := make([]int, k)
-	for _, c := range r.Assign {
-		if c >= 0 && c < k {
-			sizes[c]++
+// Insert replicates one new object to every node (the owner first) and the
+// mirror.
+func (c *Cluster) Insert(feats []media.Feature, counts []int, month int) (*media.Object, error) {
+	return c.InsertContext(context.Background(), feats, counts, month, -1)
+}
+
+// InsertContext is the stamped replicated insert. The new object's ID is
+// the mirror's pre-insert corpus length; every node request carries it as
+// the expect stamp, so a drifted node refuses instead of mis-assigning.
+// Order is owner-first: the owning node must index the object for it to be
+// retrievable, so its failure fails the insert; after the owner and the
+// mirror commit, a non-owner failure only marks that node diverged (its
+// statistics missed the append) and the insert still succeeds. When expect
+// >= 0 the caller's own stamp is checked against the mirror first.
+func (c *Cluster) InsertContext(ctx context.Context, feats []media.Feature, counts []int, month int, expect int) (*media.Object, error) {
+	if err := validateInsert(feats, counts); err != nil {
+		return nil, err
+	}
+	c.insertMu.Lock()
+	defer c.insertMu.Unlock()
+	id := c.corpusLen()
+	if expect >= 0 && id != expect {
+		return nil, &shard.PreconditionError{Objects: id, Expect: expect}
+	}
+	wire := &InsertRequest{Features: EncodeFeatures(feats, counts), Month: month, Expect: &id}
+	owner := c.assign.NodeFor(media.ObjectID(id))
+	own := c.nodes[owner]
+	if !own.eligible() {
+		return nil, fmt.Errorf("%w: owner node %s of object %d is down or diverged", ErrUnavailable, own.name, id)
+	}
+	if _, err := own.backend.Insert(ctx, wire); err != nil {
+		c.noteInsertFailure(own, err)
+		return nil, fmt.Errorf("cluster: insert on owner node %s: %w", own.name, err)
+	}
+	o, err := c.appendMirror(feats, counts, month)
+	if err != nil {
+		// validateInsert makes mirror appends infallible in practice; a
+		// failure here means owner and mirror have skewed, so stop serving
+		// through the owner until a probe or re-bootstrap reconciles.
+		own.divergent.Store(true)
+		return nil, fmt.Errorf("cluster: mirror append after owner commit: %w", err)
+	}
+	c.metrics.insert(owner)
+	for i, n := range c.nodes {
+		if i == owner {
+			continue
+		}
+		if !n.healthy.Load() {
+			// A dead node misses this insert; flag it now so it does not
+			// serve stale statistics when it comes back.
+			n.divergent.Store(true)
+			continue
+		}
+		if _, err := n.backend.Insert(ctx, wire); err != nil {
+			c.metrics.nodeError()
+			c.noteInsertFailure(n, err)
 		}
 	}
-	return sizes
+	return o, nil
+}
+
+// noteInsertFailure demotes a node after a failed replicated insert: a
+// refused stamp means it had already drifted; any other failure means it
+// just missed this insert (and is likely unreachable).
+func (c *Cluster) noteInsertFailure(n *node, err error) {
+	if errors.Is(err, ErrDiverged) {
+		n.divergent.Store(true)
+		return
+	}
+	n.healthy.Store(false)
+	n.divergent.Store(true)
+}
+
+// validateInsert pre-checks what Corpus.Add would reject, so the mirror
+// append after the owner's commit cannot fail on bad input.
+func validateInsert(feats []media.Feature, counts []int) error {
+	if len(feats) == 0 {
+		return fmt.Errorf("cluster: insert needs at least one feature")
+	}
+	if len(feats) != len(counts) {
+		return fmt.Errorf("cluster: %d features but %d counts", len(feats), len(counts))
+	}
+	for i, n := range counts {
+		if n < 1 {
+			return fmt.Errorf("cluster: feature %d has count %d, want >= 1", i, n)
+		}
+	}
+	return nil
+}
+
+// appendMirror grows the mirror's corpus and statistics under the
+// exclusive statistics lock. The mirror carries no index; invalidating the
+// cache advances the model generation exactly as a node's append does.
+func (c *Cluster) appendMirror(feats []media.Feature, counts []int, month int) (*media.Object, error) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	corpus := c.mirror.Stats.Corpus()
+	o, err := corpus.Add(feats, counts, month)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.mirror.Stats.Append(o); err != nil {
+		return nil, err
+	}
+	c.mirror.InvalidateCache()
+	return o, nil
+}
+
+// Start launches the background health-probe loop; it stops when ctx is
+// done. Call at most once.
+func (c *Cluster) Start(ctx context.Context) {
+	go c.probeLoop(ctx)
+}
+
+func (c *Cluster) probeLoop(ctx context.Context) {
+	ticker := time.NewTicker(c.probeEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			c.Probe(ctx)
+		}
+	}
+}
+
+// Probe runs one health pass over every node: an answering node is
+// healthy; an answering node whose corpus size matches the mirror is also
+// back in sync, clearing any divergence flag (a node that missed inserts
+// stays diverged until re-bootstrapped, since its size cannot catch up on
+// its own). Exported so tests and operators can force a pass.
+func (c *Cluster) Probe(ctx context.Context) {
+	for _, n := range c.nodes {
+		pctx, cancel := context.WithTimeout(ctx, c.probeTimeout)
+		objects, err := n.backend.Objects(pctx)
+		cancel()
+		if err != nil {
+			n.healthy.Store(false)
+			continue
+		}
+		n.healthy.Store(true)
+		if n.divergent.Load() && objects == c.corpusLen() {
+			n.divergent.Store(false)
+		}
+	}
+}
+
+// NodeInfo is one node's health snapshot — the per-node stats the server's
+// /v1/healthz reports in router mode.
+type NodeInfo struct {
+	Node      int    `json:"node"`
+	Name      string `json:"name"`
+	Healthy   bool   `json:"healthy"`
+	Divergent bool   `json:"divergent"`
+}
+
+// NodeInfos snapshots every node's health state.
+func (c *Cluster) NodeInfos() []NodeInfo {
+	infos := make([]NodeInfo, len(c.nodes))
+	for i, n := range c.nodes {
+		infos[i] = NodeInfo{Node: i, Name: n.name, Healthy: n.healthy.Load(), Divergent: n.divergent.Load()}
+	}
+	return infos
+}
+
+// Close releases every backend's transport resources.
+func (c *Cluster) Close() error {
+	var first error
+	for _, n := range c.nodes {
+		if err := n.backend.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

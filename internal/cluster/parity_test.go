@@ -1,0 +1,292 @@
+// Cluster parity and degraded-mode tests live in the external test
+// package: the HTTP legs stand up real figserver handlers, and the server
+// package imports cluster, so an internal test file would be an import
+// cycle.
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"figfusion/internal/cluster"
+	"figfusion/internal/corr"
+	"figfusion/internal/dataset"
+	"figfusion/internal/media"
+	"figfusion/internal/retrieval"
+	"figfusion/internal/server"
+	"figfusion/internal/shard"
+)
+
+// testData mirrors the shard package's small deterministic corpus: every
+// call generates an independent copy of the identical dataset, so each
+// system under comparison (reference engine, every node, every mirror)
+// owns a corpus it can mutate.
+func testData(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.NumObjects = 150
+	cfg.NumTopics = 5
+	cfg.TagsPerTopic = 8
+	cfg.NoiseTags = 24
+	cfg.UsersPerTopic = 8
+	cfg.VisualVocab = 12
+	cfg.VocabTrainImages = 40
+	cfg.ImageBlocks = 2
+	cfg.KMeansIters = 8
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func testSystem(t testing.TB) (*dataset.Dataset, *corr.Model) {
+	t.Helper()
+	d := testData(t)
+	m := d.Model()
+	m.TrainThresholds(100, 0.35, rand.New(rand.NewSource(13)))
+	return d, m
+}
+
+// testNodeRouter builds node `me` of an n-node deployment: its own copy of
+// the shared dataset, partitioned by the shared assignment, with two
+// internal engine shards so the cluster merge nests over the router merge.
+func testNodeRouter(t testing.TB, assign *cluster.Assignment, me int) *shard.Router {
+	t.Helper()
+	_, m := testSystem(t)
+	r, err := shard.NewRouter(m, shard.Config{Shards: 2, Retrieval: retrieval.Config{}, Owns: assign.Owns(me)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func testNodeNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("node%d", i)
+	}
+	return names
+}
+
+func testAssignment(t testing.TB, n int) *cluster.Assignment {
+	t.Helper()
+	assign, err := cluster.NewAssignment(testNodeNames(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return assign
+}
+
+// localCluster assembles an n-node cluster over in-process backends.
+func localCluster(t testing.TB, n int) (*cluster.Cluster, *dataset.Dataset) {
+	t.Helper()
+	assign := testAssignment(t, n)
+	nodes := make([]cluster.NodeConfig, n)
+	for i := range nodes {
+		nodes[i] = cluster.NodeConfig{Name: assign.Names()[i], Backend: cluster.NewLocalBackend(testNodeRouter(t, assign, i))}
+	}
+	d, m := testSystem(t)
+	c, err := cluster.New(cluster.Config{Mirror: m, Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, d
+}
+
+// nodeServer exposes one shard node over loopback HTTP through the real
+// figserver handler stack.
+func nodeServer(t testing.TB, router *shard.Router) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(server.NewSharded(router, server.DefaultOptions()).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// httpCluster assembles an n-node cluster whose nodes are real figserver
+// handlers behind loopback HTTP — the full wire path: query encoding, JSON
+// float round-trips, error envelopes, pooled connections.
+func httpCluster(t testing.TB, n int) (*cluster.Cluster, *dataset.Dataset) {
+	t.Helper()
+	assign := testAssignment(t, n)
+	nodes := make([]cluster.NodeConfig, n)
+	for i := range nodes {
+		ts := nodeServer(t, testNodeRouter(t, assign, i))
+		nodes[i] = cluster.NodeConfig{Name: assign.Names()[i], Backend: cluster.NewHTTPBackend(ts.URL)}
+	}
+	d, m := testSystem(t)
+	c, err := cluster.New(cluster.Config{Mirror: m, Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, d
+}
+
+// clusterSearchBytes serializes the full Search and SearchTA rankings at
+// full float precision, in the exact format the shard package's parity
+// test uses — and fails the test on any partial answer, since parity runs
+// against fully healthy clusters.
+func clusterSearchBytes(t testing.TB, c *cluster.Cluster, corpus *media.Corpus, queries []media.ObjectID) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, id := range queries {
+		q := corpus.Object(id)
+		res := c.Search(q, 10, q.ID)
+		if res.Partial {
+			t.Fatalf("query %d: unexpected partial result from a healthy cluster", id)
+		}
+		for _, it := range res.Items {
+			fmt.Fprintf(&buf, "%d>%d@%.17g ", q.ID, it.ID, it.Score)
+		}
+		buf.WriteByte('\n')
+		res = c.SearchTA(q, 10, q.ID)
+		if res.Partial {
+			t.Fatalf("query %d: unexpected partial TA result from a healthy cluster", id)
+		}
+		for _, it := range res.Items {
+			fmt.Fprintf(&buf, "%d~%d@%.17g ", q.ID, it.ID, it.Score)
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// engineSearchBytes is the single-engine reference serialization.
+func engineSearchBytes(e *retrieval.Engine, corpus *media.Corpus, queries []media.ObjectID) []byte {
+	var buf bytes.Buffer
+	for _, id := range queries {
+		q := corpus.Object(id)
+		for _, it := range e.Search(q, 10, q.ID) {
+			fmt.Fprintf(&buf, "%d>%d@%.17g ", q.ID, it.ID, it.Score)
+		}
+		buf.WriteByte('\n')
+		for _, it := range e.SearchTA(q, 10, q.ID) {
+			fmt.Fprintf(&buf, "%d~%d@%.17g ", q.ID, it.ID, it.Score)
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// applyInserts mirrors the shard parity test's mixed insert batch:
+// existing tags, brand-new tags (feature interning), users, varying months.
+func applyInserts(t *testing.T, ins func(feats []media.Feature, counts []int, month int) (*media.Object, error)) {
+	t.Helper()
+	for j := 0; j < 10; j++ {
+		feats := []media.Feature{
+			{Kind: media.Text, Name: fmt.Sprintf("topic%02dtag%02d", j%5, j%8)},
+			{Kind: media.Text, Name: fmt.Sprintf("topic%02dtag%02d", (j+1)%5, (j+3)%8)},
+			{Kind: media.Text, Name: fmt.Sprintf("freshtag%02d", j)},
+		}
+		if j%2 == 0 {
+			feats = append(feats, media.Feature{Kind: media.User, Name: fmt.Sprintf("u_t%02d_%02d", j%5, j%8)})
+		}
+		counts := make([]int, len(feats))
+		for i := range counts {
+			counts[i] = 1 + i%2
+		}
+		if _, err := ins(feats, counts, j%6); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestClusterScatterGatherParity is the multi-node tier's determinism
+// contract, the cluster counterpart of the shard package's
+// TestScatterGatherParity: over identical corpora, Search and SearchTA
+// results are byte-identical between a single engine, a router over
+// in-process LocalBackends, and a router over loopback-HTTP backends at
+// 1, 2 and 4 nodes — before a round of replicated inserts and after it.
+// The cluster merge nests over each node's own 2-shard merge, so the test
+// also covers associativity of the ranked fold.
+func TestClusterScatterGatherParity(t *testing.T) {
+	refD, refM := testSystem(t)
+	ref, err := retrieval.NewEngine(refM, retrieval.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]media.ObjectID, 20)
+	for i := range queries {
+		queries[i] = media.ObjectID(i)
+	}
+	refBefore := engineSearchBytes(ref, refD.Corpus, queries)
+
+	type sys struct {
+		label string
+		n     int
+		c     *cluster.Cluster
+		d     *dataset.Dataset
+	}
+	var systems []sys
+	for _, n := range []int{1, 2, 4} {
+		lc, ld := localCluster(t, n)
+		systems = append(systems, sys{label: "local", n: n, c: lc, d: ld})
+		hc, hd := httpCluster(t, n)
+		systems = append(systems, sys{label: "http", n: n, c: hc, d: hd})
+	}
+	for _, s := range systems {
+		if got := clusterSearchBytes(t, s.c, s.d.Corpus, queries); !bytes.Equal(got, refBefore) {
+			t.Fatalf("%s nodes=%d: pre-insert results diverge from single engine (%d vs %d bytes)",
+				s.label, s.n, len(got), len(refBefore))
+		}
+	}
+
+	// A round of replicated inserts must preserve parity: the single engine
+	// ingests through Engine.Insert, each cluster through the stamped
+	// owner-first replication path.
+	applyInserts(t, ref.Insert)
+	for _, s := range systems {
+		applyInserts(t, s.c.Insert)
+	}
+	grown := append(append([]media.ObjectID(nil), queries...),
+		media.ObjectID(150), media.ObjectID(155), media.ObjectID(159))
+	refAfter := engineSearchBytes(ref, refD.Corpus, grown)
+	if bytes.Equal(refAfter, refBefore) {
+		t.Fatal("inserts did not change reference results; parity check is vacuous")
+	}
+	for _, s := range systems {
+		for _, n := range s.c.NodeInfos() {
+			if !n.Healthy || n.Divergent {
+				t.Fatalf("%s nodes=%d: node %s unhealthy or divergent after replicated inserts: %+v", s.label, s.n, n.Name, n)
+			}
+		}
+		if got := clusterSearchBytes(t, s.c, s.d.Corpus, grown); !bytes.Equal(got, refAfter) {
+			t.Fatalf("%s nodes=%d: post-insert results diverge from single engine", s.label, s.n)
+		}
+	}
+}
+
+// TestClusterSearchCancellation pins the cancellation contract: a done
+// context fails the query with ctx.Err() — it does not degrade to a
+// partial result, over local and HTTP transports alike.
+func TestClusterSearchCancellation(t *testing.T) {
+	for _, mk := range []struct {
+		label string
+		build func(testing.TB, int) (*cluster.Cluster, *dataset.Dataset)
+	}{
+		{"local", localCluster},
+		{"http", httpCluster},
+	} {
+		c, d := mk.build(t, 2)
+		q := d.Corpus.Object(0)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := c.SearchContext(ctx, q, 10, q.ID); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: cancelled search returned %v, want context.Canceled", mk.label, err)
+		}
+		// Cancellation must not have demoted any node: the nodes did
+		// nothing wrong.
+		c.Probe(context.Background())
+		for _, n := range c.NodeInfos() {
+			if !n.Healthy {
+				t.Errorf("%s: node %s unhealthy after a cancelled query", mk.label, n.Name)
+			}
+		}
+	}
+}

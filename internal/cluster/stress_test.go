@@ -1,0 +1,107 @@
+package cluster_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"figfusion/internal/cluster"
+	"figfusion/internal/media"
+)
+
+// TestClusterStressNodeChurn races scatter-gather searches, replicated
+// inserts, and health probes against nodes dying and reviving — the
+// cluster-tier entry in the -race CI job. The assertions are structural
+// (no data races, no panics, every answer either fails cleanly or carries
+// a coherent flag); the byte-level answers under churn are inherently
+// timing-dependent and are pinned by the parity and degraded-mode tests
+// instead.
+func TestClusterStressNodeChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const nodes = 3
+	c, d, backends, _ := flakyCluster(t, nodes)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+
+	// Searchers: hammer the scatter path over a fixed query block.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				// Pin the corpus read against racing mirror appends, as the
+				// server's handlers do.
+				var q *media.Object
+				c.View(func() { q = d.Corpus.Object(media.ObjectID((g*7 + i) % 100)) })
+				res, err := c.SearchContext(ctx, q, 10, q.ID)
+				if err != nil {
+					if errors.Is(err, cluster.ErrUnavailable) || ctx.Err() != nil {
+						continue
+					}
+					t.Errorf("searcher %d: %v", g, err)
+					return
+				}
+				if !res.Partial && len(res.Items) == 0 {
+					t.Errorf("searcher %d: full (non-partial) answer with zero items", g)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Inserter: replicated inserts interleave with the churn. Inserts may
+	// fail when the owner is down (ErrUnavailable once it is marked, a
+	// direct node-down failure in the race before) — both are the designed
+	// refusal, not an error.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			feats := []media.Feature{{Kind: media.Text, Name: fmt.Sprintf("churn-tag-%03d", i)}}
+			if _, err := c.InsertContext(ctx, feats, []int{1}, i%6, -1); err != nil &&
+				!errors.Is(err, cluster.ErrUnavailable) && !errors.Is(err, errNodeDown) && ctx.Err() == nil {
+				t.Errorf("inserter: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Killer: cycle each node down and back up.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 20; round++ {
+			b := backends[round%nodes]
+			b.down.Store(true)
+			time.Sleep(2 * time.Millisecond)
+			b.down.Store(false)
+			c.Probe(ctx)
+		}
+	}()
+
+	wg.Wait()
+
+	// Settle: revive everything and let probes restore eligibility. Nodes
+	// that missed inserts while down stay divergent by design; they must
+	// still be healthy (reachable) and the cluster must answer.
+	for _, b := range backends {
+		b.down.Store(false)
+	}
+	c.Probe(context.Background())
+	for i, ni := range c.NodeInfos() {
+		if !ni.Healthy {
+			t.Errorf("node %d unreachable after churn settled: %+v", i, ni)
+		}
+	}
+	q := d.Corpus.Object(0)
+	if _, err := c.SearchContext(context.Background(), q, 10, q.ID); err != nil {
+		t.Fatalf("cluster cannot answer after churn settled: %v", err)
+	}
+}

@@ -1,0 +1,121 @@
+package clustering
+
+import (
+	"testing"
+
+	"figfusion/internal/dataset"
+	"figfusion/internal/media"
+	"figfusion/internal/retrieval"
+)
+
+func setup(t testing.TB) (*dataset.Dataset, *retrieval.Engine) {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.NumObjects = 200
+	cfg.NumTopics = 4
+	cfg.TagsPerTopic = 8
+	cfg.NoiseTags = 24
+	cfg.UsersPerTopic = 8
+	cfg.VisualVocab = 12
+	cfg.VocabTrainImages = 40
+	cfg.ImageBlocks = 2
+	cfg.KMeansIters = 8
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clustering scores directly; skip the index.
+	e, err := retrieval.NewEngine(d.Model(), retrieval.Config{SkipIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, e
+}
+
+func allIDs(d *dataset.Dataset) []media.ObjectID {
+	ids := make([]media.ObjectID, d.Corpus.Len())
+	for i := range ids {
+		ids[i] = media.ObjectID(i)
+	}
+	return ids
+}
+
+func TestKMedoidsPurityBeatsChance(t *testing.T) {
+	d, e := setup(t)
+	res, err := KMedoids(e, allIDs(d), Config{K: 4, MaxIter: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	purity := res.Purity(d.Corpus)
+	// 4 planted topics; random assignment gives purity ≈ 0.3 (majority
+	// share under uniform topics). Fused similarity must do much better.
+	if purity < 0.55 {
+		t.Errorf("purity = %v, want well above chance", purity)
+	}
+	t.Logf("k-medoids purity over %d objects: %.3f, sizes %v",
+		len(res.Objects), purity, res.Sizes(4))
+	// Every object assigned to a valid cluster.
+	for i, c := range res.Assign {
+		if c < 0 || c >= 4 {
+			t.Fatalf("object %d assigned to %d", i, c)
+		}
+	}
+	if len(res.Medoids) != 4 {
+		t.Fatalf("medoids = %d", len(res.Medoids))
+	}
+}
+
+func TestKMedoidsDeterministic(t *testing.T) {
+	d, e := setup(t)
+	cfg := Config{K: 3, MaxIter: 4, Seed: 7}
+	a, err := KMedoids(e, allIDs(d), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMedoids(e, allIDs(d), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("clustering not deterministic")
+		}
+	}
+}
+
+func TestKMedoidsValidation(t *testing.T) {
+	d, e := setup(t)
+	ids := allIDs(d)
+	if _, err := KMedoids(nil, ids, Config{K: 2}); err == nil {
+		t.Error("want error for nil engine")
+	}
+	if _, err := KMedoids(e, ids, Config{K: 0}); err == nil {
+		t.Error("want error for k=0")
+	}
+	if _, err := KMedoids(e, ids[:2], Config{K: 5}); err == nil {
+		t.Error("want error for k > objects")
+	}
+}
+
+func TestKMedoidsSubsetAndSmallK(t *testing.T) {
+	d, e := setup(t)
+	ids := allIDs(d)[:30]
+	res, err := KMedoids(e, ids, Config{K: 2, MaxIter: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Objects) != 30 {
+		t.Fatalf("objects = %d", len(res.Objects))
+	}
+	sizes := res.Sizes(2)
+	if sizes[0]+sizes[1] != 30 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+func TestPurityEmpty(t *testing.T) {
+	r := &Result{}
+	if got := r.Purity(media.NewCorpus()); got != 0 {
+		t.Errorf("empty purity = %v", got)
+	}
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+
+	"figfusion/internal/cluster"
+	"figfusion/internal/corr"
+	"figfusion/internal/dataset"
+	"figfusion/internal/media"
+	"figfusion/internal/retrieval"
+	"figfusion/internal/server"
+	"figfusion/internal/shard"
+)
+
+// ClusterResult is one measured configuration of the multi-node serving
+// bench: a transport ("", "local" or "http") driven by some number of
+// client goroutines (nodes 0 marks the single-engine baseline).
+type ClusterResult struct {
+	Name          string  `json:"name"`
+	Nodes         int     `json:"nodes"`
+	Transport     string  `json:"transport,omitempty"`
+	Goroutines    int     `json:"goroutines"`
+	Iterations    int     `json:"iterations"`
+	NsPerOp       float64 `json:"nsPerOp"`
+	QueriesPerSec float64 `json:"queriesPerSec"`
+}
+
+// ClusterRun is one complete multi-node serving measurement on one code
+// revision. Runs accumulate in BENCH_cluster.json so the wire tax of the
+// /v1 hop — the spread between router-over-in-process and
+// router-over-loopback-HTTP — is tracked across PRs alongside the
+// single-engine baseline.
+type ClusterRun struct {
+	Label      string          `json:"label"`
+	GoVersion  string          `json:"goVersion"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Scale      int             `json:"scale"`
+	Queries    int             `json:"queries"`
+	K          int             `json:"k"`
+	Nodes      int             `json:"nodes"`
+	Results    []ClusterResult `json:"results"`
+}
+
+// clusterPerfNodes is the fixed deployment size the bench measures: big
+// enough that fan-out, folding and the wire actually occur, small enough
+// that a laptop run finishes promptly.
+const clusterPerfNodes = 2
+
+// ClusterPerf measures multi-node scatter-gather query throughput at a
+// fixed node count over both backends against the single-engine baseline:
+// serial latency and 4-client throughput for the bare engine, the cluster
+// over in-process LocalBackends, and the same cluster shape over loopback
+// HTTP through the full figserver handler stack. All systems search the
+// same trained model read-only, so one generated corpus serves every
+// configuration and the spread between the rows is pure serving-tier
+// overhead.
+func ClusterPerf(o Options, label string) (*ClusterRun, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	d, err := dataset.Generate(o.retrievalConfig())
+	if err != nil {
+		return nil, err
+	}
+	m := d.Model()
+	m.TrainThresholds(200, 0.35, rand.New(rand.NewSource(o.Seed+13)))
+	queries := make([]*media.Object, 0, o.Queries)
+	for _, id := range d.SampleQueries(o.Queries, rand.New(rand.NewSource(o.Seed+7))) {
+		queries = append(queries, d.Corpus.Object(id))
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("experiments: no queries sampled")
+	}
+	const k = 10
+	run := &ClusterRun{
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      o.Scale,
+		Queries:    len(queries),
+		K:          k,
+		Nodes:      clusterPerfNodes,
+	}
+
+	measure := func(name, transport string, nodes, goroutines int, search func(q *media.Object)) {
+		r := testing.Benchmark(func(b *testing.B) {
+			if goroutines <= 1 {
+				for i := 0; i < b.N; i++ {
+					search(queries[i%len(queries)])
+				}
+				return
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < goroutines; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < b.N; i += goroutines {
+						search(queries[i%len(queries)])
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+		cr := ClusterResult{
+			Name:       name,
+			Nodes:      nodes,
+			Transport:  transport,
+			Goroutines: goroutines,
+			Iterations: r.N,
+			NsPerOp:    float64(r.T.Nanoseconds()) / float64(r.N),
+		}
+		if cr.NsPerOp > 0 {
+			cr.QueriesPerSec = 1e9 / cr.NsPerOp
+		}
+		run.Results = append(run.Results, cr)
+	}
+
+	engine, err := retrieval.NewEngine(m, retrieval.Config{})
+	if err != nil {
+		return nil, err
+	}
+	measure("engine/serial", "", 0, 1, func(q *media.Object) { engine.Search(q, k, q.ID) })
+	measure("engine/clients=4", "", 0, 4, func(q *media.Object) { engine.Search(q, k, q.ID) })
+
+	// The node routers and mirror share the trained model read-only: the
+	// bench never inserts, so the replication machinery is idle and the
+	// measurement isolates the serving path.
+	names := make([]string, clusterPerfNodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench-node%d", i)
+	}
+	assign, err := cluster.NewAssignment(names)
+	if err != nil {
+		return nil, err
+	}
+	routers := make([]*shard.Router, clusterPerfNodes)
+	for i := range routers {
+		routers[i], err = shard.NewRouter(m, shard.Config{Shards: 1, Owns: assign.Owns(i)})
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", i, err)
+		}
+	}
+
+	local, err := newBenchCluster(m, names, func(i int) (cluster.Backend, error) {
+		return cluster.NewLocalBackend(routers[i]), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	measure("cluster/local/serial", "local", clusterPerfNodes, 1, func(q *media.Object) { local.Search(q, k, q.ID) })
+	measure("cluster/local/clients=4", "local", clusterPerfNodes, 4, func(q *media.Object) { local.Search(q, k, q.ID) })
+
+	// Loopback HTTP: each node behind a real figserver handler on its own
+	// listener — JSON encode/decode, pooled keep-alive connections, the
+	// whole wire.
+	var servers []*http.Server
+	defer func() {
+		for _, hs := range servers {
+			hs.Close()
+		}
+	}()
+	remote, err := newBenchCluster(m, names, func(i int) (cluster.Backend, error) {
+		opts := server.DefaultOptions()
+		opts.Metrics = false
+		ln, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			return nil, lerr
+		}
+		hs := &http.Server{Handler: server.NewSharded(routers[i], opts).Handler()}
+		servers = append(servers, hs)
+		go hs.Serve(ln)
+		return cluster.NewHTTPBackend(ln.Addr().String()), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer remote.Close()
+	measure("cluster/http/serial", "http", clusterPerfNodes, 1, func(q *media.Object) { remote.Search(q, k, q.ID) })
+	measure("cluster/http/clients=4", "http", clusterPerfNodes, 4, func(q *media.Object) { remote.Search(q, k, q.ID) })
+	return run, nil
+}
+
+// newBenchCluster assembles a cluster over backends produced per node.
+func newBenchCluster(m *corr.Model, names []string, backend func(i int) (cluster.Backend, error)) (*cluster.Cluster, error) {
+	nodes := make([]cluster.NodeConfig, len(names))
+	for i, name := range names {
+		b, err := backend(i)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = cluster.NodeConfig{Name: name, Backend: b}
+	}
+	return cluster.New(cluster.Config{Mirror: m, Nodes: nodes})
+}

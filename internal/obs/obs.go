@@ -295,6 +295,20 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// SetHistogram registers (or replaces) a pre-existing histogram under
+// name. Subsystems that must record before any registry is attached — the
+// cluster's per-node latency histograms feed hedging delays, so they are
+// always on — construct their own and publish them here when observability
+// is enabled.
+func (r *Registry) SetHistogram(name string, h *Histogram) {
+	if r == nil || h == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.histograms[name] = h
+}
+
 // Func registers a lazily evaluated gauge: fn runs at snapshot time.
 // Re-registering a name replaces the previous function, which makes
 // registration idempotent for subsystems constructed more than once over

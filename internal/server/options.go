@@ -3,6 +3,7 @@ package server
 import (
 	"flag"
 	"fmt"
+	"strings"
 	"time"
 
 	"figfusion/internal/retrieval"
@@ -55,6 +56,30 @@ type Options struct {
 	Metrics bool
 	// Pprof mounts net/http/pprof under /debug/pprof/ when set.
 	Pprof bool
+	// Role selects the multi-node serving mode: "" or "standalone" serves
+	// locally (the single-binary default), "shard" serves one node's
+	// partition of the shared node list, "router" scatter-gathers searches
+	// and replicates inserts across the nodes.
+	Role string
+	// Nodes is the shared comma-separated node list (host:port or URL per
+	// entry). Every node and the router must pass the identical list: the
+	// entries are the identities the consistent-hash partition is computed
+	// from.
+	Nodes string
+	// NodeName identifies which entry of Nodes this process is (role
+	// "shard" only).
+	NodeName string
+	// Bootstrap is a peer URL to stream this node's snapshot set from at
+	// startup via /v1/admin/snapshot (role "shard" only; empty builds the
+	// partition's index locally).
+	Bootstrap string
+	// HedgeAfter enables hedged cluster requests: a node not answering
+	// after max(HedgeAfter, its p99) gets a second identical request (role
+	// "router" only; 0 disables hedging).
+	HedgeAfter time.Duration
+	// ProbeInterval is the cluster health-probe period (role "router"
+	// only; 0 = the cluster default).
+	ProbeInterval time.Duration
 }
 
 // DefaultOptions returns the serving defaults.
@@ -89,6 +114,12 @@ func (o *Options) Flags(fs *flag.FlagSet) {
 	fs.DurationVar(&o.SlowQuery, "slow-query", o.SlowQuery, "slow-query-log threshold")
 	fs.BoolVar(&o.Metrics, "metrics", o.Metrics, "enable the metrics registry and /v1/metrics")
 	fs.BoolVar(&o.Pprof, "pprof", o.Pprof, "mount net/http/pprof under /debug/pprof/")
+	fs.StringVar(&o.Role, "role", o.Role, "multi-node role: standalone (default), shard (serve one partition of -nodes), or router (scatter-gather over -nodes)")
+	fs.StringVar(&o.Nodes, "nodes", o.Nodes, "comma-separated node list shared by every role (host:port or URL per entry)")
+	fs.StringVar(&o.NodeName, "node-name", o.NodeName, "which -nodes entry this process is (role shard)")
+	fs.StringVar(&o.Bootstrap, "bootstrap", o.Bootstrap, "peer URL to stream this node's snapshot set from at startup (role shard)")
+	fs.DurationVar(&o.HedgeAfter, "hedge-after", o.HedgeAfter, "hedged-request delay floor for slow nodes (role router; 0 = no hedging)")
+	fs.DurationVar(&o.ProbeInterval, "probe-interval", o.ProbeInterval, "cluster health-probe period (role router; 0 = default)")
 }
 
 // Validate rejects option combinations the server cannot serve.
@@ -120,7 +151,50 @@ func (o Options) Validate() error {
 	if o.SlowQuery < 0 {
 		return fmt.Errorf("server: slow-query must be >= 0, got %s", o.SlowQuery)
 	}
+	switch o.Role {
+	case "", "standalone":
+		if o.Nodes != "" || o.NodeName != "" || o.Bootstrap != "" {
+			return fmt.Errorf("server: -nodes/-node-name/-bootstrap require -role shard or router")
+		}
+	case "shard":
+		if len(o.NodeList()) == 0 {
+			return fmt.Errorf("server: role shard requires the shared -nodes list")
+		}
+		if o.NodeName == "" {
+			return fmt.Errorf("server: role shard requires -node-name (which -nodes entry this process is)")
+		}
+	case "router":
+		if len(o.NodeList()) == 0 {
+			return fmt.Errorf("server: role router requires the shared -nodes list")
+		}
+		if o.NodeName != "" || o.Bootstrap != "" {
+			return fmt.Errorf("server: -node-name/-bootstrap apply to role shard, not router")
+		}
+	default:
+		return fmt.Errorf("server: role must be standalone, shard or router, got %q", o.Role)
+	}
+	if o.HedgeAfter < 0 {
+		return fmt.Errorf("server: hedge-after must be >= 0, got %s", o.HedgeAfter)
+	}
+	if o.ProbeInterval < 0 {
+		return fmt.Errorf("server: probe-interval must be >= 0, got %s", o.ProbeInterval)
+	}
 	return nil
+}
+
+// NodeList splits the shared -nodes list into its entries, dropping empty
+// segments (a trailing comma is not a node).
+func (o Options) NodeList() []string {
+	if o.Nodes == "" {
+		return nil
+	}
+	var out []string
+	for _, n := range strings.Split(o.Nodes, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // PruningMode parses the Pruning option. An empty string means the zero

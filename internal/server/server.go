@@ -53,6 +53,7 @@ import (
 	"strconv"
 	"sync"
 
+	"figfusion/internal/cluster"
 	"figfusion/internal/corr"
 	"figfusion/internal/media"
 	"figfusion/internal/obs"
@@ -63,17 +64,18 @@ import (
 	"figfusion/internal/topk"
 )
 
-// Server wires an engine or a shard router into an http.Handler.
-// Construct with New or NewSharded.
+// Server wires an engine, a shard router, or a cluster front-end into an
+// http.Handler. Construct with New, NewSharded, or NewCluster.
 type Server struct {
-	mu     sync.RWMutex // single-engine mode: searches share, inserts exclude
-	engine *retrieval.Engine
-	router *shard.Router
-	model  *corr.Model
-	rec    *recommend.Recommender
-	opts   Options
-	reg    *obs.Registry // nil when Options.Metrics is off
-	slow   *obs.SlowLog  // nil when Options.Metrics is off
+	mu      sync.RWMutex // single-engine mode: searches share, inserts exclude
+	engine  *retrieval.Engine
+	router  *shard.Router
+	cluster *cluster.Cluster
+	model   *corr.Model
+	rec     *recommend.Recommender
+	opts    Options
+	reg     *obs.Registry // nil when Options.Metrics is off
+	slow    *obs.SlowLog  // nil when Options.Metrics is off
 }
 
 // New returns a server over a single engine. The recommendation endpoint
@@ -105,6 +107,22 @@ func NewSharded(router *shard.Router, opts Options) *Server {
 	return s
 }
 
+// NewCluster returns a server over a multi-node cluster front-end: the
+// router role of a multi-node deployment. Searches scatter-gather across
+// the cluster's nodes (degrading to flagged partial results when nodes are
+// down), inserts replicate to every node with generation stamps, and the
+// recommendation endpoint runs against the router's own mirror model.
+func NewCluster(c *cluster.Cluster, opts Options) *Server {
+	rec, _ := recommend.New(c.Model(), recommend.Config{Temporal: true})
+	s := &Server{cluster: c, model: c.Model(), rec: rec, opts: opts}
+	if opts.Metrics {
+		s.reg = obs.NewRegistry()
+		s.slow = obs.NewSlowLog(64, opts.SlowQuery)
+		c.SetMetrics(s.reg)
+	}
+	return s
+}
+
 // Registry exposes the server's metrics registry (nil when metrics are
 // disabled) — tests and embedding binaries read it directly.
 func (s *Server) Registry() *obs.Registry { return s.reg }
@@ -116,24 +134,54 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // deadlocks once a writer queues); handlers that need both take the lock
 // in separate non-overlapping stages instead.
 func (s *Server) view(fn func()) {
-	if s.router != nil {
+	switch {
+	case s.cluster != nil:
+		s.cluster.View(fn)
+	case s.router != nil:
 		s.router.View(fn)
-		return
+	default:
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		fn()
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	fn()
 }
 
 // search dispatches one top-k search to the backend under its read
-// locking, honouring ctx between scoring stripes.
-func (s *Server) search(ctx context.Context, q *media.Object, k int, exclude media.ObjectID) ([]topk.Item, error) {
-	if s.router != nil {
-		return s.router.SearchContext(ctx, q, k, exclude)
+// locking, honouring ctx between scoring stripes. The bool is the
+// degraded-mode flag: true when a cluster answered from a subset of its
+// nodes (single-engine and sharded answers are never partial).
+func (s *Server) search(ctx context.Context, q *media.Object, k int, exclude media.ObjectID) ([]topk.Item, bool, error) {
+	switch {
+	case s.cluster != nil:
+		res, err := s.cluster.SearchContext(ctx, q, k, exclude)
+		return res.Items, res.Partial, err
+	case s.router != nil:
+		items, err := s.router.SearchContext(ctx, q, k, exclude)
+		return items, false, err
+	default:
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		items, err := s.engine.SearchContext(ctx, q, k, exclude)
+		return items, false, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.engine.SearchContext(ctx, q, k, exclude)
+}
+
+// searchTA dispatches the literal Algorithm 1 threshold path — the wire
+// protocol's ta selector.
+func (s *Server) searchTA(ctx context.Context, q *media.Object, k int, exclude media.ObjectID) ([]topk.Item, bool, error) {
+	switch {
+	case s.cluster != nil:
+		res, err := s.cluster.SearchTAContext(ctx, q, k, exclude)
+		return res.Items, res.Partial, err
+	case s.router != nil:
+		items, err := s.router.SearchTAContext(ctx, q, k, exclude)
+		return items, false, err
+	default:
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		items, err := s.engine.SearchTAContext(ctx, q, k, exclude)
+		return items, false, err
+	}
 }
 
 // queryContext derives one request's search budget from Options.
@@ -155,10 +203,12 @@ func (s *Server) Handler() http.Handler {
 	// The versioned API.
 	route("GET /v1/healthz", "healthz", s.handleHealth, false)
 	route("GET /v1/search", "search", s.handleSearch, false)
+	route("POST /v1/search", "searchwire", s.handleSearchWire, false)
 	route("GET /v1/objects/{id}", "object", s.handleObjectV1, false)
 	route("POST /v1/objects", "insert", s.handleInsert, false)
 	route("POST /v1/recommend", "recommend", s.handleRecommend, false)
 	route("GET /v1/metrics", "metrics", s.handleMetrics, false)
+	route("GET /v1/admin/snapshot", "snapshot", s.handleSnapshot, false)
 	// Deprecated pre-v1 aliases: same handlers and payloads, flagged with
 	// a Deprecation header and counted under http.deprecated.requests.
 	route("GET /healthz", "healthz", s.handleHealth, true)
@@ -186,10 +236,13 @@ type ResultItem struct {
 	Tags  []string `json:"tags,omitempty"`
 }
 
-// SearchResponse is the /v1/search payload.
+// SearchResponse is the /v1/search payload. Partial marks a degraded
+// cluster answer: one or more nodes were down or diverged, so the results
+// cover only the partitions that answered.
 type SearchResponse struct {
 	Query   string       `json:"query"`
 	Results []ResultItem `json:"results"`
+	Partial bool         `json:"partial,omitempty"`
 }
 
 // ObjectResponse is the /v1/objects/{id} payload.
@@ -201,12 +254,20 @@ type ObjectResponse struct {
 	VisualWords []string `json:"visualWords"`
 }
 
-// InsertRequest is the POST /v1/objects payload.
+// InsertRequest is the POST /v1/objects payload. Public clients send the
+// named feature lists (tags/users/visualWords, each at count 1); a cluster
+// router replicating an insert to a shard node sends the exact
+// (kind, name, count) feature triples plus the generation stamp instead —
+// Expect is the router's pre-insert corpus length, and a node whose corpus
+// is not exactly that size answers 409/conflict rather than mis-assigning
+// the object ID.
 type InsertRequest struct {
-	Tags        []string `json:"tags"`
-	Users       []string `json:"users"`
-	VisualWords []string `json:"visualWords"`
-	Month       int      `json:"month"`
+	Tags        []string          `json:"tags"`
+	Users       []string          `json:"users"`
+	VisualWords []string          `json:"visualWords"`
+	Features    []cluster.Feature `json:"features,omitempty"`
+	Month       int               `json:"month"`
+	Expect      *int              `json:"expect,omitempty"`
 }
 
 // InsertResponse reports the assigned ID.
@@ -223,6 +284,10 @@ const (
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeDeadlineExceeded = "deadline_exceeded"
 	CodeUnavailable      = "unavailable"
+	// CodeConflict (409) answers a stamped insert whose Expect does not
+	// match this node's corpus size — the divergence signal of multi-node
+	// replication.
+	CodeConflict = "conflict"
 )
 
 // ErrorBody is the envelope's inner object.
@@ -261,6 +326,8 @@ func (s *Server) healthSnapshot() map[string]interface{} {
 			"features": corpus.Dict.Len(),
 		}
 		switch {
+		case s.cluster != nil:
+			resp["nodes"] = s.cluster.NodeInfos()
 		case s.router != nil:
 			// Per-shard locks nest safely under the router's statistics
 			// read lock (inserts never hold a shard lock while waiting on
@@ -333,18 +400,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
-	results, err := s.search(ctx, q, k, exclude)
+	results, partial, err := s.search(ctx, q, k, exclude)
 	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) {
-			writeError(w, http.StatusGatewayTimeout, CodeDeadlineExceeded,
-				"search exceeded the %s query budget", s.opts.QueryTimeout)
-			return
-		}
-		// The client went away; the status is a formality.
-		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "search cancelled: %v", err)
+		s.writeSearchError(w, err)
 		return
 	}
-	resp := SearchResponse{Query: label, Results: make([]ResultItem, 0, len(results))}
+	resp := SearchResponse{Query: label, Results: make([]ResultItem, 0, len(results)), Partial: partial}
 	s.view(func() {
 		corpus := s.model.Stats.Corpus()
 		for _, it := range results {
@@ -358,6 +419,89 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeSearchError maps a failed search dispatch onto the envelope:
+// budget expiry → 504, no answering cluster node → 503, anything else
+// (the client went away) → 400 as a formality.
+func (s *Server) writeSearchError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, CodeDeadlineExceeded,
+			"search exceeded the %s query budget", s.opts.QueryTimeout)
+	case errors.Is(err, cluster.ErrUnavailable):
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "search cancelled: %v", err)
+	}
+}
+
+// handleSearchWire serves POST /v1/search — the cluster tier's internal
+// search protocol. A shard node resolves the wire request against its
+// replicated corpus and answers its partition's ranked top-k; the same
+// handler on a router scatter-gathers, so the wire protocol composes
+// across tiers. Bodies and scores are plain JSON, and Go's float64
+// round-trip is exact, so the hop never changes result bytes.
+func (s *Server) handleSearchWire(w http.ResponseWriter, r *http.Request) {
+	var req cluster.SearchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "bad JSON: %v", err)
+		return
+	}
+	if req.K < 1 || req.K > 1000 {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "k must be in [1,1000], got %d", req.K)
+		return
+	}
+	var q *media.Object
+	var rerr error
+	s.view(func() {
+		q, rerr = cluster.ResolveQuery(s.model.Stats.Corpus(), &req)
+	})
+	if rerr != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "%v", rerr)
+		return
+	}
+	exclude := media.ObjectID(retrieval.NoExclude)
+	if req.Exclude != nil {
+		exclude = media.ObjectID(*req.Exclude)
+	}
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	var results []topk.Item
+	var partial bool
+	var err error
+	if req.TA {
+		results, partial, err = s.searchTA(ctx, q, req.K, exclude)
+	} else {
+		results, partial, err = s.search(ctx, q, req.K, exclude)
+	}
+	if err != nil {
+		s.writeSearchError(w, err)
+		return
+	}
+	resp := cluster.SearchResponse{Results: make([]cluster.Item, 0, len(results)), Partial: partial}
+	for _, it := range results {
+		resp.Results = append(resp.Results, cluster.Item{ID: int64(it.ID), Score: it.Score})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSnapshot serves GET /v1/admin/snapshot: the node's full snapshot
+// set as one stream (manifest line + length-prefixed FSG1 segments) — the
+// bootstrap source replacement nodes load through shard.LoadSnapshotStream.
+// Only a sharded node can serve it; integrity rides on the segment CRCs
+// the loader verifies.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.router == nil {
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable,
+			"snapshot streaming requires a sharded node (run with -shards or -role shard)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	// The status is committed; a mid-stream failure can only truncate the
+	// body, which the loader's length prefixes and segment CRCs catch.
+	_ = s.router.StreamSnapshot(w)
 }
 
 // handleObjectV1 serves GET /v1/objects/{id}.
@@ -406,42 +550,74 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	var feats []media.Feature
 	var counts []int
-	add := func(kind media.Kind, names []string) {
-		for _, n := range names {
-			if n == "" {
-				continue
-			}
-			feats = append(feats, media.Feature{Kind: kind, Name: n})
-			counts = append(counts, 1)
+	if len(req.Features) > 0 {
+		// The wire form: exact (kind, name, count) triples from a cluster
+		// router replicating an insert.
+		var err error
+		feats, counts, err = cluster.DecodeFeatures(req.Features)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument, "%v", err)
+			return
 		}
+	} else {
+		add := func(kind media.Kind, names []string) {
+			for _, n := range names {
+				if n == "" {
+					continue
+				}
+				feats = append(feats, media.Feature{Kind: kind, Name: n})
+				counts = append(counts, 1)
+			}
+		}
+		add(media.Text, req.Tags)
+		add(media.User, req.Users)
+		add(media.Visual, req.VisualWords)
 	}
-	add(media.Text, req.Tags)
-	add(media.User, req.Users)
-	add(media.Visual, req.VisualWords)
 	if len(feats) == 0 {
 		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "object must carry at least one feature")
 		return
 	}
-	o, err := s.insert(feats, counts, req.Month)
+	expect := -1
+	if req.Expect != nil {
+		expect = *req.Expect
+	}
+	o, err := s.insert(r.Context(), feats, counts, req.Month, expect)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "insert: %v", err)
+		var pre *shard.PreconditionError
+		switch {
+		case errors.As(err, &pre) || errors.Is(err, cluster.ErrDiverged):
+			writeError(w, http.StatusConflict, CodeConflict, "insert: %v", err)
+		case errors.Is(err, cluster.ErrUnavailable):
+			writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "insert: %v", err)
+		default:
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument, "insert: %v", err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusCreated, InsertResponse{ID: int64(o.ID)})
 }
 
-// insert dispatches ingestion to the backend. The sharded router locks
+// insert dispatches ingestion to the backend. The cluster front-end
+// replicates under its own serialization; the sharded router locks
 // internally (global statistics phase, then the owning shard alone); the
 // single engine mutates global state and takes the server's write lock —
 // a deferred unlock keeps the server serviceable even if Insert panics on
-// corrupt input.
-func (s *Server) insert(feats []media.Feature, counts []int, month int) (*media.Object, error) {
-	if s.router != nil {
-		return s.router.Insert(feats, counts, month)
+// corrupt input. expect >= 0 is a generation stamp: the insert applies
+// only if the corpus holds exactly that many objects.
+func (s *Server) insert(ctx context.Context, feats []media.Feature, counts []int, month int, expect int) (*media.Object, error) {
+	switch {
+	case s.cluster != nil:
+		return s.cluster.InsertContext(ctx, feats, counts, month, expect)
+	case s.router != nil:
+		return s.router.InsertAt(feats, counts, month, expect)
+	default:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if got := s.model.Stats.Corpus().Len(); expect >= 0 && got != expect {
+			return nil, &shard.PreconditionError{Objects: got, Expect: expect}
+		}
+		return s.engine.Insert(feats, counts, month)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.engine.Insert(feats, counts, month)
 }
 
 // RecommendRequest is the /v1/recommend payload: the caller's favourite

@@ -7,6 +7,7 @@ package shard
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -35,6 +36,84 @@ type Manifest struct {
 
 // ManifestPath returns the manifest filename for a snapshot base path.
 func ManifestPath(base string) string { return base + ".manifest.json" }
+
+// ManifestSuffix is the filename suffix every manifest carries; tools
+// (figdata -inspect) recognise snapshot sets by it.
+const ManifestSuffix = ".manifest.json"
+
+// ReadManifest reads and validates a snapshot-set manifest. Every failure
+// — unreadable file, truncated or hand-edited JSON, out-of-range fields —
+// comes back as a descriptive "shard: manifest" error naming the file and
+// the defect, in the style of the index package's segment-corruption
+// errors, so a mangled snapshot set diagnoses itself instead of surfacing
+// a raw decode error.
+func ReadManifest(path string) (*Manifest, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("shard: manifest: %w", err)
+	}
+	return DecodeManifest(raw, path)
+}
+
+// DecodeManifest parses and validates manifest bytes; name labels errors.
+func DecodeManifest(raw []byte, name string) (*Manifest, error) {
+	var man Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, fmt.Errorf("shard: manifest %s: %s", name, describeJSONError(raw, err))
+	}
+	if err := man.validate(); err != nil {
+		return nil, fmt.Errorf("shard: manifest %s: %w", name, err)
+	}
+	return &man, nil
+}
+
+// describeJSONError turns encoding/json's terse decode errors into
+// diagnoses: truncation, syntax damage and type mismatches each name the
+// byte offset or field so a hand-edited manifest points at its own defect.
+func describeJSONError(raw []byte, err error) string {
+	var syn *json.SyntaxError
+	if errors.As(err, &syn) {
+		return fmt.Sprintf("invalid JSON at byte %d of %d: %v (truncated or hand-edited?)", syn.Offset, len(raw), syn)
+	}
+	var typ *json.UnmarshalTypeError
+	if errors.As(err, &typ) {
+		return fmt.Sprintf("field %q holds JSON %s, want %s", typ.Field, typ.Value, typ.Type)
+	}
+	if len(raw) == 0 {
+		return "file is empty"
+	}
+	return err.Error()
+}
+
+// validate checks the decoded fields' internal consistency.
+func (m *Manifest) validate() error {
+	if m.Version != manifestVersion {
+		return fmt.Errorf("version %d, want %d", m.Version, manifestVersion)
+	}
+	if m.Shards < 1 {
+		return fmt.Errorf("shard count %d must be >= 1", m.Shards)
+	}
+	if m.Objects < 0 {
+		return fmt.Errorf("object count %d must be >= 0", m.Objects)
+	}
+	if len(m.Files) != m.Shards {
+		return fmt.Errorf("lists %d files for %d shards", len(m.Files), m.Shards)
+	}
+	seen := make(map[string]int, len(m.Files))
+	for i, name := range m.Files {
+		if name == "" {
+			return fmt.Errorf("file %d has an empty name", i)
+		}
+		if filepath.Base(name) != name {
+			return fmt.Errorf("file %d name %q must be a bare filename relative to the manifest", i, name)
+		}
+		if prev, dup := seen[name]; dup {
+			return fmt.Errorf("file %q listed for both shard %d and shard %d", name, prev, i)
+		}
+		seen[name] = i
+	}
+	return nil
+}
 
 // shardFile returns the per-shard snapshot filename for a base path.
 func shardFile(base string, s int) string { return fmt.Sprintf("%s.shard%03d.idx", base, s) }
@@ -106,19 +185,9 @@ func (sh *shardState) save(path string, gen uint64) error {
 // freshly constructed model over the paired dataset — and stale entries
 // keep a never-matching stamp, falling back to the scorer.
 func Load(m *corr.Model, cfg Config, base string) (*Router, *Manifest, error) {
-	raw, err := os.ReadFile(ManifestPath(base))
+	man, err := ReadManifest(ManifestPath(base))
 	if err != nil {
 		return nil, nil, err
-	}
-	var man Manifest
-	if err := json.Unmarshal(raw, &man); err != nil {
-		return nil, nil, fmt.Errorf("shard: manifest %s: %w", ManifestPath(base), err)
-	}
-	if man.Version != manifestVersion {
-		return nil, nil, fmt.Errorf("shard: manifest version %d, want %d", man.Version, manifestVersion)
-	}
-	if man.Shards < 1 || len(man.Files) != man.Shards {
-		return nil, nil, fmt.Errorf("shard: manifest lists %d files for %d shards", len(man.Files), man.Shards)
 	}
 	if cfg.Shards != 0 && cfg.Shards != man.Shards {
 		return nil, nil, fmt.Errorf("shard: configured %d shards but snapshot has %d", cfg.Shards, man.Shards)
@@ -130,21 +199,21 @@ func Load(m *corr.Model, cfg Config, base string) (*Router, *Manifest, error) {
 		return nil, nil, fmt.Errorf("shard: snapshot cut at %d objects but corpus has %d — pair snapshots with their dataset", man.Objects, got)
 	}
 	dir := filepath.Dir(ManifestPath(base))
-	r := &Router{model: m, shards: make([]*shardState, man.Shards)}
+	r := &Router{model: m, shards: make([]*shardState, man.Shards), owns: cfg.Owns}
 	counts := r.ownedCounts(man.Shards)
 	for s, name := range man.Files {
 		inv, err := loadShardIndex(filepath.Join(dir, name))
 		if err != nil {
 			return nil, nil, fmt.Errorf("shard %d: %w", s, err)
 		}
-		if err := checkRouting(inv, s, man.Shards); err != nil {
+		if err := r.checkRouting(inv, s, man.Shards); err != nil {
 			return nil, nil, err
 		}
 		if err := r.attach(s, inv, cfg, counts[s]); err != nil {
 			return nil, nil, err
 		}
 	}
-	return r, &man, nil
+	return r, man, nil
 }
 
 func loadShardIndex(path string) (*index.Inverted, error) {
@@ -157,13 +226,18 @@ func loadShardIndex(path string) (*index.Inverted, error) {
 }
 
 // checkRouting verifies every posting of a loaded shard file routes to the
-// shard it was loaded into — the cheap integrity check that catches a
-// snapshot set reassembled with the wrong shard count or renamed files.
-func checkRouting(inv *index.Inverted, s, shards int) error {
+// shard it was loaded into and falls inside the router's ownership
+// predicate — the cheap integrity check that catches a snapshot set
+// reassembled with the wrong shard count, renamed files, or a partition
+// snapshot loaded onto the wrong node.
+func (r *Router) checkRouting(inv *index.Inverted, s, shards int) error {
 	for _, e := range inv.Entries() {
 		for _, id := range e.Objects {
 			if ShardOf(id, shards) != s {
 				return fmt.Errorf("shard: object %d found in shard %d's snapshot but routes to shard %d — snapshot set does not match its manifest", id, s, ShardOf(id, shards))
+			}
+			if !r.ownsObject(id) {
+				return fmt.Errorf("shard: object %d found in shard %d's snapshot but falls outside this node's partition — snapshot belongs to a different node", id, s)
 			}
 		}
 	}

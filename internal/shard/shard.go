@@ -46,6 +46,13 @@ type Config struct {
 	// sharded deployments usually keep it at 1 and let the shard fan-out
 	// supply the parallelism.
 	Retrieval retrieval.Config
+	// Owns restricts the router to a subset of the corpus — the partition
+	// predicate of a multi-node deployment, where each node indexes only
+	// the objects the cluster assignment routes to it while every node's
+	// statistics still cover the whole corpus (scores are corpus-global).
+	// nil owns everything (the single-machine mode). Routed inserts always
+	// grow the corpus-global statistics; only owned objects are indexed.
+	Owns func(media.ObjectID) bool
 }
 
 // ShardOf routes an object ID to its owning shard: a splitmix64-style
@@ -79,6 +86,9 @@ type shardState struct {
 type Router struct {
 	model  *corr.Model
 	shards []*shardState
+	// owns is the partition predicate of a multi-node node (Config.Owns);
+	// nil owns the whole corpus.
+	owns func(media.ObjectID) bool
 
 	// statsMu guards the corpus-global state (corpus objects, correlation
 	// statistics, derived caches) that every search reads throughout
@@ -114,11 +124,11 @@ func NewRouter(m *corr.Model, cfg Config) (*Router, error) {
 	if cfg.Retrieval.Metrics != nil || cfg.Retrieval.SlowLog != nil {
 		return nil, fmt.Errorf("shard: attach observability via Router.SetMetrics, not Retrieval.Metrics")
 	}
-	r := &Router{model: m, shards: make([]*shardState, n)}
+	r := &Router{model: m, shards: make([]*shardState, n), owns: cfg.Owns}
 	counts := r.ownedCounts(n)
 	for s := 0; s < n; s++ {
 		s := s
-		owns := func(id media.ObjectID) bool { return ShardOf(id, n) == s }
+		owns := func(id media.ObjectID) bool { return r.ownsObject(id) && ShardOf(id, n) == s }
 		inv := index.BuildOwnedWorkers(m, cfg.Retrieval.BuildOpts, cfg.Retrieval.EnumOpts, cfg.Retrieval.Workers, owns)
 		if err := r.attach(s, inv, cfg, counts[s]); err != nil {
 			return nil, err
@@ -127,13 +137,20 @@ func NewRouter(m *corr.Model, cfg Config) (*Router, error) {
 	return r, nil
 }
 
-// ownedCounts tallies, in one corpus pass, how many objects route to each
-// of n shards.
+// ownsObject applies the partition predicate (everything when unset).
+func (r *Router) ownsObject(id media.ObjectID) bool {
+	return r.owns == nil || r.owns(id)
+}
+
+// ownedCounts tallies, in one corpus pass, how many owned objects route to
+// each of n local shards.
 func (r *Router) ownedCounts(n int) []int {
 	counts := make([]int, n)
 	corpus := r.model.Stats.Corpus()
 	for i := 0; i < corpus.Len(); i++ {
-		counts[ShardOf(media.ObjectID(i), n)]++
+		if id := media.ObjectID(i); r.ownsObject(id) {
+			counts[ShardOf(id, n)]++
+		}
 	}
 	return counts
 }
@@ -305,18 +322,52 @@ func (sh *shardState) searchTA(ctx context.Context, p *retrieval.PreparedQuery, 
 // statistics before the new object is indexed, which only delays the
 // object's retrievability, never corrupts a score.
 func (r *Router) Insert(feats []media.Feature, counts []int, month int) (*media.Object, error) {
+	return r.InsertAt(feats, counts, month, -1)
+}
+
+// PreconditionError reports a stamped insert (InsertAt) that found the
+// corpus at a different size than the stamp demanded — the divergence
+// signal of multi-node routed ingestion: a node that missed an insert
+// answers every later stamped insert with this error instead of silently
+// assigning the wrong object ID.
+type PreconditionError struct {
+	Objects int // corpus length found
+	Expect  int // corpus length the stamp demanded
+}
+
+func (e *PreconditionError) Error() string {
+	return fmt.Sprintf("shard: insert precondition failed: corpus holds %d objects but the insert was stamped for %d — node state has diverged", e.Objects, e.Expect)
+}
+
+// InsertAt is Insert with a generation stamp: when expect >= 0 the insert
+// only applies if the corpus currently holds exactly expect objects (so
+// the new object's ID is expect), else it fails with *PreconditionError
+// and mutates nothing. A multi-node router stamps every replicated insert
+// with its own pre-insert corpus length; a node whose corpus drifted —
+// it missed an insert, or received one this router never saw — surfaces
+// immediately instead of diverging further. Objects outside the partition
+// predicate (Config.Owns) grow the statistics but are not indexed here;
+// their postings live on the owning node.
+func (r *Router) InsertAt(feats []media.Feature, counts []int, month int, expect int) (*media.Object, error) {
 	r.insertMu.Lock()
 	defer r.insertMu.Unlock()
+	if expect >= 0 {
+		if got := r.corpusLen(); got != expect {
+			return nil, &PreconditionError{Objects: got, Expect: expect}
+		}
+	}
 	o, err := r.appendObject(feats, counts, month)
 	if err != nil {
 		return nil, err
 	}
-	owner := ShardOf(o.ID, len(r.shards))
-	if err := r.shards[owner].indexObject(o); err != nil {
-		return nil, err
+	if r.ownsObject(o.ID) {
+		owner := ShardOf(o.ID, len(r.shards))
+		if err := r.shards[owner].indexObject(o); err != nil {
+			return nil, err
+		}
+		r.metrics.recordInsert(owner)
 	}
 	r.inserts.Add(1)
-	r.metrics.recordInsert(owner)
 	return o, nil
 }
 
