@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-build bench-shard bench-cluster bench-load bench-prune benchall vet fmt lint figlint figures examples clean
+.PHONY: all build test race bench bench-build bench-shard bench-cluster bench-load bench-prune bench-serve benchall vet fmt lint figlint figures examples clean
 
 all: build lint test
 
@@ -20,7 +20,7 @@ race:
 # performance baseline" in EXPERIMENTS.md). The -perfgate flag fails the
 # run if serial search throughput regresses more than 5% vs the previous
 # recorded run.
-bench: bench-build bench-shard bench-cluster bench-load
+bench: bench-build bench-shard bench-cluster bench-load bench-serve
 	$(GO) test -bench='Search|CandidateSet' -benchmem ./internal/retrieval/...
 	$(GO) run ./cmd/figbench -perf BENCH_retrieval.json -scale 800 -queries 12 -seed 1 -perfgate 5
 
@@ -61,6 +61,15 @@ bench-shard:
 # serving" in DESIGN.md).
 bench-cluster:
 	$(GO) run ./cmd/figbench -clusterperf BENCH_cluster.json -scale 800 -queries 12 -seed 1
+
+# Live-traffic serving benchmark: closed-loop capacity against a real
+# loopback figserver, then open-loop overload at 2x that capacity. Every
+# run must satisfy the overload contract — explicit 503 sheds, no other
+# failures, admitted p99 bounded — and the -servegate flag additionally
+# fails the run if capacity drops more than 15% vs the previous recorded
+# run at the same shape (see "Live-traffic serving" in DESIGN.md).
+bench-serve:
+	$(GO) run ./cmd/figbench -serveperf BENCH_serve.json -scale 800 -seed 1 -servegate 15
 
 # Every microbenchmark in the repo (slow; includes the ablation sweeps).
 benchall:

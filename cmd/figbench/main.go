@@ -40,6 +40,8 @@ func main() {
 		shardPerf = flag.String("shardperf", "", "measure scatter-gather search throughput at 1/2/4/NumCPU shards against the single-engine baseline and append the run to this JSON file (e.g. BENCH_shard.json); skips the figures")
 		loadPerf  = flag.String("loadperf", "", "measure index snapshot size and cold-start load time (legacy gob vs serial/parallel segment) and append the run to this JSON file (e.g. BENCH_load.json); skips the figures")
 		clusPerf  = flag.String("clusterperf", "", "measure multi-node scatter-gather throughput (cluster over in-process vs loopback-HTTP backends vs the single-engine baseline) and append the run to this JSON file (e.g. BENCH_cluster.json); skips the figures")
+		servePerf = flag.String("serveperf", "", "measure live-traffic serving (closed-loop capacity, then open-loop overload at 2x capacity; sheds and admitted p99 must satisfy the overload contract) and append the run to this JSON file (e.g. BENCH_serve.json); skips the figures")
+		serveGate = flag.Float64("servegate", 0, "fail the -serveperf run if closed-loop capacity drops more than this percentage vs the previous recorded run at the same scale and admission settings (0 = contract check only)")
 		loadGate  = flag.Float64("loadgate", 0, "fail the -loadperf run if segment/parallel cold-start load time regresses more than this percentage vs the previous recorded run at the same scale (0 = record only)")
 		perfLabel = flag.String("perflabel", "", "label recorded with the -perf/-buildperf run (default: go version + GOMAXPROCS)")
 		perfCap   = flag.Int("perfcap", 0, "CandidateCap for the -perf engine (0 = uncapped)")
@@ -58,7 +60,7 @@ func main() {
 	opts.RecUsers = *users
 	opts.Seed = *seed
 
-	if *perf != "" || *buildPerf != "" || *shardPerf != "" || *loadPerf != "" || *clusPerf != "" {
+	if *perf != "" || *buildPerf != "" || *shardPerf != "" || *loadPerf != "" || *clusPerf != "" || *servePerf != "" {
 		label := *perfLabel
 		if label == "" {
 			label = fmt.Sprintf("%s GOMAXPROCS=%d", runtime.Version(), runtime.GOMAXPROCS(0))
@@ -92,6 +94,11 @@ func main() {
 		if *clusPerf != "" {
 			if err := runClusterPerf(*clusPerf, label, opts); err != nil {
 				log.Fatalf("clusterperf: %v", err)
+			}
+		}
+		if *servePerf != "" {
+			if err := runServePerf(*servePerf, label, opts, *serveGate); err != nil {
+				log.Fatalf("serveperf: %v", err)
 			}
 		}
 		return

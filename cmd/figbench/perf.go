@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -172,6 +173,64 @@ func runClusterPerf(path, label string, opts experiments.Options) error {
 	fmt.Printf("appended run %q to %s (%d runs total)\n", label, path, total)
 	return nil
 }
+
+// runServePerf measures the live-traffic serving tier — closed-loop
+// capacity, then open-loop overload at 2× that capacity against a real
+// figserver — and appends the run to the JSON file at path (creating it
+// if absent). Every run must satisfy the healthy-overload contract
+// (explicit sheds, no non-shed errors, bounded admitted p99); with
+// gatePct > 0 the closed-loop capacity additionally must not drop more
+// than gatePct percent against the previous recorded run at the same
+// scale and admission settings.
+func runServePerf(path, label string, opts experiments.Options, gatePct float64) error {
+	run, err := experiments.ServePerf(context.Background(), opts, label)
+	if err != nil {
+		return err
+	}
+	// The contract is absolute, not relative: even the first recorded run
+	// must shed under overload and keep the admitted p99 bounded.
+	if err := experiments.CheckServeRun(run, serveP99Bound); err != nil {
+		return err
+	}
+	prev, havePrev, err := experiments.LastServeRunMatching(path, run)
+	if err != nil {
+		return err
+	}
+	total, err := experiments.AppendBenchRun(path,
+		"live-traffic serving: closed-loop capacity, then open-loop overload at 2x capacity (shed rate + admitted p99)",
+		fmt.Sprintf("go run ./cmd/figbench -serveperf %s -scale %d -seed %d", path, opts.Scale, opts.Seed),
+		run)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %10.1f req/s %10.2f ms p50 %10.2f ms p99\n",
+		"capacity", run.Closed.AchievedRate, run.Closed.P50Ms, run.Closed.P99Ms)
+	fmt.Printf("%-10s %10.1f req/s %10.2f ms p50 %10.2f ms p99   shed %.1f%% (%d requests, server counted %d)\n",
+		"overload", run.Overload.OfferedRate, run.Overload.P50Ms, run.Overload.P99Ms,
+		100*run.Overload.ShedRate(), run.Overload.Shed, run.ShedRequests)
+	fmt.Printf("appended run %q to %s (%d runs total)\n", label, path, total)
+	if gatePct > 0 && havePrev {
+		prevCap := prev.Closed.AchievedRate
+		newCap := run.Closed.AchievedRate
+		if prevCap > 0 {
+			drop := (prevCap - newCap) / prevCap * 100
+			fmt.Printf("serve gate: capacity %.1f -> %.1f req/s (%+.1f%%, limit -%.0f%%)\n",
+				prevCap, newCap, -drop, gatePct)
+			if drop > gatePct {
+				return fmt.Errorf("closed-loop capacity dropped %.1f%% (limit %.0f%%): %.1f -> %.1f req/s vs run %q",
+					drop, gatePct, prevCap, newCap, prev.Label)
+			}
+		}
+	}
+	return nil
+}
+
+// serveP99Bound is the absolute overload contract on the admitted p99:
+// with a queue of MaxQueue behind MaxInflight slots, an admitted request
+// waits at most ~(MaxQueue/MaxInflight + 1) service times, so 10× the
+// uncontended p99 is comfortably past scheduling noise while still
+// catching unbounded queueing.
+const serveP99Bound = 10.0
 
 // runLoadPerf measures index snapshot size and cold-start load time in
 // both formats and appends the run to the JSON file at path (creating it

@@ -1,0 +1,93 @@
+// Command figload drives live /v1 traffic against a running figserver —
+// the load-generation half of the serving tier. Query popularity is
+// zipfian over the corpus (hot objects dominate, the distribution the
+// server's coalescing cache is built for), with a configurable mix of
+// searches, recommendations and inserts.
+//
+// Closed loop (default) measures capacity: -concurrency workers each keep
+// one request outstanding and throughput adapts to the server. Open loop
+// (-rate N) offers a fixed load the way real users arrive, and is how the
+// admission-control story is told: offer 2× capacity and watch the server
+// shed with 503s while the p99 of admitted requests stays bounded.
+//
+// Usage:
+//
+//	figload -server localhost:8080 -duration 10s -concurrency 16
+//	figload -server localhost:8080 -rate 500 -duration 30s -warmup 5s
+//	figload -server localhost:8080 -searches 8 -recommends 1 -inserts 1
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"figfusion/internal/client"
+	"figfusion/internal/loadgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figload: ")
+	var (
+		server      = flag.String("server", "localhost:8080", "figserver address (any -role)")
+		duration    = flag.Duration("duration", 10*time.Second, "measured window")
+		warmup      = flag.Duration("warmup", 0, "unrecorded warmup before measuring")
+		rate        = flag.Float64("rate", 0, "open-loop offered load in req/s (0 = closed loop)")
+		concurrency = flag.Int("concurrency", 8, "closed-loop workers")
+		outstanding = flag.Int("max-outstanding", 256, "open-loop in-flight bound; arrivals past it drop")
+		k           = flag.Int("k", 10, "results per search")
+		searches    = flag.Int("searches", 1, "search weight in the operation mix")
+		recommends  = flag.Int("recommends", 0, "recommend weight in the operation mix")
+		inserts     = flag.Int("inserts", 0, "insert weight in the operation mix")
+		objects     = flag.Int("objects", 0, "query ID space (0 = size from /v1/healthz)")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		zipfS       = flag.Float64("zipf-s", 1.2, "zipfian skew exponent (>1)")
+		asJSON      = flag.Bool("json", false, "print the report as JSON")
+	)
+	flag.Parse()
+
+	c := client.New(*server, client.WithRetries(0))
+	defer c.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := loadgen.Config{
+		Objects:        *objects,
+		Mix:            loadgen.Mix{Search: *searches, Recommend: *recommends, Insert: *inserts},
+		K:              *k,
+		Concurrency:    *concurrency,
+		Rate:           *rate,
+		MaxOutstanding: *outstanding,
+		Duration:       *duration,
+		Warmup:         *warmup,
+		Seed:           *seed,
+		ZipfS:          *zipfS,
+	}
+	mode := fmt.Sprintf("closed loop, %d workers", cfg.Concurrency)
+	if cfg.Rate > 0 {
+		mode = fmt.Sprintf("open loop, %.0f req/s offered", cfg.Rate)
+	}
+	log.Printf("driving %s for %v (%s)", c.Base(), cfg.Duration, mode)
+	report, err := loadgen.Run(ctx, c, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Println(report.String())
+	if report.Shed > 0 {
+		fmt.Printf("the server shed %.1f%% of offered requests — it was past capacity and said so\n", 100*report.ShedRate())
+	}
+}

@@ -3,21 +3,31 @@
 // inverted index, and answers similarity queries for corpus objects,
 // printing the matched features the way the paper's Figure 6 does.
 //
+// With -server it skips the local engine entirely and queries a running
+// figserver (any -role) over the /v1 wire through the shared typed
+// client — the quickest way to probe a live deployment from a shell.
+//
 // Usage:
 //
 //	figsearch -data corpus.gob -query 42 -k 10
 //	figsearch -objects 2000 -query 7            # generate on the fly
+//	figsearch -server localhost:8080 -query 42  # ask a running figserver
+//	figsearch -server localhost:8080 -text "beach sunset"
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"figfusion"
+	"figfusion/internal/api"
+	"figfusion/internal/client"
 	"figfusion/internal/dataset"
 	"figfusion/internal/media"
 	"figfusion/internal/retrieval"
@@ -35,8 +45,16 @@ func main() {
 		k       = flag.Int("k", 10, "results to return")
 		scan    = flag.Bool("scan", false, "use the sequential scan instead of the clique index")
 		prune   = flag.String("pruning", retrieval.PruneBlockMax.String(), "top-k pruning mode: off, blockmax (exact), or blockmax-quantized")
+		server  = flag.String("server", "", "query a running figserver at this address instead of a local engine")
+		timeout = flag.Duration("timeout", 10*time.Second, "request timeout in -server mode")
 	)
 	flag.Parse()
+	if *server != "" {
+		if err := remoteSearch(*server, *timeout, *query, *text, *k); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	pruning, err := retrieval.ParsePruningMode(*prune)
 	if err != nil {
 		log.Fatal(err)
@@ -87,6 +105,52 @@ func main() {
 			marker, rank+1, o.ID, o.PrimaryTopic, it.Score, strings.Join(shared(d, q, o), ", "))
 	}
 	fmt.Println("(* = shares the query's planted primary topic)")
+}
+
+// remoteSearch asks a running figserver over the /v1 wire and prints the
+// ranked results with whatever context the object endpoint can add.
+func remoteSearch(addr string, timeout time.Duration, query int, text string, k int) error {
+	c := client.New(addr)
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	health, err := c.Healthz(ctx)
+	if err != nil {
+		return fmt.Errorf("server unreachable: %w", err)
+	}
+	req := &api.SearchRequest{K: k}
+	if text != "" {
+		req.Text = text
+		fmt.Printf("text query %q against %s (%d objects)\n", text, c.Base(), health.Objects)
+	} else {
+		id := int64(query)
+		req.ID = &id
+		req.Exclude = &id
+		fmt.Printf("query object %d against %s (%d objects)\n", query, c.Base(), health.Objects)
+	}
+	resp, err := c.Search(ctx, req)
+	if err != nil {
+		return err
+	}
+	if len(resp.Results) == 0 {
+		fmt.Println("no results")
+		return nil
+	}
+	if resp.Partial {
+		fmt.Println("(partial: some cluster nodes did not answer)")
+	}
+	for rank, it := range resp.Results {
+		line := fmt.Sprintf("%2d. object %-6d score %.5f", rank+1, it.ID, it.Score)
+		if o, oerr := c.Object(ctx, it.ID); oerr == nil {
+			tags := o.Tags
+			if len(tags) > 6 {
+				tags = tags[:6]
+			}
+			line += "  tags: " + strings.Join(tags, ", ")
+		}
+		fmt.Println(line)
+	}
+	return nil
 }
 
 func loadOrGenerate(path string, objects int, seed int64) (*dataset.Dataset, error) {

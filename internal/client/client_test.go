@@ -1,0 +1,203 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"figfusion/internal/api"
+)
+
+func writeEnvelope(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(api.ErrorResponse{Error: api.ErrorBody{Code: code, Message: msg}})
+}
+
+// TestBaseNormalization: bare host:port gets a scheme, trailing slashes
+// are trimmed.
+func TestBaseNormalization(t *testing.T) {
+	if got := New("localhost:8080").Base(); got != "http://localhost:8080" {
+		t.Errorf("Base = %q", got)
+	}
+	if got := New("https://x.example/").Base(); got != "https://x.example" {
+		t.Errorf("Base = %q", got)
+	}
+}
+
+// TestSearchRoundTrip: a wire search marshals the request and decodes the
+// response through the shared api structs.
+func TestSearchRoundTrip(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/search" {
+			t.Errorf("got %s %s", r.Method, r.URL.Path)
+		}
+		var req api.SearchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Error(err)
+		}
+		if req.ID == nil || *req.ID != 5 || req.K != 3 {
+			t.Errorf("decoded request = %+v", req)
+		}
+		_ = json.NewEncoder(w).Encode(api.WireSearchResponse{Results: []api.Item{{ID: 1, Score: 2.5}}})
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	defer c.Close()
+	id := int64(5)
+	resp, err := c.Search(context.Background(), &api.SearchRequest{ID: &id, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].ID != 1 || resp.Results[0].Score != 2.5 {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+// TestAPIErrorDecoding: a non-2xx envelope surfaces as *APIError with the
+// status, code, message and parsed Retry-After.
+func TestAPIErrorDecoding(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.RetryAfterHeader, "2")
+		writeEnvelope(w, http.StatusServiceUnavailable, api.CodeUnavailable, "overloaded")
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(0))
+	defer c.Close()
+	_, err := c.Healthz(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v (%T)", err, err)
+	}
+	if apiErr.Status != http.StatusServiceUnavailable || apiErr.Code != api.CodeUnavailable {
+		t.Errorf("APIError = %+v", apiErr)
+	}
+	if apiErr.Message != "overloaded" {
+		t.Errorf("message = %q", apiErr.Message)
+	}
+	if apiErr.RetryAfter != 2*time.Second {
+		t.Errorf("RetryAfter = %v, want 2s", apiErr.RetryAfter)
+	}
+}
+
+// TestRetryOn503: the client retries a shed request and succeeds once the
+// server admits it; the retry count is bounded.
+func TestRetryOn503(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set(api.RetryAfterHeader, "0")
+			writeEnvelope(w, http.StatusServiceUnavailable, api.CodeUnavailable, "overloaded")
+			return
+		}
+		_ = json.NewEncoder(w).Encode(api.HealthResponse{Status: "ok", Objects: 7})
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithBackoff(time.Millisecond))
+	defer c.Close()
+	resp, err := c.Healthz(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Objects != 7 {
+		t.Errorf("objects = %d", resp.Objects)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3", got)
+	}
+}
+
+// TestRetriesExhausted: a server that never recovers surfaces the final
+// 503 after exactly 1+retries attempts.
+func TestRetriesExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeEnvelope(w, http.StatusServiceUnavailable, api.CodeUnavailable, "overloaded")
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(2), WithBackoff(time.Millisecond))
+	defer c.Close()
+	_, err := c.Healthz(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestNo503RetryWhenDisabled: WithRetries(0) observes every shed — the
+// load generator's configuration.
+func TestNo503RetryWhenDisabled(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeEnvelope(w, http.StatusServiceUnavailable, api.CodeUnavailable, "overloaded")
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetries(0))
+	defer c.Close()
+	if _, err := c.Healthz(context.Background()); err == nil {
+		t.Fatal("no error")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1", got)
+	}
+}
+
+// TestNoRetryOnOtherStatuses: only 503 retries — a 504 ran out of budget
+// mid-execution and a 400 will never succeed.
+func TestNoRetryOnOtherStatuses(t *testing.T) {
+	for _, tc := range []struct {
+		status int
+		code   string
+	}{
+		{http.StatusGatewayTimeout, api.CodeDeadlineExceeded},
+		{http.StatusBadRequest, api.CodeInvalidArgument},
+	} {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			writeEnvelope(w, tc.status, tc.code, "nope")
+		}))
+		c := New(ts.URL, WithBackoff(time.Millisecond))
+		var apiErr *APIError
+		if _, err := c.Healthz(context.Background()); !errors.As(err, &apiErr) || apiErr.Code != tc.code {
+			t.Fatalf("status %d: err = %v", tc.status, err)
+		}
+		if got := calls.Load(); got != 1 {
+			t.Errorf("status %d: server saw %d calls, want 1", tc.status, got)
+		}
+		c.Close()
+		ts.Close()
+	}
+}
+
+// TestBackoffHonoursContext: cancelling mid-backoff aborts the retry loop
+// with the context's error.
+func TestBackoffHonoursContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.RetryAfterHeader, "30")
+		writeEnvelope(w, http.StatusServiceUnavailable, api.CodeUnavailable, "overloaded")
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Healthz(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v — the 30s Retry-After was not interrupted", elapsed)
+	}
+}

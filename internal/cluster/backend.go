@@ -3,14 +3,14 @@ package cluster
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
-	"time"
 
+	"figfusion/internal/api"
+	"figfusion/internal/client"
 	"figfusion/internal/media"
 	"figfusion/internal/shard"
 	"figfusion/internal/topk"
@@ -111,37 +111,31 @@ func (b *LocalBackend) Objects(_ context.Context) (int, error) {
 // Close implements Backend (nothing to release in-process).
 func (b *LocalBackend) Close() error { return nil }
 
-// HTTPBackend speaks the /v1 JSON protocol to a remote figserver node over
-// a reusable connection pool. One HTTPBackend per node; requests multiplex
-// over pooled keep-alive connections.
+// HTTPBackend speaks the /v1 JSON protocol to a remote figserver node
+// through the shared typed client (internal/client). One HTTPBackend per
+// node; requests multiplex over the client's pooled keep-alive
+// connections. Retries are disabled: the router owns failover — a failed
+// node is demoted and its partition re-asked elsewhere, so a
+// transport-level retry would only double the traffic to a node that is
+// already in trouble.
 type HTTPBackend struct {
-	base   string
-	client *http.Client
+	c *client.Client
 }
 
 // NewHTTPBackend returns a backend for the node at base (a URL such as
 // http://host:8080; a bare host:port gets the http scheme).
 func NewHTTPBackend(base string) *HTTPBackend {
-	base = strings.TrimRight(base, "/")
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
-	}
-	transport := &http.Transport{
-		MaxIdleConns:        64,
-		MaxIdleConnsPerHost: 16,
-		IdleConnTimeout:     90 * time.Second,
-	}
-	return &HTTPBackend{base: base, client: &http.Client{Transport: transport}}
+	return &HTTPBackend{c: client.New(base, client.WithRetries(0))}
 }
 
 // Base returns the node's base URL.
-func (b *HTTPBackend) Base() string { return b.base }
+func (b *HTTPBackend) Base() string { return b.c.Base() }
 
 // Search implements Backend over POST /v1/search.
 func (b *HTTPBackend) Search(ctx context.Context, req *SearchRequest) ([]topk.Item, error) {
-	var resp SearchResponse
-	if err := b.postJSON(ctx, "/v1/search", req, &resp); err != nil {
-		return nil, err
+	resp, err := b.c.Search(ctx, req)
+	if err != nil {
+		return nil, wireErr(http.MethodPost, "/v1/search", err)
 	}
 	items := make([]topk.Item, len(resp.Results))
 	for i, it := range resp.Results {
@@ -152,76 +146,41 @@ func (b *HTTPBackend) Search(ctx context.Context, req *SearchRequest) ([]topk.It
 
 // Insert implements Backend over POST /v1/objects.
 func (b *HTTPBackend) Insert(ctx context.Context, req *InsertRequest) (int64, error) {
-	var resp struct {
-		ID int64 `json:"id"`
-	}
-	if err := b.postJSON(ctx, "/v1/objects", req, &resp); err != nil {
-		return 0, err
+	resp, err := b.c.Insert(ctx, req)
+	if err != nil {
+		return 0, wireErr(http.MethodPost, "/v1/objects", err)
 	}
 	return resp.ID, nil
 }
 
 // Objects implements Backend over GET /v1/healthz.
 func (b *HTTPBackend) Objects(ctx context.Context) (int, error) {
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/v1/healthz", nil)
+	resp, err := b.c.Healthz(ctx)
 	if err != nil {
-		return 0, err
-	}
-	var resp struct {
-		Objects int `json:"objects"`
-	}
-	if err := b.do(httpReq, &resp); err != nil {
-		return 0, err
+		return 0, wireErr(http.MethodGet, "/v1/healthz", err)
 	}
 	return resp.Objects, nil
 }
 
 // Close implements Backend: drops the pooled connections.
-func (b *HTTPBackend) Close() error {
-	b.client.CloseIdleConnections()
-	return nil
-}
+func (b *HTTPBackend) Close() error { return b.c.Close() }
 
-// postJSON sends one JSON request body and decodes the JSON response.
-func (b *HTTPBackend) postJSON(ctx context.Context, path string, in, out interface{}) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return err
+// wireErr maps a client error onto the router's error surface: a
+// 409/conflict envelope wraps ErrDiverged so divergence handling stays
+// transport-agnostic; everything else keeps the method and path for the
+// operator's logs.
+func wireErr(method, path string, err error) error {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		if apiErr.Code == api.CodeConflict {
+			return fmt.Errorf("%w: %s", ErrDiverged, apiErr.Message)
+		}
+		if apiErr.Code == "" {
+			return fmt.Errorf("cluster: %s %s: HTTP %d", method, path, apiErr.Status)
+		}
+		return fmt.Errorf("cluster: %s %s: %s: %s", method, path, apiErr.Code, apiErr.Message)
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+path, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	return b.do(httpReq, out)
-}
-
-// do executes the request and decodes a success body into out, or an error
-// envelope into a Go error — a 409/conflict envelope wraps ErrDiverged so
-// the router's divergence handling is transport-agnostic.
-func (b *HTTPBackend) do(httpReq *http.Request, out interface{}) error {
-	resp, err := b.client.Do(httpReq)
-	if err != nil {
-		return fmt.Errorf("cluster: %s %s: %w", httpReq.Method, httpReq.URL.Path, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-		return json.NewDecoder(resp.Body).Decode(out)
-	}
-	var envelope struct {
-		Error struct {
-			Code    string `json:"code"`
-			Message string `json:"message"`
-		} `json:"error"`
-	}
-	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-	if jerr := json.Unmarshal(raw, &envelope); jerr != nil || envelope.Error.Code == "" {
-		return fmt.Errorf("cluster: %s %s: HTTP %d", httpReq.Method, httpReq.URL.Path, resp.StatusCode)
-	}
-	if envelope.Error.Code == "conflict" {
-		return fmt.Errorf("%w: %s", ErrDiverged, envelope.Error.Message)
-	}
-	return fmt.Errorf("cluster: %s %s: %s: %s", httpReq.Method, httpReq.URL.Path, envelope.Error.Code, envelope.Error.Message)
+	return fmt.Errorf("cluster: %w", err)
 }
 
 // FetchSnapshot streams a node's snapshot set from GET /v1/admin/snapshot

@@ -1,159 +1,54 @@
-// Wire types of the cluster tier: the JSON bodies that carry searches and
-// replicated inserts between a router front-end and its shard nodes over
-// the /v1 protocol (POST /v1/search, POST /v1/objects). The encoding is
-// parity-preserving: queries travel by corpus ID when the query is a
-// corpus object (both sides resolve the same object from their replicated
-// corpora) and by (kind, name, count) feature lists otherwise, and scores
-// come back as JSON float64 values, which Go marshals in shortest-exact
-// form and parses back to the identical bits — so router-over-HTTP results
-// are byte-identical to router-over-local.
+// The cluster tier's wire vocabulary is the shared /v1 contract in
+// internal/api: searches and replicated inserts between a router
+// front-end and its shard nodes are plain POST /v1/search and
+// POST /v1/objects bodies, so a shard node is just a figserver and any
+// /v1 client can talk to it. The aliases below keep the cluster package's
+// historical names; the structs themselves live in api, where a
+// cross-package test pins their JSON field names.
 package cluster
 
 import (
-	"fmt"
-
+	"figfusion/internal/api"
 	"figfusion/internal/media"
 )
 
 // Feature is one modality-qualified feature count on the wire.
-type Feature struct {
-	Kind  string `json:"kind"`
-	Name  string `json:"name"`
-	Count int    `json:"count"`
-}
+type Feature = api.Feature
 
-// SearchRequest is the POST /v1/search body: a query by corpus object ID
-// (ID set) or by explicit features (ID nil), the ranking depth, the
-// excluded object (nil = none), and the algorithm selector (TA = the
-// literal Algorithm 1 threshold path instead of the indexed MRF search).
-type SearchRequest struct {
-	ID       *int64    `json:"id,omitempty"`
-	Features []Feature `json:"features,omitempty"`
-	Month    int       `json:"month,omitempty"`
-	K        int       `json:"k"`
-	Exclude  *int64    `json:"exclude,omitempty"`
-	TA       bool      `json:"ta,omitempty"`
-}
+// SearchRequest is the POST /v1/search body.
+type SearchRequest = api.SearchRequest
 
 // Item is one ranked hit on the wire.
-type Item struct {
-	ID    int64   `json:"id"`
-	Score float64 `json:"score"`
-}
+type Item = api.Item
 
-// SearchResponse is the POST /v1/search payload. Partial marks a degraded
-// answer: a router that skipped dead or diverged nodes reports the hits it
-// could gather instead of failing the query.
-type SearchResponse struct {
-	Results []Item `json:"results"`
-	Partial bool   `json:"partial,omitempty"`
-}
+// SearchResponse is the POST /v1/search payload — the wire form, ranked
+// (id, score) pairs plus the degraded-answer flag.
+type SearchResponse = api.WireSearchResponse
 
-// InsertRequest is the replicated-insert body a router sends each node:
-// the object's exact features and counts plus the generation stamp
-// (Expect = the router's pre-insert corpus length). A node whose corpus is
-// not exactly Expect objects answers 409/conflict instead of applying —
-// the divergence signal of multi-node ingestion.
-type InsertRequest struct {
-	Features []Feature `json:"features"`
-	Month    int       `json:"month"`
-	Expect   *int      `json:"expect,omitempty"`
-}
+// InsertRequest is the replicated-insert body a router sends each node.
+type InsertRequest = api.InsertRequest
 
 // EncodeQuery renders a query object for the wire: corpus objects by ID,
 // ad-hoc objects (ID < 0, e.g. text queries) by feature list resolved
 // through dict.
 func EncodeQuery(dict *media.Dictionary, q *media.Object, k int, exclude media.ObjectID, ta bool) *SearchRequest {
-	req := &SearchRequest{K: k, TA: ta, Month: q.Month}
-	if exclude >= 0 {
-		ex := int64(exclude)
-		req.Exclude = &ex
-	}
-	if q.ID >= 0 {
-		id := int64(q.ID)
-		req.ID = &id
-		return req
-	}
-	req.Features = make([]Feature, 0, len(q.Feats))
-	for i, fid := range q.Feats {
-		f := dict.Feature(fid)
-		req.Features = append(req.Features, Feature{Kind: f.Kind.String(), Name: f.Name, Count: int(q.Counts[i])})
-	}
-	return req
+	return api.EncodeQuery(dict, q, k, exclude, ta)
 }
 
 // ResolveQuery rebuilds the query object a SearchRequest describes against
-// a corpus: ID requests resolve to the corpus object (erroring when out of
-// range), feature requests intern nothing — features the corpus has never
-// seen are dropped, exactly as the server's free-text path drops unknown
-// terms — and error when nothing matches.
+// a corpus; see api.ResolveQuery.
 func ResolveQuery(corpus *media.Corpus, req *SearchRequest) (*media.Object, error) {
-	if req.ID != nil {
-		id := *req.ID
-		if id < 0 || id >= int64(corpus.Len()) {
-			return nil, fmt.Errorf("query id must identify a corpus object in [0,%d), got %d", corpus.Len(), id)
-		}
-		return corpus.Object(media.ObjectID(id)), nil
-	}
-	fcs := make([]media.FeatureCount, 0, len(req.Features))
-	for _, f := range req.Features {
-		kind, err := parseKind(f.Kind)
-		if err != nil {
-			return nil, err
-		}
-		fid, ok := corpus.Dict.Lookup(media.Feature{Kind: kind, Name: f.Name})
-		if !ok {
-			continue
-		}
-		count := f.Count
-		if count < 1 {
-			count = 1
-		}
-		fcs = append(fcs, media.FeatureCount{FID: fid, Count: uint16(count)})
-	}
-	if len(fcs) == 0 {
-		return nil, fmt.Errorf("no query feature matches the corpus vocabulary")
-	}
-	return media.NewObject(-1, fcs, req.Month), nil
+	return api.ResolveQuery(corpus, req)
 }
 
 // EncodeFeatures renders an insert's exact feature/count pairs for the
 // wire; DecodeFeatures inverts it.
 func EncodeFeatures(feats []media.Feature, counts []int) []Feature {
-	out := make([]Feature, len(feats))
-	for i, f := range feats {
-		out[i] = Feature{Kind: f.Kind.String(), Name: f.Name, Count: counts[i]}
-	}
-	return out
+	return api.EncodeFeatures(feats, counts)
 }
 
 // DecodeFeatures parses wire features back into the (features, counts)
 // pair Corpus.Add consumes.
 func DecodeFeatures(wire []Feature) ([]media.Feature, []int, error) {
-	feats := make([]media.Feature, len(wire))
-	counts := make([]int, len(wire))
-	for i, f := range wire {
-		kind, err := parseKind(f.Kind)
-		if err != nil {
-			return nil, nil, err
-		}
-		feats[i] = media.Feature{Kind: kind, Name: f.Name}
-		counts[i] = f.Count
-	}
-	return feats, counts, nil
-}
-
-// parseKind inverts media.Kind.String.
-func parseKind(s string) (media.Kind, error) {
-	switch s {
-	case "text":
-		return media.Text, nil
-	case "visual":
-		return media.Visual, nil
-	case "user":
-		return media.User, nil
-	case "audio":
-		return media.Audio, nil
-	}
-	return 0, fmt.Errorf("unknown feature kind %q (want text, visual, user or audio)", s)
+	return api.DecodeFeatures(wire)
 }

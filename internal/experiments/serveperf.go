@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"figfusion/internal/client"
+	"figfusion/internal/dataset"
+	"figfusion/internal/loadgen"
+	"figfusion/internal/retrieval"
+	"figfusion/internal/server"
+)
+
+// ServeRun is one live-traffic serving measurement on one code revision:
+// a closed-loop capacity phase followed by an open-loop overload phase at
+// 2× the measured capacity. Runs accumulate in BENCH_serve.json so the
+// serving tier's capacity and its behaviour past it — shed rate, and the
+// p99 of the requests it does admit — are tracked across PRs.
+type ServeRun struct {
+	Label      string `json:"label"`
+	GoVersion  string `json:"goVersion"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Scale      int    `json:"scale"`
+	// MaxInflight/MaxQueue are the admission-control settings under test.
+	MaxInflight int `json:"maxInflight"`
+	MaxQueue    int `json:"maxQueue"`
+	// OverloadFactor is the offered-load multiple of measured capacity.
+	OverloadFactor float64 `json:"overloadFactor"`
+	// Closed is the capacity phase: closed-loop workers, throughput
+	// adapts to the server. Closed.AchievedRate is the capacity estimate.
+	Closed loadgen.Report `json:"closed"`
+	// Overload is the open-loop phase at OverloadFactor × capacity.
+	Overload loadgen.Report `json:"overload"`
+	// ShedRequests is the server's own server.shed.requests counter after
+	// the overload phase — the server-side record of explicit rejections.
+	ShedRequests uint64 `json:"shedRequests"`
+}
+
+// serveOverloadFactor is how far past measured capacity the overload
+// phase pushes: 2× is comfortably beyond scheduling noise, so a healthy
+// admission controller must shed.
+const serveOverloadFactor = 2.0
+
+// ServePerf measures the serving tier under live traffic: it boots a real
+// figserver (single-engine role, admission control on, coalescing off so
+// every request pays the engine and the capacity number means engine
+// capacity), measures closed-loop capacity, then offers 2× that rate open
+// loop. Healthy behaviour — the regression gate's definition — is that
+// the server sheds the excess explicitly (Overload.Shed > 0, mirrored by
+// its own shed counter) while the p99 of the requests it admits stays
+// bounded instead of growing with the offered load.
+func ServePerf(ctx context.Context, o Options, label string) (*ServeRun, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	d, err := dataset.Generate(o.retrievalConfig())
+	if err != nil {
+		return nil, err
+	}
+	m := d.Model()
+	m.TrainThresholds(200, 0.35, rand.New(rand.NewSource(o.Seed+13)))
+	engine, err := retrieval.NewEngine(m, retrieval.Config{})
+	if err != nil {
+		return nil, err
+	}
+
+	opts := server.DefaultOptions()
+	// Small fixed admission bounds keep the phase durations short and the
+	// run reproducible across machines: capacity is then ~(inflight ×
+	// per-query throughput), and queue depth bounds the admitted p99.
+	opts.MaxInflight = 4
+	opts.MaxQueue = 8
+	// Coalescing off: the zipfian workload would otherwise serve mostly
+	// from cache and the "capacity" number would measure map lookups.
+	opts.Coalesce = false
+	srv := server.New(engine, opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	c := client.New(ln.Addr().String(), client.WithRetries(0))
+	defer c.Close()
+
+	run := &ServeRun{
+		Label:          label,
+		GoVersion:      runtime.Version(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Scale:          o.Scale,
+		MaxInflight:    opts.MaxInflight,
+		MaxQueue:       opts.MaxQueue,
+		OverloadFactor: serveOverloadFactor,
+	}
+
+	// Phase 1 — capacity: closed loop with enough workers to keep every
+	// admission slot and queue position occupied without shedding hard.
+	run.Closed, err = loadgen.Run(ctx, c, loadgen.Config{
+		Concurrency: opts.MaxInflight + opts.MaxQueue,
+		Duration:    2 * time.Second,
+		Warmup:      500 * time.Millisecond,
+		Seed:        o.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: capacity phase: %w", err)
+	}
+	if run.Closed.OK == 0 {
+		return nil, fmt.Errorf("experiments: capacity phase served nothing: %v", run.Closed)
+	}
+
+	// Phase 2 — overload: offer a fixed 2× capacity open loop. The
+	// outstanding window is wide so the load generator keeps offering
+	// instead of becoming the queue itself.
+	offered := serveOverloadFactor * run.Closed.AchievedRate
+	run.Overload, err = loadgen.Run(ctx, c, loadgen.Config{
+		Rate:           offered,
+		MaxOutstanding: 1024,
+		Duration:       2 * time.Second,
+		Warmup:         500 * time.Millisecond,
+		Seed:           o.Seed + 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: overload phase: %w", err)
+	}
+	if reg := srv.Registry(); reg != nil {
+		run.ShedRequests = reg.Counter("server.shed.requests").Value()
+	}
+	return run, nil
+}
+
+// LastServeRunMatching scans the bench file at path backwards for the
+// most recent run comparable to run — same scale and same admission
+// settings, so capacity numbers from other shapes interleaving in the
+// file never poison the regression comparison. It returns (nil, false,
+// nil) when the file is missing or holds no comparable run.
+func LastServeRunMatching(path string, run *ServeRun) (*ServeRun, bool, error) {
+	raws, err := BenchRuns(path)
+	if err != nil {
+		return nil, false, err
+	}
+	for i := len(raws) - 1; i >= 0; i-- {
+		var prev ServeRun
+		if err := json.Unmarshal(raws[i], &prev); err != nil {
+			return nil, false, fmt.Errorf("bench: %s: decoding run %d: %w", path, i, err)
+		}
+		if prev.Scale == run.Scale && prev.MaxInflight == run.MaxInflight && prev.MaxQueue == run.MaxQueue {
+			return &prev, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// CheckServeRun validates the healthy-overload contract on a completed
+// run: the server shed explicitly, nothing failed with a non-shed error,
+// and the admitted p99 stayed within bound × the uncontended capacity
+// p99. It returns a descriptive error naming the first violated clause.
+func CheckServeRun(run *ServeRun, p99Bound float64) error {
+	if run.Overload.Shed == 0 {
+		return fmt.Errorf("serve: overload at %.0f req/s shed nothing — admission control is not engaging", run.Overload.OfferedRate)
+	}
+	if run.ShedRequests == 0 {
+		return fmt.Errorf("serve: loadgen saw %d sheds but server.shed.requests = 0", run.Overload.Shed)
+	}
+	if run.Overload.Errors > 0 {
+		return fmt.Errorf("serve: %d non-shed errors under overload — failures must be explicit 503s", run.Overload.Errors)
+	}
+	if run.Closed.P99Ms > 0 && run.Overload.P99Ms > p99Bound*run.Closed.P99Ms {
+		return fmt.Errorf("serve: admitted p99 %.2fms under overload exceeds %.1f× capacity-phase p99 %.2fms — queueing is unbounded",
+			run.Overload.P99Ms, p99Bound, run.Closed.P99Ms)
+	}
+	return nil
+}

@@ -1,0 +1,367 @@
+// Package loadgen generates live /v1 traffic against a running figserver
+// (any -role) through the shared typed client — the measurement half of
+// the serving tier. It models the workload the paper's social-media
+// setting implies: query popularity is zipfian (a few hot objects draw
+// most of the traffic — exactly the distribution the server's coalescing
+// cache exploits), with a configurable mix of searches, recommendations
+// and inserts.
+//
+// Two driving modes:
+//
+//   - Closed loop (Rate == 0): Concurrency workers each keep exactly one
+//     request outstanding. Throughput adapts to the server — this measures
+//     capacity.
+//   - Open loop (Rate > 0): arrivals are scheduled at the configured rate
+//     regardless of how fast responses come back, the way real users
+//     arrive. MaxOutstanding bounds the in-flight window; arrivals past it
+//     count as Dropped (the queue the client refused to build). This
+//     measures behaviour under a fixed offered load — including overload,
+//     where the server's admission control must shed rather than collapse.
+//
+// Latencies are recorded in an obs.Histogram over the standard bucket
+// layout, but only for admitted (2xx) requests and only after Warmup:
+// shed requests answer in microseconds and would flatter the percentiles.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"figfusion/internal/api"
+	"figfusion/internal/client"
+	"figfusion/internal/obs"
+)
+
+// Mix weights the operation types; a zero Mix defaults to searches only.
+type Mix struct {
+	// Search weights POST /v1/search wire queries.
+	Search int
+	// Recommend weights POST /v1/recommend with a short zipfian history.
+	Recommend int
+	// Insert weights POST /v1/objects, replaying feature names sampled
+	// from the live corpus so inserts always resolve.
+	Insert int
+}
+
+func (m Mix) total() int { return m.Search + m.Recommend + m.Insert }
+
+// Config parameterizes one load run.
+type Config struct {
+	// Objects is the query ID space; 0 asks the server's /v1/healthz.
+	Objects int
+	// Mix is the operation mix (zero value = all searches).
+	Mix Mix
+	// K is the result depth per search (default 10).
+	K int
+	// Concurrency is the closed-loop worker count (default 8); in open
+	// loop it is ignored.
+	Concurrency int
+	// Rate is the open-loop offered load in requests/second; 0 selects
+	// the closed loop.
+	Rate float64
+	// MaxOutstanding bounds open-loop in-flight requests (default 256).
+	MaxOutstanding int
+	// Duration is the measured window (default 5s).
+	Duration time.Duration
+	// Warmup runs traffic without recording first (default 0).
+	Warmup time.Duration
+	// Seed feeds the per-worker deterministic generators.
+	Seed int64
+	// ZipfS is the zipfian skew exponent (> 1; default 1.2).
+	ZipfS float64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.K <= 0 {
+		out.K = 10
+	}
+	if out.Concurrency <= 0 {
+		out.Concurrency = 8
+	}
+	if out.MaxOutstanding <= 0 {
+		out.MaxOutstanding = 256
+	}
+	if out.Duration <= 0 {
+		out.Duration = 5 * time.Second
+	}
+	if out.ZipfS <= 1 {
+		out.ZipfS = 1.2
+	}
+	if out.Mix.total() <= 0 {
+		out.Mix = Mix{Search: 1}
+	}
+	return out
+}
+
+// Report is one run's outcome.
+type Report struct {
+	// Sent counts requests that reached the wire (excludes Dropped).
+	Sent int64 `json:"sent"`
+	// OK counts 2xx answers.
+	OK int64 `json:"ok"`
+	// Shed counts 503/unavailable rejections — admission-control sheds
+	// and degraded-cluster refusals.
+	Shed int64 `json:"shed"`
+	// Errors counts every other failure (transport, 4xx, 5xx).
+	Errors int64 `json:"errors"`
+	// Dropped counts open-loop arrivals past MaxOutstanding that were
+	// never sent.
+	Dropped int64 `json:"dropped"`
+	// Duration is the measured window (excludes warmup).
+	Duration time.Duration `json:"duration"`
+	// OfferedRate echoes Config.Rate (0 in closed loop).
+	OfferedRate float64 `json:"offeredRate,omitempty"`
+	// AchievedRate is OK answers per second of measured window.
+	AchievedRate float64 `json:"achievedRate"`
+	// P50Ms, P95Ms, P99Ms are admitted-request latency percentiles.
+	P50Ms float64 `json:"p50Ms"`
+	P95Ms float64 `json:"p95Ms"`
+	P99Ms float64 `json:"p99Ms"`
+}
+
+// ShedRate is the fraction of wire requests the server shed.
+func (r Report) ShedRate() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Sent)
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("sent %d ok %d shed %d (%.1f%%) errors %d dropped %d in %v — %.0f req/s, p50 %.2fms p95 %.2fms p99 %.2fms",
+		r.Sent, r.OK, r.Shed, 100*r.ShedRate(), r.Errors, r.Dropped, r.Duration.Round(time.Millisecond),
+		r.AchievedRate, r.P50Ms, r.P95Ms, r.P99Ms)
+}
+
+// gen builds one worker's deterministic request stream.
+type gen struct {
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	cfg  Config
+	tags []string // insert template sampled from the live corpus
+}
+
+func newGen(seed int64, cfg Config, tags []string) *gen {
+	rng := rand.New(rand.NewSource(seed))
+	var zipf *rand.Zipf
+	if cfg.Objects > 1 {
+		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Objects-1))
+	}
+	return &gen{rng: rng, zipf: zipf, cfg: cfg, tags: tags}
+}
+
+// id draws a zipfian object ID.
+func (g *gen) id() int64 {
+	if g.zipf == nil {
+		return 0
+	}
+	return int64(g.zipf.Uint64())
+}
+
+// draw picks the next request from the mix, consuming randomness now so
+// the returned thunk can run outside any lock guarding the generator.
+func (g *gen) draw() func(context.Context, *client.Client) error {
+	pick := g.rng.Intn(g.cfg.Mix.total())
+	switch {
+	case pick < g.cfg.Mix.Search:
+		id := g.id()
+		return func(ctx context.Context, c *client.Client) error {
+			_, err := c.Search(ctx, &api.SearchRequest{ID: &id, K: g.cfg.K, Exclude: &id})
+			return err
+		}
+	case pick < g.cfg.Mix.Search+g.cfg.Mix.Recommend:
+		hist := []int64{g.id(), g.id(), g.id()}
+		return func(ctx context.Context, c *client.Client) error {
+			_, err := c.Recommend(ctx, &api.RecommendRequest{History: hist, K: g.cfg.K})
+			return err
+		}
+	default:
+		month := int(g.id()) % 12
+		return func(ctx context.Context, c *client.Client) error {
+			_, err := c.Insert(ctx, &api.InsertRequest{Tags: g.tags, Month: month})
+			return err
+		}
+	}
+}
+
+// state accumulates one run's measurements.
+type state struct {
+	recording            atomic.Bool
+	sent, ok, shed, errs atomic.Int64
+	dropped              atomic.Int64
+	hist                 *obs.Histogram
+}
+
+// record classifies one response. Latency is observed only for admitted
+// requests while recording is on.
+func (st *state) record(err error, elapsed time.Duration) {
+	if !st.recording.Load() {
+		return
+	}
+	st.sent.Add(1)
+	if err == nil {
+		st.ok.Add(1)
+		st.hist.Observe(elapsed)
+		return
+	}
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) && apiErr.Status == http.StatusServiceUnavailable {
+		st.shed.Add(1)
+		return
+	}
+	st.errs.Add(1)
+}
+
+// Run drives cfg traffic against the server behind c and reports the
+// measured window. The client should be configured with WithRetries(0):
+// a retrying client hides exactly the sheds this tool exists to count.
+func Run(ctx context.Context, c *client.Client, cfg Config) (Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Objects <= 0 {
+		health, err := c.Healthz(ctx)
+		if err != nil {
+			return Report{}, fmt.Errorf("loadgen: sizing probe: %w", err)
+		}
+		cfg.Objects = health.Objects
+	}
+	if cfg.Objects <= 0 {
+		return Report{}, fmt.Errorf("loadgen: server reports an empty corpus")
+	}
+	var tags []string
+	if cfg.Mix.Insert > 0 {
+		// Sample a live object's tags as the insert template: its names
+		// are in-vocabulary by construction, so inserts exercise the write
+		// path instead of bouncing off validation.
+		o, err := c.Object(ctx, 0)
+		if err != nil {
+			return Report{}, fmt.Errorf("loadgen: insert template fetch: %w", err)
+		}
+		if tags = o.Tags; len(tags) > 4 {
+			tags = tags[:4]
+		}
+		if len(tags) == 0 {
+			return Report{}, fmt.Errorf("loadgen: object 0 has no tags to replay as inserts")
+		}
+	}
+	st := &state{hist: obs.NewHistogram(obs.DefaultLatencyBuckets())}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	if cfg.Warmup <= 0 {
+		st.recording.Store(true)
+	} else {
+		warm := time.AfterFunc(cfg.Warmup, func() { st.recording.Store(true) })
+		defer warm.Stop()
+	}
+	stop := time.AfterFunc(cfg.Warmup+cfg.Duration, cancel)
+	defer stop.Stop()
+	start := time.Now()
+
+	if cfg.Rate > 0 {
+		runOpen(ctx, c, cfg, st, tags)
+	} else {
+		runClosed(ctx, c, cfg, st, tags)
+	}
+	measured := time.Since(start) - cfg.Warmup
+	if measured <= 0 {
+		measured = time.Since(start)
+	}
+	snap := st.hist.Snapshot()
+	r := Report{
+		Sent:        st.sent.Load(),
+		OK:          st.ok.Load(),
+		Shed:        st.shed.Load(),
+		Errors:      st.errs.Load(),
+		Dropped:     st.dropped.Load(),
+		Duration:    measured,
+		OfferedRate: cfg.Rate,
+		P50Ms:       snap.P50Ms,
+		P95Ms:       snap.P95Ms,
+		P99Ms:       snap.P99Ms,
+	}
+	r.AchievedRate = float64(r.OK) / measured.Seconds()
+	return r, nil
+}
+
+// runClosed keeps Concurrency requests outstanding until ctx is done.
+func runClosed(ctx context.Context, c *client.Client, cfg Config, st *state, tags []string) {
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := newGen(cfg.Seed+int64(w)*7919, cfg, tags)
+			for ctx.Err() == nil {
+				do := g.draw()
+				t0 := time.Now()
+				err := do(ctx, c)
+				if ctx.Err() != nil && err != nil {
+					return // shutdown race, not a server answer
+				}
+				st.record(err, time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runOpen schedules arrivals at cfg.Rate from the run's start, bounding
+// in-flight requests with a semaphore; arrivals past the bound drop.
+func runOpen(ctx context.Context, c *client.Client, cfg Config, st *state, tags []string) {
+	sem := make(chan struct{}, cfg.MaxOutstanding)
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	// One generator feeds all arrivals: the schedule is fixed, only the
+	// execution is concurrent. Requests are drawn on the scheduling
+	// goroutine — cheap relative to the interval at any rate a test box
+	// can offer — and executed in their own goroutines.
+	g := newGen(cfg.Seed, cfg, tags)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; ; i++ {
+		next := start.Add(time.Duration(i) * interval)
+		if d := time.Until(next); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				wg.Wait()
+				return
+			}
+		}
+		if ctx.Err() != nil {
+			wg.Wait()
+			return
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			if st.recording.Load() {
+				st.dropped.Add(1)
+			}
+			continue
+		}
+		do := g.draw()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			err := do(ctx, c)
+			if ctx.Err() != nil && err != nil {
+				return
+			}
+			st.record(err, time.Since(t0))
+		}()
+	}
+}

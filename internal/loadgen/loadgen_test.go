@@ -1,0 +1,179 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"figfusion/internal/api"
+	"figfusion/internal/client"
+)
+
+// fakeServer answers the /v1 surface instantly, counting calls per route.
+type fakeServer struct {
+	searches, recommends, inserts, healthz atomic.Int64
+	shedEvery                              int64 // every Nth search sheds (0 = never)
+	objects                                int
+}
+
+func (f *fakeServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/search", func(w http.ResponseWriter, r *http.Request) {
+		n := f.searches.Add(1)
+		if f.shedEvery > 0 && n%f.shedEvery == 0 {
+			w.Header().Set(api.RetryAfterHeader, "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(api.ErrorResponse{Error: api.ErrorBody{Code: api.CodeUnavailable, Message: "overloaded"}})
+			return
+		}
+		var req api.SearchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.ID == nil || *req.ID < 0 || *req.ID >= int64(f.objects) {
+			w.WriteHeader(http.StatusBadRequest)
+			_ = json.NewEncoder(w).Encode(api.ErrorResponse{Error: api.ErrorBody{Code: api.CodeInvalidArgument, Message: "bad id"}})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(api.WireSearchResponse{Results: []api.Item{{ID: 1, Score: 1}}})
+	})
+	mux.HandleFunc("POST /v1/recommend", func(w http.ResponseWriter, r *http.Request) {
+		f.recommends.Add(1)
+		_ = json.NewEncoder(w).Encode(api.SearchResponse{Results: []api.ResultItem{{ID: 1, Score: 1}}})
+	})
+	mux.HandleFunc("POST /v1/objects", func(w http.ResponseWriter, r *http.Request) {
+		var req api.InsertRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Tags) == 0 {
+			w.WriteHeader(http.StatusBadRequest)
+			_ = json.NewEncoder(w).Encode(api.ErrorResponse{Error: api.ErrorBody{Code: api.CodeInvalidArgument, Message: "no tags"}})
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		_ = json.NewEncoder(w).Encode(api.InsertResponse{ID: f.inserts.Add(1)})
+	})
+	mux.HandleFunc("GET /v1/objects/{id}", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(api.ObjectResponse{ID: 0, Tags: []string{"alpha", "beta"}})
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		f.healthz.Add(1)
+		_ = json.NewEncoder(w).Encode(api.HealthResponse{Status: "ok", Objects: f.objects})
+	})
+	return mux
+}
+
+func runAgainst(t *testing.T, f *fakeServer, cfg Config) Report {
+	t.Helper()
+	ts := httptest.NewServer(f.handler())
+	defer ts.Close()
+	c := client.New(ts.URL, client.WithRetries(0))
+	defer c.Close()
+	r, err := Run(context.Background(), c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestClosedLoopCounts: a pure-search closed loop answers only OKs and
+// the ledger adds up.
+func TestClosedLoopCounts(t *testing.T) {
+	f := &fakeServer{objects: 100}
+	r := runAgainst(t, f, Config{Concurrency: 4, Duration: 200 * time.Millisecond, Seed: 7})
+	if r.OK == 0 {
+		t.Fatalf("no successful requests: %v", r)
+	}
+	if r.Shed != 0 || r.Errors != 0 || r.Dropped != 0 {
+		t.Errorf("unexpected failures: %v", r)
+	}
+	if r.Sent != r.OK {
+		t.Errorf("sent %d != ok %d", r.Sent, r.OK)
+	}
+	if r.AchievedRate <= 0 {
+		t.Errorf("achieved rate = %v", r.AchievedRate)
+	}
+}
+
+// TestSizingProbe: Objects=0 sizes the ID space from /v1/healthz, and
+// every generated ID stays inside it (the fake 400s on out-of-range IDs).
+func TestSizingProbe(t *testing.T) {
+	f := &fakeServer{objects: 10}
+	r := runAgainst(t, f, Config{Concurrency: 2, Duration: 100 * time.Millisecond, Seed: 3})
+	if f.healthz.Load() == 0 {
+		t.Error("healthz sizing probe never ran")
+	}
+	if r.Errors != 0 {
+		t.Errorf("out-of-range IDs generated: %v", r)
+	}
+}
+
+// TestMixRoutes: all three operation types reach their routes, and insert
+// bodies replay the template fetched from the live corpus.
+func TestMixRoutes(t *testing.T) {
+	f := &fakeServer{objects: 50}
+	r := runAgainst(t, f, Config{
+		Concurrency: 4,
+		Duration:    300 * time.Millisecond,
+		Seed:        11,
+		Mix:         Mix{Search: 2, Recommend: 1, Insert: 1},
+	})
+	if r.Errors != 0 {
+		t.Errorf("errors: %v", r)
+	}
+	if f.searches.Load() == 0 || f.recommends.Load() == 0 || f.inserts.Load() == 0 {
+		t.Errorf("mix did not reach all routes: searches %d recommends %d inserts %d",
+			f.searches.Load(), f.recommends.Load(), f.inserts.Load())
+	}
+}
+
+// TestShedCounting: 503 envelopes land in Shed, not Errors — the metric
+// the overload experiment gates on.
+func TestShedCounting(t *testing.T) {
+	f := &fakeServer{objects: 100, shedEvery: 3}
+	r := runAgainst(t, f, Config{Concurrency: 4, Duration: 200 * time.Millisecond, Seed: 5})
+	if r.Shed == 0 {
+		t.Fatalf("no sheds recorded: %v", r)
+	}
+	if r.Errors != 0 {
+		t.Errorf("sheds misclassified as errors: %v", r)
+	}
+	if r.ShedRate() <= 0 || r.ShedRate() >= 1 {
+		t.Errorf("shed rate = %v", r.ShedRate())
+	}
+}
+
+// TestOpenLoopOffersLoad: the open loop sends at roughly the offered rate
+// independent of concurrency, and reports the offered rate back.
+func TestOpenLoopOffersLoad(t *testing.T) {
+	f := &fakeServer{objects: 100}
+	r := runAgainst(t, f, Config{Rate: 500, Duration: 400 * time.Millisecond, Seed: 9})
+	if r.OfferedRate != 500 {
+		t.Errorf("offered rate = %v", r.OfferedRate)
+	}
+	if r.OK == 0 {
+		t.Fatalf("no successful requests: %v", r)
+	}
+	// Scheduling jitter allowed, but the total must be in the right
+	// decade: 500/s for 0.4s ≈ 200 arrivals.
+	if r.Sent < 50 || r.Sent > 400 {
+		t.Errorf("sent %d requests at 500/s over 400ms", r.Sent)
+	}
+}
+
+// TestWarmupExcluded: requests before the warmup deadline never enter the
+// ledger.
+func TestWarmupExcluded(t *testing.T) {
+	f := &fakeServer{objects: 100}
+	r := runAgainst(t, f, Config{
+		Concurrency: 2,
+		Warmup:      150 * time.Millisecond,
+		Duration:    150 * time.Millisecond,
+		Seed:        13,
+	})
+	if r.OK == 0 {
+		t.Fatalf("no recorded requests: %v", r)
+	}
+	if r.Sent >= f.searches.Load() {
+		t.Errorf("ledger (%d) includes warmup traffic (server saw %d)", r.Sent, f.searches.Load())
+	}
+}

@@ -151,12 +151,12 @@ func (h *Histogram) Observe(d time.Duration) {
 // are upper-bound estimates: the bound of the bucket the quantile falls in
 // (the overflow bucket reports the largest finite bound).
 type HistogramSnapshot struct {
-	Count   uint64  `json:"count"`
-	SumMs   float64 `json:"sumMs"`
-	MeanMs  float64 `json:"meanMs"`
-	P50Ms   float64 `json:"p50Ms"`
-	P95Ms   float64 `json:"p95Ms"`
-	P99Ms   float64 `json:"p99Ms"`
+	Count   uint64            `json:"count"`
+	SumMs   float64           `json:"sumMs"`
+	MeanMs  float64           `json:"meanMs"`
+	P50Ms   float64           `json:"p50Ms"`
+	P95Ms   float64           `json:"p95Ms"`
+	P99Ms   float64           `json:"p99Ms"`
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
 }
 

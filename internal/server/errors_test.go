@@ -48,11 +48,17 @@ func testShardedServerOpts(t testing.TB, shards int, opts Options) (*Server, *da
 func TestMethodNotAllowed(t *testing.T) {
 	s, _ := testServer(t)
 	cases := []struct{ method, target string }{
+		{"POST", "/v1/healthz"},
+		{"PUT", "/v1/search?id=1"},
+		{"POST", "/v1/objects/1"},
+		{"GET", "/v1/objects"},
+		{"DELETE", "/v1/objects"},
+		{"GET", "/v1/recommend"},
+		{"PUT", "/v1/search/batch"},
+		// The retired unversioned aliases keep their method qualifiers:
+		// the wrong verb is still 405, not 410.
 		{"POST", "/healthz"},
-		{"POST", "/search?id=1"},
-		{"POST", "/object?id=1"},
 		{"GET", "/objects"},
-		{"DELETE", "/objects"},
 		{"GET", "/recommend"},
 	}
 	for _, tc := range cases {
@@ -103,11 +109,8 @@ func TestSearchMissingParams(t *testing.T) {
 	if resp.Error.Code != CodeInvalidArgument || resp.Error.Message == "" {
 		t.Errorf("/v1/search: envelope = %+v", resp.Error)
 	}
-	if code := doJSON(t, s.Handler(), "GET", "/object", nil, nil); code != http.StatusNotFound {
-		t.Errorf("/object: status = %d, want 404", code)
-	}
 	// text= that normalizes to nothing behaves like unknown text.
-	if code := doJSON(t, s.Handler(), "GET", "/search?text=%20%20", nil, nil); code != http.StatusNotFound {
+	if code := doJSON(t, s.Handler(), "GET", "/v1/search?text=%20%20", nil, nil); code != http.StatusNotFound {
 		t.Errorf("blank text: status = %d, want 404", code)
 	}
 }
@@ -124,7 +127,7 @@ func TestShardedHealthz(t *testing.T) {
 		Generation uint64            `json:"generation"`
 		Shards     []shard.ShardInfo `json:"shards"`
 	}
-	if code := doJSON(t, s.Handler(), "GET", "/healthz", nil, &resp); code != http.StatusOK {
+	if code := doJSON(t, s.Handler(), "GET", "/v1/healthz", nil, &resp); code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
 	if resp.Status != "ok" {
@@ -157,7 +160,7 @@ func TestShardedHealthz(t *testing.T) {
 func TestShardedEndToEnd(t *testing.T) {
 	s, d := testShardedServer(t, 2)
 	var sr SearchResponse
-	if code := doJSON(t, s.Handler(), "GET", "/search?id=5&k=4", nil, &sr); code != http.StatusOK {
+	if code := doJSON(t, s.Handler(), "GET", "/v1/search?id=5&k=4", nil, &sr); code != http.StatusOK {
 		t.Fatalf("search status = %d", code)
 	}
 	if len(sr.Results) == 0 {
@@ -165,14 +168,14 @@ func TestShardedEndToEnd(t *testing.T) {
 	}
 	body, _ := json.Marshal(InsertRequest{Tags: []string{"topic00tag00", "topic00tag01"}, Month: 2})
 	var ir InsertResponse
-	if code := doJSON(t, s.Handler(), "POST", "/objects", body, &ir); code != http.StatusCreated {
+	if code := doJSON(t, s.Handler(), "POST", "/v1/objects", body, &ir); code != http.StatusCreated {
 		t.Fatalf("insert status = %d", code)
 	}
 	if int(ir.ID) != d.Corpus.Len()-1 {
 		t.Errorf("ID = %d, want %d", ir.ID, d.Corpus.Len()-1)
 	}
 	var sr2 SearchResponse
-	target := fmt.Sprintf("/search?text=topic00tag00+topic00tag01&k=%d", d.Corpus.Len())
+	target := fmt.Sprintf("/v1/search?text=topic00tag00+topic00tag01&k=%d", d.Corpus.Len())
 	if code := doJSON(t, s.Handler(), "GET", target, nil, &sr2); code != http.StatusOK {
 		t.Fatalf("post-insert search status = %d", code)
 	}

@@ -55,18 +55,26 @@ func TestMetricsShape(t *testing.T) {
 		t.Errorf("http.search.latency = %+v", hs)
 	}
 
-	// Engine-side: 3 queries took the indexed path end to end.
-	if got := m.Counters["retrieval.search.total"]; got != 3 {
-		t.Errorf("retrieval.search.total = %d, want 3", got)
+	// Engine-side: the three identical searches coalesce — the first is a
+	// cache miss that runs the indexed path once, the other two are served
+	// from the generation-stamped result cache without touching the engine.
+	if got := m.Counters["retrieval.search.total"]; got != 1 {
+		t.Errorf("retrieval.search.total = %d, want 1", got)
 	}
-	if got := m.Counters["retrieval.search.path.index"]; got != 3 {
-		t.Errorf("retrieval.search.path.index = %d, want 3", got)
+	if got := m.Counters["retrieval.search.path.index"]; got != 1 {
+		t.Errorf("retrieval.search.path.index = %d, want 1", got)
 	}
 	if got := m.Counters["retrieval.candidates.scored"]; got == 0 {
 		t.Error("retrieval.candidates.scored = 0")
 	}
-	if got := m.Histograms["retrieval.search.latency"].Count; got != 3 {
-		t.Errorf("retrieval.search.latency count = %d, want 3", got)
+	if got := m.Histograms["retrieval.search.latency"].Count; got != 1 {
+		t.Errorf("retrieval.search.latency count = %d, want 1", got)
+	}
+	if got := m.Counters["server.coalesce.misses"]; got != 1 {
+		t.Errorf("server.coalesce.misses = %d, want 1", got)
+	}
+	if got := m.Counters["server.coalesce.hits"]; got != 2 {
+		t.Errorf("server.coalesce.hits = %d, want 2", got)
 	}
 	for _, stage := range []string{"prepare", "score"} {
 		if got := m.Histograms["retrieval.stage."+stage].Count; got == 0 {
@@ -142,17 +150,22 @@ func TestQueryTimeout(t *testing.T) {
 	if resp.Error.Code != CodeDeadlineExceeded {
 		t.Errorf("code = %q, want %q", resp.Error.Code, CodeDeadlineExceeded)
 	}
-	// The legacy alias is bounded by the same budget.
-	if code, _ := doError(t, s.Handler(), "GET", "/search?id=5&k=4"); code != http.StatusGatewayTimeout {
-		t.Errorf("legacy search status = %d, want 504", code)
+	// Timeouts never enter the coalescer's result cache: the identical
+	// retry fails with the same budget rather than replaying a stale error.
+	if code, resp := doError(t, s.Handler(), "GET", "/v1/search?id=5&k=4"); code != http.StatusGatewayTimeout {
+		t.Errorf("repeat search status = %d, want 504", code)
+	} else if resp.Error.Code != CodeDeadlineExceeded {
+		t.Errorf("repeat search code = %q", resp.Error.Code)
 	}
 }
 
-// TestDeprecatedAliases: the unversioned routes still answer but carry a
-// Deprecation header and count under http.deprecated.requests; the /v1
-// routes carry no such header.
+// TestDeprecatedAliases: with -legacy-routes the unversioned routes still
+// answer but carry a Deprecation header and count under
+// http.deprecated.requests; the /v1 routes carry no such header.
 func TestDeprecatedAliases(t *testing.T) {
-	s, _ := testServer(t)
+	opts := DefaultOptions()
+	opts.LegacyRoutes = true
+	s, _ := testServerOpts(t, opts)
 	h := s.Handler()
 
 	req := httptest.NewRequest("GET", "/search?id=5&k=2", nil)
@@ -177,6 +190,47 @@ func TestDeprecatedAliases(t *testing.T) {
 
 	if got := s.Registry().Counter("http.deprecated.requests").Value(); got != 1 {
 		t.Errorf("http.deprecated.requests = %d, want 1", got)
+	}
+}
+
+// TestLegacyRoutesGone: by default the unversioned aliases are retired —
+// every one answers 410 with the gone envelope naming its /v1
+// replacement, still flagged Deprecation and counted as deprecated
+// traffic so operators can see who is hitting them.
+func TestLegacyRoutesGone(t *testing.T) {
+	s, _ := testServer(t)
+	h := s.Handler()
+	cases := []struct{ method, target, replacement string }{
+		{"GET", "/healthz", "/v1/healthz"},
+		{"GET", "/search?id=5&k=2", "/v1/search"},
+		{"GET", "/object?id=5", "/v1/objects/{id}"},
+		{"POST", "/objects", "/v1/objects"},
+		{"POST", "/recommend", "/v1/recommend"},
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest(tc.method, tc.target, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusGone {
+			t.Errorf("%s %s: status = %d, want 410", tc.method, tc.target, rec.Code)
+			continue
+		}
+		var resp ErrorResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", tc.method, tc.target, rec.Body.String(), err)
+		}
+		if resp.Error.Code != CodeGone {
+			t.Errorf("%s %s: code = %q, want %q", tc.method, tc.target, resp.Error.Code, CodeGone)
+		}
+		if !strings.Contains(resp.Error.Message, tc.replacement) {
+			t.Errorf("%s %s: message %q does not name %s", tc.method, tc.target, resp.Error.Message, tc.replacement)
+		}
+		if rec.Header().Get("Deprecation") != "true" {
+			t.Errorf("%s %s: missing Deprecation header", tc.method, tc.target)
+		}
+	}
+	if got := s.Registry().Counter("http.deprecated.requests").Value(); got != uint64(len(cases)) {
+		t.Errorf("http.deprecated.requests = %d, want %d", got, len(cases))
 	}
 }
 
@@ -264,6 +318,9 @@ func TestOptionsValidate(t *testing.T) {
 		{"negative timeout", mutate(func(o *Options) { o.QueryTimeout = -time.Second }), "query-timeout"},
 		{"negative slow", mutate(func(o *Options) { o.SlowQuery = -time.Second }), "slow-query"},
 		{"unknown pruning", mutate(func(o *Options) { o.Pruning = "wand" }), "pruning"},
+		{"negative inflight", mutate(func(o *Options) { o.MaxInflight = -1 }), "max-inflight"},
+		{"negative queue", mutate(func(o *Options) { o.MaxQueue = -1 }), "max-queue"},
+		{"negative coalesce cap", mutate(func(o *Options) { o.CoalesceCap = -1 }), "coalesce-cap"},
 	}
 	for _, tc := range cases {
 		err := tc.o.Validate()

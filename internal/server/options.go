@@ -54,6 +54,31 @@ type Options struct {
 	// histograms, slow-query log, /v1/metrics). Default on; disabling
 	// reduces the serving path to the bare engine.
 	Metrics bool
+	// MaxInflight caps concurrently executing search-family requests
+	// (search, batch, recommend); 0 disables admission control. With it
+	// set, up to MaxQueue further requests wait for a slot and the rest
+	// are shed with 503/unavailable + Retry-After, counted as
+	// server.shed.requests.
+	MaxInflight int
+	// MaxQueue bounds the admission wait queue behind MaxInflight
+	// (ignored when MaxInflight is 0). 0 means shed as soon as every
+	// slot is busy.
+	MaxQueue int
+	// Coalesce enables single-flight coalescing of identical in-flight
+	// searches plus the generation-stamped result cache: identical
+	// concurrent queries share one engine execution, repeats are answered
+	// from cache until the next insert bumps the corpus-global model
+	// generation.
+	Coalesce bool
+	// CoalesceCap caps the result cache (entries); 0 uses the default
+	// (1024). At capacity the cache flushes wholesale — entries refill in
+	// one coalesced round.
+	CoalesceCap int
+	// LegacyRoutes re-enables the deprecated unversioned route aliases
+	// (/healthz, /search, /object, /objects, /recommend) for deployments
+	// still draining pre-v1 clients. Off (the default) answers them with
+	// 410/gone in the error envelope, naming the /v1 replacement.
+	LegacyRoutes bool
 	// Pprof mounts net/http/pprof under /debug/pprof/ when set.
 	Pprof bool
 	// Role selects the multi-node serving mode: "" or "standalone" serves
@@ -94,6 +119,9 @@ func DefaultOptions() Options {
 		SlowQuery:    250 * time.Millisecond,
 		Pruning:      retrieval.PruneBlockMax.String(),
 		Metrics:      true,
+		MaxInflight:  64,
+		MaxQueue:     256,
+		Coalesce:     true,
 	}
 }
 
@@ -113,6 +141,11 @@ func (o *Options) Flags(fs *flag.FlagSet) {
 	fs.DurationVar(&o.QueryTimeout, "query-timeout", o.QueryTimeout, "per-request search budget; expiry answers deadline_exceeded (0 = unbounded)")
 	fs.DurationVar(&o.SlowQuery, "slow-query", o.SlowQuery, "slow-query-log threshold")
 	fs.BoolVar(&o.Metrics, "metrics", o.Metrics, "enable the metrics registry and /v1/metrics")
+	fs.IntVar(&o.MaxInflight, "max-inflight", o.MaxInflight, "admission control: concurrently executing search-family requests (0 = unbounded)")
+	fs.IntVar(&o.MaxQueue, "max-queue", o.MaxQueue, "admission control: requests waiting behind -max-inflight before shedding with 503")
+	fs.BoolVar(&o.Coalesce, "coalesce", o.Coalesce, "coalesce identical in-flight searches and cache results until the next insert")
+	fs.IntVar(&o.CoalesceCap, "coalesce-cap", o.CoalesceCap, "coalesced result cache capacity in entries (0 = default 1024)")
+	fs.BoolVar(&o.LegacyRoutes, "legacy-routes", o.LegacyRoutes, "serve the deprecated unversioned route aliases instead of answering 410/gone")
 	fs.BoolVar(&o.Pprof, "pprof", o.Pprof, "mount net/http/pprof under /debug/pprof/")
 	fs.StringVar(&o.Role, "role", o.Role, "multi-node role: standalone (default), shard (serve one partition of -nodes), or router (scatter-gather over -nodes)")
 	fs.StringVar(&o.Nodes, "nodes", o.Nodes, "comma-separated node list shared by every role (host:port or URL per entry)")
@@ -150,6 +183,15 @@ func (o Options) Validate() error {
 	}
 	if o.SlowQuery < 0 {
 		return fmt.Errorf("server: slow-query must be >= 0, got %s", o.SlowQuery)
+	}
+	if o.MaxInflight < 0 {
+		return fmt.Errorf("server: max-inflight must be >= 0, got %d", o.MaxInflight)
+	}
+	if o.MaxQueue < 0 {
+		return fmt.Errorf("server: max-queue must be >= 0, got %d", o.MaxQueue)
+	}
+	if o.CoalesceCap < 0 {
+		return fmt.Errorf("server: coalesce-cap must be >= 0, got %d", o.CoalesceCap)
 	}
 	switch o.Role {
 	case "", "standalone":
@@ -195,6 +237,14 @@ func (o Options) NodeList() []string {
 		}
 	}
 	return out
+}
+
+// coalesceCap resolves the result-cache capacity, defaulting to 1024.
+func (o Options) coalesceCap() int {
+	if o.CoalesceCap > 0 {
+		return o.CoalesceCap
+	}
+	return 1024
 }
 
 // PruningMode parses the Pruning option. An empty string means the zero

@@ -10,6 +10,8 @@
 //	GET  /v1/healthz                      liveness + corpus stats
 //	GET  /v1/search?id=42&k=10            top-k similar to a corpus object
 //	GET  /v1/search?text=sunset+beach&k=5 top-k for a free-text query
+//	POST /v1/search                       wire search (api.SearchRequest)
+//	POST /v1/search/batch                 up to api.MaxBatchQueries wire searches in one request
 //	GET  /v1/objects/{id}                 one object's features and labels
 //	POST /v1/objects                      insert {"tags":[],"users":[],"visualWords":[],"month":0}
 //	POST /v1/recommend                    {"history":[ids],"k":10,"now":3} → FIG-T recommendations
@@ -18,19 +20,36 @@
 //	GET  /debug/pprof/*                   net/http/pprof (only with Options.Pprof)
 //
 // The unversioned pre-v1 routes (/healthz, /search, /object?id=,
-// /objects, /recommend) remain as deprecated aliases of their /v1
-// equivalents: same handlers, same payloads, plus a "Deprecation: true"
-// response header. New clients should use /v1.
+// /objects, /recommend) are retired: by default they answer 410/gone in
+// the error envelope, naming the /v1 replacement. Deployments still
+// draining legacy clients can re-enable them as deprecated aliases
+// (same handlers, same payloads, plus a "Deprecation: true" response
+// header) with Options.LegacyRoutes.
 //
-// Every error answers the structured envelope
-//
-//	{"error": {"code": "invalid_argument", "message": "..."}}
-//
-// with machine-readable codes (invalid_argument, not_found,
-// method_not_allowed, deadline_exceeded, unavailable). Search requests
-// run under a per-request budget (Options.QueryTimeout): on expiry the
-// engine is cancelled between scoring stripes and the handler answers
+// The wire contract — request/response structs, the error envelope with
+// its machine-readable codes (invalid_argument, not_found,
+// method_not_allowed, conflict, gone, unavailable, deadline_exceeded),
+// and header conventions — lives in internal/api; this package re-exports
+// the names it historically declared as aliases. Search requests run
+// under a per-request budget (Options.QueryTimeout): on expiry the engine
+// is cancelled between scoring stripes and the handler answers
 // 504/deadline_exceeded.
+//
+// Three mechanisms keep the serving path standing under live traffic (see
+// "Live-traffic serving" in DESIGN.md):
+//
+//   - Admission control (Options.MaxInflight/MaxQueue): the search-family
+//     routes run at most MaxInflight strong, with at most MaxQueue more
+//     waiting; beyond that the server sheds with 503/unavailable plus
+//     Retry-After, counted as server.shed.requests.
+//   - Coalescing (Options.Coalesce): identical in-flight searches share
+//     one engine execution, and completed results are cached under a
+//     generation stamp — any insert bumps the corpus-global model
+//     generation, so the cache invalidates automatically (the floatcache
+//     idiom).
+//   - Batching (POST /v1/search/batch): one request carries many queries;
+//     the single-engine path amortizes Engine.Prepare across them. Every
+//     answer is byte-identical to the sequential uncached route.
 //
 // The server fronts either a single retrieval.Engine (New) or a sharded
 // shard.Router (NewSharded). In single-engine mode searches and
@@ -53,6 +72,7 @@ import (
 	"strconv"
 	"sync"
 
+	"figfusion/internal/api"
 	"figfusion/internal/cluster"
 	"figfusion/internal/corr"
 	"figfusion/internal/media"
@@ -60,7 +80,6 @@ import (
 	"figfusion/internal/recommend"
 	"figfusion/internal/retrieval"
 	"figfusion/internal/shard"
-	"figfusion/internal/textproc"
 	"figfusion/internal/topk"
 )
 
@@ -76,6 +95,8 @@ type Server struct {
 	opts    Options
 	reg     *obs.Registry // nil when Options.Metrics is off
 	slow    *obs.SlowLog  // nil when Options.Metrics is off
+	adm     *admission    // nil when Options.MaxInflight is 0
+	coal    *coalescer    // nil when Options.Coalesce is off
 }
 
 // New returns a server over a single engine. The recommendation endpoint
@@ -91,7 +112,7 @@ func New(engine *retrieval.Engine, opts Options) *Server {
 		s.slow = obs.NewSlowLog(64, opts.SlowQuery)
 		engine.SetMetrics(s.reg, s.slow)
 	}
-	return s
+	return s.initServing()
 }
 
 // NewSharded returns a server over a scatter-gather shard router; /healthz
@@ -104,7 +125,7 @@ func NewSharded(router *shard.Router, opts Options) *Server {
 		s.slow = obs.NewSlowLog(64, opts.SlowQuery)
 		router.SetMetrics(s.reg, s.slow)
 	}
-	return s
+	return s.initServing()
 }
 
 // NewCluster returns a server over a multi-node cluster front-end: the
@@ -119,6 +140,21 @@ func NewCluster(c *cluster.Cluster, opts Options) *Server {
 		s.reg = obs.NewRegistry()
 		s.slow = obs.NewSlowLog(64, opts.SlowQuery)
 		c.SetMetrics(s.reg)
+	}
+	return s.initServing()
+}
+
+// initServing attaches the live-traffic machinery — admission control and
+// the coalescing result cache — per Options. Both are generic over the
+// backend: admission gates the handler, coalescing keys on the
+// corpus-global model generation shared by engine, router and cluster
+// mirror alike.
+func (s *Server) initServing() *Server {
+	if s.opts.MaxInflight > 0 {
+		s.adm = newAdmission(s.opts.MaxInflight, s.opts.MaxQueue, s.reg)
+	}
+	if s.opts.Coalesce {
+		s.coal = newCoalescer(s.opts.coalesceCap(), s.model.Generation, s.reg)
 	}
 	return s
 }
@@ -192,30 +228,47 @@ func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelF
 	return context.WithTimeout(r.Context(), s.opts.QueryTimeout)
 }
 
-// Handler returns the route multiplexer: the /v1 API, its deprecated
-// unversioned aliases, and the debug surface, all wrapped in the
-// per-route instrumentation middleware and the error-envelope rewriter.
+// Handler returns the route multiplexer: the /v1 API, the retired (or,
+// with Options.LegacyRoutes, deprecated-but-served) unversioned aliases,
+// and the debug surface, all wrapped in the per-route instrumentation
+// middleware and the error-envelope rewriter. The search-family routes
+// additionally pass admission control.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	route := func(pattern, name string, h http.HandlerFunc, deprecated bool) {
 		mux.Handle(pattern, s.instrument(name, h, deprecated))
 	}
-	// The versioned API.
+	// The versioned API. Search, batch and recommend — the routes whose
+	// cost scales with corpus size — sit behind admission control; cheap
+	// point lookups, ingestion and the observability surface do not.
 	route("GET /v1/healthz", "healthz", s.handleHealth, false)
-	route("GET /v1/search", "search", s.handleSearch, false)
-	route("POST /v1/search", "searchwire", s.handleSearchWire, false)
+	route("GET /v1/search", "search", s.admit(s.handleSearch), false)
+	route("POST /v1/search", "searchwire", s.admit(s.handleSearchWire), false)
+	route("POST /v1/search/batch", "batch", s.admit(s.handleBatch), false)
 	route("GET /v1/objects/{id}", "object", s.handleObjectV1, false)
 	route("POST /v1/objects", "insert", s.handleInsert, false)
-	route("POST /v1/recommend", "recommend", s.handleRecommend, false)
+	route("POST /v1/recommend", "recommend", s.admit(s.handleRecommend), false)
 	route("GET /v1/metrics", "metrics", s.handleMetrics, false)
 	route("GET /v1/admin/snapshot", "snapshot", s.handleSnapshot, false)
-	// Deprecated pre-v1 aliases: same handlers and payloads, flagged with
-	// a Deprecation header and counted under http.deprecated.requests.
-	route("GET /healthz", "healthz", s.handleHealth, true)
-	route("GET /search", "search", s.handleSearch, true)
-	route("GET /object", "object", s.handleObjectLegacy, true)
-	route("POST /objects", "insert", s.handleInsert, true)
-	route("POST /recommend", "recommend", s.handleRecommend, true)
+	if s.opts.LegacyRoutes {
+		// Deprecated pre-v1 aliases: same handlers and payloads, flagged
+		// with a Deprecation header and counted under
+		// http.deprecated.requests.
+		route("GET /healthz", "healthz", s.handleHealth, true)
+		route("GET /search", "search", s.admit(s.handleSearch), true)
+		route("GET /object", "object", s.handleObjectLegacy, true)
+		route("POST /objects", "insert", s.handleInsert, true)
+		route("POST /recommend", "recommend", s.admit(s.handleRecommend), true)
+	} else {
+		// Retired pre-v1 aliases: 410/gone in the envelope, naming the /v1
+		// replacement. Still flagged and counted as deprecated traffic so
+		// operators can see who is hitting them.
+		route("GET /healthz", "legacy", gone("GET /v1/healthz"), true)
+		route("GET /search", "legacy", gone("GET /v1/search"), true)
+		route("GET /object", "legacy", gone("GET /v1/objects/{id}"), true)
+		route("POST /objects", "legacy", gone("POST /v1/objects"), true)
+		route("POST /recommend", "legacy", gone("POST /v1/recommend"), true)
+	}
 	// Debug surface.
 	route("GET /debug/vars", "debugvars", s.handleDebugVars, false)
 	if s.opts.Pprof {
@@ -228,79 +281,49 @@ func (s *Server) Handler() http.Handler {
 	return envelopeHandler{next: mux}
 }
 
+// gone answers a retired unversioned route with 410 in the envelope.
+func gone(replacement string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusGone, CodeGone,
+			"this unversioned route was retired; use %s (re-enable the alias with -legacy-routes during migration)", replacement)
+	}
+}
+
 // ResultItem is one search hit.
-type ResultItem struct {
-	ID    int64    `json:"id"`
-	Score float64  `json:"score"`
-	Month int      `json:"month"`
-	Tags  []string `json:"tags,omitempty"`
-}
+type ResultItem = api.ResultItem
 
-// SearchResponse is the /v1/search payload. Partial marks a degraded
-// cluster answer: one or more nodes were down or diverged, so the results
-// cover only the partitions that answered.
-type SearchResponse struct {
-	Query   string       `json:"query"`
-	Results []ResultItem `json:"results"`
-	Partial bool         `json:"partial,omitempty"`
-}
+// SearchResponse is the GET /v1/search and POST /v1/recommend payload.
+type SearchResponse = api.SearchResponse
 
-// ObjectResponse is the /v1/objects/{id} payload.
-type ObjectResponse struct {
-	ID          int64    `json:"id"`
-	Month       int      `json:"month"`
-	Tags        []string `json:"tags"`
-	Users       []string `json:"users"`
-	VisualWords []string `json:"visualWords"`
-}
+// ObjectResponse is the GET /v1/objects/{id} payload.
+type ObjectResponse = api.ObjectResponse
 
-// InsertRequest is the POST /v1/objects payload. Public clients send the
-// named feature lists (tags/users/visualWords, each at count 1); a cluster
-// router replicating an insert to a shard node sends the exact
-// (kind, name, count) feature triples plus the generation stamp instead —
-// Expect is the router's pre-insert corpus length, and a node whose corpus
-// is not exactly that size answers 409/conflict rather than mis-assigning
-// the object ID.
-type InsertRequest struct {
-	Tags        []string          `json:"tags"`
-	Users       []string          `json:"users"`
-	VisualWords []string          `json:"visualWords"`
-	Features    []cluster.Feature `json:"features,omitempty"`
-	Month       int               `json:"month"`
-	Expect      *int              `json:"expect,omitempty"`
-}
+// InsertRequest is the POST /v1/objects payload.
+type InsertRequest = api.InsertRequest
 
 // InsertResponse reports the assigned ID.
-type InsertResponse struct {
-	ID int64 `json:"id"`
-}
+type InsertResponse = api.InsertResponse
 
-// Error codes of the envelope. Statuses map conventionally:
-// invalid_argument → 400, not_found → 404, method_not_allowed → 405,
-// deadline_exceeded → 504, unavailable → 503.
+// RecommendRequest is the POST /v1/recommend payload.
+type RecommendRequest = api.RecommendRequest
+
+// Error codes of the envelope, re-exported from the api contract.
 const (
-	CodeInvalidArgument  = "invalid_argument"
-	CodeNotFound         = "not_found"
-	CodeMethodNotAllowed = "method_not_allowed"
-	CodeDeadlineExceeded = "deadline_exceeded"
-	CodeUnavailable      = "unavailable"
-	// CodeConflict (409) answers a stamped insert whose Expect does not
-	// match this node's corpus size — the divergence signal of multi-node
-	// replication.
-	CodeConflict = "conflict"
+	CodeInvalidArgument  = api.CodeInvalidArgument
+	CodeNotFound         = api.CodeNotFound
+	CodeMethodNotAllowed = api.CodeMethodNotAllowed
+	CodeDeadlineExceeded = api.CodeDeadlineExceeded
+	CodeUnavailable      = api.CodeUnavailable
+	CodeConflict         = api.CodeConflict
+	CodeGone             = api.CodeGone
 )
 
 // ErrorBody is the envelope's inner object.
-type ErrorBody struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
+type ErrorBody = api.ErrorBody
 
 // ErrorResponse is the structured error envelope every handler answers
 // with: {"error": {"code": "...", "message": "..."}}.
-type ErrorResponse struct {
-	Error ErrorBody `json:"error"`
-}
+type ErrorResponse = api.ErrorResponse
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
@@ -308,7 +331,14 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeError answers the structured envelope. Every 503 — shed, degraded
+// cluster, disabled feature — carries the api contract's Retry-After
+// backoff hint; centralizing it here means no unavailable path can forget
+// it.
 func writeError(w http.ResponseWriter, status int, code, format string, args ...interface{}) {
+	if status == http.StatusServiceUnavailable && w.Header().Get(api.RetryAfterHeader) == "" {
+		w.Header().Set(api.RetryAfterHeader, "1")
+	}
 	writeJSON(w, status, ErrorResponse{Error: ErrorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
@@ -382,7 +412,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		case r.URL.Query().Get("text") != "":
 			text := r.URL.Query().Get("text")
 			var ok bool
-			q, ok = textQuery(corpus, text)
+			q, ok = api.TextQuery(corpus, text)
 			if !ok {
 				status, errCode = http.StatusNotFound, CodeNotFound
 				errMsg = fmt.Sprintf("no term of %q matches the corpus vocabulary", text)
@@ -400,7 +430,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
-	results, partial, err := s.search(ctx, q, k, exclude)
+	results, partial, err := s.coalescedSearch(ctx, q, k, exclude, false)
 	if err != nil {
 		s.writeSearchError(w, err)
 		return
@@ -422,8 +452,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeSearchError maps a failed search dispatch onto the envelope:
-// budget expiry → 504, no answering cluster node → 503, anything else
-// (the client went away) → 400 as a formality.
+// budget expiry → 504, no answering cluster node → 503 (with the
+// contract's Retry-After), anything else (the client went away) → 400 as
+// a formality.
 func (s *Server) writeSearchError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
@@ -436,14 +467,15 @@ func (s *Server) writeSearchError(w http.ResponseWriter, err error) {
 	}
 }
 
-// handleSearchWire serves POST /v1/search — the cluster tier's internal
-// search protocol. A shard node resolves the wire request against its
-// replicated corpus and answers its partition's ranked top-k; the same
-// handler on a router scatter-gathers, so the wire protocol composes
-// across tiers. Bodies and scores are plain JSON, and Go's float64
-// round-trip is exact, so the hop never changes result bytes.
+// handleSearchWire serves POST /v1/search — the wire search protocol
+// shared by the typed client and the cluster tier. A shard node resolves
+// the wire request against its replicated corpus and answers its
+// partition's ranked top-k; the same handler on a router scatter-gathers,
+// so the wire protocol composes across tiers. Bodies and scores are plain
+// JSON, and Go's float64 round-trip is exact, so the hop never changes
+// result bytes.
 func (s *Server) handleSearchWire(w http.ResponseWriter, r *http.Request) {
-	var req cluster.SearchRequest
+	var req api.SearchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "bad JSON: %v", err)
 		return
@@ -455,7 +487,7 @@ func (s *Server) handleSearchWire(w http.ResponseWriter, r *http.Request) {
 	var q *media.Object
 	var rerr error
 	s.view(func() {
-		q, rerr = cluster.ResolveQuery(s.model.Stats.Corpus(), &req)
+		q, rerr = api.ResolveQuery(s.model.Stats.Corpus(), &req)
 	})
 	if rerr != nil {
 		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "%v", rerr)
@@ -467,23 +499,21 @@ func (s *Server) handleSearchWire(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
-	var results []topk.Item
-	var partial bool
-	var err error
-	if req.TA {
-		results, partial, err = s.searchTA(ctx, q, req.K, exclude)
-	} else {
-		results, partial, err = s.search(ctx, q, req.K, exclude)
-	}
+	results, partial, err := s.coalescedSearch(ctx, q, req.K, exclude, req.TA)
 	if err != nil {
 		s.writeSearchError(w, err)
 		return
 	}
-	resp := cluster.SearchResponse{Results: make([]cluster.Item, 0, len(results)), Partial: partial}
+	writeJSON(w, http.StatusOK, wireResponse(results, partial))
+}
+
+// wireResponse renders ranked items as the POST /v1/search payload.
+func wireResponse(results []topk.Item, partial bool) api.WireSearchResponse {
+	resp := api.WireSearchResponse{Results: make([]api.Item, 0, len(results)), Partial: partial}
 	for _, it := range results {
-		resp.Results = append(resp.Results, cluster.Item{ID: int64(it.ID), Score: it.Score})
+		resp.Results = append(resp.Results, api.Item{ID: int64(it.ID), Score: it.Score})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 // handleSnapshot serves GET /v1/admin/snapshot: the node's full snapshot
@@ -554,7 +584,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		// The wire form: exact (kind, name, count) triples from a cluster
 		// router replicating an insert.
 		var err error
-		feats, counts, err = cluster.DecodeFeatures(req.Features)
+		feats, counts, err = api.DecodeFeatures(req.Features)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, CodeInvalidArgument, "%v", err)
 			return
@@ -620,15 +650,6 @@ func (s *Server) insert(ctx context.Context, feats []media.Feature, counts []int
 	}
 }
 
-// RecommendRequest is the /v1/recommend payload: the caller's favourite
-// history as corpus object IDs, the recommendation depth, and the current
-// month for the Eq. 10 decay.
-type RecommendRequest struct {
-	History []int64 `json:"history"`
-	K       int     `json:"k"`
-	Now     int     `json:"now"`
-}
-
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	var req RecommendRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -684,27 +705,6 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
-}
-
-// textQuery mirrors the facade's TextQuery without importing the root
-// package (which would be an import cycle).
-func textQuery(c *media.Corpus, text string) (*media.Object, bool) {
-	pipeline := textproc.NewPipeline(textproc.WithoutStemming())
-	var fcs []media.FeatureCount
-	for _, term := range pipeline.Normalize(text) {
-		fid, ok := c.Dict.Lookup(media.Feature{Kind: media.Text, Name: term})
-		if !ok {
-			fid, ok = c.Dict.Lookup(media.Feature{Kind: media.Text, Name: textproc.Stem(term)})
-		}
-		if !ok {
-			continue
-		}
-		fcs = append(fcs, media.FeatureCount{FID: fid, Count: 1})
-	}
-	if len(fcs) == 0 {
-		return nil, false
-	}
-	return media.NewObject(-1, fcs, 0), true
 }
 
 func featureNames(c *media.Corpus, o *media.Object, kind media.Kind, max int) []string {

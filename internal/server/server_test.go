@@ -16,6 +16,13 @@ import (
 
 func testServer(t testing.TB) (*Server, *dataset.Dataset) {
 	t.Helper()
+	return testServerOpts(t, DefaultOptions())
+}
+
+// testServerOpts is the single-engine fixture with a custom Options (used
+// by the legacy-route and admission tests).
+func testServerOpts(t testing.TB, opts Options) (*Server, *dataset.Dataset) {
+	t.Helper()
 	cfg := dataset.DefaultConfig()
 	cfg.NumObjects = 200
 	cfg.NumTopics = 5
@@ -34,7 +41,7 @@ func testServer(t testing.TB) (*Server, *dataset.Dataset) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(engine, DefaultOptions()), d
+	return New(engine, opts), d
 }
 
 func doJSON(t *testing.T, h http.Handler, method, target string, body []byte, out interface{}) int {
@@ -58,7 +65,7 @@ func doJSON(t *testing.T, h http.Handler, method, target string, body []byte, ou
 func TestHealthz(t *testing.T) {
 	s, d := testServer(t)
 	var resp map[string]interface{}
-	code := doJSON(t, s.Handler(), "GET", "/healthz", nil, &resp)
+	code := doJSON(t, s.Handler(), "GET", "/v1/healthz", nil, &resp)
 	if code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
@@ -76,7 +83,7 @@ func TestHealthz(t *testing.T) {
 func TestSearchByID(t *testing.T) {
 	s, d := testServer(t)
 	var resp SearchResponse
-	code := doJSON(t, s.Handler(), "GET", "/search?id=5&k=4", nil, &resp)
+	code := doJSON(t, s.Handler(), "GET", "/v1/search?id=5&k=4", nil, &resp)
 	if code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
@@ -99,7 +106,7 @@ func TestSearchByID(t *testing.T) {
 func TestSearchByText(t *testing.T) {
 	s, _ := testServer(t)
 	var resp SearchResponse
-	code := doJSON(t, s.Handler(), "GET", "/search?text=topic00tag00+topic00tag01&k=3", nil, &resp)
+	code := doJSON(t, s.Handler(), "GET", "/v1/search?text=topic00tag00+topic00tag01&k=3", nil, &resp)
 	if code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
@@ -107,7 +114,7 @@ func TestSearchByText(t *testing.T) {
 		t.Fatal("no results")
 	}
 	// Unknown text → 404.
-	if code := doJSON(t, s.Handler(), "GET", "/search?text=zebra+quokka", nil, nil); code != http.StatusNotFound {
+	if code := doJSON(t, s.Handler(), "GET", "/v1/search?text=zebra+quokka", nil, nil); code != http.StatusNotFound {
 		t.Errorf("unknown text status = %d", code)
 	}
 }
@@ -118,12 +125,12 @@ func TestSearchValidation(t *testing.T) {
 		target string
 		want   int
 	}{
-		{"/search", http.StatusBadRequest},
-		{"/search?id=99999", http.StatusBadRequest},
-		{"/search?id=abc", http.StatusBadRequest},
-		{"/search?id=1&k=0", http.StatusBadRequest},
-		{"/search?id=1&k=9999", http.StatusBadRequest},
-		{"/search?id=-3", http.StatusBadRequest},
+		{"/v1/search", http.StatusBadRequest},
+		{"/v1/search?id=99999", http.StatusBadRequest},
+		{"/v1/search?id=abc", http.StatusBadRequest},
+		{"/v1/search?id=1&k=0", http.StatusBadRequest},
+		{"/v1/search?id=1&k=9999", http.StatusBadRequest},
+		{"/v1/search?id=-3", http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		if code := doJSON(t, s.Handler(), "GET", tc.target, nil, nil); code != tc.want {
@@ -135,7 +142,7 @@ func TestSearchValidation(t *testing.T) {
 func TestObjectEndpoint(t *testing.T) {
 	s, d := testServer(t)
 	var resp ObjectResponse
-	code := doJSON(t, s.Handler(), "GET", "/object?id=7", nil, &resp)
+	code := doJSON(t, s.Handler(), "GET", "/v1/objects/7", nil, &resp)
 	if code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
@@ -148,7 +155,7 @@ func TestObjectEndpoint(t *testing.T) {
 	if resp.Month != d.Corpus.Object(7).Month {
 		t.Errorf("month = %d", resp.Month)
 	}
-	if code := doJSON(t, s.Handler(), "GET", "/object?id=zzz", nil, nil); code != http.StatusNotFound {
+	if code := doJSON(t, s.Handler(), "GET", "/v1/objects/zzz", nil, nil); code != http.StatusNotFound {
 		t.Errorf("bad id status = %d", code)
 	}
 }
@@ -162,7 +169,7 @@ func TestInsertEndpoint(t *testing.T) {
 		Month: 5,
 	})
 	var resp InsertResponse
-	code := doJSON(t, s.Handler(), "POST", "/objects", body, &resp)
+	code := doJSON(t, s.Handler(), "POST", "/v1/objects", body, &resp)
 	if code != http.StatusCreated {
 		t.Fatalf("status = %d", code)
 	}
@@ -172,7 +179,7 @@ func TestInsertEndpoint(t *testing.T) {
 	// The inserted object is immediately searchable.
 	var sr SearchResponse
 	if code := doJSON(t, s.Handler(), "GET",
-		fmt.Sprintf("/search?text=topic00tag00+topic00tag01&k=%d", d.Corpus.Len()), nil, &sr); code != http.StatusOK {
+		fmt.Sprintf("/v1/search?text=topic00tag00+topic00tag01&k=%d", d.Corpus.Len()), nil, &sr); code != http.StatusOK {
 		t.Fatalf("post-insert search status = %d", code)
 	}
 	found := false
@@ -185,11 +192,11 @@ func TestInsertEndpoint(t *testing.T) {
 		t.Error("inserted object not searchable")
 	}
 	// Validation.
-	if code := doJSON(t, s.Handler(), "POST", "/objects", []byte("{"), nil); code != http.StatusBadRequest {
+	if code := doJSON(t, s.Handler(), "POST", "/v1/objects", []byte("{"), nil); code != http.StatusBadRequest {
 		t.Errorf("bad JSON status = %d", code)
 	}
 	empty, _ := json.Marshal(InsertRequest{})
-	if code := doJSON(t, s.Handler(), "POST", "/objects", empty, nil); code != http.StatusBadRequest {
+	if code := doJSON(t, s.Handler(), "POST", "/v1/objects", empty, nil); code != http.StatusBadRequest {
 		t.Errorf("empty insert status = %d", code)
 	}
 }
@@ -205,12 +212,12 @@ func TestConcurrentSearchAndInsert(t *testing.T) {
 			for i := 0; i < 10; i++ {
 				if w == 0 && i%3 == 0 {
 					body, _ := json.Marshal(InsertRequest{Tags: []string{"topic01tag01"}})
-					req := httptest.NewRequest("POST", "/objects", bytes.NewReader(body))
+					req := httptest.NewRequest("POST", "/v1/objects", bytes.NewReader(body))
 					rec := httptest.NewRecorder()
 					h.ServeHTTP(rec, req)
 					continue
 				}
-				req := httptest.NewRequest("GET", "/search?id=1&k=3", nil)
+				req := httptest.NewRequest("GET", "/v1/search?id=1&k=3", nil)
 				rec := httptest.NewRecorder()
 				h.ServeHTTP(rec, req)
 				if rec.Code != http.StatusOK {
@@ -237,7 +244,7 @@ func TestRecommendEndpoint(t *testing.T) {
 	}
 	body, _ := json.Marshal(RecommendRequest{History: hist, K: 5, Now: 3})
 	var resp SearchResponse
-	code := doJSON(t, s.Handler(), "POST", "/recommend", body, &resp)
+	code := doJSON(t, s.Handler(), "POST", "/v1/recommend", body, &resp)
 	if code != http.StatusOK {
 		t.Fatalf("status = %d", code)
 	}
@@ -261,15 +268,18 @@ func TestRecommendEndpoint(t *testing.T) {
 		t.Errorf("only %d/%d recommendations on the history topic", onTopic, len(resp.Results))
 	}
 	// Validation.
-	if code := doJSON(t, s.Handler(), "POST", "/recommend", []byte("{"), nil); code != http.StatusBadRequest {
+	if code := doJSON(t, s.Handler(), "POST", "/v1/recommend", []byte("{"), nil); code != http.StatusBadRequest {
 		t.Errorf("bad JSON status = %d", code)
 	}
 	empty, _ := json.Marshal(RecommendRequest{K: 5})
-	if code := doJSON(t, s.Handler(), "POST", "/recommend", empty, nil); code != http.StatusBadRequest {
+	if code := doJSON(t, s.Handler(), "POST", "/v1/recommend", empty, nil); code != http.StatusBadRequest {
 		t.Errorf("empty history status = %d", code)
 	}
 	bad, _ := json.Marshal(RecommendRequest{History: []int64{999999}, K: 5})
-	if code := doJSON(t, s.Handler(), "POST", "/recommend", bad, nil); code != http.StatusBadRequest {
+	if code := doJSON(t, s.Handler(), "POST", "/v1/recommend", bad, nil); code != http.StatusBadRequest {
 		t.Errorf("unknown history status = %d", code)
 	}
 }
+
+// int64p returns a pointer to v, for optional wire fields.
+func int64p(v int64) *int64 { return &v }

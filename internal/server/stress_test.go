@@ -8,6 +8,8 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+
+	"figfusion/internal/api"
 )
 
 // TestStressMixedWorkload drives the full HTTP surface from many
@@ -41,6 +43,13 @@ func TestStressMixedWorkload(t *testing.T) {
 	// Snapshot the corpus size before traffic starts: reading it through
 	// d.Corpus mid-run would bypass the server's lock. Inserts only grow
 	// the corpus, so ids below the snapshot stay valid throughout.
+	batchBody, err := json.Marshal(api.BatchSearchRequest{Queries: []api.SearchRequest{
+		{ID: int64p(0), K: 4},
+		{Text: "topic01tag01", K: 3},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	initialLen := d.Corpus.Len()
 	var wg sync.WaitGroup
 	for w := 0; w < readers; w++ {
@@ -50,17 +59,22 @@ func TestStressMixedWorkload(t *testing.T) {
 			for r := 0; r < rounds; r++ {
 				id := (w*rounds + r) % initialLen
 				var code int
-				switch r % 5 {
+				switch r % 6 {
 				case 0:
-					code = hit("GET", fmt.Sprintf("/search?id=%d&k=5", id), nil)
+					code = hit("GET", fmt.Sprintf("/v1/search?id=%d&k=5", id), nil)
 				case 1:
-					code = hit("GET", "/healthz", nil)
+					code = hit("GET", "/v1/healthz", nil)
 				case 2:
-					code = hit("GET", fmt.Sprintf("/object?id=%d", id), nil)
+					code = hit("GET", fmt.Sprintf("/v1/objects/%d", id), nil)
 				case 3:
-					code = hit("GET", "/search?text=topic01tag01&k=3", nil)
+					// Identical across workers: exercises single-flight
+					// coalescing and the generation-stamped cache while the
+					// writer below invalidates it mid-run.
+					code = hit("GET", "/v1/search?text=topic01tag01&k=3", nil)
 				case 4:
-					code = hit("POST", "/recommend", recBody)
+					code = hit("POST", "/v1/recommend", recBody)
+				case 5:
+					code = hit("POST", "/v1/search/batch", batchBody)
 				}
 				// Concurrent inserts grow the corpus, never shrink it, so
 				// ids probed here stay valid and every route must succeed.
@@ -85,7 +99,7 @@ func TestStressMixedWorkload(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			if code := hit("POST", "/objects", body); code != http.StatusCreated {
+			if code := hit("POST", "/v1/objects", body); code != http.StatusCreated {
 				t.Errorf("insert %d: status %d", i, code)
 				return
 			}
